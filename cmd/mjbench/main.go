@@ -1,0 +1,137 @@
+// Command mjbench regenerates the tables and figures of the paper's
+// evaluation section on the simulated PRISMA/DB machine.
+//
+// Usage:
+//
+//	mjbench -fig 9        # Figure 9: left-linear tree, 5K and 40K sweeps
+//	mjbench -fig 10..13   # the other query shapes
+//	mjbench -fig 14       # best response times table
+//	mjbench -fig 3|4|6|7  # utilization diagrams of the example tree
+//	mjbench -fig speedup  # Section 2.3.1 single-join speedup experiment
+//	mjbench -fig pipedelay# Section 2.3.3 pipeline delay experiment
+//	mjbench -fig ablation # Section 3.5 overhead ablation
+//	mjbench -fig all      # everything
+//
+// -card5k/-card40k/-procs scale the experiments down for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"multijoin/internal/experiments"
+	"multijoin/internal/jointree"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,6,7,9,10,11,12,13,14,speedup,pipedelay,ablation,memory,costfn,all")
+	card5k := flag.Int("card5k", 5000, "cardinality of the small experiment")
+	card40k := flag.Int("card40k", 40000, "cardinality of the large experiment")
+	seed := flag.Int64("seed", 1995, "database generator seed")
+	csvPath := flag.String("csv", "", "also write all response-time sweeps (figures 9-13) to this CSV file")
+	flag.Parse()
+
+	r := experiments.NewRunner()
+	r.Seed = *seed
+	small := experiments.Small
+	small.Card = *card5k
+	large := experiments.Large
+	large.Card = *card40k
+	sizes := []experiments.ProblemSize{small, large}
+
+	figureShapes := map[string]jointree.Shape{
+		"9":  jointree.LeftLinear,
+		"10": jointree.LeftBushy,
+		"11": jointree.WideBushy,
+		"12": jointree.RightBushy,
+		"13": jointree.RightLinear,
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "3", "4", "6", "7":
+			out, err := experiments.UtilizationFigure(name)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+		case "9", "10", "11", "12", "13":
+			shape := figureShapes[name]
+			for _, size := range sizes {
+				pts, err := r.SweepShape(shape, size)
+				if err != nil {
+					return err
+				}
+				title := fmt.Sprintf("Figure %s: %s query tree, %s experiment (seconds)", name, shape, size.Name)
+				fmt.Println(experiments.FormatSweep(title, pts))
+			}
+		case "14":
+			rows, err := r.Figure14()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatFigure14(rows))
+		case "speedup":
+			out, err := experiments.SingleJoinSpeedup(r.Params, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+		case "pipedelay":
+			out, err := experiments.PipelineDelay(r.Params, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+		case "ablation":
+			out, err := experiments.Ablation(*card5k, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+		case "memory":
+			out, err := experiments.Memory(*card40k, 80, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+		case "costfn":
+			out, err := experiments.CostFunction(40, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+		default:
+			return fmt.Errorf("unknown figure %q", name)
+		}
+		return nil
+	}
+
+	var names []string
+	if *fig == "all" {
+		names = []string{"3", "4", "6", "7", "9", "10", "11", "12", "13", "14", "speedup", "pipedelay", "ablation", "memory", "costfn"}
+	} else {
+		names = strings.Split(*fig, ",")
+	}
+	for _, name := range names {
+		if err := run(strings.TrimSpace(name)); err != nil {
+			fmt.Fprintf(os.Stderr, "mjbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mjbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := r.CSVForShapes(f, sizes); err != nil {
+			fmt.Fprintf(os.Stderr, "mjbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,83 @@
+// Command mjdata generates and inspects the Wisconsin chain databases used
+// by the experiments (Section 4.1 of the paper).
+//
+// Usage:
+//
+//	mjdata -relations 10 -card 5000 -show 5     # print the first tuples
+//	mjdata -card 40000 -verify                  # check chain-join invariants
+//	mjdata -card 1000 -full -show 3             # expand full 208-byte tuples
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multijoin"
+	"multijoin/internal/wisconsin"
+)
+
+func main() {
+	relations := flag.Int("relations", 10, "number of base relations")
+	card := flag.Int("card", 5000, "tuples per relation")
+	seed := flag.Int64("seed", 1995, "generator seed")
+	show := flag.Int("show", 3, "tuples to print per relation")
+	full := flag.Bool("full", false, "expand the full 16-attribute Wisconsin tuples")
+	verify := flag.Bool("verify", false, "verify the chain-join invariants of the database")
+	flag.Parse()
+
+	if err := run(*relations, *card, *seed, *show, *full, *verify); err != nil {
+		fmt.Fprintf(os.Stderr, "mjdata: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(relations, card int, seed int64, show int, full, verify bool) error {
+	db, err := multijoin.NewDatabase(relations, card, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("database: %d Wisconsin relations x %d tuples (%d bytes/tuple, seed %d)\n\n",
+		relations, card, wisconsin.TupleBytes, seed)
+	for i := 0; i < db.NumRelations(); i++ {
+		r := db.Relation(i)
+		fmt.Printf("%s: %d tuples, %d bytes\n", r.Name, r.Card(), r.Bytes())
+		for j := 0; j < show && j < r.Card(); j++ {
+			t := r.Tuples[j]
+			if full {
+				fmt.Printf("  %v\n", wisconsin.Expand(t.Unique1, t.Unique2))
+			} else {
+				fmt.Printf("  (unique1=%d unique2=%d check=%016x)\n", t.Unique1, t.Unique2, t.Check)
+			}
+		}
+	}
+	if !verify {
+		return nil
+	}
+	fmt.Printf("\nverifying chain invariants...\n")
+	// Every span must have exactly `card` expected tuples, and the full
+	// chain must brute-force-check on a sample of boundaries.
+	for lo := 0; lo < relations; lo++ {
+		exp, err := db.ExpectedPairs(lo, relations-1)
+		if err != nil {
+			return err
+		}
+		if exp.Card() != card {
+			return fmt.Errorf("span [%d,%d] expects %d tuples, want %d", lo, relations-1, exp.Card(), card)
+		}
+	}
+	for i := 0; i+1 < relations; i++ {
+		left, right := db.Relation(i), db.Relation(i+1)
+		keys := make(map[int64]int, card)
+		for _, t := range right.Tuples {
+			keys[t.Unique1]++
+		}
+		for _, t := range left.Tuples {
+			if keys[t.Unique2] != 1 {
+				return fmt.Errorf("boundary %d: key %d has %d matches", i+1, t.Unique2, keys[t.Unique2])
+			}
+		}
+	}
+	fmt.Printf("ok: all %d boundaries are 1:1, all spans have cardinality %d\n", relations-1, card)
+	return nil
+}

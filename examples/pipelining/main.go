@@ -1,0 +1,80 @@
+// Pipelining demonstrates the difference between the simple (build-probe)
+// hash-join and the pipelining (symmetric) hash-join of Section 2.3.2 at the
+// algorithm level: the pipelining join emits result tuples long before its
+// operands are complete, at the price of a second hash table. It then shows
+// the system-level consequence: on a linear pipeline, FP's response time
+// beats a strategy without inter-operator pipelining.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multijoin"
+	"multijoin/internal/hashjoin"
+	"multijoin/internal/relation"
+)
+
+func main() {
+	const n = 10000
+	db, err := multijoin.NewDatabase(2, n, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lower, higher := db.Relation(0), db.Relation(1)
+	spec := hashjoin.Spec{BuildIsLower: true}
+
+	// Feed both joins the same interleaved batches and track when the
+	// first and half of the results appear (measured in consumed tuples).
+	fmt.Printf("join of two %d-tuple relations, batches of 100 tuples:\n\n", n)
+
+	pipe := hashjoin.NewPipelining(spec)
+	var consumed, produced, firstAt, halfAt int
+	for i := 0; i < n; i += 100 {
+		out := pipe.FromBuildSide(lower.Tuples[i : i+100])
+		consumed += 100
+		produced += len(out)
+		out = pipe.FromProbeSide(higher.Tuples[i : i+100])
+		consumed += 100
+		produced += len(out)
+		if firstAt == 0 && produced > 0 {
+			firstAt = consumed
+		}
+		if halfAt == 0 && produced >= n/2 {
+			halfAt = consumed
+		}
+	}
+	bt, pt := pipe.Sizes()
+	fmt.Printf("pipelining hash-join: first result after %d consumed tuples,\n", firstAt)
+	fmt.Printf("  half the output after %d of %d; memory: %d + %d tuples (two tables)\n\n",
+		halfAt, 2*n, bt, pt)
+
+	simple := hashjoin.NewSimple(spec)
+	simple.Insert(lower.Tuples) // the build phase consumes the whole operand
+	out := simple.Probe(higher.Tuples[:100])
+	fmt.Printf("simple hash-join: zero results until the build phase ends at %d consumed\n", n)
+	fmt.Printf("  tuples; first probe batch then yields %d results; memory: %d tuples\n\n",
+		len(out), simple.BuildSize())
+
+	// Both algorithms agree exactly.
+	a := hashjoin.Join(lower, higher, spec, false)
+	b := hashjoin.Join(lower, higher, spec, true)
+	fmt.Printf("results identical: %v (%d tuples)\n\n", relation.EqualMultiset(a, b), a.Card())
+
+	// System-level effect on a 10-relation right-linear pipeline.
+	big, err := multijoin.NewDatabase(10, 5000, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, _ := multijoin.BuildTree(multijoin.RightLinear, 10)
+	for _, s := range []multijoin.Strategy{multijoin.SP, multijoin.FP} {
+		res, err := multijoin.Run(multijoin.Query{
+			DB: big, Tree: tree, Strategy: s, Procs: 60, Params: multijoin.DefaultParams(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("right-linear chain, 60 procs, %v: %.2fs (%d processes)\n",
+			s, res.ResponseTime.Seconds(), res.Stats.Processes)
+	}
+}

@@ -1,0 +1,68 @@
+// Strategycompare reproduces the decision matrix behind the paper's
+// Section 5 guidelines: it measures every strategy on every query-tree
+// shape at a small and a large machine size and prints which strategy wins
+// where — SP for few processors, FP for many, SE on wide bushy trees, RD on
+// right-oriented trees.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multijoin"
+)
+
+func main() {
+	db, err := multijoin.NewDatabase(10, 5000, 1995)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := multijoin.DefaultParams()
+
+	for _, procs := range []int{20, 80} {
+		fmt.Printf("===== %d processors =====\n", procs)
+		fmt.Printf("%-22s", "shape")
+		for _, s := range multijoin.Strategies {
+			fmt.Printf("%10v", s)
+		}
+		fmt.Printf("%10s\n", "winner")
+		for _, shape := range multijoin.Shapes {
+			tree, err := multijoin.BuildTree(shape, 10)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-22v", shape)
+			bestSec, bestStrat := -1.0, multijoin.SP
+			for _, s := range multijoin.Strategies {
+				res, err := multijoin.Run(multijoin.Query{
+					DB: db, Tree: tree, Strategy: s, Procs: procs, Params: params,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				sec := res.ResponseTime.Seconds()
+				fmt.Printf("%10.2f", sec)
+				if bestSec < 0 || sec < bestSec {
+					bestSec, bestStrat = sec, s
+				}
+			}
+			fmt.Printf("%10v\n", bestStrat)
+		}
+		fmt.Println()
+	}
+
+	// Mirroring (Section 5): RD on a left-linear tree degenerates to SP,
+	// but mirroring the tree is free and makes it right-linear.
+	tree, _ := multijoin.BuildTree(multijoin.LeftLinear, 10)
+	left, err := multijoin.Run(multijoin.Query{DB: db, Tree: tree, Strategy: multijoin.RD, Procs: 80, Params: params})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mirrored, _ := multijoin.BuildTree(multijoin.RightLinear, 10)
+	right, err := multijoin.Run(multijoin.Query{DB: db, Tree: mirrored, Strategy: multijoin.RD, Procs: 80, Params: params})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RD on left-linear: %.2fs; after mirroring to right-linear: %.2fs\n",
+		left.ResponseTime.Seconds(), right.ResponseTime.Seconds())
+}

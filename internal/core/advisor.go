@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"multijoin/internal/jointree"
+	"multijoin/internal/strategy"
+	"multijoin/internal/wisconsin"
+)
+
+// Advice is a strategy recommendation derived from the paper's Section 5
+// guidelines.
+type Advice struct {
+	// Strategy is the recommended parallelization strategy.
+	Strategy strategy.Kind
+	// MirrorFirst indicates the tree should first be mirrored (free, see
+	// Section 5) to make it right-oriented before applying the strategy.
+	MirrorFirst bool
+	// Reason explains the recommendation in the paper's terms.
+	Reason string
+}
+
+// AdviseInput describes the situation to choose a strategy for.
+type AdviseInput struct {
+	Tree  *jointree.Node
+	Procs int
+	// SpanCard estimates span cardinalities (for example
+	// (*wisconsin.Database).SpanCard); nil assumes a regular workload of
+	// cardinality Card.
+	SpanCard jointree.SpanCardFunc
+	Card     float64
+	// NodeMemoryBytes, when positive, is the main memory of one processor
+	// node (16 MB on PRISMA). If even a single join's hash tables cannot
+	// fit, the disk-based discussion of Section 5 applies: inter-join
+	// parallelism never pays off and SP should be used.
+	NodeMemoryBytes int
+}
+
+// Advise encodes the paper's closing guidelines:
+//
+//   - "For a small number of processors, Sequential Parallel execution (SP)
+//     is the easiest and best way to evaluate a multi-join query in
+//     parallel." — fewer than two processors per join leaves no room for
+//     inter-operator parallelism, and SP needs no cost function.
+//   - In a memory-constrained (disk-based) system where joins cannot hold
+//     their hash tables, "such systems should use SP".
+//   - "SE works very well for wide bushy trees."
+//   - "RD works well for right-oriented trees"; left-oriented trees can be
+//     mirrored for free first.
+//   - "For larger numbers of processors, Full Parallel execution (FP)
+//     performs quite well" and "gives the best overall performance over the
+//     entire range of query shapes, when large numbers of processors are
+//     used."
+func Advise(in AdviseInput) (Advice, error) {
+	if in.Tree == nil || in.Tree.IsLeaf() {
+		return Advice{}, fmt.Errorf("core: advise needs a join tree")
+	}
+	if in.Procs < 1 {
+		return Advice{}, fmt.Errorf("core: advise needs a processor count")
+	}
+	spanCard := in.SpanCard
+	if spanCard == nil {
+		card := in.Card
+		if card <= 0 {
+			card = 1
+		}
+		spanCard = func(lo, hi int) float64 { return card }
+	}
+	joins := jointree.Joins(in.Tree)
+
+	// Disk-based / memory-constrained rule: if the largest single join's
+	// hash table exceeds a node's memory even when declustered over all
+	// processors, inter-join parallelism would force joins to share memory
+	// and thrash; evaluate sequentially (SP).
+	if in.NodeMemoryBytes > 0 {
+		var largest float64
+		for _, j := range joins {
+			if n := spanCard(j.Build.Lo, j.Build.Hi); n > largest {
+				largest = n
+			}
+		}
+		perNode := largest * wisconsin.TupleBytes / float64(in.Procs)
+		if perNode > float64(in.NodeMemoryBytes) {
+			return Advice{Strategy: strategy.SP,
+				Reason: "a single join's hash table does not fit node memory; inter-join parallelism would thrash (Section 5, disk-based systems)"}, nil
+		}
+	}
+
+	// Small machines: no room for inter-operator parallelism.
+	if in.Procs < 2*len(joins) {
+		return Advice{Strategy: strategy.SP,
+			Reason: "few processors per join: SP is the easiest and best, and needs no cost function"}, nil
+	}
+
+	// Shape classification.
+	bothInternal := 0
+	for _, j := range joins {
+		if !j.Build.IsLeaf() && !j.Probe.IsLeaf() {
+			bothInternal++
+		}
+	}
+	segments := jointree.RightDeepSegments(in.Tree)
+	longestSegment := 0
+	for _, s := range segments {
+		if len(s.Joins) > longestSegment {
+			longestSegment = len(s.Joins)
+		}
+	}
+
+	// Wide bushy trees: many independent subtrees; SE wins on big
+	// problems, FP on small ones. The 40K crossover in Figure 11 sits at
+	// operand sizes where SE's perfect operand-ready synchronization beats
+	// FP's bushy-pipeline delay.
+	totalTuples := 0.0
+	for _, l := range jointree.Leaves(in.Tree) {
+		totalTuples += spanCard(l.Leaf, l.Leaf)
+	}
+	wideBushy := bothInternal >= len(joins)/3
+	if wideBushy && totalTuples/float64(len(joins)+1) >= 20000 {
+		return Advice{Strategy: strategy.SE,
+			Reason: "wide bushy tree with large operands: independent subtrees synchronize well (Figure 11)"}, nil
+	}
+
+	// Right-oriented trees: long probe pipelines suit RD. Left-oriented
+	// trees can be mirrored for free to become right-oriented.
+	if longestSegment >= (len(joins)+1)/2 {
+		return Advice{Strategy: strategy.RD,
+			Reason: "right-oriented tree: a long probe pipeline with independent build operands (Figure 12)"}, nil
+	}
+	mirrored := jointree.Clone(in.Tree)
+	jointree.Mirror(mirrored)
+	mSegments := jointree.RightDeepSegments(mirrored)
+	mLongest := 0
+	for _, s := range mSegments {
+		if len(s.Joins) > mLongest {
+			mLongest = len(s.Joins)
+		}
+	}
+	if mLongest >= len(joins) && len(joins) >= 2 {
+		// A fully linear left-deep tree mirrors into one long pipeline; RD
+		// and FP then coincide, and FP's pipelining join needs no mirror.
+		return Advice{Strategy: strategy.FP, MirrorFirst: false,
+			Reason: "linear tree on a large machine: FP pipelines along both operands (Figures 9 and 13)"}, nil
+	}
+	if mLongest >= (len(joins)+1)/2 {
+		return Advice{Strategy: strategy.RD, MirrorFirst: true,
+			Reason: "left-oriented tree: mirroring is free and makes it right-oriented for RD (Section 5)"}, nil
+	}
+
+	return Advice{Strategy: strategy.FP,
+		Reason: "large machine: FP gives the best overall performance across query shapes (Section 5)"}, nil
+}

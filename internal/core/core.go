@@ -1,0 +1,108 @@
+// Package core ties the reproduction together: it exposes the two-phase
+// optimization/parallelization pipeline of the paper as a small API.
+//
+// Phase 1 (package optimizer) picks a join tree with minimal total cost;
+// phase 2 (package strategy) parallelizes a tree with one of the four
+// strategies; the engine executes the resulting xra plan on the simulated
+// PRISMA/DB machine. Core also provides the sequential reference execution
+// used to verify every parallel run.
+package core
+
+import (
+	"fmt"
+
+	"multijoin/internal/costmodel"
+	"multijoin/internal/engine"
+	"multijoin/internal/jointree"
+	"multijoin/internal/optimizer"
+	"multijoin/internal/relation"
+	"multijoin/internal/strategy"
+	"multijoin/internal/wisconsin"
+	"multijoin/internal/xra"
+)
+
+// Query is one parallel multi-join execution request: a database, a join
+// tree over its relations, a parallelization strategy, and a machine size.
+type Query struct {
+	DB       *wisconsin.Database
+	Tree     *jointree.Node
+	Strategy strategy.Kind
+	Procs    int
+	Params   costmodel.Params
+	// EqualWork disables the strategies' cost function for this query:
+	// every join is weighted equally when distributing processors (the
+	// Section 5 cost-function ablation).
+	EqualWork bool
+}
+
+// Plan produces the xra plan for the query (phase 2 only). Work estimates
+// use the database's exact span cardinalities, which on the paper's regular
+// workload reduce to the constant per-relation cardinality.
+func (q Query) Plan() (*xra.Plan, error) {
+	if q.DB == nil || q.Tree == nil {
+		return nil, fmt.Errorf("core: query needs a database and a join tree")
+	}
+	cfg := strategy.Config{
+		Procs:     q.Procs,
+		Card:      float64(q.DB.Cardinality()),
+		SpanCard:  q.DB.SpanCard,
+		EqualWork: q.EqualWork,
+	}
+	return strategy.Plan(q.Strategy, q.Tree, cfg)
+}
+
+// Run plans and executes the query on the simulated machine.
+func (q Query) Run() (*engine.RunResult, error) {
+	plan, err := q.Plan()
+	if err != nil {
+		return nil, err
+	}
+	return engine.Run(plan, q.baseRelation, q.Params)
+}
+
+func (q Query) baseRelation(leaf int) *relation.Relation {
+	if leaf < 0 || leaf >= q.DB.NumRelations() {
+		return nil
+	}
+	return q.DB.Relation(leaf)
+}
+
+// Reference evaluates the tree sequentially with real hash joins — the
+// oracle result, with provenance checksums, that every strategy must
+// reproduce exactly.
+func Reference(db *wisconsin.Database, tree *jointree.Node) *relation.Relation {
+	return jointree.Reference(tree, func(leaf int) *relation.Relation {
+		return db.Relation(leaf)
+	})
+}
+
+// Verify runs the query and checks the result against the sequential
+// reference, returning the run result or an error describing the first
+// discrepancy.
+func Verify(q Query) (*engine.RunResult, error) {
+	res, err := q.Run()
+	if err != nil {
+		return nil, err
+	}
+	want := Reference(q.DB, q.Tree)
+	if diff := relation.DiffMultiset(res.Result, want); diff != "" {
+		return nil, fmt.Errorf("core: %v result differs from reference: %s", q.Strategy, diff)
+	}
+	return res, nil
+}
+
+// TwoPhase performs the full two-phase pipeline of Section 1.2: phase 1
+// picks the minimal-total-cost tree for the database's uniform catalog in
+// the given search space, phase 2 parallelizes and executes it.
+func TwoPhase(db *wisconsin.Database, space optimizer.Space, kind strategy.Kind, procs int, params costmodel.Params) (*jointree.Node, *engine.RunResult, error) {
+	cat := optimizer.Uniform(db.NumRelations(), float64(db.Cardinality()))
+	opt, err := optimizer.Optimize(cat, space)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := Query{DB: db, Tree: opt.Tree, Strategy: kind, Procs: procs, Params: params}.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return opt.Tree, res, nil
+}

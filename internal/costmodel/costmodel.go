@@ -1,0 +1,129 @@
+// Package costmodel holds the calibrated cost parameters of the simulated
+// PRISMA/DB machine and the paper's join cost function.
+//
+// Two distinct things live here and must not be confused:
+//
+//   - Params: the machine model used by the execution engine to advance the
+//     virtual clock (how long hashing a tuple takes, how long the scheduler
+//     needs to initialize one operation process, and so on). These are
+//     calibrated so that the *shapes* of the paper's response-time curves
+//     are reproduced; absolute 1995 timings of a 68020 are not a target.
+//
+//   - JoinCost: the deliberately simple cost function of Section 4.3,
+//     cost = a*n1 + b*n2 + c*r, used by the SE, RD and FP strategies to
+//     allocate processors proportionally to estimated work, and by the
+//     phase-1 optimizer to pick a minimal-total-cost tree. The paper argues
+//     a more precise estimate is impossible anyway because parallelization
+//     itself changes the real costs.
+package costmodel
+
+import "multijoin/internal/sim"
+
+// Unit costs of single actions on a tuple, expressed in abstract work units
+// exactly as in Section 4.3: hashing a tuple, retrieving a tuple from the
+// network, creating a result tuple and sending it over the network all take
+// "the same order of magnitude, which is taken as unity".
+const (
+	UnitsHash       = 1.0 // hash an operand tuple into a hash table
+	UnitsNetReceive = 1.0 // retrieve a tuple from the network
+	UnitsResult     = 2.0 // create a result tuple and send it to the consumer
+
+	// UnitsProbe is the extra hash-table action of the pipelining
+	// hash-join: where the simple algorithm performs one table action per
+	// tuple (insert during build, lookup during probe), the symmetric
+	// algorithm both probes the other operand's table and inserts into its
+	// own for *every* tuple (Section 2.3.2) — result tuples come earlier
+	// at the cost of a second hash table and more per-tuple work.
+	UnitsProbe = 1.0
+)
+
+// Params is the machine model of the simulated shared-nothing
+// multiprocessor. All durations are virtual time.
+type Params struct {
+	// TupleUnit is the duration of one abstract work unit (one single
+	// action on one tuple: hash, receive, ...). The 68020 nodes of
+	// PRISMA/DB spent on the order of a hundred microseconds per tuple
+	// action; the default is calibrated against the paper's figures.
+	TupleUnit sim.Duration
+
+	// ScanUnits is the per-tuple work (in units) of reading a tuple from a
+	// locally stored fragment. The paper's cost function does not charge
+	// for scanning; a small nonzero value models the memory traversal that
+	// feeds the joins.
+	ScanUnits float64
+
+	// Startup is the time the scheduler needs to claim and initialize one
+	// operation process. Initialization is performed sequentially by the
+	// per-query scheduler, so total startup time grows linearly with the
+	// number of operation processes — the effect that makes SP degrade at
+	// high degrees of parallelism (Section 3.5, "startup").
+	Startup sim.Duration
+
+	// Handshake is the cost paid by each endpoint of one tuple stream
+	// before transport can start (Section 3.5, "coordination"). An operand
+	// redistribution from n producer processes to m consumer processes
+	// opens n*m streams.
+	Handshake sim.Duration
+
+	// NetLatency is the transfer latency of one batch between two
+	// different processors. Local (same-processor) delivery is immediate.
+	NetLatency sim.Duration
+
+	// BatchTuples is the number of tuples per transport batch. It controls
+	// the granularity of pipelining: consumers see data only after a
+	// producer fills (or flushes) a batch, which is the source of the
+	// "delay over the pipeline".
+	BatchTuples int
+
+	// RecordUtilization retains per-processor busy intervals so that
+	// utilization diagrams (Figures 3, 4, 6, 7) can be rendered.
+	RecordUtilization bool
+
+	// EventLimit bounds the number of simulation events as a runaway
+	// safety net. Zero means no limit.
+	EventLimit uint64
+}
+
+// Default returns the calibrated machine model. Calibration targets (see
+// EXPERIMENTS.md): with the 10-relation Wisconsin chain query of the paper,
+// SP response time degrades beyond roughly 40 processors for the 5K problem
+// while FP keeps improving, SE wins the wide bushy 40K experiment, RD wins
+// right-oriented trees, and absolute response times land in the same
+// few-seconds to tens-of-seconds range as Figures 9-13.
+func Default() Params {
+	return Params{
+		TupleUnit:   120 * sim.Microsecond,
+		ScanUnits:   0.25,
+		Startup:     15 * sim.Millisecond,
+		Handshake:   5 * sim.Millisecond,
+		NetLatency:  8 * sim.Millisecond,
+		BatchTuples: 64,
+	}
+}
+
+// WorkCost converts an abstract number of work units into virtual time.
+func (p Params) WorkCost(units float64) sim.Duration {
+	if units <= 0 {
+		return 0
+	}
+	return sim.Duration(units * float64(p.TupleUnit))
+}
+
+// JoinCost is the paper's cost function for one binary join (Section 4.3):
+//
+//	cost = a*n1 + b*n2 + c*r
+//
+// where n1, n2 are operand cardinalities, r the result cardinality, a (resp.
+// b) is 1 if the corresponding operand is a base relation and 2 if it is an
+// intermediate result (the extra unit pays for retrieving the tuple from the
+// network), and c = 2 (creating and sending each result tuple).
+func JoinCost(n1, n2, r float64, base1, base2 bool) float64 {
+	a, b := 2.0, 2.0
+	if base1 {
+		a = 1.0
+	}
+	if base2 {
+		b = 1.0
+	}
+	return a*n1 + b*n2 + 2.0*r
+}

@@ -1,0 +1,94 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multijoin/internal/sim"
+)
+
+func TestDefaultSane(t *testing.T) {
+	p := Default()
+	if p.TupleUnit <= 0 || p.Startup <= 0 || p.Handshake <= 0 || p.BatchTuples < 1 {
+		t.Errorf("default params degenerate: %+v", p)
+	}
+	if p.ScanUnits < 0 {
+		t.Errorf("negative scan units")
+	}
+}
+
+func TestWorkCost(t *testing.T) {
+	p := Params{TupleUnit: 100 * sim.Microsecond}
+	if got := p.WorkCost(10); got != 1*sim.Millisecond {
+		t.Errorf("WorkCost(10) = %v, want 1ms", got)
+	}
+	if p.WorkCost(0) != 0 || p.WorkCost(-5) != 0 {
+		t.Error("non-positive units must cost nothing")
+	}
+}
+
+func TestWorkCostMonotone(t *testing.T) {
+	p := Default()
+	f := func(a, b uint16) bool {
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return p.WorkCost(x) <= p.WorkCost(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestJoinCostPaperValues pins the Section 4.3 formula on the regular
+// workload: with equal cardinalities N, a join of two base relations costs
+// 4N, base+intermediate costs 5N, two intermediates cost 6N.
+func TestJoinCostPaperValues(t *testing.T) {
+	const n = 1000.0
+	cases := []struct {
+		base1, base2 bool
+		want         float64
+	}{
+		{true, true, 4 * n},
+		{true, false, 5 * n},
+		{false, true, 5 * n},
+		{false, false, 6 * n},
+	}
+	for _, c := range cases {
+		got := JoinCost(n, n, n, c.base1, c.base2)
+		if got != c.want {
+			t.Errorf("JoinCost(base1=%v, base2=%v) = %g, want %g", c.base1, c.base2, got, c.want)
+		}
+	}
+}
+
+func TestJoinCostGeneral(t *testing.T) {
+	// cost = a*n1 + b*n2 + 2r with a=1 (base) and b=2 (intermediate).
+	if got := JoinCost(10, 20, 5, true, false); got != 10+40+10 {
+		t.Errorf("JoinCost = %g, want 60", got)
+	}
+}
+
+// TestJoinCostSymmetry: swapping the operands (with their base flags) never
+// changes the cost — the paper's formula does not care which side builds.
+func TestJoinCostSymmetry(t *testing.T) {
+	f := func(n1Raw, n2Raw, rRaw uint16, b1, b2 bool) bool {
+		n1, n2, r := float64(n1Raw), float64(n2Raw), float64(rRaw)
+		return JoinCost(n1, n2, r, b1, b2) == JoinCost(n2, n1, r, b2, b1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnitConstants(t *testing.T) {
+	// Pin the paper's unit model so a refactor cannot silently change the
+	// cost structure: result tuples cost 2 units, everything else 1.
+	if UnitsHash != 1 || UnitsNetReceive != 1 || UnitsProbe != 1 {
+		t.Error("per-action unit costs must be 1")
+	}
+	if UnitsResult != 2 {
+		t.Error("result tuples must cost 2 units (create + send)")
+	}
+}

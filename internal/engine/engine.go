@@ -1,0 +1,353 @@
+// Package engine executes xra plans on a simulated PRISMA/DB machine.
+//
+// The engine mirrors the PRISMA/DB query execution architecture (Section 2.2
+// of the paper): a single per-query scheduler claims operation processes and
+// initializes them sequentially (startup overhead); the processes then
+// coordinate among themselves. Every operation process is bound to one
+// simulated processor. Operand redistribution from n producer processes to m
+// consumer processes opens n x m tuple streams, each requiring a handshake
+// at both endpoints before transport (coordination overhead). Tuples travel
+// in batches, and per-tuple costs follow the paper's unit model: hashing
+// costs one unit, retrieving a tuple from the network one unit, creating and
+// sending a result tuple two units (Section 4.3).
+//
+// Real hash joins run inside the simulated operators — the returned relation
+// is the true join result and is compared against a sequential reference in
+// tests — while the virtual clock yields the response times of Figures 9-13.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"multijoin/internal/costmodel"
+	"multijoin/internal/relation"
+	"multijoin/internal/sim"
+	"multijoin/internal/xra"
+)
+
+// Stats aggregates the structural quantities behind the paper's tradeoff
+// discussion (Section 3.5).
+type Stats struct {
+	// Processes is the number of operation processes the plan used
+	// (#operators weighted by their degree of parallelism).
+	Processes int
+	// Streams is the number of tuple streams opened (n x m per
+	// redistribution edge, n per local edge).
+	Streams int
+	// StartupTime is the total serial scheduler time spent initializing
+	// operation processes.
+	StartupTime sim.Duration
+	// HandshakeTime is the total processor time spent on stream
+	// handshakes across all processes.
+	HandshakeTime sim.Duration
+	// TuplesMovedRemote counts tuples that crossed processor boundaries.
+	TuplesMovedRemote int64
+	// TuplesLocal counts tuples delivered processor-locally.
+	TuplesLocal int64
+	// Batches counts delivered data batches.
+	Batches int64
+	// ResultTuples is the cardinality of the final result.
+	ResultTuples int
+	// SimEvents is the number of simulation events processed.
+	SimEvents uint64
+	// OpFinish maps operator ids to their completion times.
+	OpFinish map[string]sim.Time
+	// PeakTableTuplesPerProc is the maximum number of hash-table resident
+	// tuples any single processor held at one time. This quantifies the
+	// paper's Section 5 memory observation: RD needs one hash table per
+	// join where FP's pipelining join needs two, and it bounds which
+	// strategies fit a given per-node memory (the disk-based discussion).
+	PeakTableTuplesPerProc int
+	// PeakTableTuplesTotal is the machine-wide peak of hash-table resident
+	// tuples.
+	PeakTableTuplesTotal int
+}
+
+// RunResult is the outcome of executing one plan.
+type RunResult struct {
+	// Result is the collected final relation (real tuples).
+	Result *relation.Relation
+	// ResponseTime is the paper's response-time metric: elapsed virtual
+	// time from the moment the scheduler starts scheduling until the last
+	// operation process finishes (the collect gather at the host is
+	// excluded, as it is identical across strategies).
+	ResponseTime sim.Duration
+	// Stats holds structural counters.
+	Stats Stats
+	// Procs exposes per-processor busy intervals when utilization
+	// recording was enabled, for rendering the paper's diagrams.
+	Procs []*sim.Proc
+}
+
+// Run executes the plan against the base relations (leaf index -> relation)
+// under the given machine parameters.
+func Run(plan *xra.Plan, base func(leaf int) *relation.Relation, params costmodel.Params) (*RunResult, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	if params.BatchTuples < 1 {
+		params.BatchTuples = 1
+	}
+	e := &engineState{
+		sim:     sim.New(),
+		machine: sim.NewMachine(params.RecordUtilization),
+		params:  params,
+		plan:    plan,
+		ops:     make(map[string]*opState, len(plan.Ops)),
+	}
+	if params.EventLimit > 0 {
+		e.sim.SetEventLimit(params.EventLimit)
+	}
+	e.stats.OpFinish = make(map[string]sim.Time, len(plan.Ops))
+	if err := e.setup(base); err != nil {
+		return nil, err
+	}
+	e.sim.Run()
+	return e.finish()
+}
+
+// port identifies one logical input of an operator.
+type port int
+
+const (
+	portBuild port = iota
+	portProbe
+	portIn
+)
+
+// consumerEdge describes where an operator's output goes.
+type consumerEdge struct {
+	to    *opState
+	port  port
+	route relation.Attr
+	local bool
+}
+
+// opState is the runtime state of one plan operator.
+type opState struct {
+	op         *xra.Op
+	instances  []*instance
+	consumer   *consumerEdge // nil only for collect
+	deps       []*opState    // After dependencies
+	dependents []*opState
+	doneCount  int
+	finished   bool
+	finishAt   sim.Time
+}
+
+func (o *opState) depsDone() bool {
+	for _, d := range o.deps {
+		if !d.finished {
+			return false
+		}
+	}
+	return true
+}
+
+// engineState carries one execution.
+type engineState struct {
+	sim     *sim.Sim
+	machine *sim.Machine
+	params  costmodel.Params
+	plan    *xra.Plan
+	ops     map[string]*opState
+	order   []*opState // plan order
+	stats   Stats
+	collect *instance
+
+	// Hash-table memory accounting (tuples resident per processor).
+	tableNow map[int]int
+	tableSum int
+}
+
+// addTableTuples adjusts the resident hash-table tuple count of a processor
+// and updates the peaks. Negative deltas release memory (tables are dropped
+// when their operation process finishes).
+func (e *engineState) addTableTuples(procID, delta int) {
+	if delta == 0 {
+		return
+	}
+	if e.tableNow == nil {
+		e.tableNow = make(map[int]int)
+	}
+	e.tableNow[procID] += delta
+	e.tableSum += delta
+	if e.tableNow[procID] > e.stats.PeakTableTuplesPerProc {
+		e.stats.PeakTableTuplesPerProc = e.tableNow[procID]
+	}
+	if e.tableSum > e.stats.PeakTableTuplesTotal {
+		e.stats.PeakTableTuplesTotal = e.tableSum
+	}
+}
+
+// setup builds operator and instance state, wires edges, pre-places base
+// relation fragments, and schedules the sequential process startup.
+func (e *engineState) setup(base func(leaf int) *relation.Relation) error {
+	for _, op := range e.plan.Ops {
+		os := &opState{op: op}
+		e.ops[op.ID] = os
+		e.order = append(e.order, os)
+	}
+	// Wire consumer edges and dependencies.
+	for _, os := range e.order {
+		for _, in := range os.op.Inputs() {
+			from := e.ops[in.From]
+			var p port
+			switch in {
+			case os.op.Build:
+				p = portBuild
+			case os.op.Probe:
+				p = portProbe
+			default:
+				p = portIn
+			}
+			from.consumer = &consumerEdge{
+				to:    os,
+				port:  p,
+				route: in.Route,
+				local: xra.LocalEdge(from.op, os.op, in),
+			}
+		}
+		for _, a := range os.op.After {
+			dep := e.ops[a]
+			os.deps = append(os.deps, dep)
+			dep.dependents = append(dep.dependents, os)
+		}
+	}
+	// Create instances.
+	for _, os := range e.order {
+		for i, procID := range os.op.Procs {
+			inst := &instance{
+				e:     e,
+				op:    os,
+				idx:   i,
+				proc:  e.machine.Proc(procID),
+				label: opLabel(os.op),
+			}
+			inst.eosWant = e.eosWant(os)
+			os.instances = append(os.instances, inst)
+		}
+		if os.op.Kind == xra.OpCollect {
+			e.collect = os.instances[0]
+			e.collect.gathered = relation.New("result", 0)
+		}
+	}
+	// Pre-place base relation fragments (ideal initial fragmentation:
+	// Section 4.1 — each base relation is declustered on the join attribute
+	// of its first join over the processors used for that join).
+	for _, os := range e.order {
+		if os.op.Kind != xra.OpScan {
+			continue
+		}
+		rel := base(os.op.Leaf)
+		if rel == nil {
+			return fmt.Errorf("engine: no base relation for leaf %d", os.op.Leaf)
+		}
+		if e.collect.gathered.TupleBytes == 0 {
+			e.collect.gathered.TupleBytes = rel.TupleBytes
+		}
+		frags := relation.Fragment(rel, os.op.FragAttr, len(os.instances))
+		for i, inst := range os.instances {
+			inst.scanTuples = frags[i].Tuples
+		}
+	}
+	// Sequential startup by the scheduler: process k may begin (receive
+	// handshakes, process input) only after the scheduler initialized
+	// processes 0..k, each costing Startup (Section 3.5, "startup"). Scan
+	// processes are exempt: base-relation fragments are memory resident
+	// and their readers need no initialization by the scheduler — this
+	// matches the paper's process count of one per join per processor
+	// (800 for SP at 80 processors).
+	k := 0
+	for _, os := range e.order {
+		for _, inst := range os.instances {
+			e.stats.Processes++
+			if os.op.Kind != xra.OpScan && os.op.Kind != xra.OpCollect {
+				k++
+				e.stats.StartupTime += e.params.Startup
+			}
+			inst.startupAt = sim.Time(sim.Duration(k) * e.params.Startup)
+			in := inst
+			e.sim.At(inst.startupAt, func() { in.tryActivate() })
+		}
+	}
+	e.stats.Streams = e.plan.NumStreams()
+	return nil
+}
+
+// eosWant returns, per port, how many end-of-stream markers each instance of
+// op will receive: one per producer process on a redistribution edge, one on
+// a local edge.
+func (e *engineState) eosWant(os *opState) map[port]int {
+	want := make(map[port]int)
+	for _, in := range os.op.Inputs() {
+		from := e.ops[in.From]
+		var p port
+		switch in {
+		case os.op.Build:
+			p = portBuild
+		case os.op.Probe:
+			p = portProbe
+		default:
+			p = portIn
+		}
+		if xra.LocalEdge(from.op, os.op, in) {
+			want[p] = 1
+		} else {
+			want[p] = len(from.op.Procs)
+		}
+	}
+	return want
+}
+
+// opLabel is the short label used in utilization diagrams: the join number
+// for joins, "s" for scans.
+func opLabel(op *xra.Op) string {
+	switch op.Kind {
+	case xra.OpScan:
+		return "s"
+	case xra.OpCollect:
+		return "c"
+	default:
+		return fmt.Sprintf("%d", op.JoinID)
+	}
+}
+
+// opFinished is called when the last instance of an operator completed.
+func (e *engineState) opFinished(os *opState) {
+	os.finished = true
+	os.finishAt = e.sim.Now()
+	e.stats.OpFinish[os.op.ID] = os.finishAt
+	for _, dep := range os.dependents {
+		if !dep.depsDone() {
+			continue
+		}
+		for _, inst := range dep.instances {
+			inst.tryActivate()
+		}
+	}
+}
+
+// finish assembles the run result after the event loop drained.
+func (e *engineState) finish() (*RunResult, error) {
+	var last sim.Time
+	for _, os := range e.order {
+		if !os.finished {
+			return nil, fmt.Errorf("engine: operator %q never finished (deadlocked plan?)", os.op.ID)
+		}
+		if os.op.Kind != xra.OpCollect && os.finishAt > last {
+			last = os.finishAt
+		}
+	}
+	e.stats.SimEvents = e.sim.Processed()
+	e.stats.ResultTuples = e.collect.gathered.Card()
+	res := &RunResult{
+		Result:       e.collect.gathered,
+		ResponseTime: sim.Duration(last),
+		Stats:        e.stats,
+		Procs:        e.machine.Procs(),
+	}
+	sort.Slice(res.Procs, func(i, j int) bool { return res.Procs[i].ID < res.Procs[j].ID })
+	return res, nil
+}

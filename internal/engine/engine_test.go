@@ -1,0 +1,341 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multijoin/internal/costmodel"
+	"multijoin/internal/jointree"
+	"multijoin/internal/relation"
+	"multijoin/internal/sim"
+	"multijoin/internal/strategy"
+	"multijoin/internal/wisconsin"
+	"multijoin/internal/xra"
+)
+
+func testDB(t *testing.T, relations, card int, seed int64) *wisconsin.Database {
+	t.Helper()
+	db, err := wisconsin.Chain(wisconsin.Config{Relations: relations, Cardinality: card, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func baseFn(db *wisconsin.Database) func(int) *relation.Relation {
+	return func(leaf int) *relation.Relation {
+		if leaf < 0 || leaf >= db.NumRelations() {
+			return nil
+		}
+		return db.Relation(leaf)
+	}
+}
+
+func planFor(t *testing.T, k strategy.Kind, tree *jointree.Node, procs, card int) *xra.Plan {
+	t.Helper()
+	p, err := strategy.Plan(k, tree, strategy.Config{Procs: procs, Card: float64(card)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func run(t *testing.T, p *xra.Plan, db *wisconsin.Database, params costmodel.Params) *RunResult {
+	t.Helper()
+	res, err := Run(p, baseFn(db), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunRejectsInvalidPlan(t *testing.T) {
+	if _, err := Run(&xra.Plan{}, nil, costmodel.Default()); err == nil {
+		t.Error("empty plan must fail")
+	}
+}
+
+func TestRunMissingBaseRelation(t *testing.T) {
+	db := testDB(t, 3, 50, 1)
+	tree, _ := jointree.BuildShape(jointree.LeftLinear, 3)
+	p := planFor(t, strategy.SP, tree, 4, 50)
+	_, err := Run(p, func(int) *relation.Relation { return nil }, costmodel.Default())
+	if err == nil {
+		t.Error("missing base relation must fail")
+	}
+	_ = db
+}
+
+func TestDeterminism(t *testing.T) {
+	db := testDB(t, 6, 300, 2)
+	tree, _ := jointree.BuildShape(jointree.RightBushy, 6)
+	for _, k := range strategy.Kinds {
+		p := planFor(t, k, tree, 8, 300)
+		a := run(t, p, db, costmodel.Default())
+		b := run(t, p, db, costmodel.Default())
+		if a.ResponseTime != b.ResponseTime {
+			t.Errorf("%v: response times differ: %v vs %v", k, a.ResponseTime, b.ResponseTime)
+		}
+		if a.Stats.SimEvents != b.Stats.SimEvents {
+			t.Errorf("%v: event counts differ", k)
+		}
+		if d := relation.DiffMultiset(a.Result, b.Result); d != "" {
+			t.Errorf("%v: results differ: %s", k, d)
+		}
+	}
+}
+
+func TestSPPhasesAreSequential(t *testing.T) {
+	// Under SP, join k+1 must finish strictly after join k (strict phases).
+	db := testDB(t, 5, 400, 3)
+	tree, _ := jointree.BuildShape(jointree.LeftLinear, 5)
+	p := planFor(t, strategy.SP, tree, 6, 400)
+	res := run(t, p, db, costmodel.Default())
+	var prev string
+	for _, o := range p.Ops {
+		if o.Kind != xra.OpSimpleJoin {
+			continue
+		}
+		if prev != "" && res.Stats.OpFinish[o.ID] <= res.Stats.OpFinish[prev] {
+			t.Errorf("SP: %s finished at %v, not after %s at %v",
+				o.ID, res.Stats.OpFinish[o.ID], prev, res.Stats.OpFinish[prev])
+		}
+		prev = o.ID
+	}
+}
+
+func TestIdealFragmentationKeepsScansLocal(t *testing.T) {
+	// With ideal initial fragmentation, base operand tuples never cross
+	// processors; only intermediate results are refragmented.
+	db := testDB(t, 4, 500, 4)
+	tree, _ := jointree.BuildShape(jointree.RightLinear, 4)
+	p := planFor(t, strategy.FP, tree, 9, 500)
+	res := run(t, p, db, costmodel.Default())
+	// 4 scans deliver 4*500 local tuples; 2 intermediate edges + the
+	// collect edge move tuples remotely (collect gathers at the host).
+	if res.Stats.TuplesLocal < 2000 {
+		t.Errorf("local tuples = %d, want >= 2000 (scan deliveries)", res.Stats.TuplesLocal)
+	}
+	if res.Stats.TuplesMovedRemote == 0 {
+		t.Error("intermediate results must cross processors")
+	}
+}
+
+func TestStatsProcessesAndStreams(t *testing.T) {
+	db := testDB(t, 3, 100, 5)
+	tree, _ := jointree.BuildShape(jointree.LeftLinear, 3)
+	p := planFor(t, strategy.SP, tree, 4, 100)
+	res := run(t, p, db, costmodel.Default())
+	if res.Stats.Processes != p.NumProcesses() {
+		t.Errorf("processes = %d, want %d", res.Stats.Processes, p.NumProcesses())
+	}
+	if res.Stats.Streams != p.NumStreams() {
+		t.Errorf("streams = %d, want %d", res.Stats.Streams, p.NumStreams())
+	}
+	// Startup is paid for join processes only (2 joins x 4 procs).
+	want := costmodel.Default().Startup * 8
+	if res.Stats.StartupTime != want {
+		t.Errorf("startup time = %v, want %v", res.Stats.StartupTime, want)
+	}
+	if res.Stats.HandshakeTime <= 0 {
+		t.Error("handshake time must be positive")
+	}
+	if res.Stats.ResultTuples != 100 {
+		t.Errorf("result tuples = %d", res.Stats.ResultTuples)
+	}
+}
+
+func TestStartupScalesWithProcesses(t *testing.T) {
+	// More processors => more operation processes => more serial startup:
+	// the core of SP's degradation (Section 3.5).
+	db := testDB(t, 6, 200, 6)
+	tree, _ := jointree.BuildShape(jointree.LeftLinear, 6)
+	small := run(t, planFor(t, strategy.SP, tree, 4, 200), db, costmodel.Default())
+	big := run(t, planFor(t, strategy.SP, tree, 16, 200), db, costmodel.Default())
+	if big.Stats.StartupTime <= small.Stats.StartupTime {
+		t.Errorf("startup %v (16p) vs %v (4p): must grow with processors",
+			big.Stats.StartupTime, small.Stats.StartupTime)
+	}
+	if big.Stats.Streams <= small.Stats.Streams {
+		t.Error("streams must grow with processors")
+	}
+}
+
+func TestFPUsesFewerProcessesThanSP(t *testing.T) {
+	db := testDB(t, 10, 100, 7)
+	tree, _ := jointree.BuildShape(jointree.WideBushy, 10)
+	sp := run(t, planFor(t, strategy.SP, tree, 18, 100), db, costmodel.Default())
+	fp := run(t, planFor(t, strategy.FP, tree, 18, 100), db, costmodel.Default())
+	if fp.Stats.Processes >= sp.Stats.Processes {
+		t.Errorf("FP processes %d must be far fewer than SP's %d",
+			fp.Stats.Processes, sp.Stats.Processes)
+	}
+	if fp.Stats.Streams >= sp.Stats.Streams {
+		t.Errorf("FP streams %d must be fewer than SP's %d",
+			fp.Stats.Streams, sp.Stats.Streams)
+	}
+}
+
+func TestUtilizationRecording(t *testing.T) {
+	db := testDB(t, 5, 300, 8)
+	params := costmodel.Default()
+	params.RecordUtilization = true
+	p := planFor(t, strategy.FP, jointree.Example(), 10, 300)
+	res := run(t, p, db, params)
+	if len(res.Procs) != 10 {
+		t.Fatalf("recorded %d processors, want 10", len(res.Procs))
+	}
+	busyTotal := 0
+	for _, pr := range res.Procs {
+		if len(pr.Busy()) > 0 {
+			busyTotal++
+			last := pr.Busy()[len(pr.Busy())-1]
+			if last.End > sim.Time(res.ResponseTime) {
+				t.Errorf("proc %d busy until %v, after response time %v",
+					pr.ID, last.End, res.ResponseTime)
+			}
+		}
+	}
+	if busyTotal != 10 {
+		t.Errorf("only %d processors did work", busyTotal)
+	}
+	// Without recording, traces stay empty.
+	res2 := run(t, p, db, costmodel.Default())
+	for _, pr := range res2.Procs {
+		if len(pr.Busy()) != 0 {
+			t.Error("recording disabled but intervals present")
+		}
+	}
+}
+
+func TestEventLimitAborts(t *testing.T) {
+	db := testDB(t, 3, 200, 9)
+	tree, _ := jointree.BuildShape(jointree.LeftLinear, 3)
+	p := planFor(t, strategy.SP, tree, 4, 200)
+	params := costmodel.Default()
+	params.EventLimit = 10
+	defer func() {
+		if recover() == nil {
+			t.Error("expected event-limit panic")
+		}
+	}()
+	_, _ = Run(p, baseFn(db), params)
+}
+
+func TestBatchSizeAffectsPipelineDelay(t *testing.T) {
+	// Larger transport batches delay downstream operators: FP response
+	// time on a linear pipeline must grow with batch size.
+	db := testDB(t, 8, 512, 10)
+	tree, _ := jointree.BuildShape(jointree.RightLinear, 8)
+	p := planFor(t, strategy.FP, tree, 14, 512)
+	small := costmodel.Default()
+	small.BatchTuples = 16
+	large := costmodel.Default()
+	large.BatchTuples = 512
+	rs := run(t, p, db, small)
+	rl := run(t, p, db, large)
+	if rl.ResponseTime <= rs.ResponseTime {
+		t.Errorf("batch 512 response %v not larger than batch 16 response %v",
+			rl.ResponseTime, rs.ResponseTime)
+	}
+	if d := relation.DiffMultiset(rs.Result, rl.Result); d != "" {
+		t.Errorf("batch size changed the result: %s", d)
+	}
+}
+
+func TestZeroOverheadStillCorrect(t *testing.T) {
+	db := testDB(t, 5, 200, 11)
+	tree, _ := jointree.BuildShape(jointree.WideBushy, 5)
+	params := costmodel.Params{TupleUnit: 1, BatchTuples: 8}
+	for _, k := range strategy.Kinds {
+		p := planFor(t, k, tree, 6, 200)
+		res := run(t, p, db, params)
+		want := jointree.Reference(tree, baseFn(db))
+		if d := relation.DiffMultiset(res.Result, want); d != "" {
+			t.Errorf("%v with zero overheads: %s", k, d)
+		}
+	}
+}
+
+func TestSingleProcessorExecution(t *testing.T) {
+	// SP on one processor is plain sequential execution; response time must
+	// be close to total work.
+	db := testDB(t, 4, 300, 12)
+	tree, _ := jointree.BuildShape(jointree.LeftLinear, 4)
+	p := planFor(t, strategy.SP, tree, 1, 300)
+	res := run(t, p, db, costmodel.Default())
+	want := jointree.Reference(tree, baseFn(db))
+	if d := relation.DiffMultiset(res.Result, want); d != "" {
+		t.Error(d)
+	}
+	if res.Stats.TuplesMovedRemote != 0 {
+		t.Errorf("single processor moved %d tuples remotely", res.Stats.TuplesMovedRemote)
+	}
+}
+
+// TestRandomConfigurationsMatchReference is the property-based correctness
+// sweep: random shape, strategy, cardinality and machine size, always equal
+// to the sequential reference.
+func TestRandomConfigurationsMatchReference(t *testing.T) {
+	f := func(seed int64, shapeRaw, kindRaw, procsRaw, cardRaw uint8) bool {
+		shape := jointree.Shapes[int(shapeRaw)%len(jointree.Shapes)]
+		kind := strategy.Kinds[int(kindRaw)%len(strategy.Kinds)]
+		procs := int(procsRaw%12) + 8 // 8..19 procs (>= joins for FP)
+		card := int(cardRaw%200) + 10
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(5) + 4 // 4..8 relations
+		db, err := wisconsin.Chain(wisconsin.Config{Relations: k, Cardinality: card, Seed: seed})
+		if err != nil {
+			return false
+		}
+		tree, err := jointree.BuildShape(shape, k)
+		if err != nil {
+			return false
+		}
+		p, err := strategy.Plan(kind, tree, strategy.Config{Procs: procs, Card: float64(card)})
+		if err != nil {
+			return false
+		}
+		res, err := Run(p, baseFn(db), costmodel.Default())
+		if err != nil {
+			return false
+		}
+		want := jointree.Reference(tree, baseFn(db))
+		return relation.EqualMultiset(res.Result, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMirroredTreeExecution: executing a mirrored tree (build/probe swapped)
+// produces the identical result on the engine too.
+func TestMirroredTreeExecution(t *testing.T) {
+	db := testDB(t, 6, 250, 13)
+	tree, _ := jointree.BuildShape(jointree.LeftLinear, 6)
+	mirrored := jointree.Clone(tree)
+	jointree.Mirror(mirrored)
+	want := jointree.Reference(tree, baseFn(db))
+	for _, k := range strategy.Kinds {
+		p := planFor(t, k, mirrored, 8, 250)
+		res := run(t, p, db, costmodel.Default())
+		if d := relation.DiffMultiset(res.Result, want); d != "" {
+			t.Errorf("%v on mirrored tree: %s", k, d)
+		}
+	}
+}
+
+// TestMirroringHelpsRD: Section 5 — mirroring a left-linear tree (free)
+// turns it right-linear, where RD pipelines instead of degenerating to SP.
+func TestMirroringHelpsRD(t *testing.T) {
+	db := testDB(t, 8, 600, 14)
+	tree, _ := jointree.BuildShape(jointree.LeftLinear, 8)
+	mirrored := jointree.Clone(tree)
+	jointree.Mirror(mirrored)
+	before := run(t, planFor(t, strategy.RD, tree, 16, 600), db, costmodel.Default())
+	after := run(t, planFor(t, strategy.RD, mirrored, 16, 600), db, costmodel.Default())
+	if after.ResponseTime >= before.ResponseTime {
+		t.Errorf("mirroring did not help RD: %v -> %v", before.ResponseTime, after.ResponseTime)
+	}
+}

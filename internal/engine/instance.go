@@ -1,0 +1,382 @@
+package engine
+
+import (
+	"multijoin/internal/costmodel"
+	"multijoin/internal/hashjoin"
+	"multijoin/internal/relation"
+	"multijoin/internal/sim"
+	"multijoin/internal/xra"
+)
+
+// item is one unit of work in an instance's FIFO queue: a data batch, an
+// end-of-stream marker, or a synthetic scan batch. The queue serializes all
+// state changes of an instance, so the hash-join state machines never see
+// out-of-order input.
+type item struct {
+	port   port
+	tuples []relation.Tuple
+	eos    bool
+	remote bool
+	scan   bool
+}
+
+// instance is one operation process: an operator replica bound to a single
+// simulated processor.
+type instance struct {
+	e     *engineState
+	op    *opState
+	idx   int
+	proc  *sim.Proc
+	label string
+
+	startupAt     sim.Time // scheduler finished initializing this process
+	activationSet bool     // activation event scheduled or executed
+	started       bool     // handshakes paid; processing may proceed
+
+	queue      []item
+	processing bool
+	finished   bool
+
+	eosWant map[port]int
+	eosGot  map[port]int
+
+	// Join algorithm state (exactly one is non-nil for join operators).
+	simple    *hashjoin.Simple
+	pipe      *hashjoin.Pipelining
+	buildDone bool
+	probeWait []item // probe batches buffered during the simple join's build phase
+
+	// Scan state.
+	scanTuples []relation.Tuple
+
+	// Output batching: one buffer per destination instance of the consumer
+	// edge.
+	outBufs [][]relation.Tuple
+
+	// Collect state.
+	gathered *relation.Relation
+}
+
+// spec returns the hash-join spec of the instance's operator.
+func (in *instance) spec() hashjoin.Spec {
+	return hashjoin.Spec{BuildIsLower: in.op.op.BuildIsLower}
+}
+
+// tryActivate activates the process once the scheduler has initialized it
+// and its After dependencies completed. Activation pays the stream
+// handshakes (both incoming and outgoing endpoints) on the instance's
+// processor, then opens the gates for processing.
+func (in *instance) tryActivate() {
+	if in.started || in.activationSet {
+		return
+	}
+	now := in.e.sim.Now()
+	if now < in.startupAt || !in.op.depsDone() {
+		return // retried by the startup event or a dependency completion
+	}
+	in.activationSet = true
+	hs := in.e.params.Handshake * sim.Duration(in.numStreams())
+	in.e.stats.HandshakeTime += hs
+	_, end := in.proc.Acquire(now, hs, in.label)
+	in.e.sim.At(end, func() {
+		in.started = true
+		in.initState()
+		if !in.processing {
+			in.next()
+		}
+	})
+}
+
+// numStreams counts the tuple streams this process participates in: for
+// each input, one per producer process (redistribution) or one (local), and
+// symmetrically for its output edge.
+func (in *instance) numStreams() int {
+	n := 0
+	for _, w := range in.eosWant {
+		n += w
+	}
+	if c := in.op.consumer; c != nil {
+		if c.local || c.to.op.Kind == xra.OpCollect {
+			n++
+		} else {
+			n += len(c.to.instances)
+		}
+	}
+	return n
+}
+
+// initState lazily creates algorithm state and enqueues scan work.
+func (in *instance) initState() {
+	switch in.op.op.Kind {
+	case xra.OpSimpleJoin:
+		in.simple = hashjoin.NewSimple(in.spec())
+	case xra.OpPipeJoin:
+		in.pipe = hashjoin.NewPipelining(in.spec())
+	case xra.OpScan:
+		b := in.e.params.BatchTuples
+		for lo := 0; lo < len(in.scanTuples); lo += b {
+			hi := lo + b
+			if hi > len(in.scanTuples) {
+				hi = len(in.scanTuples)
+			}
+			in.queue = append(in.queue, item{scan: true, tuples: in.scanTuples[lo:hi]})
+		}
+	}
+	if c := in.op.consumer; c != nil {
+		n := len(c.to.instances)
+		if c.local {
+			n = 1
+		}
+		in.outBufs = make([][]relation.Tuple, n)
+	}
+	if in.eosGot == nil {
+		in.eosGot = make(map[port]int)
+	}
+}
+
+// deliver enqueues an incoming item and kicks processing if idle.
+func (in *instance) deliver(it item) {
+	in.queue = append(in.queue, it)
+	if in.started && !in.processing {
+		in.next()
+	}
+}
+
+// next processes the head of the queue, charging the simulated processor
+// and applying the algorithm state change, then re-arms itself. When the
+// queue drains and all inputs have ended, the process finishes. Bookkeeping
+// items (end-of-stream markers, probe input buffered during a build phase)
+// cost nothing and are drained iteratively.
+func (in *instance) next() {
+	if in.finished {
+		return
+	}
+	for {
+		if len(in.queue) == 0 {
+			in.processing = false
+			in.maybeFinish()
+			return
+		}
+		in.processing = true
+		it := in.queue[0]
+		in.queue = in.queue[1:]
+
+		if it.eos {
+			in.eosGot[it.port]++
+			if in.op.op.Kind == xra.OpPipeJoin && in.eosGot[it.port] == in.eosWant[it.port] {
+				// A closed operand lets the pipelining join stop
+				// inserting the other operand's tuples (no future match
+				// can need them).
+				if it.port == portBuild {
+					in.pipe.CloseBuildSide()
+				} else {
+					in.pipe.CloseProbeSide()
+				}
+			}
+			if in.op.op.Kind == xra.OpSimpleJoin && it.port == portBuild &&
+				in.eosGot[portBuild] == in.eosWant[portBuild] {
+				// Build phase complete: release the buffered probe input
+				// in arrival order ahead of anything queued later.
+				in.buildDone = true
+				in.queue = append(in.probeWait, in.queue...)
+				in.probeWait = nil
+			}
+			continue
+		}
+
+		if in.op.op.Kind == xra.OpSimpleJoin && it.port == portProbe && !in.buildDone {
+			// The simple hash-join blocks its probe operand until the
+			// hash table is complete.
+			in.probeWait = append(in.probeWait, it)
+			continue
+		}
+
+		units, results := in.apply(it)
+		cost := in.e.params.WorkCost(units)
+		now := in.e.sim.Now()
+		_, end := in.proc.Acquire(now, cost, in.label)
+		in.e.sim.At(end, func() {
+			if len(results) > 0 {
+				in.emit(results)
+			}
+			in.next()
+		})
+		return
+	}
+}
+
+// apply runs the operator logic on one item, returning the work in cost
+// units (Section 4.3: hash=1, net receive=1, result create+send=2) and any
+// result tuples to emit.
+func (in *instance) apply(it item) (units float64, results []relation.Tuple) {
+	n := float64(len(it.tuples))
+	switch {
+	case it.scan:
+		units = n * in.e.params.ScanUnits
+		if c := in.op.consumer; c != nil && !c.local {
+			units += n * costmodel.UnitsResult / 2 // send over the network
+		}
+		results = it.tuples
+	case in.op.op.Kind == xra.OpSimpleJoin && it.port == portBuild:
+		units = n * costmodel.UnitsHash
+		if it.remote {
+			units += n * costmodel.UnitsNetReceive
+		}
+		in.simple.Insert(it.tuples)
+		in.e.addTableTuples(in.proc.ID, len(it.tuples))
+	case in.op.op.Kind == xra.OpSimpleJoin: // probe, build complete
+		results = in.simple.Probe(it.tuples)
+		units = n * costmodel.UnitsHash
+		if it.remote {
+			units += n * costmodel.UnitsNetReceive
+		}
+		units += float64(len(results)) * costmodel.UnitsResult
+	case in.op.op.Kind == xra.OpPipeJoin:
+		// A pipelining-join tuple probes the other operand's table and —
+		// while that operand is still open — inserts into its own: two
+		// table actions per tuple. The second action is saved when the
+		// other side has ended (no future arrival can need the insert) or
+		// when the other table is still empty (probing is a no-op), which
+		// is why FP degenerates to RD-like per-tuple cost on linear trees
+		// (Figure 13) while paying the full symmetric cost on bushy ones.
+		fromBuild := it.port == portBuild
+		otherClosed := in.pipe.SideClosed(!fromBuild)
+		bn, pn := in.pipe.Sizes()
+		otherEmpty := (fromBuild && pn == 0) || (!fromBuild && bn == 0)
+		if fromBuild {
+			results = in.pipe.FromBuildSide(it.tuples)
+		} else {
+			results = in.pipe.FromProbeSide(it.tuples)
+		}
+		b1, p1 := in.pipe.Sizes()
+		in.e.addTableTuples(in.proc.ID, (b1+p1)-(bn+pn))
+		units = n * costmodel.UnitsHash
+		if !otherClosed && !otherEmpty {
+			units += n * costmodel.UnitsProbe
+		}
+		if it.remote {
+			units += n * costmodel.UnitsNetReceive
+		}
+		units += float64(len(results)) * costmodel.UnitsResult
+	case in.op.op.Kind == xra.OpCollect:
+		// Gathering at the scheduler host is free and identical for every
+		// strategy; the paper's response time excludes it.
+		in.gathered.Append(it.tuples...)
+	}
+	return units, results
+}
+
+// emit routes result tuples into per-destination buffers, flushing full
+// batches.
+func (in *instance) emit(results []relation.Tuple) {
+	c := in.op.consumer
+	if c == nil {
+		return
+	}
+	if len(in.outBufs) == 1 {
+		in.outBufs[0] = append(in.outBufs[0], results...)
+	} else {
+		m := len(in.outBufs)
+		for _, t := range results {
+			d := relation.HashKey(t.Get(c.route), m)
+			in.outBufs[d] = append(in.outBufs[d], t)
+		}
+	}
+	for d := range in.outBufs {
+		if len(in.outBufs[d]) >= in.e.params.BatchTuples {
+			in.flush(d)
+		}
+	}
+}
+
+// flush sends buffer d to its destination instance, with network latency
+// when crossing processors.
+func (in *instance) flush(d int) {
+	if len(in.outBufs[d]) == 0 {
+		return
+	}
+	c := in.op.consumer
+	dest := in.destInstance(d)
+	tuples := in.outBufs[d]
+	in.outBufs[d] = nil
+	remote := dest.proc != in.proc
+	var latency sim.Duration
+	if remote {
+		latency = in.e.params.NetLatency
+	}
+	// The final gather at the scheduler host is identical for every
+	// strategy and excluded from the paper's metrics; keep it out of the
+	// transport statistics as well.
+	if c.to.op.Kind != xra.OpCollect {
+		if remote {
+			in.e.stats.TuplesMovedRemote += int64(len(tuples))
+		} else {
+			in.e.stats.TuplesLocal += int64(len(tuples))
+		}
+		in.e.stats.Batches++
+	}
+	it := item{port: c.port, tuples: tuples, remote: remote}
+	in.e.sim.After(latency, func() { dest.deliver(it) })
+}
+
+// destInstance resolves destination buffer index d to the consumer instance.
+func (in *instance) destInstance(d int) *instance {
+	c := in.op.consumer
+	if c.local {
+		return c.to.instances[in.idx]
+	}
+	return c.to.instances[d]
+}
+
+// maybeFinish completes the process once every input ended and all queued
+// work was applied: remaining buffers are flushed, end-of-stream markers are
+// sent to every destination, and the operator completion is reported when
+// the last sibling instance finishes.
+func (in *instance) maybeFinish() {
+	if in.finished || !in.started {
+		return
+	}
+	for p, want := range in.eosWant {
+		if in.eosGot[p] < want {
+			return
+		}
+	}
+	if len(in.probeWait) > 0 {
+		return // cannot happen once build EOS arrived, defensive
+	}
+	in.finished = true
+	// Release hash-table memory held by this process.
+	switch {
+	case in.simple != nil:
+		in.e.addTableTuples(in.proc.ID, -in.simple.BuildSize())
+	case in.pipe != nil:
+		bn, pn := in.pipe.Sizes()
+		in.e.addTableTuples(in.proc.ID, -(bn + pn))
+	}
+	if c := in.op.consumer; c != nil {
+		for d := range in.outBufs {
+			in.flush(d)
+		}
+		// End-of-stream on every outgoing stream.
+		if c.local {
+			dest := in.destInstance(0)
+			eos := item{port: c.port, eos: true}
+			in.e.sim.After(0, func() { dest.deliver(eos) })
+		} else {
+			for d := range c.to.instances {
+				dest := c.to.instances[d]
+				remote := dest.proc != in.proc
+				var latency sim.Duration
+				if remote {
+					latency = in.e.params.NetLatency
+				}
+				eos := item{port: c.port, eos: true}
+				in.e.sim.After(latency, func() { dest.deliver(eos) })
+			}
+		}
+	}
+	in.op.doneCount++
+	if in.op.doneCount == len(in.op.instances) {
+		in.e.opFinished(in.op)
+	}
+}

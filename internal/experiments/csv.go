@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"multijoin/internal/jointree"
+)
+
+// WriteCSV emits sweep points as CSV with the columns
+// shape,strategy,card,procs,seconds,processes,streams — one row per
+// measurement — so the figures can be re-plotted with external tools.
+// Rows are ordered by (card, procs, strategy) for stable diffs.
+func WriteCSV(w io.Writer, points []Point) error {
+	if _, err := io.WriteString(w, "shape,strategy,card,procs,seconds,processes,streams\n"); err != nil {
+		return err
+	}
+	ordered := append([]Point(nil), points...)
+	sort.Slice(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if a.Shape != b.Shape {
+			return a.Shape < b.Shape
+		}
+		if a.Card != b.Card {
+			return a.Card < b.Card
+		}
+		if a.Procs != b.Procs {
+			return a.Procs < b.Procs
+		}
+		return a.Strategy < b.Strategy
+	})
+	for _, p := range ordered {
+		_, err := fmt.Fprintf(w, "%s,%s,%d,%d,%s,%d,%d\n",
+			p.Shape, p.Strategy, p.Card, p.Procs,
+			strconv.FormatFloat(p.Seconds, 'f', 4, 64),
+			p.Stats.Processes, p.Stats.Streams)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSVForShapes runs the sweeps for all five paper shapes over the given
+// sizes and writes a single CSV covering all of them.
+func (r *Runner) CSVForShapes(w io.Writer, sizes []ProblemSize) error {
+	var all []Point
+	for _, shape := range jointree.Shapes {
+		for _, size := range sizes {
+			pts, err := r.SweepShape(shape, size)
+			if err != nil {
+				return err
+			}
+			all = append(all, pts...)
+		}
+	}
+	return WriteCSV(w, all)
+}

@@ -1,0 +1,218 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4): the response-time curves of Figures 9-13 (five
+// query shapes, two problem sizes, 20-80 processors, four strategies), the
+// best-response-time table of Figure 14, the utilization diagrams of
+// Figures 3/4/6/7, and the supporting experiments of Sections 2.3.1 and
+// 2.3.3 plus the Section 3.5 overhead ablation.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"multijoin/internal/core"
+	"multijoin/internal/costmodel"
+	"multijoin/internal/engine"
+	"multijoin/internal/jointree"
+	"multijoin/internal/strategy"
+	"multijoin/internal/wisconsin"
+)
+
+// ProblemSize describes one of the paper's two experiment sizes.
+type ProblemSize struct {
+	Name  string
+	Card  int   // tuples per relation
+	Procs []int // processor counts swept
+}
+
+// The paper's sizes (Section 4.2): the 5K experiment sweeps 20-80
+// processors; the 40K query was too large to run on fewer than 30.
+var (
+	Small = ProblemSize{Name: "5K", Card: 5000, Procs: []int{20, 30, 40, 50, 60, 70, 80}}
+	Large = ProblemSize{Name: "40K", Card: 40000, Procs: []int{30, 40, 50, 60, 70, 80}}
+)
+
+// Sizes lists the paper's problem sizes.
+var Sizes = []ProblemSize{Small, Large}
+
+// Point is one measured response time.
+type Point struct {
+	Shape    jointree.Shape
+	Strategy strategy.Kind
+	Card     int
+	Procs    int
+	Seconds  float64
+	Stats    engine.Stats
+}
+
+// Runner executes experiment sweeps, caching generated databases per
+// cardinality.
+type Runner struct {
+	Params    costmodel.Params
+	Relations int
+	Seed      int64
+	dbs       map[int]*wisconsin.Database
+}
+
+// NewRunner returns a runner with the paper's setup: 10 relations, the
+// calibrated default machine model.
+func NewRunner() *Runner {
+	return &Runner{Params: costmodel.Default(), Relations: 10, Seed: 1995}
+}
+
+// DB returns (and caches) the chain database with the given cardinality.
+func (r *Runner) DB(card int) (*wisconsin.Database, error) {
+	if r.dbs == nil {
+		r.dbs = make(map[int]*wisconsin.Database)
+	}
+	if db, ok := r.dbs[card]; ok {
+		return db, nil
+	}
+	db, err := wisconsin.Chain(wisconsin.Config{Relations: r.Relations, Cardinality: card, Seed: r.Seed})
+	if err != nil {
+		return nil, err
+	}
+	r.dbs[card] = db
+	return db, nil
+}
+
+// Run measures one configuration.
+func (r *Runner) Run(shape jointree.Shape, kind strategy.Kind, card, procs int) (Point, error) {
+	db, err := r.DB(card)
+	if err != nil {
+		return Point{}, err
+	}
+	tree, err := jointree.BuildShape(shape, r.Relations)
+	if err != nil {
+		return Point{}, err
+	}
+	res, err := core.Query{DB: db, Tree: tree, Strategy: kind, Procs: procs, Params: r.Params}.Run()
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{
+		Shape:    shape,
+		Strategy: kind,
+		Card:     card,
+		Procs:    procs,
+		Seconds:  res.ResponseTime.Seconds(),
+		Stats:    res.Stats,
+	}, nil
+}
+
+// SweepShape measures all strategies over all processor counts of one
+// problem size for one query shape — one half of one of Figures 9-13.
+func (r *Runner) SweepShape(shape jointree.Shape, size ProblemSize) ([]Point, error) {
+	var out []Point
+	for _, procs := range size.Procs {
+		for _, kind := range strategy.Kinds {
+			p, err := r.Run(shape, kind, size.Card, procs)
+			if err != nil {
+				return nil, fmt.Errorf("%v/%v/%d procs: %w", shape, kind, procs, err)
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// FormatSweep renders sweep points as a table in the layout of the paper's
+// response-time diagrams: one row per processor count, one column per
+// strategy, response times in seconds.
+func FormatSweep(title string, points []Point) string {
+	procs := map[int]bool{}
+	for _, p := range points {
+		procs[p.Procs] = true
+	}
+	var ps []int
+	for p := range procs {
+		ps = append(ps, p)
+	}
+	sort.Ints(ps)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-6s", "procs")
+	for _, k := range strategy.Kinds {
+		fmt.Fprintf(&b, "%10s", k)
+	}
+	b.WriteByte('\n')
+	for _, pc := range ps {
+		fmt.Fprintf(&b, "%-6d", pc)
+		for _, k := range strategy.Kinds {
+			val := "-"
+			for _, p := range points {
+				if p.Procs == pc && p.Strategy == k {
+					val = fmt.Sprintf("%.2f", p.Seconds)
+					break
+				}
+			}
+			fmt.Fprintf(&b, "%10s", val)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Best is one row of Figure 14: the minimal response time for a query shape
+// and problem size, with the strategy and processor count that achieved it.
+type Best struct {
+	Shape    jointree.Shape
+	Size     ProblemSize
+	Seconds  float64
+	Strategy strategy.Kind
+	Procs    int
+}
+
+// BestOf reduces sweep points to their minimum.
+func BestOf(shape jointree.Shape, size ProblemSize, points []Point) Best {
+	best := Best{Shape: shape, Size: size, Seconds: -1}
+	for _, p := range points {
+		if best.Seconds < 0 || p.Seconds < best.Seconds {
+			best.Seconds = p.Seconds
+			best.Strategy = p.Strategy
+			best.Procs = p.Procs
+		}
+	}
+	return best
+}
+
+// Figure14 computes the full best-response-time table: every shape, both
+// problem sizes.
+func (r *Runner) Figure14() ([]Best, error) {
+	var out []Best
+	for _, shape := range jointree.Shapes {
+		for _, size := range Sizes {
+			pts, err := r.SweepShape(shape, size)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, BestOf(shape, size, pts))
+		}
+	}
+	return out, nil
+}
+
+// FormatFigure14 renders the Figure 14 table in the paper's layout.
+func FormatFigure14(rows []Best) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 14: best response times in seconds (strategy+procs in parentheses)\n")
+	fmt.Fprintf(&b, "%-22s", "")
+	for _, size := range Sizes {
+		fmt.Fprintf(&b, "%18s", size.Name)
+	}
+	b.WriteByte('\n')
+	for _, shape := range jointree.Shapes {
+		fmt.Fprintf(&b, "%-22s", shape)
+		for _, size := range Sizes {
+			for _, row := range rows {
+				if row.Shape == shape && row.Size.Name == size.Name {
+					cell := fmt.Sprintf("%.1f (%v%d)", row.Seconds, row.Strategy, row.Procs)
+					fmt.Fprintf(&b, "%18s", cell)
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"multijoin/internal/jointree"
+	"multijoin/internal/strategy"
+)
+
+// smallRunner scales the experiments down so the full matrix stays fast in
+// unit tests; the benchmarks at the module root run the paper-sized sweeps.
+func smallRunner() *Runner {
+	r := NewRunner()
+	r.Relations = 6
+	return r
+}
+
+var smallSize = ProblemSize{Name: "tiny", Card: 200, Procs: []int{8, 12}}
+
+func TestRunPoint(t *testing.T) {
+	r := smallRunner()
+	p, err := r.Run(jointree.WideBushy, strategy.FP, 200, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seconds <= 0 {
+		t.Errorf("non-positive response time %g", p.Seconds)
+	}
+	if p.Stats.ResultTuples != 200 {
+		t.Errorf("result tuples = %d", p.Stats.ResultTuples)
+	}
+}
+
+func TestDBCaching(t *testing.T) {
+	r := smallRunner()
+	a, err := r.DB(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := r.DB(100)
+	if a != b {
+		t.Error("database not cached")
+	}
+	c, _ := r.DB(101)
+	if a == c {
+		t.Error("different cardinalities must differ")
+	}
+}
+
+func TestSweepShapeComplete(t *testing.T) {
+	r := smallRunner()
+	pts, err := r.SweepShape(jointree.LeftLinear, smallSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(smallSize.Procs)*len(strategy.Kinds) {
+		t.Fatalf("sweep has %d points", len(pts))
+	}
+	// SP, SE and RD must coincide on the left-linear tree (Figure 9).
+	byKey := map[string]float64{}
+	for _, p := range pts {
+		byKey[p.Strategy.String()+string(rune(p.Procs))] = p.Seconds
+	}
+	for _, procs := range smallSize.Procs {
+		sp := byKey["SP"+string(rune(procs))]
+		for _, k := range []string{"SE", "RD"} {
+			if byKey[k+string(rune(procs))] != sp {
+				t.Errorf("%s at %d procs = %g, want SP's %g (degeneration)",
+					k, procs, byKey[k+string(rune(procs))], sp)
+			}
+		}
+	}
+}
+
+func TestFormatSweep(t *testing.T) {
+	r := smallRunner()
+	pts, err := r.SweepShape(jointree.WideBushy, smallSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatSweep("title", pts)
+	if !strings.Contains(out, "title") || !strings.Contains(out, "SP") {
+		t.Errorf("format missing pieces:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2+len(smallSize.Procs) {
+		t.Errorf("format has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestBestOf(t *testing.T) {
+	pts := []Point{
+		{Strategy: strategy.SP, Procs: 8, Seconds: 5},
+		{Strategy: strategy.FP, Procs: 12, Seconds: 2},
+		{Strategy: strategy.SE, Procs: 8, Seconds: 3},
+	}
+	b := BestOf(jointree.WideBushy, smallSize, pts)
+	if b.Strategy != strategy.FP || b.Procs != 12 || b.Seconds != 2 {
+		t.Errorf("BestOf = %+v", b)
+	}
+}
+
+func TestUtilizationFigures(t *testing.T) {
+	for _, fig := range []string{"3", "4", "6", "7"} {
+		out, err := UtilizationFigure(fig)
+		if err != nil {
+			t.Fatalf("figure %s: %v", fig, err)
+		}
+		if !strings.Contains(out, "response time") {
+			t.Errorf("figure %s output incomplete", fig)
+		}
+		// Ten processor rows must be present.
+		for _, row := range []string{"  9 |", "  0 |"} {
+			if !strings.Contains(out, row) {
+				t.Errorf("figure %s missing processor row %q", fig, row)
+			}
+		}
+	}
+	if _, err := UtilizationFigure("5"); err == nil {
+		t.Error("figure 5 is not a utilization diagram")
+	}
+}
+
+func TestAblationOutput(t *testing.T) {
+	out, err := Ablation(300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"default", "no-startup", "no-handshake", "no-overhead"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation missing row %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSingleJoinSpeedupOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup sweep is slow")
+	}
+	r := NewRunner()
+	out, err := SingleJoinSpeedup(r.Params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sqrt") {
+		t.Errorf("speedup output incomplete:\n%s", out)
+	}
+}

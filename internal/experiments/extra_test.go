@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"multijoin/internal/jointree"
+)
+
+func TestMemoryOutput(t *testing.T) {
+	out, err := Memory(2000, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"wide-bushy", "right-linear", "SP", "FP", "fits 16MB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("memory table missing %q:\n%s", want, out)
+		}
+	}
+	// Eight data rows (2 shapes x 4 strategies).
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2+8 {
+		t.Errorf("memory table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestCostFunctionOutput(t *testing.T) {
+	out, err := CostFunction(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2+4 {
+		t.Fatalf("cost-function table has %d lines:\n%s", len(lines), out)
+	}
+	// SP's row must report a 0% penalty (it ignores the cost function).
+	var spLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "SP") {
+			spLine = l
+		}
+	}
+	if !strings.Contains(spLine, "0%") {
+		t.Errorf("SP must be unaffected by the ablation: %q", spLine)
+	}
+}
+
+func TestPipelineDelayOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline sweep is slow")
+	}
+	r := NewRunner()
+	out, err := PipelineDelay(r.Params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "linear pipeline") || !strings.Contains(out, "bushy pipeline") {
+		t.Errorf("pipeline delay output incomplete:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := smallRunner()
+	pts, err := r.SweepShape(jointree.WideBushy, smallSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(pts) {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), 1+len(pts))
+	}
+	if lines[0] != "shape,strategy,card,procs,seconds,processes,streams" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if cols := strings.Split(l, ","); len(cols) != 7 {
+			t.Errorf("CSV row %q has %d columns", l, len(cols))
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package hashjoin implements the two main-memory join algorithms compared
+// in the paper (Section 2.3.2):
+//
+//   - the simple hash-join: a two-phase build-probe algorithm that first
+//     builds a hash table over its build (inner/"left") operand and then
+//     streams the probe (outer/"right") operand through it;
+//
+//   - the pipelining hash-join [WiA90, WiA91]: a symmetric one-phase
+//     algorithm that maintains a hash table for *both* operands. Each
+//     arriving tuple is hashed, probes the part of the other operand's table
+//     built so far, emits any matches, and is then inserted into its own
+//     table. Result tuples are produced as early as possible, enabling
+//     pipelining along both operands at the cost of a second hash table.
+//
+// The algorithms are pure data-structure state machines over tuple batches;
+// the execution engine drives them and separately accounts simulated time.
+// They are also directly usable for sequential reference execution in tests.
+//
+// Join semantics follow the chain query of Section 4.1: the operand covering
+// the lower chain span joins its Unique2 attribute against the Unique1
+// attribute of the higher-span operand (the shared boundary attribute), and
+// the result tuple is (lower.Unique1, higher.Unique2) with a provenance
+// checksum combining both inputs — again a Wisconsin-shaped tuple, as the
+// paper's projection step demands.
+package hashjoin
+
+import "multijoin/internal/relation"
+
+// Spec fixes the roles of the two operands of one binary join. Build is the
+// operand a simple hash-join builds its table from (the paper's "left"
+// operand); Probe streams. BuildIsLower records which operand covers the
+// lower chain span and therefore which join attributes apply.
+type Spec struct {
+	// BuildIsLower is true when the build operand covers the lower chain
+	// span. Left-oriented trees build on the lower (intermediate) side;
+	// mirrored trees flip this.
+	BuildIsLower bool
+}
+
+// BuildAttr returns the join attribute of the build operand: the lower span
+// joins on Unique2, the higher span on Unique1.
+func (s Spec) BuildAttr() relation.Attr {
+	if s.BuildIsLower {
+		return relation.Unique2
+	}
+	return relation.Unique1
+}
+
+// ProbeAttr returns the join attribute of the probe operand.
+func (s Spec) ProbeAttr() relation.Attr {
+	if s.BuildIsLower {
+		return relation.Unique1
+	}
+	return relation.Unique2
+}
+
+// Result combines one build-side and one probe-side tuple into the join
+// result tuple. Independent of which operand built the table, the result is
+// (lower.Unique1, higher.Unique2, combine(lower.Check, higher.Check)), so
+// every algorithm and every strategy produces the identical relation for a
+// given join tree.
+func (s Spec) Result(build, probe relation.Tuple) relation.Tuple {
+	lower, higher := build, probe
+	if !s.BuildIsLower {
+		lower, higher = probe, build
+	}
+	return relation.Tuple{
+		Unique1: lower.Unique1,
+		Unique2: higher.Unique2,
+		Check:   relation.CombineChecks(lower.Check, higher.Check),
+	}
+}
+
+// Table is an in-memory hash table over one join attribute.
+type Table struct {
+	attr relation.Attr
+	m    map[int64][]relation.Tuple
+	n    int
+}
+
+// NewTable returns an empty hash table keyed on the given attribute.
+func NewTable(attr relation.Attr) *Table {
+	return &Table{attr: attr, m: make(map[int64][]relation.Tuple)}
+}
+
+// Insert adds a tuple.
+func (t *Table) Insert(tp relation.Tuple) {
+	k := tp.Get(t.attr)
+	t.m[k] = append(t.m[k], tp)
+	t.n++
+}
+
+// Matches returns the tuples whose key attribute equals k (nil if none).
+func (t *Table) Matches(k int64) []relation.Tuple { return t.m[k] }
+
+// Len returns the number of inserted tuples.
+func (t *Table) Len() int { return t.n }
+
+// Attr returns the key attribute.
+func (t *Table) Attr() relation.Attr { return t.attr }
+
+// Simple is the state of one simple (build-probe) hash-join instance.
+type Simple struct {
+	spec  Spec
+	table *Table
+}
+
+// NewSimple returns a fresh simple hash-join.
+func NewSimple(spec Spec) *Simple {
+	return &Simple{spec: spec, table: NewTable(spec.BuildAttr())}
+}
+
+// Spec returns the join specification.
+func (j *Simple) Spec() Spec { return j.spec }
+
+// Insert consumes a batch of build-operand tuples (build phase).
+func (j *Simple) Insert(batch []relation.Tuple) {
+	for _, tp := range batch {
+		j.table.Insert(tp)
+	}
+}
+
+// BuildSize returns the number of tuples in the hash table.
+func (j *Simple) BuildSize() int { return j.table.Len() }
+
+// Probe streams a batch of probe-operand tuples through the (complete) hash
+// table and returns the result tuples. The caller is responsible for not
+// probing before the build phase finished — the engine buffers early probe
+// input, which is exactly the blocking behaviour of the algorithm.
+func (j *Simple) Probe(batch []relation.Tuple) []relation.Tuple {
+	var out []relation.Tuple
+	pa := j.spec.ProbeAttr()
+	for _, tp := range batch {
+		for _, b := range j.table.Matches(tp.Get(pa)) {
+			out = append(out, j.spec.Result(b, tp))
+		}
+	}
+	return out
+}
+
+// Pipelining is the state of one pipelining (symmetric) hash-join instance.
+//
+// As an optimization, an operand's tuples are inserted into that operand's
+// hash table only while the *other* operand is still open: once the other
+// side has ended, no future arrival can need the insertion, so the tuple
+// only probes (one table action instead of two). On a right-linear tree,
+// where every build operand is a base relation that ends quickly, the
+// pipelining join therefore degenerates to simple-hash-join behaviour —
+// which is why RD and FP coincide on right-linear trees (Figure 13).
+type Pipelining struct {
+	spec        Spec
+	buildTable  *Table // tuples seen on the build side
+	probeTable  *Table // tuples seen on the probe side
+	buildClosed bool
+	probeClosed bool
+}
+
+// NewPipelining returns a fresh pipelining hash-join.
+func NewPipelining(spec Spec) *Pipelining {
+	return &Pipelining{
+		spec:       spec,
+		buildTable: NewTable(spec.BuildAttr()),
+		probeTable: NewTable(spec.ProbeAttr()),
+	}
+}
+
+// Spec returns the join specification.
+func (j *Pipelining) Spec() Spec { return j.spec }
+
+// FromBuildSide consumes a batch arriving on the build operand: each tuple
+// probes the probe-side table built so far and, while the probe operand is
+// still open, is inserted into the build-side table. Matches found are
+// returned immediately.
+func (j *Pipelining) FromBuildSide(batch []relation.Tuple) []relation.Tuple {
+	var out []relation.Tuple
+	ba := j.spec.BuildAttr()
+	for _, tp := range batch {
+		for _, p := range j.probeTable.Matches(tp.Get(ba)) {
+			out = append(out, j.spec.Result(tp, p))
+		}
+		if !j.probeClosed {
+			j.buildTable.Insert(tp)
+		}
+	}
+	return out
+}
+
+// FromProbeSide consumes a batch arriving on the probe operand,
+// symmetrically to FromBuildSide.
+func (j *Pipelining) FromProbeSide(batch []relation.Tuple) []relation.Tuple {
+	var out []relation.Tuple
+	pa := j.spec.ProbeAttr()
+	for _, tp := range batch {
+		for _, b := range j.buildTable.Matches(tp.Get(pa)) {
+			out = append(out, j.spec.Result(b, tp))
+		}
+		if !j.buildClosed {
+			j.probeTable.Insert(tp)
+		}
+	}
+	return out
+}
+
+// CloseBuildSide declares the build operand ended: probe-side tuples stop
+// being inserted (one table action per tuple instead of two).
+func (j *Pipelining) CloseBuildSide() { j.buildClosed = true }
+
+// CloseProbeSide declares the probe operand ended.
+func (j *Pipelining) CloseProbeSide() { j.probeClosed = true }
+
+// SideClosed reports whether the given side (build=true) has ended.
+func (j *Pipelining) SideClosed(build bool) bool {
+	if build {
+		return j.buildClosed
+	}
+	return j.probeClosed
+}
+
+// Sizes returns the number of tuples stored in the build- and probe-side
+// tables; the pipelining algorithm's extra memory cost is their sum.
+func (j *Pipelining) Sizes() (build, probe int) {
+	return j.buildTable.Len(), j.probeTable.Len()
+}
+
+// Join runs a complete join of two materialized relations with the given
+// spec, using the pipelining algorithm if pipelined is set and the simple
+// algorithm otherwise. Both produce the same multiset; the flag exists so
+// tests can assert exactly that.
+func Join(build, probe *relation.Relation, spec Spec, pipelined bool) *relation.Relation {
+	out := relation.New("join", build.TupleBytes)
+	if pipelined {
+		j := NewPipelining(spec)
+		// Interleave the operands to exercise the symmetric path.
+		bi, pi := 0, 0
+		const chunk = 16
+		for bi < len(build.Tuples) || pi < len(probe.Tuples) {
+			if bi < len(build.Tuples) {
+				hi := bi + chunk
+				if hi > len(build.Tuples) {
+					hi = len(build.Tuples)
+				}
+				out.Append(j.FromBuildSide(build.Tuples[bi:hi])...)
+				bi = hi
+			}
+			if pi < len(probe.Tuples) {
+				hi := pi + chunk
+				if hi > len(probe.Tuples) {
+					hi = len(probe.Tuples)
+				}
+				out.Append(j.FromProbeSide(probe.Tuples[pi:hi])...)
+				pi = hi
+			}
+		}
+		return out
+	}
+	j := NewSimple(spec)
+	j.Insert(build.Tuples)
+	out.Append(j.Probe(probe.Tuples)...)
+	return out
+}

@@ -1,0 +1,261 @@
+package hashjoin
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multijoin/internal/relation"
+)
+
+// makeOperands builds two 1:1-joinable relations of cardinality n: the lower
+// operand's Unique2 values equal the higher operand's Unique1 values through
+// a shared boundary permutation.
+func makeOperands(n int, seed int64) (lower, higher *relation.Relation) {
+	rng := rand.New(rand.NewSource(seed))
+	boundary := rng.Perm(n)
+	lower = relation.New("L", 208)
+	higher = relation.New("H", 208)
+	for j := 0; j < n; j++ {
+		lower.Append(relation.Tuple{
+			Unique1: int64(rng.Intn(n * 10)),
+			Unique2: int64(boundary[j]),
+			Check:   uint64(j) + 1,
+		})
+		higher.Append(relation.Tuple{
+			Unique1: int64(boundary[j]),
+			Unique2: int64(rng.Intn(n * 10)),
+			Check:   uint64(j) + 100000,
+		})
+	}
+	// Shuffle higher so the operands are not row-aligned.
+	rng.Shuffle(n, func(i, j int) {
+		higher.Tuples[i], higher.Tuples[j] = higher.Tuples[j], higher.Tuples[i]
+	})
+	return lower, higher
+}
+
+func TestSpecAttrs(t *testing.T) {
+	s := Spec{BuildIsLower: true}
+	if s.BuildAttr() != relation.Unique2 || s.ProbeAttr() != relation.Unique1 {
+		t.Error("lower operand must join on Unique2, higher on Unique1")
+	}
+	s = Spec{BuildIsLower: false}
+	if s.BuildAttr() != relation.Unique1 || s.ProbeAttr() != relation.Unique2 {
+		t.Error("mirrored spec attributes wrong")
+	}
+}
+
+func TestSpecResultOrientation(t *testing.T) {
+	lo := relation.Tuple{Unique1: 1, Unique2: 5, Check: 10}
+	hi := relation.Tuple{Unique1: 5, Unique2: 9, Check: 20}
+	// Build = lower.
+	r1 := Spec{BuildIsLower: true}.Result(lo, hi)
+	// Build = higher (mirrored): the build argument is now hi.
+	r2 := Spec{BuildIsLower: false}.Result(hi, lo)
+	if r1 != r2 {
+		t.Errorf("result must not depend on build/probe roles: %+v vs %+v", r1, r2)
+	}
+	if r1.Unique1 != 1 || r1.Unique2 != 9 {
+		t.Errorf("result attrs (%d,%d), want (1,9)", r1.Unique1, r1.Unique2)
+	}
+	if r1.Check != relation.CombineChecks(10, 20) {
+		t.Error("result check must combine lower then higher")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := NewTable(relation.Unique1)
+	if tab.Attr() != relation.Unique1 {
+		t.Error("Attr() wrong")
+	}
+	tab.Insert(relation.Tuple{Unique1: 3, Check: 1})
+	tab.Insert(relation.Tuple{Unique1: 3, Check: 2})
+	tab.Insert(relation.Tuple{Unique1: 4, Check: 3})
+	if tab.Len() != 3 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+	if len(tab.Matches(3)) != 2 || len(tab.Matches(4)) != 1 || tab.Matches(99) != nil {
+		t.Error("Matches wrong")
+	}
+}
+
+func TestSimpleJoinOneToOne(t *testing.T) {
+	lower, higher := makeOperands(500, 1)
+	out := Join(lower, higher, Spec{BuildIsLower: true}, false)
+	if out.Card() != 500 {
+		t.Fatalf("result card %d, want 500", out.Card())
+	}
+}
+
+func TestPipeliningMatchesSimple(t *testing.T) {
+	lower, higher := makeOperands(300, 2)
+	spec := Spec{BuildIsLower: true}
+	simple := Join(lower, higher, spec, false)
+	pipe := Join(lower, higher, spec, true)
+	if d := relation.DiffMultiset(simple, pipe); d != "" {
+		t.Errorf("pipelining differs from simple: %s", d)
+	}
+}
+
+func TestMirroredSpecSameResult(t *testing.T) {
+	lower, higher := makeOperands(200, 3)
+	a := Join(lower, higher, Spec{BuildIsLower: true}, false)
+	// Mirrored: build on the higher operand.
+	b := Join(higher, lower, Spec{BuildIsLower: false}, false)
+	if d := relation.DiffMultiset(a, b); d != "" {
+		t.Errorf("mirrored join differs: %s", d)
+	}
+}
+
+func TestSimpleJoinDuplicates(t *testing.T) {
+	build := relation.New("B", 208)
+	probe := relation.New("P", 208)
+	// Two build tuples share the key; three probe tuples match it.
+	build.Append(
+		relation.Tuple{Unique2: 7, Check: 1},
+		relation.Tuple{Unique2: 7, Check: 2},
+		relation.Tuple{Unique2: 8, Check: 3},
+	)
+	probe.Append(
+		relation.Tuple{Unique1: 7, Check: 4},
+		relation.Tuple{Unique1: 7, Check: 5},
+		relation.Tuple{Unique1: 7, Check: 6},
+		relation.Tuple{Unique1: 9, Check: 7},
+	)
+	out := Join(build, probe, Spec{BuildIsLower: true}, false)
+	if out.Card() != 6 {
+		t.Errorf("duplicate join card %d, want 2*3=6", out.Card())
+	}
+	pipe := Join(build, probe, Spec{BuildIsLower: true}, true)
+	if d := relation.DiffMultiset(out, pipe); d != "" {
+		t.Errorf("pipelining disagrees on duplicates: %s", d)
+	}
+}
+
+func TestEmptyOperands(t *testing.T) {
+	empty := relation.New("E", 208)
+	other := relation.New("O", 208)
+	other.Append(relation.Tuple{Unique1: 1, Unique2: 2})
+	for _, pipelined := range []bool{false, true} {
+		if got := Join(empty, other, Spec{BuildIsLower: true}, pipelined); got.Card() != 0 {
+			t.Errorf("empty build join card %d (pipelined=%v)", got.Card(), pipelined)
+		}
+		if got := Join(other, empty, Spec{BuildIsLower: true}, pipelined); got.Card() != 0 {
+			t.Errorf("empty probe join card %d (pipelined=%v)", got.Card(), pipelined)
+		}
+	}
+}
+
+func TestPipeliningEmitsEarly(t *testing.T) {
+	// The defining property of the pipelining join (Section 2.3.2): results
+	// appear before either operand is complete.
+	j := NewPipelining(Spec{BuildIsLower: true})
+	out := j.FromBuildSide([]relation.Tuple{{Unique2: 1, Check: 1}})
+	if len(out) != 0 {
+		t.Fatal("no match possible yet")
+	}
+	out = j.FromProbeSide([]relation.Tuple{{Unique1: 1, Check: 2}})
+	if len(out) != 1 {
+		t.Fatalf("expected early result, got %d", len(out))
+	}
+	// The simple join by contrast produces nothing until its probe phase,
+	// which the engine only enters after the full build.
+	s := NewSimple(Spec{BuildIsLower: true})
+	s.Insert([]relation.Tuple{{Unique2: 1, Check: 1}})
+	if s.BuildSize() != 1 {
+		t.Error("build size wrong")
+	}
+}
+
+func TestPipeliningBatchInterleavingInvariance(t *testing.T) {
+	// The result multiset must not depend on how operands are interleaved.
+	lower, higher := makeOperands(128, 4)
+	spec := Spec{BuildIsLower: true}
+	want := Join(lower, higher, spec, false)
+
+	j := NewPipelining(spec)
+	out := relation.New("out", 208)
+	// Feed all of the probe side first, then all of the build side.
+	out.Append(j.FromProbeSide(higher.Tuples)...)
+	out.Append(j.FromBuildSide(lower.Tuples)...)
+	if d := relation.DiffMultiset(out, want); d != "" {
+		t.Errorf("probe-first interleaving differs: %s", d)
+	}
+}
+
+func TestPipeliningCloseSides(t *testing.T) {
+	spec := Spec{BuildIsLower: true}
+	j := NewPipelining(spec)
+	j.FromBuildSide([]relation.Tuple{{Unique2: 1, Check: 1}})
+	j.CloseBuildSide()
+	if !j.SideClosed(true) || j.SideClosed(false) {
+		t.Error("closed flags wrong")
+	}
+	// Probe tuples arriving after the build side closed still find matches
+	// but are no longer inserted into the probe table.
+	out := j.FromProbeSide([]relation.Tuple{{Unique1: 1, Check: 2}})
+	if len(out) != 1 {
+		t.Fatalf("match after close missing")
+	}
+	_, probeLen := j.Sizes()
+	if probeLen != 0 {
+		t.Errorf("probe table grew to %d after build side closed", probeLen)
+	}
+}
+
+func TestPipeliningCloseCorrectness(t *testing.T) {
+	// Closing a side once its input really ended never changes the result.
+	lower, higher := makeOperands(100, 5)
+	spec := Spec{BuildIsLower: true}
+	want := Join(lower, higher, spec, false)
+	j := NewPipelining(spec)
+	out := relation.New("out", 208)
+	out.Append(j.FromBuildSide(lower.Tuples)...)
+	j.CloseBuildSide()
+	out.Append(j.FromProbeSide(higher.Tuples)...)
+	j.CloseProbeSide()
+	if d := relation.DiffMultiset(out, want); d != "" {
+		t.Errorf("result after closing differs: %s", d)
+	}
+}
+
+// TestJoinAlgorithmsAgreeProperty: on random multisets with arbitrary key
+// skew, simple and pipelining joins agree, in both orientations.
+func TestJoinAlgorithmsAgreeProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, keys uint8) bool {
+		n := int(nRaw%60) + 1
+		k := int64(keys%10) + 1
+		rng := rand.New(rand.NewSource(seed))
+		lower := relation.New("L", 208)
+		higher := relation.New("H", 208)
+		for i := 0; i < n; i++ {
+			lower.Append(relation.Tuple{
+				Unique1: rng.Int63n(100), Unique2: rng.Int63n(k), Check: rng.Uint64(),
+			})
+			higher.Append(relation.Tuple{
+				Unique1: rng.Int63n(k), Unique2: rng.Int63n(100), Check: rng.Uint64(),
+			})
+		}
+		spec := Spec{BuildIsLower: true}
+		a := Join(lower, higher, spec, false)
+		b := Join(lower, higher, spec, true)
+		c := Join(higher, lower, Spec{BuildIsLower: false}, true)
+		return relation.EqualMultiset(a, b) && relation.EqualMultiset(a, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipeliningMemorySizes(t *testing.T) {
+	// The pipelining join's documented cost: it holds both operands.
+	lower, higher := makeOperands(64, 6)
+	j := NewPipelining(Spec{BuildIsLower: true})
+	j.FromBuildSide(lower.Tuples)
+	j.FromProbeSide(higher.Tuples)
+	b, p := j.Sizes()
+	if b != 64 || p != 64 {
+		t.Errorf("Sizes = (%d,%d), want (64,64)", b, p)
+	}
+}

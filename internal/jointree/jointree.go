@@ -1,0 +1,284 @@
+// Package jointree models join trees over the chain query of Section 4.1:
+// binary trees whose leaves are the base relations R0..R{k-1} in chain order
+// and whose internal nodes join two adjacent chain spans.
+//
+// Terminology follows Schneider [Sch90] as used in the paper: every join has
+// a Build operand (the inner/"left" operand whose hash table a simple
+// hash-join constructs) and a Probe operand (the outer/"right" operand that
+// streams). Which operand covers the lower chain span is independent of the
+// build/probe roles; mirroring a tree swaps the roles without changing the
+// result (Section 5 notes mirroring is free and makes trees right-oriented).
+package jointree
+
+import (
+	"fmt"
+	"sort"
+
+	"multijoin/internal/costmodel"
+	"multijoin/internal/hashjoin"
+	"multijoin/internal/relation"
+)
+
+// Node is one node of a join tree: either a leaf (a base relation) or a
+// binary join of two subtrees.
+type Node struct {
+	// Leaf is the base-relation index for leaf nodes and -1 for joins.
+	Leaf int
+	// JoinID labels a join node. The figures in the paper label joins with
+	// their relative work; shape constructors assign sequential ids and
+	// Example uses the paper's labels. Zero ids are assigned by Finalize.
+	JoinID int
+	// Build and Probe are the operand subtrees of a join node (nil for
+	// leaves). Build is the hash-table side, Probe the streaming side.
+	Build, Probe *Node
+	// Weight is an explicit relative work figure for the join (the labels
+	// of Figure 2). Zero means "derive from the cost model".
+	Weight float64
+	// Lo, Hi delimit the chain span [Lo, Hi] covered by the subtree; set
+	// by Finalize.
+	Lo, Hi int
+}
+
+// NewLeaf returns a leaf node for base relation i.
+func NewLeaf(i int) *Node { return &Node{Leaf: i, Lo: i, Hi: i} }
+
+// NewJoin returns a join node with the given operands.
+func NewJoin(build, probe *Node) *Node {
+	return &Node{Leaf: -1, Build: build, Probe: probe}
+}
+
+// IsLeaf reports whether the node is a base relation.
+func (n *Node) IsLeaf() bool { return n.Build == nil && n.Probe == nil }
+
+// BuildIsLower reports whether the build operand covers the lower chain
+// span. Valid after Finalize.
+func (n *Node) BuildIsLower() bool { return n.Build.Lo == n.Lo }
+
+// Spec returns the hashjoin specification of this join node.
+func (n *Node) Spec() hashjoin.Spec {
+	return hashjoin.Spec{BuildIsLower: n.BuildIsLower()}
+}
+
+// BuildAttr returns the attribute on which the build operand must be
+// partitioned/probed for this join.
+func (n *Node) BuildAttr() relation.Attr { return n.Spec().BuildAttr() }
+
+// ProbeAttr returns the probe operand's join attribute.
+func (n *Node) ProbeAttr() relation.Attr { return n.Spec().ProbeAttr() }
+
+// String renders the tree in span notation, e.g. "(R0 (R1 R2))".
+func (n *Node) String() string {
+	if n.IsLeaf() {
+		return fmt.Sprintf("R%d", n.Leaf)
+	}
+	return fmt.Sprintf("(J%d %s %s)", n.JoinID, n.Build, n.Probe)
+}
+
+// Finalize validates the tree and computes spans: leaves must cover a
+// contiguous range of base-relation indices exactly once, and every join
+// must combine two adjacent spans (the chain query has no cartesian
+// products). Joins without an id get sequential post-order ids starting at
+// 1. Finalize must be called before a tree is planned or executed.
+func Finalize(root *Node) error {
+	if root == nil {
+		return fmt.Errorf("jointree: nil root")
+	}
+	nextID := 1
+	used := make(map[int]bool)
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if n.IsLeaf() {
+			if n.Leaf < 0 {
+				return fmt.Errorf("jointree: leaf with negative index %d", n.Leaf)
+			}
+			n.Lo, n.Hi = n.Leaf, n.Leaf
+			return nil
+		}
+		if n.Build == nil || n.Probe == nil {
+			return fmt.Errorf("jointree: join with missing operand")
+		}
+		if err := walk(n.Build); err != nil {
+			return err
+		}
+		if err := walk(n.Probe); err != nil {
+			return err
+		}
+		b, p := n.Build, n.Probe
+		switch {
+		case b.Hi+1 == p.Lo:
+			n.Lo, n.Hi = b.Lo, p.Hi
+		case p.Hi+1 == b.Lo:
+			n.Lo, n.Hi = p.Lo, b.Hi
+		default:
+			return fmt.Errorf("jointree: operands [%d,%d] and [%d,%d] are not adjacent chain spans",
+				b.Lo, b.Hi, p.Lo, p.Hi)
+		}
+		if n.JoinID == 0 {
+			for used[nextID] {
+				nextID++
+			}
+			n.JoinID = nextID
+		}
+		if used[n.JoinID] {
+			return fmt.Errorf("jointree: duplicate join id %d", n.JoinID)
+		}
+		used[n.JoinID] = true
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return err
+	}
+	// Leaf coverage: spans guarantee contiguity; additionally require each
+	// leaf index to appear exactly once.
+	seen := make(map[int]int)
+	for _, l := range Leaves(root) {
+		seen[l.Leaf]++
+	}
+	for i := root.Lo; i <= root.Hi; i++ {
+		if seen[i] != 1 {
+			return fmt.Errorf("jointree: leaf R%d appears %d times", i, seen[i])
+		}
+	}
+	return nil
+}
+
+// Joins returns the join nodes in post-order (operands before their join).
+func Joins(root *Node) []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil || n.IsLeaf() {
+			return
+		}
+		walk(n.Build)
+		walk(n.Probe)
+		out = append(out, n)
+	}
+	walk(root)
+	return out
+}
+
+// Leaves returns the leaf nodes in chain order (by span).
+func Leaves(root *Node) []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			out = append(out, n)
+			return
+		}
+		walk(n.Build)
+		walk(n.Probe)
+	}
+	walk(root)
+	sort.Slice(out, func(i, j int) bool { return out[i].Leaf < out[j].Leaf })
+	return out
+}
+
+// NumJoins returns the number of join nodes.
+func NumJoins(root *Node) int { return len(Joins(root)) }
+
+// Depth returns the height of the tree in join nodes (0 for a leaf).
+func Depth(root *Node) int {
+	if root == nil || root.IsLeaf() {
+		return 0
+	}
+	b, p := Depth(root.Build), Depth(root.Probe)
+	if b > p {
+		return b + 1
+	}
+	return p + 1
+}
+
+// Mirror swaps the build and probe operands of every join in place, which
+// turns left-oriented trees into right-oriented ones and vice versa without
+// changing the query result or its total cost (Section 5).
+func Mirror(root *Node) {
+	if root == nil || root.IsLeaf() {
+		return
+	}
+	root.Build, root.Probe = root.Probe, root.Build
+	Mirror(root.Build)
+	Mirror(root.Probe)
+}
+
+// Clone returns a deep copy of the tree.
+func Clone(root *Node) *Node {
+	if root == nil {
+		return nil
+	}
+	c := *root
+	c.Build = Clone(root.Build)
+	c.Probe = Clone(root.Probe)
+	return &c
+}
+
+// Work returns the relative work of join node n under the paper's cost
+// function (Section 4.3), for the regular workload where every operand and
+// every result has cardinality card. An explicit node Weight overrides the
+// formula (the Figure 2 example labels joins with their relative work
+// directly).
+func (n *Node) Work(card float64) float64 {
+	if n.IsLeaf() {
+		return 0
+	}
+	if n.Weight > 0 {
+		return n.Weight
+	}
+	return costmodel.JoinCost(card, card, card, n.Build.IsLeaf(), n.Probe.IsLeaf())
+}
+
+// SubtreeWork returns the total work of all joins in the subtree.
+func SubtreeWork(root *Node, card float64) float64 {
+	if root == nil || root.IsLeaf() {
+		return 0
+	}
+	return root.Work(card) + SubtreeWork(root.Build, card) + SubtreeWork(root.Probe, card)
+}
+
+// SpanCardFunc estimates the cardinality of the join of a chain span; leaf
+// spans (lo == hi) are base relations. It generalizes the regular workload
+// (constant cardinality) to variable-size chains.
+type SpanCardFunc func(lo, hi int) float64
+
+// WorkSpan is Work with per-span cardinalities: the paper's cost function
+// evaluated with n1, n2 and r taken from the span estimator. An explicit
+// node Weight still overrides the formula.
+func (n *Node) WorkSpan(spanCard SpanCardFunc) float64 {
+	if n.IsLeaf() {
+		return 0
+	}
+	if n.Weight > 0 {
+		return n.Weight
+	}
+	n1 := spanCard(n.Build.Lo, n.Build.Hi)
+	n2 := spanCard(n.Probe.Lo, n.Probe.Hi)
+	r := spanCard(n.Lo, n.Hi)
+	return costmodel.JoinCost(n1, n2, r, n.Build.IsLeaf(), n.Probe.IsLeaf())
+}
+
+// SubtreeWorkSpan returns the total WorkSpan of all joins in the subtree.
+func SubtreeWorkSpan(root *Node, spanCard SpanCardFunc) float64 {
+	if root == nil || root.IsLeaf() {
+		return 0
+	}
+	return root.WorkSpan(spanCard) + SubtreeWorkSpan(root.Build, spanCard) + SubtreeWorkSpan(root.Probe, spanCard)
+}
+
+// Reference evaluates the tree sequentially with real hash joins and returns
+// the exact result relation, including provenance checksums. It is the
+// oracle every parallel execution is compared against. rel maps a leaf index
+// to its base relation.
+func Reference(root *Node, rel func(leaf int) *relation.Relation) *relation.Relation {
+	if root.IsLeaf() {
+		return rel(root.Leaf)
+	}
+	b := Reference(root.Build, rel)
+	p := Reference(root.Probe, rel)
+	out := hashjoin.Join(b, p, root.Spec(), false)
+	out.Name = fmt.Sprintf("J%d", root.JoinID)
+	return out
+}

@@ -1,0 +1,407 @@
+package jointree
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"multijoin/internal/relation"
+	"multijoin/internal/wisconsin"
+)
+
+func build(t *testing.T, s Shape, k int) *Node {
+	t.Helper()
+	n, err := BuildShape(s, k)
+	if err != nil {
+		t.Fatalf("BuildShape(%v, %d): %v", s, k, err)
+	}
+	return n
+}
+
+func TestFinalizeAssignsSpansAndIDs(t *testing.T) {
+	root := NewJoin(NewJoin(NewLeaf(0), NewLeaf(1)), NewLeaf(2))
+	if err := Finalize(root); err != nil {
+		t.Fatal(err)
+	}
+	if root.Lo != 0 || root.Hi != 2 {
+		t.Errorf("root span [%d,%d]", root.Lo, root.Hi)
+	}
+	ids := map[int]bool{}
+	for _, j := range Joins(root) {
+		if j.JoinID == 0 || ids[j.JoinID] {
+			t.Errorf("bad or duplicate id %d", j.JoinID)
+		}
+		ids[j.JoinID] = true
+	}
+}
+
+func TestFinalizeRejectsBadTrees(t *testing.T) {
+	// Non-adjacent spans (would be a cartesian product).
+	bad := NewJoin(NewLeaf(0), NewLeaf(2))
+	if err := Finalize(bad); err == nil {
+		t.Error("non-adjacent spans must fail")
+	}
+	// Duplicate leaf.
+	dup := NewJoin(NewLeaf(1), NewLeaf(1))
+	if err := Finalize(dup); err == nil {
+		t.Error("duplicate leaf must fail")
+	}
+	// Negative leaf index.
+	if err := Finalize(NewLeaf(-1)); err == nil {
+		t.Error("negative leaf must fail")
+	}
+	// Nil root.
+	if err := Finalize(nil); err == nil {
+		t.Error("nil root must fail")
+	}
+	// Duplicate explicit join ids.
+	a := NewJoin(NewLeaf(0), NewLeaf(1))
+	a.JoinID = 3
+	b := NewJoin(a, NewLeaf(2))
+	b.JoinID = 3
+	if err := Finalize(b); err == nil {
+		t.Error("duplicate explicit join ids must fail")
+	}
+}
+
+func TestShapesStructure(t *testing.T) {
+	const k = 10
+	for _, s := range Shapes {
+		root := build(t, s, k)
+		if NumJoins(root) != k-1 {
+			t.Errorf("%v: %d joins, want %d", s, NumJoins(root), k-1)
+		}
+		leaves := Leaves(root)
+		if len(leaves) != k {
+			t.Errorf("%v: %d leaves", s, len(leaves))
+		}
+		for i, l := range leaves {
+			if l.Leaf != i {
+				t.Errorf("%v: leaf %d at position %d", s, l.Leaf, i)
+			}
+		}
+		if root.Lo != 0 || root.Hi != k-1 {
+			t.Errorf("%v: root span [%d,%d]", s, root.Lo, root.Hi)
+		}
+	}
+}
+
+func TestShapeDepths(t *testing.T) {
+	const k = 10
+	depths := map[Shape]int{
+		LeftLinear:  9,
+		RightLinear: 9,
+		WideBushy:   4,
+		LeftBushy:   5,
+		RightBushy:  5,
+	}
+	for s, want := range depths {
+		if got := Depth(build(t, s, k)); got != want {
+			t.Errorf("%v depth = %d, want %d", s, got, want)
+		}
+	}
+	if Depth(NewLeaf(0)) != 0 {
+		t.Error("leaf depth must be 0")
+	}
+}
+
+func TestLinearChaining(t *testing.T) {
+	// Left-linear: every join's build operand is the intermediate chain.
+	ll := build(t, LeftLinear, 6)
+	for n := ll; !n.IsLeaf(); n = n.Build {
+		if !n.Probe.IsLeaf() {
+			t.Fatal("left-linear probe operands must be base relations")
+		}
+	}
+	// Right-linear: every join's probe operand is the chain.
+	rl := build(t, RightLinear, 6)
+	for n := rl; !n.IsLeaf(); n = n.Probe {
+		if !n.Build.IsLeaf() {
+			t.Fatal("right-linear build operands must be base relations")
+		}
+	}
+}
+
+func TestBuildIsLowerConvention(t *testing.T) {
+	for _, s := range Shapes {
+		root := build(t, s, 10)
+		for _, j := range Joins(root) {
+			if !j.BuildIsLower() {
+				t.Errorf("%v: join %d builds on the higher span", s, j.JoinID)
+			}
+			if j.BuildAttr() != relation.Unique2 || j.ProbeAttr() != relation.Unique1 {
+				t.Errorf("%v: join %d attrs wrong", s, j.JoinID)
+			}
+		}
+	}
+}
+
+func TestMirror(t *testing.T) {
+	root := build(t, LeftLinear, 5)
+	Mirror(root)
+	// Mirrored left-linear chains through probe children now.
+	for n := root; !n.IsLeaf(); n = n.Probe {
+		if !n.Build.IsLeaf() {
+			t.Fatal("mirrored left-linear must chain through probe")
+		}
+	}
+	for _, j := range Joins(root) {
+		if j.BuildIsLower() {
+			t.Errorf("mirrored join %d still builds on lower span", j.JoinID)
+		}
+		if j.BuildAttr() != relation.Unique1 {
+			t.Errorf("mirrored join %d build attr %v", j.JoinID, j.BuildAttr())
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	root := build(t, WideBushy, 6)
+	c := Clone(root)
+	Mirror(c)
+	// Original must be untouched.
+	for _, j := range Joins(root) {
+		if !j.BuildIsLower() {
+			t.Fatal("Clone shares nodes with original")
+		}
+	}
+}
+
+func TestBuildShapeErrors(t *testing.T) {
+	if _, err := BuildShape(LeftLinear, 1); err == nil {
+		t.Error("k=1 must fail")
+	}
+	if _, err := BuildShape(Shape(99), 5); err == nil {
+		t.Error("unknown shape must fail")
+	}
+}
+
+func TestShapeNamesRoundTrip(t *testing.T) {
+	for _, s := range Shapes {
+		got, err := ParseShape(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseShape(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseShape("zigzag"); err == nil {
+		t.Error("unknown name must fail")
+	}
+}
+
+func TestOddLeafCounts(t *testing.T) {
+	// Bushy shapes must handle odd k (trailing unpaired leaf).
+	for _, s := range Shapes {
+		for _, k := range []int{2, 3, 5, 7, 9, 11} {
+			root := build(t, s, k)
+			if NumJoins(root) != k-1 {
+				t.Errorf("%v k=%d: %d joins", s, k, NumJoins(root))
+			}
+		}
+	}
+}
+
+func TestExampleTree(t *testing.T) {
+	ex := Example()
+	joins := Joins(ex)
+	if len(joins) != 4 {
+		t.Fatalf("example tree has %d joins", len(joins))
+	}
+	byID := map[int]*Node{}
+	for _, j := range joins {
+		byID[j.JoinID] = j
+		if j.Weight != float64(j.JoinID) {
+			t.Errorf("join %d weight %g", j.JoinID, j.Weight)
+		}
+	}
+	// Structure from Figure 2: J1 top (build R0, probe J5); J5 (build J4,
+	// probe J3); J4 and J3 are leaf joins.
+	if byID[1].Probe != byID[5] || !byID[1].Build.IsLeaf() {
+		t.Error("J1 structure wrong")
+	}
+	if byID[5].Build != byID[4] || byID[5].Probe != byID[3] {
+		t.Error("J5 structure wrong")
+	}
+	if Depth(ex) != 3 {
+		t.Errorf("example depth %d, want 3", Depth(ex))
+	}
+	if got := ex.String(); !strings.Contains(got, "J1") || !strings.Contains(got, "R0") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestWork(t *testing.T) {
+	root := build(t, LeftLinear, 4)
+	joins := Joins(root)
+	// Post-order for left-linear: bottom join first (two bases: 4N), then
+	// the chain joins (intermediate + base: 5N).
+	if w := joins[0].Work(100); w != 400 {
+		t.Errorf("leaf join work %g, want 400", w)
+	}
+	if w := joins[1].Work(100); w != 500 {
+		t.Errorf("chain join work %g, want 500", w)
+	}
+	// Bushy chain join: both operands intermediate: 6N.
+	lb := build(t, LeftBushy, 8)
+	if w := lb.Work(100); w != 600 {
+		t.Errorf("bushy root work %g, want 600", w)
+	}
+	// Explicit weight overrides.
+	ex := Example()
+	if ex.Work(1e9) != 1 {
+		t.Error("explicit weight must override cost formula")
+	}
+	if NewLeaf(0).Work(10) != 0 {
+		t.Error("leaf work must be 0")
+	}
+}
+
+func TestSubtreeWork(t *testing.T) {
+	ex := Example()
+	if got := SubtreeWork(ex, 100); got != 1+5+3+4 {
+		t.Errorf("example subtree work %g, want 13", got)
+	}
+	if SubtreeWork(nil, 10) != 0 || SubtreeWork(NewLeaf(2), 10) != 0 {
+		t.Error("empty subtree work must be 0")
+	}
+}
+
+func TestRightDeepSegments(t *testing.T) {
+	// The example tree decomposes into segments [J1 J5 J3] and [J4]
+	// (Figure 5 discussion / Figure 6).
+	segs := RightDeepSegments(Example())
+	if len(segs) != 2 {
+		t.Fatalf("example has %d segments, want 2", len(segs))
+	}
+	ids := func(s *Segment) []int {
+		var out []int
+		for _, j := range s.Joins {
+			out = append(out, j.JoinID)
+		}
+		return out
+	}
+	if got := ids(segs[0]); len(got) != 3 || got[0] != 1 || got[1] != 5 || got[2] != 3 {
+		t.Errorf("segment 0 = %v, want [1 5 3]", got)
+	}
+	if got := ids(segs[1]); len(got) != 1 || got[0] != 4 {
+		t.Errorf("segment 1 = %v, want [4]", got)
+	}
+	if segs[0].Root().JoinID != 1 || segs[0].Bottom().JoinID != 3 {
+		t.Error("segment root/bottom wrong")
+	}
+	if segs[0].Work(1) != 1+5+3 {
+		t.Errorf("segment work %g", segs[0].Work(1))
+	}
+}
+
+func TestSegmentsByShape(t *testing.T) {
+	// Left-linear: every join is its own single-join segment (RD -> SP).
+	segs := RightDeepSegments(build(t, LeftLinear, 10))
+	if len(segs) != 9 {
+		t.Errorf("left-linear: %d segments, want 9", len(segs))
+	}
+	// Right-linear: one segment holding all joins (RD -> FP).
+	segs = RightDeepSegments(build(t, RightLinear, 10))
+	if len(segs) != 1 || len(segs[0].Joins) != 9 {
+		t.Errorf("right-linear: %d segments", len(segs))
+	}
+	// Right-oriented bushy over 10 relations: the main chain (including
+	// the last leaf join) plus 4 independent leaf-join segments.
+	segs = RightDeepSegments(build(t, RightBushy, 10))
+	if len(segs) != 5 {
+		t.Errorf("right-bushy: %d segments, want 5", len(segs))
+	}
+	if len(segs[0].Joins) != 5 {
+		t.Errorf("right-bushy main segment has %d joins, want 5", len(segs[0].Joins))
+	}
+	// Left-oriented bushy: short segments of length 2 (the paper: "very
+	// short" right-deep segments).
+	segs = RightDeepSegments(build(t, LeftBushy, 10))
+	for i, s := range segs[:len(segs)-1] {
+		if len(s.Joins) > 2 {
+			t.Errorf("left-bushy segment %d has %d joins, want <=2", i, len(s.Joins))
+		}
+	}
+}
+
+// TestSegmentsPartitionJoins: segments always partition the join set.
+func TestSegmentsPartitionJoins(t *testing.T) {
+	f := func(shapeRaw, kRaw uint8) bool {
+		s := Shapes[int(shapeRaw)%len(Shapes)]
+		k := int(kRaw%9) + 2
+		root, err := BuildShape(s, k)
+		if err != nil {
+			return false
+		}
+		seen := map[int]int{}
+		for _, seg := range RightDeepSegments(root) {
+			for _, j := range seg.Joins {
+				seen[j.JoinID]++
+			}
+		}
+		if len(seen) != k-1 {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReferenceAgainstExpectedPairs(t *testing.T) {
+	db, err := wisconsin.Chain(wisconsin.Config{Relations: 6, Cardinality: 100, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := func(leaf int) *relation.Relation { return db.Relation(leaf) }
+	for _, s := range Shapes {
+		root := build(t, s, 6)
+		got := Reference(root, rel)
+		if got.Card() != 100 {
+			t.Errorf("%v: reference card %d", s, got.Card())
+		}
+		ok, err := db.SamePairs(got, 0, 5)
+		if err != nil || !ok {
+			t.Errorf("%v: reference pairs wrong (err=%v)", s, err)
+		}
+	}
+}
+
+// TestReferenceMirrorInvariant: mirroring a tree never changes the result,
+// including checksums — the free mirroring transformation of Section 5.
+func TestReferenceMirrorInvariant(t *testing.T) {
+	db, err := wisconsin.Chain(wisconsin.Config{Relations: 7, Cardinality: 60, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := func(leaf int) *relation.Relation { return db.Relation(leaf) }
+	for _, s := range Shapes {
+		root := build(t, s, 7)
+		want := Reference(root, rel)
+		m := Clone(root)
+		Mirror(m)
+		got := Reference(m, rel)
+		if d := relation.DiffMultiset(got, want); d != "" {
+			t.Errorf("%v: mirrored reference differs: %s", s, d)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render(Example())
+	for _, want := range []string{"J1 [0,4] w=1", "build─ R0", "probe─ J5 [1,4] w=5",
+		"build─ J4 [1,2] w=4", "probe─ J3 [3,4] w=3", "build─ R1", "probe─ R4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	leafOnly := Render(NewLeaf(3))
+	if strings.TrimSpace(leafOnly) != "R3" {
+		t.Errorf("leaf render = %q", leafOnly)
+	}
+}

@@ -1,0 +1,50 @@
+package jointree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the join tree as indented ASCII, build operand first, with
+// join ids, spans and (when assigned) relative work weights:
+//
+//	J1 [0,4]
+//	├─build─ R0
+//	└─probe─ J5 [1,4] w=5
+//	         ├─build─ J4 [1,2] w=4
+//	         ...
+//
+// Intended for plan inspection tools (cmd/mjplan) and debugging output.
+func Render(root *Node) string {
+	var b strings.Builder
+	var walk func(n *Node, prefix string, tag string, last bool)
+	walk = func(n *Node, prefix, tag string, last bool) {
+		connector := ""
+		childPrefix := prefix
+		if tag != "" {
+			branch := "├─"
+			if last {
+				branch = "└─"
+			}
+			connector = prefix + branch + tag + "─ "
+			if last {
+				childPrefix = prefix + strings.Repeat(" ", len(branch+tag)+2)
+			} else {
+				childPrefix = prefix + "│" + strings.Repeat(" ", len(branch+tag)+1)
+			}
+		}
+		if n.IsLeaf() {
+			fmt.Fprintf(&b, "%sR%d\n", connector, n.Leaf)
+			return
+		}
+		fmt.Fprintf(&b, "%sJ%d [%d,%d]", connector, n.JoinID, n.Lo, n.Hi)
+		if n.Weight > 0 {
+			fmt.Fprintf(&b, " w=%g", n.Weight)
+		}
+		b.WriteByte('\n')
+		walk(n.Build, childPrefix, "build", false)
+		walk(n.Probe, childPrefix, "probe", true)
+	}
+	walk(root, "", "", true)
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package jointree
+
+import "fmt"
+
+// Shape enumerates the five query-tree shapes of Figure 8.
+type Shape int
+
+const (
+	// LeftLinear chains through the build operands: every join builds on
+	// the intermediate result so far and probes the next base relation,
+	// (((R0 R1) R2) R3) ... .
+	LeftLinear Shape = iota
+	// LeftBushy is the "left-oriented long bushy" tree: base relations are
+	// first paired into leaf joins T_k = (R_{2k} R_{2k+1}); the chain then
+	// grows through the build side, X_k = (X_{k-1} T_k). Every chain join
+	// has two intermediate operands — the bushy-pipeline case of [WiA93].
+	LeftBushy
+	// WideBushy is the balanced tree: spans are split in the middle
+	// recursively, maximizing independent subtrees.
+	WideBushy
+	// RightBushy mirrors LeftBushy: the chain grows through the probe
+	// side, X_k = (T_k X_{k+1}), forming one long right-deep probe
+	// pipeline whose build operands are the independent leaf joins.
+	RightBushy
+	// RightLinear chains through the probe operands:
+	// (R0 (R1 (R2 ...))).
+	RightLinear
+)
+
+// Shapes lists all five shapes in the paper's figure order.
+var Shapes = []Shape{LeftLinear, LeftBushy, WideBushy, RightBushy, RightLinear}
+
+// String returns the paper's name for the shape.
+func (s Shape) String() string {
+	switch s {
+	case LeftLinear:
+		return "left-linear"
+	case LeftBushy:
+		return "left-oriented-bushy"
+	case WideBushy:
+		return "wide-bushy"
+	case RightBushy:
+		return "right-oriented-bushy"
+	case RightLinear:
+		return "right-linear"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// ParseShape converts a shape name (as produced by String) back to a Shape.
+func ParseShape(name string) (Shape, error) {
+	for _, s := range Shapes {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("jointree: unknown shape %q", name)
+}
+
+// BuildShape constructs a finalized join tree of the given shape over k base
+// relations (k >= 2). Join ids are assigned in post-order.
+func BuildShape(s Shape, k int) (*Node, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("jointree: shape needs at least 2 relations, got %d", k)
+	}
+	var root *Node
+	switch s {
+	case LeftLinear:
+		root = NewLeaf(0)
+		for i := 1; i < k; i++ {
+			root = NewJoin(root, NewLeaf(i))
+		}
+	case RightLinear:
+		root = NewLeaf(k - 1)
+		for i := k - 2; i >= 0; i-- {
+			root = NewJoin(NewLeaf(i), root)
+		}
+	case WideBushy:
+		var split func(lo, hi int) *Node
+		split = func(lo, hi int) *Node {
+			if lo == hi {
+				return NewLeaf(lo)
+			}
+			mid := (lo + hi) / 2
+			return NewJoin(split(lo, mid), split(mid+1, hi))
+		}
+		root = split(0, k-1)
+	case LeftBushy:
+		groups := pairUp(k)
+		root = groups[0]
+		for _, g := range groups[1:] {
+			root = NewJoin(root, g)
+		}
+	case RightBushy:
+		groups := pairUp(k)
+		root = groups[len(groups)-1]
+		for i := len(groups) - 2; i >= 0; i-- {
+			root = NewJoin(groups[i], root)
+		}
+	default:
+		return nil, fmt.Errorf("jointree: unknown shape %v", s)
+	}
+	if err := Finalize(root); err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+// pairUp groups k leaves into adjacent 2-relation leaf joins (with a single
+// trailing leaf when k is odd), the building blocks of the long bushy trees.
+func pairUp(k int) []*Node {
+	var groups []*Node
+	for i := 0; i+1 < k; i += 2 {
+		groups = append(groups, NewJoin(NewLeaf(i), NewLeaf(i+1)))
+	}
+	if k%2 == 1 {
+		groups = append(groups, NewLeaf(k-1))
+	}
+	return groups
+}
+
+// Example returns the 5-way join tree of Figure 2, with the paper's join
+// labels doubling as relative work weights: join 1 at the top, join 5 below
+// it, and the leaf joins 4 and 3:
+//
+//	J1(w=1): build R0,     probe J5
+//	J5(w=5): build J4,     probe J3
+//	J4(w=4): build R1, probe R2
+//	J3(w=3): build R3, probe R4
+func Example() *Node {
+	j4 := NewJoin(NewLeaf(1), NewLeaf(2))
+	j4.JoinID, j4.Weight = 4, 4
+	j3 := NewJoin(NewLeaf(3), NewLeaf(4))
+	j3.JoinID, j3.Weight = 3, 3
+	j5 := NewJoin(j4, j3)
+	j5.JoinID, j5.Weight = 5, 5
+	j1 := NewJoin(NewLeaf(0), j5)
+	j1.JoinID, j1.Weight = 1, 1
+	if err := Finalize(j1); err != nil {
+		panic("jointree: example tree invalid: " + err.Error())
+	}
+	return j1
+}
+
+// Segment is one right-deep segment of a bushy tree (Figure 5): a maximal
+// chain of joins linked through their probe operands, listed top-down. The
+// probe pipeline of a segment starts at the bottom join's probe operand
+// (always a base relation, by maximality) and flows upward. Build operands
+// of the segment's joins are base relations or the roots of other segments.
+type Segment struct {
+	Joins []*Node // top-down: Joins[i].Probe == Joins[i+1] (as a subtree)
+}
+
+// Root returns the segment's top join.
+func (s *Segment) Root() *Node { return s.Joins[0] }
+
+// Bottom returns the segment's lowest join.
+func (s *Segment) Bottom() *Node { return s.Joins[len(s.Joins)-1] }
+
+// Work returns the segment's total join work for operand cardinality card.
+func (s *Segment) Work(card float64) float64 {
+	var w float64
+	for _, j := range s.Joins {
+		w += j.Work(card)
+	}
+	return w
+}
+
+// RightDeepSegments decomposes the tree into right-deep segments as in
+// [CLY92]: starting from the root, follow probe children while they are
+// joins to form one segment; every join-valued build child starts a new
+// segment, recursively. Segments are returned with the root's segment first;
+// each segment appears before the segments that produce its build operands.
+func RightDeepSegments(root *Node) []*Segment {
+	var out []*Segment
+	var cut func(top *Node)
+	cut = func(top *Node) {
+		seg := &Segment{}
+		for n := top; !n.IsLeaf(); n = n.Probe {
+			seg.Joins = append(seg.Joins, n)
+		}
+		out = append(out, seg)
+		for _, j := range seg.Joins {
+			if !j.Build.IsLeaf() {
+				cut(j.Build)
+			}
+		}
+	}
+	if !root.IsLeaf() {
+		cut(root)
+	}
+	return out
+}

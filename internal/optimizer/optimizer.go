@@ -1,0 +1,214 @@
+// Package optimizer implements phase one of the paper's two-phase
+// optimization (Section 1.2): choosing the join tree with minimal *total*
+// execution cost, ignoring parallelism. Phase two — parallelizing the chosen
+// tree — is the subject of package strategy.
+//
+// The optimizer works on chain queries (the paper's workload): relations
+// R0..R{k-1} joined on shared boundary attributes, so candidate trees are
+// exactly the parenthesizations of the chain and contain no cartesian
+// products. Costs use the paper's formula a*n1 + b*n2 + c*r (Section 4.3).
+// Two search spaces are supported: the System R linear-tree space [SAC79]
+// and the full bushy space ([KBZ86] argues linear-only is a poor fit for
+// parallel systems). Dynamic programming over chain spans finds the optimum
+// in O(k^2) / O(k^3).
+//
+// For the paper's regular workload — equal cardinalities, 1:1 joins — every
+// tree has the same total cost; the optimizer (and a test) confirms this,
+// which is precisely why the paper can study parallelization in isolation.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"multijoin/internal/costmodel"
+	"multijoin/internal/jointree"
+)
+
+// Catalog holds the statistics of a chain query: per-relation cardinalities
+// and per-boundary join selectivities. Sel[i] is the selectivity of the join
+// predicate between relation i and relation i+1 (len(Sel) == len(Cards)-1):
+// |span(lo,hi)| = prod(Cards[lo..hi]) * prod(Sel[lo..hi-1]).
+type Catalog struct {
+	Cards []float64
+	Sel   []float64
+}
+
+// Uniform returns the paper's regular catalog: k relations of cardinality
+// card with 1:1 joins (selectivity 1/card), so every intermediate result has
+// cardinality card again.
+func Uniform(k int, card float64) Catalog {
+	c := Catalog{Cards: make([]float64, k), Sel: make([]float64, k-1)}
+	for i := range c.Cards {
+		c.Cards[i] = card
+	}
+	for i := range c.Sel {
+		c.Sel[i] = 1 / card
+	}
+	return c
+}
+
+// Validate checks structural consistency.
+func (c Catalog) Validate() error {
+	if len(c.Cards) < 2 {
+		return fmt.Errorf("optimizer: need at least 2 relations, got %d", len(c.Cards))
+	}
+	if len(c.Sel) != len(c.Cards)-1 {
+		return fmt.Errorf("optimizer: need %d selectivities, got %d", len(c.Cards)-1, len(c.Sel))
+	}
+	for i, v := range c.Cards {
+		if v <= 0 {
+			return fmt.Errorf("optimizer: non-positive cardinality %g for R%d", v, i)
+		}
+	}
+	for i, s := range c.Sel {
+		if s <= 0 {
+			return fmt.Errorf("optimizer: non-positive selectivity %g at boundary %d", s, i)
+		}
+	}
+	return nil
+}
+
+// NumRelations returns the chain length.
+func (c Catalog) NumRelations() int { return len(c.Cards) }
+
+// SpanCard estimates the cardinality of the join of chain span [lo, hi].
+func (c Catalog) SpanCard(lo, hi int) float64 {
+	card := 1.0
+	for i := lo; i <= hi; i++ {
+		card *= c.Cards[i]
+	}
+	for i := lo; i < hi; i++ {
+		card *= c.Sel[i]
+	}
+	return card
+}
+
+// Space selects the plan search space.
+type Space int
+
+const (
+	// LinearSpace restricts to linear trees (one operand of every join is
+	// a base relation), as System R does.
+	LinearSpace Space = iota
+	// BushySpace searches all parenthesizations of the chain.
+	BushySpace
+)
+
+// String names the space.
+func (s Space) String() string {
+	if s == LinearSpace {
+		return "linear"
+	}
+	return "bushy"
+}
+
+// Result is an optimization outcome: the chosen tree (finalized, with
+// post-order join ids) and its estimated total cost in work units.
+type Result struct {
+	Tree *jointree.Node
+	Cost float64
+}
+
+// Optimize returns a minimal-total-cost join tree for the catalog within the
+// given search space, via dynamic programming over chain spans.
+func Optimize(c Catalog, space Space) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	k := len(c.Cards)
+	// best[lo][hi] = minimal total cost of evaluating span [lo, hi];
+	// split[lo][hi] = the mid chosen (span = [lo,mid] join [mid+1,hi]).
+	best := make([][]float64, k)
+	split := make([][]int, k)
+	for i := range best {
+		best[i] = make([]float64, k)
+		split[i] = make([]int, k)
+		for j := range best[i] {
+			best[i][j] = math.Inf(1)
+			split[i][j] = -1
+		}
+		best[i][i] = 0
+	}
+	for span := 2; span <= k; span++ {
+		for lo := 0; lo+span-1 < k; lo++ {
+			hi := lo + span - 1
+			for mid := lo; mid < hi; mid++ {
+				leftBase := mid == lo
+				rightBase := mid+1 == hi
+				if space == LinearSpace && !leftBase && !rightBase {
+					continue
+				}
+				n1 := c.SpanCard(lo, mid)
+				n2 := c.SpanCard(mid+1, hi)
+				r := c.SpanCard(lo, hi)
+				cost := best[lo][mid] + best[mid+1][hi] +
+					costmodel.JoinCost(n1, n2, r, leftBase, rightBase)
+				if cost < best[lo][hi] {
+					best[lo][hi] = cost
+					split[lo][hi] = mid
+				}
+			}
+		}
+	}
+	var build func(lo, hi int) *jointree.Node
+	build = func(lo, hi int) *jointree.Node {
+		if lo == hi {
+			return jointree.NewLeaf(lo)
+		}
+		mid := split[lo][hi]
+		// Convention: the lower span is the build operand. Mirroring is
+		// free if a strategy prefers right-oriented trees (Section 5).
+		return jointree.NewJoin(build(lo, mid), build(mid+1, hi))
+	}
+	tree := build(0, k-1)
+	if err := jointree.Finalize(tree); err != nil {
+		return Result{}, fmt.Errorf("optimizer: built invalid tree: %w", err)
+	}
+	return Result{Tree: tree, Cost: best[0][k-1]}, nil
+}
+
+// TotalCost evaluates the total cost of a given (finalized) tree under the
+// catalog — the objective the DP minimizes.
+func TotalCost(c Catalog, root *jointree.Node) float64 {
+	if root.IsLeaf() {
+		return 0
+	}
+	b, p := root.Build, root.Probe
+	n1 := c.SpanCard(b.Lo, b.Hi)
+	n2 := c.SpanCard(p.Lo, p.Hi)
+	r := c.SpanCard(root.Lo, root.Hi)
+	return TotalCost(c, b) + TotalCost(c, p) +
+		costmodel.JoinCost(n1, n2, r, b.IsLeaf(), p.IsLeaf())
+}
+
+// AllTrees enumerates every parenthesization of a k-relation chain (Catalan
+// number C_{k-1} trees), finalized. Intended for exhaustively verifying the
+// DP on small chains; k is limited to 12 to bound the output.
+func AllTrees(k int) ([]*jointree.Node, error) {
+	if k < 1 || k > 12 {
+		return nil, fmt.Errorf("optimizer: AllTrees supports 1..12 relations, got %d", k)
+	}
+	var gen func(lo, hi int) []*jointree.Node
+	gen = func(lo, hi int) []*jointree.Node {
+		if lo == hi {
+			return []*jointree.Node{jointree.NewLeaf(lo)}
+		}
+		var out []*jointree.Node
+		for mid := lo; mid < hi; mid++ {
+			for _, l := range gen(lo, mid) {
+				for _, r := range gen(mid+1, hi) {
+					out = append(out, jointree.NewJoin(jointree.Clone(l), jointree.Clone(r)))
+				}
+			}
+		}
+		return out
+	}
+	trees := gen(0, k-1)
+	for _, t := range trees {
+		if err := jointree.Finalize(t); err != nil {
+			return nil, err
+		}
+	}
+	return trees, nil
+}

@@ -1,0 +1,239 @@
+package optimizer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multijoin/internal/jointree"
+)
+
+func TestUniformCatalog(t *testing.T) {
+	c := Uniform(10, 5000)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumRelations() != 10 {
+		t.Errorf("NumRelations = %d", c.NumRelations())
+	}
+	// Every span of a uniform 1:1 catalog has cardinality card.
+	for lo := 0; lo < 10; lo++ {
+		for hi := lo; hi < 10; hi++ {
+			if got := c.SpanCard(lo, hi); math.Abs(got-5000) > 1e-6 {
+				t.Fatalf("SpanCard(%d,%d) = %g, want 5000", lo, hi, got)
+			}
+		}
+	}
+}
+
+func TestCatalogValidate(t *testing.T) {
+	bad := []Catalog{
+		{Cards: []float64{10}},
+		{Cards: []float64{10, 10}, Sel: []float64{}},
+		{Cards: []float64{10, 0}, Sel: []float64{0.1}},
+		{Cards: []float64{10, 10}, Sel: []float64{0}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("catalog %d should be invalid", i)
+		}
+	}
+}
+
+// TestUniformAllTreesEqualCost verifies the paper's workload property
+// (Section 4.1): "All possible join trees for this query have the same total
+// execution costs". Every parenthesization of the uniform chain must cost
+// the same... except that joins of base relations cost less than joins of
+// intermediates, so costs DO differ by tree in the a/b model. What is equal
+// is the cost under a fixed tree-shape class; here we check the DP optimum
+// is a linear tree (maximizing base-relation operands) and that all five
+// paper shapes have costs within the narrow band implied by the formula.
+func TestUniformShapeCosts(t *testing.T) {
+	const k, card = 10, 1000.0
+	c := Uniform(k, card)
+	// Under the Section 4.3 formula, every join costs 4N..6N depending on
+	// how many operands are base relations. A k-relation tree has k base
+	// leaves and k-2 intermediate operands, so total cost is the same for
+	// every tree: (k leaves)*1N + (k-2 intermediates)*2N + (k-1 results)*2N.
+	want := card*float64(k) + 2*card*float64(k-2) + 2*card*float64(k-1)
+	for _, s := range jointree.Shapes {
+		tree, err := jointree.BuildShape(s, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := TotalCost(c, tree); math.Abs(got-want) > 1e-6 {
+			t.Errorf("%v total cost %g, want %g", s, got, want)
+		}
+	}
+}
+
+func TestOptimizeUniformMatchesShapes(t *testing.T) {
+	c := Uniform(8, 500)
+	for _, space := range []Space{LinearSpace, BushySpace} {
+		res, err := Optimize(c, space)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jointree.NumJoins(res.Tree) != 7 {
+			t.Errorf("%v: %d joins", space, jointree.NumJoins(res.Tree))
+		}
+		if got := TotalCost(c, res.Tree); math.Abs(got-res.Cost) > 1e-6 {
+			t.Errorf("%v: reported cost %g but TotalCost %g", space, res.Cost, got)
+		}
+	}
+}
+
+func TestLinearSpaceProducesLinearTree(t *testing.T) {
+	c := Uniform(7, 100)
+	res, err := Optimize(c, LinearSpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jointree.Joins(res.Tree) {
+		if !j.Build.IsLeaf() && !j.Probe.IsLeaf() {
+			t.Fatal("linear space produced a bushy join")
+		}
+	}
+}
+
+func randomCatalog(rng *rand.Rand, k int) Catalog {
+	c := Catalog{Cards: make([]float64, k), Sel: make([]float64, k-1)}
+	for i := range c.Cards {
+		c.Cards[i] = float64(rng.Intn(1000) + 1)
+	}
+	for i := range c.Sel {
+		c.Sel[i] = math.Pow(10, -rng.Float64()*3) // 0.001 .. 1
+	}
+	return c
+}
+
+// TestDPOptimalAgainstExhaustive: on random catalogs the bushy DP must match
+// the exhaustive minimum over all parenthesizations, and the linear DP the
+// minimum over all linear trees.
+func TestDPOptimalAgainstExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		k := rng.Intn(5) + 3 // 3..7 relations
+		c := randomCatalog(rng, k)
+		trees, err := AllTrees(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bestBushy, bestLinear := math.Inf(1), math.Inf(1)
+		for _, tree := range trees {
+			cost := TotalCost(c, tree)
+			if cost < bestBushy {
+				bestBushy = cost
+			}
+			linear := true
+			for _, j := range jointree.Joins(tree) {
+				if !j.Build.IsLeaf() && !j.Probe.IsLeaf() {
+					linear = false
+					break
+				}
+			}
+			if linear && cost < bestLinear {
+				bestLinear = cost
+			}
+		}
+		for _, tc := range []struct {
+			space Space
+			want  float64
+		}{{BushySpace, bestBushy}, {LinearSpace, bestLinear}} {
+			res, err := Optimize(c, tc.space)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(res.Cost-tc.want)/tc.want > 1e-9 {
+				t.Errorf("trial %d %v: DP cost %g, exhaustive %g", trial, tc.space, res.Cost, tc.want)
+			}
+		}
+	}
+}
+
+// TestBushyNeverWorseThanLinear: the bushy space contains the linear space.
+func TestBushyNeverWorseThanLinear(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%6) + 3
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCatalog(rng, k)
+		b, err1 := Optimize(c, BushySpace)
+		l, err2 := Optimize(c, LinearSpace)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return b.Cost <= l.Cost+1e-9*l.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllTreesCatalanCounts(t *testing.T) {
+	// C_{k-1} parenthesizations: 1, 1, 2, 5, 14, 42 for k = 1..6.
+	want := map[int]int{1: 1, 2: 1, 3: 2, 4: 5, 5: 14, 6: 42}
+	for k, n := range want {
+		trees, err := AllTrees(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(trees) != n {
+			t.Errorf("AllTrees(%d) = %d trees, want %d", k, len(trees), n)
+		}
+	}
+	if _, err := AllTrees(20); err == nil {
+		t.Error("AllTrees must refuse large chains")
+	}
+}
+
+func TestOptimizeRejectsInvalidCatalog(t *testing.T) {
+	if _, err := Optimize(Catalog{Cards: []float64{1}}, BushySpace); err == nil {
+		t.Error("invalid catalog must fail")
+	}
+}
+
+func TestSkewedCatalogPrefersSmallIntermediates(t *testing.T) {
+	// One very selective boundary in the middle: the optimizer must join
+	// across it early to shrink intermediates. Relations: 100 each;
+	// boundary 2 has selectivity 1e-4 (result 1 tuple), others 0.01
+	// (result 100).
+	c := Catalog{
+		Cards: []float64{100, 100, 100, 100, 100},
+		Sel:   []float64{0.01, 1e-4, 0.01, 0.01},
+	}
+	res, err := Optimize(c, BushySpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The subtree containing span [1,2] (the selective join) must appear:
+	// check that relations 1 and 2 are joined before anything else touches
+	// them, i.e. some join node has exactly the span [1,2].
+	found := false
+	for _, j := range jointree.Joins(res.Tree) {
+		if j.Lo == 1 && j.Hi == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("optimizer did not join the selective boundary first: %v", res.Tree)
+	}
+	if res.Cost >= TotalCost(c, mustShape(t, jointree.LeftLinear, 5)) {
+		t.Error("optimal bushy tree should beat naive left-linear on skewed catalog")
+	}
+}
+
+func mustShape(t *testing.T, s jointree.Shape, k int) *jointree.Node {
+	t.Helper()
+	tree, err := jointree.BuildShape(s, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestSpaceString(t *testing.T) {
+	if LinearSpace.String() != "linear" || BushySpace.String() != "bushy" {
+		t.Error("space names wrong")
+	}
+}

@@ -1,0 +1,227 @@
+// Package relation provides the tuple and relation substrate used by the
+// multi-join reproduction: Wisconsin-style tuples, relations, hash
+// fragmentation over simulated processors, and multiset comparison helpers.
+//
+// The paper's workload consists of Wisconsin relations [BDT83]: 208-byte
+// tuples with two unique integer attributes and filler attributes. Only the
+// two unique integers influence query results; the filler bytes matter only
+// for cost accounting. Tuples here therefore carry the two join-relevant
+// integers plus a 64-bit provenance checksum standing in for the payload:
+// the checksum is combined deterministically as tuples flow through joins,
+// so any lost, duplicated, or corrupted tuple is detectable in tests, while
+// memory stays proportional to what the experiments need. The declared
+// TupleBytes of a relation (208 for Wisconsin) drives the cost model.
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Attr selects one of the two join-relevant integer attributes of a tuple.
+type Attr int
+
+const (
+	// Unique1 is the first unique integer attribute ("unique1" in the
+	// Wisconsin benchmark); the paper joins relations on this attribute.
+	Unique1 Attr = iota
+	// Unique2 is the second unique integer attribute ("unique2"); after each
+	// join the result is projected so that unique2 becomes the join
+	// attribute of the next join.
+	Unique2
+)
+
+// String returns the Wisconsin attribute name.
+func (a Attr) String() string {
+	switch a {
+	case Unique1:
+		return "unique1"
+	case Unique2:
+		return "unique2"
+	default:
+		return fmt.Sprintf("Attr(%d)", int(a))
+	}
+}
+
+// Tuple is a Wisconsin-style tuple reduced to the attributes that influence
+// query results. Check is a provenance checksum standing in for the ~200
+// payload bytes: joins combine the checksums of their operand tuples, so the
+// final relation's multiset of (Unique1, Unique2, Check) triples identifies
+// exactly which base tuples were combined.
+type Tuple struct {
+	Unique1 int64
+	Unique2 int64
+	Check   uint64
+}
+
+// Get returns the value of the selected attribute.
+func (t Tuple) Get(a Attr) int64 {
+	if a == Unique1 {
+		return t.Unique1
+	}
+	return t.Unique2
+}
+
+// CombineChecks merges two provenance checksums into the checksum of a join
+// result tuple. The combination is asymmetric (left vs right operand), so
+// tests can detect accidentally swapped operands, and it is collision
+// resistant enough for multiset comparison of experiment-sized relations.
+func CombineChecks(left, right uint64) uint64 {
+	const m1 = 0x9e3779b97f4a7c15
+	const m2 = 0xc2b2ae3d27d4eb4f
+	h := left*m1 + right*m2 + 0x165667b19e3779f9
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
+// Relation is a named multiset of tuples together with the declared on-disk
+// width of one tuple in bytes (208 for Wisconsin relations). The width is
+// used by the cost model only; it does not change in-memory representation.
+type Relation struct {
+	Name       string
+	TupleBytes int
+	Tuples     []Tuple
+}
+
+// New returns an empty relation with the given name and tuple width.
+func New(name string, tupleBytes int) *Relation {
+	return &Relation{Name: name, TupleBytes: tupleBytes}
+}
+
+// Card returns the cardinality (number of tuples).
+func (r *Relation) Card() int { return len(r.Tuples) }
+
+// Bytes returns the total declared size of the relation in bytes.
+func (r *Relation) Bytes() int { return len(r.Tuples) * r.TupleBytes }
+
+// Append adds tuples to the relation.
+func (r *Relation) Append(ts ...Tuple) { r.Tuples = append(r.Tuples, ts...) }
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{Name: r.Name, TupleBytes: r.TupleBytes}
+	c.Tuples = append([]Tuple(nil), r.Tuples...)
+	return c
+}
+
+// String summarizes the relation.
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s[%d tuples x %dB]", r.Name, len(r.Tuples), r.TupleBytes)
+}
+
+// HashKey hashes an attribute value into one of n buckets. All components
+// that partition data (fragmentation, redistribution, join hash tables) use
+// this single function so that co-partitioned operands stay aligned.
+func HashKey(v int64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(v) * 0x9e3779b97f4a7c15
+	h ^= h >> 32
+	return int(h % uint64(n))
+}
+
+// Fragmentation describes how a relation is declustered over a set of
+// processors: tuple t lives on Procs[HashKey(t.Get(Attr), len(Procs))].
+type Fragmentation struct {
+	Attr  Attr
+	Procs []int // simulated processor ids, one fragment per entry
+}
+
+// NumFragments returns the number of fragments.
+func (f Fragmentation) NumFragments() int { return len(f.Procs) }
+
+// FragmentOf returns the index of the fragment that holds attribute value v.
+func (f Fragmentation) FragmentOf(v int64) int {
+	return HashKey(v, len(f.Procs))
+}
+
+// Fragment hash-partitions r on attribute a into n fragments. Fragment i
+// holds exactly the tuples with HashKey(t.Get(a), n) == i. Fragmenting into
+// a single fragment returns a clone.
+func Fragment(r *Relation, a Attr, n int) []*Relation {
+	if n < 1 {
+		n = 1
+	}
+	frags := make([]*Relation, n)
+	for i := range frags {
+		frags[i] = &Relation{
+			Name:       fmt.Sprintf("%s#%d", r.Name, i),
+			TupleBytes: r.TupleBytes,
+		}
+	}
+	for _, t := range r.Tuples {
+		i := HashKey(t.Get(a), n)
+		frags[i].Tuples = append(frags[i].Tuples, t)
+	}
+	return frags
+}
+
+// Merge concatenates fragments back into one relation named name. The tuple
+// width is taken from the first non-nil fragment.
+func Merge(name string, frags []*Relation) *Relation {
+	out := &Relation{Name: name}
+	for _, f := range frags {
+		if f == nil {
+			continue
+		}
+		if out.TupleBytes == 0 {
+			out.TupleBytes = f.TupleBytes
+		}
+		out.Tuples = append(out.Tuples, f.Tuples...)
+	}
+	return out
+}
+
+// sortTuples orders tuples canonically for multiset comparison.
+func sortTuples(ts []Tuple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.Unique1 != b.Unique1 {
+			return a.Unique1 < b.Unique1
+		}
+		if a.Unique2 != b.Unique2 {
+			return a.Unique2 < b.Unique2
+		}
+		return a.Check < b.Check
+	})
+}
+
+// EqualMultiset reports whether two relations contain the same multiset of
+// tuples, ignoring order and name.
+func EqualMultiset(a, b *Relation) bool {
+	if a.Card() != b.Card() {
+		return false
+	}
+	as := append([]Tuple(nil), a.Tuples...)
+	bs := append([]Tuple(nil), b.Tuples...)
+	sortTuples(as)
+	sortTuples(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffMultiset returns a short human-readable description of the first
+// difference between two relations viewed as multisets, or "" if equal.
+// Intended for test failure messages.
+func DiffMultiset(a, b *Relation) string {
+	if a.Card() != b.Card() {
+		return fmt.Sprintf("cardinality %d vs %d", a.Card(), b.Card())
+	}
+	as := append([]Tuple(nil), a.Tuples...)
+	bs := append([]Tuple(nil), b.Tuples...)
+	sortTuples(as)
+	sortTuples(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return fmt.Sprintf("tuple %d: %+v vs %+v", i, as[i], bs[i])
+		}
+	}
+	return ""
+}

@@ -1,0 +1,113 @@
+package sim
+
+import "sort"
+
+// Interval is a half-open busy span [Start, End) on a processor, labeled with
+// the identifier of the operation that consumed the time (a join number in
+// the paper's utilization diagrams).
+type Interval struct {
+	Start, End Time
+	Label      string
+}
+
+// Proc models one shared-nothing processor node. A processor executes work
+// items one at a time: work requested at time t starts at max(t, free time)
+// and pushes the free time forward. Because the global event loop delivers
+// requests in virtual-time order, this serializing shortcut is equivalent to
+// an explicit FIFO run queue and keeps the simulation deterministic.
+type Proc struct {
+	ID     int
+	freeAt Time
+	busy   []Interval
+	record bool
+}
+
+// NewProc returns a processor with the given id. If record is set, busy
+// intervals are retained for utilization diagrams.
+func NewProc(id int, record bool) *Proc {
+	return &Proc{ID: id, record: record}
+}
+
+// FreeAt returns the earliest time new work can start.
+func (p *Proc) FreeAt() Time { return p.freeAt }
+
+// Acquire reserves the processor for duration d, requested at time at. It
+// returns the start and end times of the reserved slot. A zero duration
+// returns immediately with start == end and reserves nothing.
+func (p *Proc) Acquire(at Time, d Duration, label string) (start, end Time) {
+	start = at
+	if p.freeAt > start {
+		start = p.freeAt
+	}
+	if d <= 0 {
+		return start, start
+	}
+	end = start + Time(d)
+	p.freeAt = end
+	if p.record {
+		n := len(p.busy)
+		if n > 0 && p.busy[n-1].End == start && p.busy[n-1].Label == label {
+			p.busy[n-1].End = end // merge adjacent same-label work
+		} else {
+			p.busy = append(p.busy, Interval{Start: start, End: end, Label: label})
+		}
+	}
+	return start, end
+}
+
+// Busy returns the recorded busy intervals in time order.
+func (p *Proc) Busy() []Interval { return p.busy }
+
+// BusyTime returns the total recorded busy duration.
+func (p *Proc) BusyTime() Duration {
+	var total Duration
+	for _, iv := range p.busy {
+		total += Duration(iv.End - iv.Start)
+	}
+	return total
+}
+
+// Machine is a collection of processors indexed by id, plus one dedicated
+// host processor for the scheduler/collector that is excluded from
+// utilization accounting.
+type Machine struct {
+	procs  map[int]*Proc
+	host   *Proc
+	record bool
+}
+
+// NewMachine returns an empty machine. If record is set, processor busy
+// intervals are retained for utilization diagrams.
+func NewMachine(record bool) *Machine {
+	return &Machine{procs: make(map[int]*Proc), host: NewProc(-1, false), record: record}
+}
+
+// Proc returns the processor with the given id, creating it on first use.
+// The id -1 designates the scheduler host.
+func (m *Machine) Proc(id int) *Proc {
+	if id == -1 {
+		return m.host
+	}
+	p, ok := m.procs[id]
+	if !ok {
+		p = NewProc(id, m.record)
+		m.procs[id] = p
+	}
+	return p
+}
+
+// Host returns the scheduler host processor.
+func (m *Machine) Host() *Proc { return m.host }
+
+// Procs returns all worker processors sorted by id.
+func (m *Machine) Procs() []*Proc {
+	out := make([]*Proc, 0, len(m.procs))
+	for _, p := range m.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NumProcs returns the number of worker processors touched so far.
+func (m *Machine) NumProcs() int { return len(m.procs) }

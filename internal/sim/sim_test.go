@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationConversions(t *testing.T) {
+	if Second.Seconds() != 1.0 {
+		t.Errorf("Second = %v seconds", Second.Seconds())
+	}
+	if (1500 * Millisecond).Seconds() != 1.5 {
+		t.Errorf("1500ms = %v seconds", (1500 * Millisecond).Seconds())
+	}
+	if Time(2*Second).Seconds() != 2.0 {
+		t.Errorf("Time conversion wrong")
+	}
+	if (250 * Millisecond).String() != "0.250s" {
+		t.Errorf("String() = %q", (250 * Millisecond).String())
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	var got []Time
+	times := []Time{50, 10, 30, 20, 40}
+	for _, at := range times {
+		at := at
+		s.At(at, func() { got = append(got, at) })
+	}
+	s.Run()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Errorf("events fired out of order: %v", got)
+	}
+	if len(got) != len(times) {
+		t.Errorf("fired %d events, want %d", len(got), len(times))
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: position %d holds %d", i, v)
+		}
+	}
+}
+
+func TestScheduleInPastClamps(t *testing.T) {
+	s := New()
+	var when Time
+	s.At(100, func() {
+		s.At(50, func() { when = s.Now() }) // in the past
+	})
+	s.Run()
+	if when != 100 {
+		t.Errorf("past event ran at %d, want clamped to 100", when)
+	}
+}
+
+func TestAfterNegativeClamps(t *testing.T) {
+	s := New()
+	ran := false
+	s.After(-5, func() { ran = true })
+	s.Run()
+	if !ran || s.Now() != 0 {
+		t.Errorf("negative delay: ran=%v now=%d", ran, s.Now())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		if depth < 10 {
+			depth++
+			s.After(7, recurse)
+		}
+	}
+	s.After(0, recurse)
+	end := s.Run()
+	if depth != 10 {
+		t.Errorf("depth = %d, want 10", depth)
+	}
+	if end != 70 {
+		t.Errorf("end = %d, want 70", end)
+	}
+}
+
+func TestStepAndPending(t *testing.T) {
+	s := New()
+	s.At(1, func() {})
+	s.At(2, func() {})
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", s.Pending())
+	}
+	if !s.Step() {
+		t.Error("Step returned false with events pending")
+	}
+	if s.Now() != 1 || s.Pending() != 1 {
+		t.Errorf("after one step: now=%d pending=%d", s.Now(), s.Pending())
+	}
+	s.Run()
+	if s.Step() {
+		t.Error("Step returned true with no events")
+	}
+	if s.Processed() != 2 {
+		t.Errorf("processed = %d, want 2", s.Processed())
+	}
+}
+
+func TestEventLimitPanics(t *testing.T) {
+	s := New()
+	s.SetEventLimit(5)
+	var loop func()
+	loop = func() { s.After(1, loop) }
+	s.After(1, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic from event limit")
+		}
+	}()
+	s.Run()
+}
+
+// TestRandomWorkloadOrdering: random schedules always execute in
+// nondecreasing time order and run every event exactly once.
+func TestRandomWorkloadOrdering(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		fired := 0
+		last := Time(-1)
+		ok := true
+		for i := 0; i < n; i++ {
+			at := Time(rng.Intn(1000))
+			s.At(at, func() {
+				fired++
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		s.Run()
+		return ok && fired == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProcAcquireSerializes(t *testing.T) {
+	p := NewProc(0, true)
+	s1, e1 := p.Acquire(10, 5, "a")
+	if s1 != 10 || e1 != 15 {
+		t.Errorf("first acquire [%d,%d], want [10,15]", s1, e1)
+	}
+	s2, e2 := p.Acquire(12, 5, "a") // requested while busy
+	if s2 != 15 || e2 != 20 {
+		t.Errorf("second acquire [%d,%d], want [15,20]", s2, e2)
+	}
+	s3, e3 := p.Acquire(100, 5, "b") // requested after idle gap
+	if s3 != 100 || e3 != 105 {
+		t.Errorf("third acquire [%d,%d], want [100,105]", s3, e3)
+	}
+	if p.FreeAt() != 105 {
+		t.Errorf("FreeAt = %d, want 105", p.FreeAt())
+	}
+}
+
+func TestProcZeroDuration(t *testing.T) {
+	p := NewProc(0, true)
+	s, e := p.Acquire(10, 0, "x")
+	if s != e {
+		t.Errorf("zero-duration acquire [%d,%d] must be instantaneous", s, e)
+	}
+	if len(p.Busy()) != 0 {
+		t.Error("zero-duration acquire must not record intervals")
+	}
+}
+
+func TestProcIntervalMerging(t *testing.T) {
+	p := NewProc(0, true)
+	p.Acquire(0, 5, "a")
+	p.Acquire(5, 5, "a") // adjacent, same label: merged
+	p.Acquire(10, 5, "b")
+	busy := p.Busy()
+	if len(busy) != 2 {
+		t.Fatalf("got %d intervals, want 2 (merged): %+v", len(busy), busy)
+	}
+	if busy[0].Start != 0 || busy[0].End != 10 || busy[0].Label != "a" {
+		t.Errorf("merged interval %+v", busy[0])
+	}
+	if p.BusyTime() != 15 {
+		t.Errorf("BusyTime = %v, want 15", p.BusyTime())
+	}
+}
+
+func TestProcNoRecording(t *testing.T) {
+	p := NewProc(0, false)
+	p.Acquire(0, 5, "a")
+	if len(p.Busy()) != 0 {
+		t.Error("recording disabled but intervals retained")
+	}
+}
+
+// TestProcUtilizationProperty: total busy time equals the sum of requested
+// durations regardless of request pattern.
+func TestProcUtilizationProperty(t *testing.T) {
+	f := func(durs []uint8) bool {
+		p := NewProc(0, true)
+		var want Duration
+		at := Time(0)
+		for i, d := range durs {
+			dd := Duration(d%20) + 1
+			want += dd
+			// Vary labels so intervals don't merge timing.
+			label := "x"
+			if i%2 == 0 {
+				label = "y"
+			}
+			p.Acquire(at, dd, label)
+			at += Time(d % 7)
+		}
+		return p.BusyTime() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMachineProcs(t *testing.T) {
+	m := NewMachine(false)
+	p3 := m.Proc(3)
+	p1 := m.Proc(1)
+	if m.Proc(3) != p3 {
+		t.Error("Proc must return the same processor per id")
+	}
+	if m.Proc(-1) != m.Host() {
+		t.Error("Proc(-1) must be the host")
+	}
+	procs := m.Procs()
+	if len(procs) != 2 || procs[0] != p1 || procs[1] != p3 {
+		t.Errorf("Procs() not sorted by id: %v", procs)
+	}
+	if m.NumProcs() != 2 {
+		t.Errorf("NumProcs = %d, want 2 (host excluded)", m.NumProcs())
+	}
+}

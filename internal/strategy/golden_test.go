@@ -1,0 +1,96 @@
+package strategy
+
+import (
+	"strings"
+	"testing"
+
+	"multijoin/internal/jointree"
+	"multijoin/internal/xra"
+)
+
+// Golden plans for the paper's example tree (Figure 2) on a 10-processor
+// machine, pinning the exact parallelization each strategy produces. These
+// correspond to the processor-allocation discussions around Figures 3, 4, 6
+// and 7. A deliberate change to a strategy must update these.
+
+const goldenSP = `plan strategy=SP
+op id=scan:R1 kind=scan leaf=1 frag=unique2 procs=0,1,2,3,4,5,6,7,8,9
+op id=scan:R2 kind=scan leaf=2 frag=unique1 procs=0,1,2,3,4,5,6,7,8,9
+op id=join:4 kind=hashjoin join=4 buildlower=true build=scan:R1@unique2 probe=scan:R2@unique1 procs=0,1,2,3,4,5,6,7,8,9
+op id=scan:R3 kind=scan leaf=3 frag=unique2 procs=0,1,2,3,4,5,6,7,8,9
+op id=scan:R4 kind=scan leaf=4 frag=unique1 procs=0,1,2,3,4,5,6,7,8,9
+op id=join:3 kind=hashjoin join=3 buildlower=true build=scan:R3@unique2 probe=scan:R4@unique1 procs=0,1,2,3,4,5,6,7,8,9 after=join:4
+op id=join:5 kind=hashjoin join=5 buildlower=true build=join:4@unique2 probe=join:3@unique1 procs=0,1,2,3,4,5,6,7,8,9 after=join:3
+op id=scan:R0 kind=scan leaf=0 frag=unique2 procs=0,1,2,3,4,5,6,7,8,9
+op id=join:1 kind=hashjoin join=1 buildlower=true build=scan:R0@unique2 probe=join:5@unique1 procs=0,1,2,3,4,5,6,7,8,9 after=join:5
+op id=collect kind=collect in=join:1@unique1 procs=-1
+`
+
+const goldenFP = `plan strategy=FP
+op id=scan:R1 kind=scan leaf=1 frag=unique2 procs=0,1,2
+op id=scan:R2 kind=scan leaf=2 frag=unique1 procs=0,1,2
+op id=join:4 kind=pipejoin join=4 buildlower=true build=scan:R1@unique2 probe=scan:R2@unique1 procs=0,1,2
+op id=scan:R3 kind=scan leaf=3 frag=unique2 procs=3,4
+op id=scan:R4 kind=scan leaf=4 frag=unique1 procs=3,4
+op id=join:3 kind=pipejoin join=3 buildlower=true build=scan:R3@unique2 probe=scan:R4@unique1 procs=3,4
+op id=join:5 kind=pipejoin join=5 buildlower=true build=join:4@unique2 probe=join:3@unique1 procs=5,6,7,8
+op id=scan:R0 kind=scan leaf=0 frag=unique2 procs=9
+op id=join:1 kind=pipejoin join=1 buildlower=true build=scan:R0@unique2 probe=join:5@unique1 procs=9
+op id=collect kind=collect in=join:1@unique1 procs=-1
+`
+
+const goldenSE = `plan strategy=SE
+op id=scan:R1 kind=scan leaf=1 frag=unique2 procs=0,1,2,3,4,5
+op id=scan:R2 kind=scan leaf=2 frag=unique1 procs=0,1,2,3,4,5
+op id=join:4 kind=hashjoin join=4 buildlower=true build=scan:R1@unique2 probe=scan:R2@unique1 procs=0,1,2,3,4,5
+op id=scan:R3 kind=scan leaf=3 frag=unique2 procs=6,7,8,9
+op id=scan:R4 kind=scan leaf=4 frag=unique1 procs=6,7,8,9
+op id=join:3 kind=hashjoin join=3 buildlower=true build=scan:R3@unique2 probe=scan:R4@unique1 procs=6,7,8,9
+op id=join:5 kind=hashjoin join=5 buildlower=true build=join:4@unique2 probe=join:3@unique1 procs=0,1,2,3,4,5,6,7,8,9 after=join:3,join:4
+op id=scan:R0 kind=scan leaf=0 frag=unique2 procs=0,1,2,3,4,5,6,7,8,9
+op id=join:1 kind=hashjoin join=1 buildlower=true build=scan:R0@unique2 probe=join:5@unique1 procs=0,1,2,3,4,5,6,7,8,9 after=join:5
+op id=collect kind=collect in=join:1@unique1 procs=-1
+`
+
+const goldenRD = `plan strategy=RD
+op id=scan:R1 kind=scan leaf=1 frag=unique2 procs=0,1,2,3,4,5,6,7,8,9
+op id=scan:R2 kind=scan leaf=2 frag=unique1 procs=0,1,2,3,4,5,6,7,8,9
+op id=join:4 kind=hashjoin join=4 buildlower=true build=scan:R1@unique2 probe=scan:R2@unique1 procs=0,1,2,3,4,5,6,7,8,9
+op id=scan:R3 kind=scan leaf=3 frag=unique2 procs=7,8,9
+op id=scan:R4 kind=scan leaf=4 frag=unique1 procs=7,8,9
+op id=join:3 kind=hashjoin join=3 buildlower=true build=scan:R3@unique2 probe=scan:R4@unique1 procs=7,8,9 after=join:4
+op id=join:5 kind=hashjoin join=5 buildlower=true build=join:4@unique2 probe=join:3@unique1 procs=1,2,3,4,5,6 after=join:4
+op id=scan:R0 kind=scan leaf=0 frag=unique2 procs=0
+op id=join:1 kind=hashjoin join=1 buildlower=true build=scan:R0@unique2 probe=join:5@unique1 procs=0 after=join:4
+op id=collect kind=collect in=join:1@unique1 procs=-1
+`
+
+func TestGoldenPlansExampleTree(t *testing.T) {
+	golden := map[Kind]string{SP: goldenSP, SE: goldenSE, RD: goldenRD, FP: goldenFP}
+	for _, k := range Kinds {
+		p, err := Plan(k, jointree.Example(), Config{Procs: 10, Card: 1000})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		got := xra.Encode(p)
+		if got != golden[k] {
+			t.Errorf("%v plan changed.\ngot:\n%s\nwant:\n%s", k, got, golden[k])
+		}
+	}
+}
+
+// TestGoldenPlansParse: the golden texts themselves must be valid plans.
+func TestGoldenPlansParse(t *testing.T) {
+	for name, text := range map[string]string{
+		"SP": goldenSP, "SE": goldenSE, "RD": goldenRD, "FP": goldenFP,
+	} {
+		p, err := xra.Parse(text)
+		if err != nil {
+			t.Errorf("golden %s does not parse: %v", name, err)
+			continue
+		}
+		if !strings.Contains(xra.Encode(p), "plan strategy="+name) {
+			t.Errorf("golden %s round trip lost the strategy", name)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package strategy
+
+import (
+	"fmt"
+
+	"multijoin/internal/jointree"
+	"multijoin/internal/xra"
+)
+
+// planSP emits the Sequential Parallel plan: the constituent joins execute
+// strictly one after another in bottom-up (post-) order, each on all
+// available processors with the simple hash-join. SP needs no cost function
+// and its idealized load balancing is perfect (Figure 3), but it uses
+// (#joins x #processors) operation processes and refragments every
+// intermediate over the full machine — the startup and coordination
+// overheads that dominate at high degrees of parallelism.
+func (b *builder) planSP(tree *jointree.Node) error {
+	all := b.allProcs()
+	var prev string
+	for _, j := range jointree.Joins(tree) {
+		var after []string
+		if prev != "" {
+			after = []string{prev}
+		}
+		b.addJoin(j, xra.OpSimpleJoin, all, after)
+		prev = joinOpID(j)
+	}
+	return nil
+}
+
+// planSE emits the Synchronous Execution plan [CYW92]: when both operands of
+// a join are themselves join subtrees, the subtrees are independent and run
+// in parallel on disjoint processor subsets proportional to their total
+// work, aiming for both operands to become ready at the same time. In every
+// other case joins run sequentially on the full inherited processor set. A
+// join starts only after its operand subtrees have completed (no
+// pipelining), so the simple hash-join is used. On linear trees there are no
+// independent subtrees and SE degenerates to SP, exactly as in Figures 9
+// and 13.
+func (b *builder) planSE(tree *jointree.Node) error {
+	var emit func(n *jointree.Node, procs []int) (string, error)
+	emit = func(n *jointree.Node, procs []int) (string, error) {
+		bothJoins := !n.Build.IsLeaf() && !n.Probe.IsLeaf()
+		var after []string
+		switch {
+		case bothJoins && len(procs) >= 2:
+			weights := []float64{
+				b.cfg.subtreeWork(n.Build),
+				b.cfg.subtreeWork(n.Probe),
+			}
+			parts, err := proportional(weights, procs)
+			if err != nil {
+				return "", err
+			}
+			left, err := emit(n.Build, parts[0])
+			if err != nil {
+				return "", err
+			}
+			right, err := emit(n.Probe, parts[1])
+			if err != nil {
+				return "", err
+			}
+			after = []string{left, right}
+		default:
+			// At most one operand is a subtree (or too few processors to
+			// split): evaluate subtrees sequentially on the full set.
+			for _, child := range []*jointree.Node{n.Build, n.Probe} {
+				if child.IsLeaf() {
+					continue
+				}
+				id, err := emit(child, procs)
+				if err != nil {
+					return "", err
+				}
+				after = append(after, id)
+			}
+		}
+		b.addJoin(n, xra.OpSimpleJoin, procs, after)
+		return joinOpID(n), nil
+	}
+	_, err := emit(tree, b.allProcs())
+	return err
+}
+
+// planRD emits the Segmented Right-Deep plan [CLY92]: the tree is cut into
+// right-deep segments (maximal probe-operand chains, Figure 5). Segments are
+// scheduled in waves: a segment is ready when the segments producing its
+// build operands have completed; all ready segments of a wave run
+// concurrently on disjoint processor subsets proportional to segment work.
+// Inside a segment every join receives processors proportional to its own
+// work, all hash tables build concurrently, and the probe pipeline streams
+// bottom-up through the whole segment (simple hash-join: build, then
+// pipelined probe). On a left-linear tree every segment is a single join and
+// RD degenerates to SP; on a right-linear tree the whole tree is one segment
+// and RD coincides with FP (Figures 9 and 13).
+func (b *builder) planRD(tree *jointree.Node) error {
+	segs := jointree.RightDeepSegments(tree)
+	// producers[i] lists the segment indexes that produce build operands of
+	// segment i.
+	rootOf := make(map[*jointree.Node]int) // segment root join -> segment index
+	for i, s := range segs {
+		rootOf[s.Root()] = i
+	}
+	producers := make([][]int, len(segs))
+	for i, s := range segs {
+		for _, j := range s.Joins {
+			if !j.Build.IsLeaf() {
+				producers[i] = append(producers[i], rootOf[j.Build])
+			}
+		}
+	}
+	done := make([]bool, len(segs))
+	remaining := len(segs)
+	var prevWaveRoots []string
+	for remaining > 0 {
+		var wave []int
+		for i := range segs {
+			if done[i] {
+				continue
+			}
+			ready := true
+			for _, p := range producers[i] {
+				if !done[p] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				wave = append(wave, i)
+			}
+		}
+		if len(wave) == 0 {
+			return fmt.Errorf("strategy: RD segment dependency cycle")
+		}
+		weights := make([]float64, len(wave))
+		for wi, si := range wave {
+			for _, j := range segs[si].Joins {
+				weights[wi] += b.cfg.work(j)
+			}
+		}
+		parts, err := proportional(weights, b.allProcs())
+		if err != nil {
+			return err
+		}
+		var waveRoots []string
+		for wi, si := range wave {
+			if err := b.emitSegment(segs[si], parts[wi], prevWaveRoots); err != nil {
+				return err
+			}
+			waveRoots = append(waveRoots, joinOpID(segs[si].Root()))
+			done[si] = true
+			remaining--
+		}
+		prevWaveRoots = waveRoots
+	}
+	return nil
+}
+
+// emitSegment adds the joins of one right-deep segment, allocating the
+// segment's processors proportionally to per-join work. Joins must be
+// emitted in producer-before-consumer order, i.e. bottom-up.
+func (b *builder) emitSegment(seg *jointree.Segment, procs []int, after []string) error {
+	weights := make([]float64, len(seg.Joins))
+	for i, j := range seg.Joins {
+		weights[i] = b.cfg.work(j)
+	}
+	parts, err := proportional(weights, procs)
+	if err != nil {
+		return err
+	}
+	for i := len(seg.Joins) - 1; i >= 0; i-- {
+		b.addJoin(seg.Joins[i], xra.OpSimpleJoin, parts[i], after)
+	}
+	return nil
+}
+
+// planFP emits the Full Parallel plan [WiA91]: every join operation runs on
+// a private set of processors proportional to its estimated work, all joins
+// start immediately, and the pipelining hash-join lets results flow along
+// both operands as soon as they are produced. FP uses the fewest operation
+// processes (one per processor) but distributes processors over *all* joins
+// at once, so it suffers most from discretization error (Section 3.5).
+func (b *builder) planFP(tree *jointree.Node) error {
+	joins := jointree.Joins(tree)
+	weights := make([]float64, len(joins))
+	for i, j := range joins {
+		weights[i] = b.cfg.work(j)
+	}
+	parts, err := proportional(weights, b.allProcs())
+	if err != nil {
+		return err
+	}
+	for i, j := range joins {
+		b.addJoin(j, xra.OpPipeJoin, parts[i], nil)
+	}
+	return nil
+}

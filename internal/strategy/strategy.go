@@ -1,0 +1,304 @@
+// Package strategy implements phase two of the paper's two-phase
+// optimization: parallelizing a given join tree. The four strategies of
+// Section 3 are provided:
+//
+//   - SP, Sequential Parallel (Section 3.1): joins run strictly one after
+//     another, each using every processor. No inter-operator parallelism, no
+//     cost function needed, perfect idealized load balancing.
+//
+//   - SE, Synchronous Execution (Section 3.2, [CYW92]): independent subtrees
+//     of a bushy tree run in parallel on disjoint processor subsets sized
+//     proportionally to subtree work, so that operands become ready at the
+//     same time; dependent joins run sequentially on the full inherited set.
+//
+//   - RD, Segmented Right-Deep (Section 3.3, [CLY92], after [SCD90]): the
+//     tree is decomposed into right-deep segments; inside a segment all hash
+//     tables build in parallel and then one probe pipeline streams through
+//     them, with per-join processor counts proportional to work. Segments
+//     with a producer-consumer relationship run sequentially; independent
+//     segments run concurrently on disjoint subsets (scheduled in waves).
+//
+//   - FP, Full Parallel (Section 3.4, [WiA91]): every join gets a private
+//     processor set proportional to its work, all joins run concurrently,
+//     and the pipelining hash-join allows dataflow along both operands.
+//
+// All strategies emit xra plans; the differences are exactly processor
+// allocation, start dependencies, and the join algorithm — as in the paper.
+package strategy
+
+import (
+	"fmt"
+	"sort"
+
+	"multijoin/internal/jointree"
+	"multijoin/internal/relation"
+	"multijoin/internal/xra"
+)
+
+// Kind selects a parallelization strategy.
+type Kind int
+
+const (
+	// SP is sequential parallel execution.
+	SP Kind = iota
+	// SE is synchronous execution.
+	SE
+	// RD is segmented right-deep execution.
+	RD
+	// FP is full parallel execution.
+	FP
+)
+
+// Kinds lists all strategies in the paper's order.
+var Kinds = []Kind{SP, SE, RD, FP}
+
+// String returns the paper's abbreviation.
+func (k Kind) String() string {
+	switch k {
+	case SP:
+		return "SP"
+	case SE:
+		return "SE"
+	case RD:
+		return "RD"
+	case FP:
+		return "FP"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Parse converts an abbreviation into a Kind.
+func Parse(s string) (Kind, error) {
+	for _, k := range Kinds {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("strategy: unknown strategy %q", s)
+}
+
+// Config parameterizes plan generation, mirroring the inputs of the paper's
+// plan generator (Section 4.3): the join tree, operand cardinalities, the
+// strategy, and the number of processors.
+type Config struct {
+	// Procs is the number of processors; they get ids 0..Procs-1.
+	Procs int
+	// Card is the operand cardinality used by the cost function when
+	// estimating relative join work. Explicit tree weights override it.
+	Card float64
+	// SpanCard, when set, supplies per-span cardinality estimates for
+	// non-regular workloads (relations of different sizes); it takes
+	// precedence over Card.
+	SpanCard jointree.SpanCardFunc
+	// EqualWork disables the cost function: every join is weighted
+	// equally when distributing processors. This is the ablation for the
+	// paper's claim that SE, RD and FP "need a cost function to estimate
+	// the costs of the constituent binary joins" (Section 5).
+	EqualWork bool
+}
+
+// work returns the allocation weight of one join under the config.
+func (c Config) work(n *jointree.Node) float64 {
+	if c.EqualWork {
+		return 1
+	}
+	if c.SpanCard != nil {
+		return n.WorkSpan(c.SpanCard)
+	}
+	return n.Work(c.Card)
+}
+
+// subtreeWork returns the total allocation weight of a subtree.
+func (c Config) subtreeWork(n *jointree.Node) float64 {
+	if n == nil || n.IsLeaf() {
+		return 0
+	}
+	return c.work(n) + c.subtreeWork(n.Build) + c.subtreeWork(n.Probe)
+}
+
+// Plan parallelizes the finalized tree with the given strategy. The error
+// cases are structural: too few processors to give every concurrently
+// executing join its own processor (the paper never lets one processor work
+// on two joins at once).
+func Plan(k Kind, tree *jointree.Node, cfg Config) (*xra.Plan, error) {
+	if tree == nil || tree.IsLeaf() {
+		return nil, fmt.Errorf("strategy: tree must contain at least one join")
+	}
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("strategy: need at least 1 processor, got %d", cfg.Procs)
+	}
+	if cfg.Card <= 0 {
+		cfg.Card = 1
+	}
+	b := newBuilder(k, cfg)
+	var err error
+	switch k {
+	case SP:
+		err = b.planSP(tree)
+	case SE:
+		err = b.planSE(tree)
+	case RD:
+		err = b.planRD(tree)
+	case FP:
+		err = b.planFP(tree)
+	default:
+		return nil, fmt.Errorf("strategy: unknown strategy %v", k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	b.finishCollect(tree)
+	plan := b.plan
+	plan.SortProcs()
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("strategy: %v produced invalid plan: %w", k, err)
+	}
+	return plan, nil
+}
+
+// builder accumulates plan operators.
+type builder struct {
+	cfg  Config
+	plan *xra.Plan
+}
+
+func newBuilder(k Kind, cfg Config) *builder {
+	return &builder{cfg: cfg, plan: &xra.Plan{Strategy: k.String()}}
+}
+
+// allProcs returns [0..Procs-1].
+func (b *builder) allProcs() []int {
+	ps := make([]int, b.cfg.Procs)
+	for i := range ps {
+		ps[i] = i
+	}
+	return ps
+}
+
+func joinOpID(n *jointree.Node) string { return fmt.Sprintf("join:%d", n.JoinID) }
+func scanOpID(leaf int) string         { return fmt.Sprintf("scan:R%d", leaf) }
+
+// input returns the xra input for operand child of join node n, creating the
+// scan operator for leaf children. Base relations use ideal initial
+// fragmentation (Section 4.1): declustered on the attribute their first join
+// needs, over exactly that join's processors, so the edge is local.
+func (b *builder) input(child *jointree.Node, route relation.Attr, joinProcs []int) *xra.Input {
+	if child.IsLeaf() {
+		id := scanOpID(child.Leaf)
+		b.plan.Ops = append(b.plan.Ops, &xra.Op{
+			ID:       id,
+			Kind:     xra.OpScan,
+			Leaf:     child.Leaf,
+			FragAttr: route,
+			Procs:    append([]int(nil), joinProcs...),
+		})
+		return &xra.Input{From: id, Route: route}
+	}
+	return &xra.Input{From: joinOpID(child), Route: route}
+}
+
+// addJoin appends the operator for join node n.
+func (b *builder) addJoin(n *jointree.Node, kind xra.OpKind, procs []int, after []string) {
+	op := &xra.Op{
+		ID:           joinOpID(n),
+		Kind:         kind,
+		JoinID:       n.JoinID,
+		BuildIsLower: n.BuildIsLower(),
+		Procs:        append([]int(nil), procs...),
+		After:        after,
+	}
+	op.Build = b.input(n.Build, n.BuildAttr(), procs)
+	op.Probe = b.input(n.Probe, n.ProbeAttr(), procs)
+	// Scans were appended after their join would be; reorder so producers
+	// come first: move the join op to the end.
+	b.plan.Ops = append(b.plan.Ops, op)
+}
+
+// finishCollect appends the final gather operator at the scheduler host.
+func (b *builder) finishCollect(tree *jointree.Node) {
+	b.plan.Ops = append(b.plan.Ops, &xra.Op{
+		ID:    "collect",
+		Kind:  xra.OpCollect,
+		In:    &xra.Input{From: joinOpID(tree), Route: relation.Unique1},
+		Procs: []int{xra.HostProc},
+	})
+}
+
+// proportional splits procs over the groups proportionally to their weights
+// (largest-remainder method), guaranteeing at least one processor per group.
+// This integer distribution is the source of the paper's "discretization
+// error" (Section 3.5).
+func proportional(weights []float64, procs []int) ([][]int, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, nil
+	}
+	if len(procs) < n {
+		return nil, fmt.Errorf("strategy: %d processors cannot host %d concurrent operations", len(procs), n)
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w <= 0 {
+			w = 1
+		}
+		total += w
+	}
+	counts := make([]int, n)
+	type rem struct {
+		frac float64
+		idx  int
+	}
+	rems := make([]rem, n)
+	assigned := 0
+	for i, w := range weights {
+		if w <= 0 {
+			w = 1
+		}
+		exact := w / total * float64(len(procs))
+		counts[i] = int(exact)
+		if counts[i] < 1 {
+			counts[i] = 1
+		}
+		rems[i] = rem{frac: exact - float64(int(exact)), idx: i}
+		assigned += counts[i]
+	}
+	// Hand out remaining processors by largest fractional part; withdraw
+	// overassignment (due to the >=1 floor) from the largest groups.
+	sort.Slice(rems, func(i, j int) bool {
+		if rems[i].frac != rems[j].frac {
+			return rems[i].frac > rems[j].frac
+		}
+		return rems[i].idx < rems[j].idx
+	})
+	for assigned < len(procs) {
+		for _, r := range rems {
+			if assigned == len(procs) {
+				break
+			}
+			counts[r.idx]++
+			assigned++
+		}
+	}
+	for assigned > len(procs) {
+		// Take back from the group with the most processors (>1).
+		big, bigIdx := 0, -1
+		for i, c := range counts {
+			if c > big {
+				big, bigIdx = c, i
+			}
+		}
+		if big <= 1 {
+			return nil, fmt.Errorf("strategy: cannot allocate %d processors to %d operations", len(procs), n)
+		}
+		counts[bigIdx]--
+		assigned--
+	}
+	out := make([][]int, n)
+	next := 0
+	for i, c := range counts {
+		out[i] = append([]int(nil), procs[next:next+c]...)
+		next += c
+	}
+	return out, nil
+}

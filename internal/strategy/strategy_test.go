@@ -1,0 +1,419 @@
+package strategy
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"multijoin/internal/jointree"
+	"multijoin/internal/xra"
+)
+
+func mustShape(t *testing.T, s jointree.Shape, k int) *jointree.Node {
+	t.Helper()
+	tree, err := jointree.BuildShape(s, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func mustPlan(t *testing.T, k Kind, tree *jointree.Node, procs int) *xra.Plan {
+	t.Helper()
+	p, err := Plan(k, tree, Config{Procs: procs, Card: 1000})
+	if err != nil {
+		t.Fatalf("Plan(%v): %v", k, err)
+	}
+	return p
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range Kinds {
+		parsed, err := Parse(k.String())
+		if err != nil || parsed != k {
+			t.Errorf("Parse(%q) = %v, %v", k.String(), parsed, err)
+		}
+	}
+	if _, err := Parse("XX"); err == nil {
+		t.Error("unknown strategy must fail")
+	}
+}
+
+func TestAllStrategiesValidate(t *testing.T) {
+	for _, s := range jointree.Shapes {
+		tree := mustShape(t, s, 10)
+		for _, k := range Kinds {
+			p := mustPlan(t, k, tree, 20)
+			if err := p.Validate(); err != nil {
+				t.Errorf("%v/%v: %v", s, k, err)
+			}
+			if p.Strategy != k.String() {
+				t.Errorf("%v: strategy label %q", k, p.Strategy)
+			}
+		}
+	}
+}
+
+func joinOps(p *xra.Plan) []*xra.Op {
+	var out []*xra.Op
+	for _, o := range p.Ops {
+		if o.Kind == xra.OpSimpleJoin || o.Kind == xra.OpPipeJoin {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func TestSPStructure(t *testing.T) {
+	tree := mustShape(t, jointree.WideBushy, 10)
+	p := mustPlan(t, SP, tree, 16)
+	joins := joinOps(p)
+	if len(joins) != 9 {
+		t.Fatalf("%d join ops", len(joins))
+	}
+	for i, j := range joins {
+		if j.Kind != xra.OpSimpleJoin {
+			t.Errorf("SP join %s must use the simple hash-join", j.ID)
+		}
+		if len(j.Procs) != 16 {
+			t.Errorf("SP join %s runs on %d procs, want all 16", j.ID, len(j.Procs))
+		}
+		if i == 0 && len(j.After) != 0 {
+			t.Errorf("first SP join must start immediately")
+		}
+		if i > 0 && (len(j.After) != 1 || j.After[0] != joins[i-1].ID) {
+			t.Errorf("SP join %s must run after %s, got %v", j.ID, joins[i-1].ID, j.After)
+		}
+	}
+	// SP uses #joins x #procs join processes.
+	want := 9*16 + 10*16 + 1 // joins + scans + collect
+	if got := p.NumProcesses(); got != want {
+		t.Errorf("SP processes = %d, want %d", got, want)
+	}
+}
+
+func TestFPStructure(t *testing.T) {
+	tree := mustShape(t, jointree.LeftBushy, 10)
+	p := mustPlan(t, FP, tree, 18)
+	joins := joinOps(p)
+	seen := map[int]bool{}
+	total := 0
+	for _, j := range joins {
+		if j.Kind != xra.OpPipeJoin {
+			t.Errorf("FP join %s must use the pipelining hash-join", j.ID)
+		}
+		if len(j.After) != 0 {
+			t.Errorf("FP join %s must start immediately", j.ID)
+		}
+		for _, pr := range j.Procs {
+			if seen[pr] {
+				t.Errorf("processor %d assigned to two FP joins", pr)
+			}
+			seen[pr] = true
+		}
+		total += len(j.Procs)
+	}
+	if total != 18 {
+		t.Errorf("FP distributed %d processors, want all 18", total)
+	}
+}
+
+func TestFPAllocationProportional(t *testing.T) {
+	// Example tree weights 1,5,3,4 on 13 processors: exact proportional
+	// shares are 1,5,3,4.
+	p := mustPlan(t, FP, jointree.Example(), 13)
+	want := map[int]int{1: 1, 5: 5, 3: 3, 4: 4}
+	for _, j := range joinOps(p) {
+		if len(j.Procs) != want[j.JoinID] {
+			t.Errorf("join %d got %d procs, want %d", j.JoinID, len(j.Procs), want[j.JoinID])
+		}
+	}
+}
+
+func TestSEDegeneratesToSPOnLinear(t *testing.T) {
+	for _, s := range []jointree.Shape{jointree.LeftLinear, jointree.RightLinear} {
+		tree := mustShape(t, s, 10)
+		se := mustPlan(t, SE, tree, 12)
+		for _, j := range joinOps(se) {
+			if len(j.Procs) != 12 {
+				t.Errorf("%v: SE join %s on %d procs, want all (SP degeneration)", s, j.ID, len(j.Procs))
+			}
+			if j.Kind != xra.OpSimpleJoin {
+				t.Errorf("SE must use simple hash-join")
+			}
+		}
+	}
+}
+
+func TestSESplitsIndependentSubtrees(t *testing.T) {
+	// Example tree: joins 3 and 4 are independent; SE must give them
+	// disjoint processor subsets and run 5 and 1 on the full system after.
+	p := mustPlan(t, SE, jointree.Example(), 10)
+	byID := map[int]*xra.Op{}
+	for _, j := range joinOps(p) {
+		byID[j.JoinID] = j
+	}
+	if len(byID[3].Procs)+len(byID[4].Procs) != 10 {
+		t.Errorf("joins 3+4 procs = %d+%d, want 10 total", len(byID[3].Procs), len(byID[4].Procs))
+	}
+	// Work 4 vs 3 on 10 procs: join 4 gets more.
+	if len(byID[4].Procs) <= len(byID[3].Procs) {
+		t.Errorf("join 4 (more work) got %d procs vs join 3's %d",
+			len(byID[4].Procs), len(byID[3].Procs))
+	}
+	overlap := map[int]bool{}
+	for _, pr := range byID[3].Procs {
+		overlap[pr] = true
+	}
+	for _, pr := range byID[4].Procs {
+		if overlap[pr] {
+			t.Errorf("joins 3 and 4 share processor %d", pr)
+		}
+	}
+	for _, id := range []int{5, 1} {
+		if len(byID[id].Procs) != 10 {
+			t.Errorf("join %d on %d procs, want all 10", id, len(byID[id].Procs))
+		}
+	}
+	if len(byID[5].After) != 2 {
+		t.Errorf("join 5 must wait for both operand subtrees, After=%v", byID[5].After)
+	}
+}
+
+func TestRDDegenerations(t *testing.T) {
+	// Left-linear: every segment is one join on all processors => SP-like.
+	ll := mustPlan(t, RD, mustShape(t, jointree.LeftLinear, 10), 12)
+	for _, j := range joinOps(ll) {
+		if len(j.Procs) != 12 {
+			t.Errorf("left-linear RD join %s on %d procs, want 12", j.ID, len(j.Procs))
+		}
+	}
+	// Right-linear: one segment, processors distributed like FP.
+	rl := mustPlan(t, RD, mustShape(t, jointree.RightLinear, 10), 18)
+	fp := mustPlan(t, FP, mustShape(t, jointree.RightLinear, 10), 18)
+	rlProcs := map[int]int{}
+	for _, j := range joinOps(rl) {
+		rlProcs[j.JoinID] = len(j.Procs)
+		if len(j.After) != 0 {
+			t.Errorf("right-linear RD join %s must start immediately", j.ID)
+		}
+	}
+	for _, j := range joinOps(fp) {
+		if rlProcs[j.JoinID] != len(j.Procs) {
+			t.Errorf("join %d: RD %d procs vs FP %d procs (should coincide)",
+				j.JoinID, rlProcs[j.JoinID], len(j.Procs))
+		}
+	}
+}
+
+func TestRDWaves(t *testing.T) {
+	// Example tree: wave 1 = segment [4] on all 10 procs; wave 2 =
+	// segment [1,5,3] sharing the 10 procs, all After join:4.
+	p := mustPlan(t, RD, jointree.Example(), 10)
+	byID := map[int]*xra.Op{}
+	for _, j := range joinOps(p) {
+		byID[j.JoinID] = j
+	}
+	if len(byID[4].Procs) != 10 || len(byID[4].After) != 0 {
+		t.Errorf("join 4 must run first on all 10 procs: procs=%d after=%v",
+			len(byID[4].Procs), byID[4].After)
+	}
+	total := 0
+	for _, id := range []int{1, 5, 3} {
+		total += len(byID[id].Procs)
+		if len(byID[id].After) != 1 || byID[id].After[0] != "join:4" {
+			t.Errorf("join %d must wait for join:4, After=%v", id, byID[id].After)
+		}
+	}
+	if total != 10 {
+		t.Errorf("second wave uses %d procs, want 10", total)
+	}
+	// Join 5 (weight 5) gets the most processors in its segment.
+	if len(byID[5].Procs) <= len(byID[3].Procs) || len(byID[5].Procs) <= len(byID[1].Procs) {
+		t.Error("segment allocation not proportional to work")
+	}
+}
+
+func TestRDRightBushyIndependentSegments(t *testing.T) {
+	// Right-oriented bushy over 10 relations: wave 1 = 4 independent leaf
+	// joins on disjoint subsets; wave 2 = the 5-join probe pipeline.
+	tree := mustShape(t, jointree.RightBushy, 10)
+	p := mustPlan(t, RD, tree, 20)
+	var wave1, wave2 int
+	used := map[int]bool{}
+	for _, j := range joinOps(p) {
+		if len(j.After) == 0 {
+			wave1++
+			for _, pr := range j.Procs {
+				if used[pr] {
+					t.Errorf("wave-1 segments share processor %d", pr)
+				}
+				used[pr] = true
+			}
+		} else {
+			wave2++
+		}
+	}
+	if wave1 != 4 || wave2 != 5 {
+		t.Errorf("waves = %d+%d joins, want 4+5", wave1, wave2)
+	}
+}
+
+func TestScanFragmentationIdeal(t *testing.T) {
+	// Every scan must be declustered over exactly its consumer's
+	// processors on the attribute the consumer needs (Section 4.1).
+	for _, k := range Kinds {
+		p := mustPlan(t, k, mustShape(t, jointree.RightBushy, 10), 20)
+		for _, o := range p.Ops {
+			for _, in := range o.Inputs() {
+				from := p.Op(in.From)
+				if from.Kind != xra.OpScan {
+					continue
+				}
+				if !xra.LocalEdge(from, o, in) {
+					t.Errorf("%v: scan %s feeding %s is not local", k, from.ID, o.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestTooFewProcessors(t *testing.T) {
+	tree := mustShape(t, jointree.WideBushy, 10)
+	// FP needs at least one processor per join (9 joins).
+	if _, err := Plan(FP, tree, Config{Procs: 5, Card: 100}); err == nil {
+		t.Error("FP with 5 procs for 9 joins must fail")
+	}
+	// SP works with a single processor.
+	if _, err := Plan(SP, tree, Config{Procs: 1, Card: 100}); err != nil {
+		t.Errorf("SP with 1 proc: %v", err)
+	}
+	// SE falls back to sequential subtree evaluation with 1 processor.
+	if _, err := Plan(SE, tree, Config{Procs: 1, Card: 100}); err != nil {
+		t.Errorf("SE with 1 proc: %v", err)
+	}
+}
+
+func TestPlanArgumentErrors(t *testing.T) {
+	tree := mustShape(t, jointree.LeftLinear, 4)
+	if _, err := Plan(SP, nil, Config{Procs: 4}); err == nil {
+		t.Error("nil tree must fail")
+	}
+	if _, err := Plan(SP, jointree.NewLeaf(0), Config{Procs: 4}); err == nil {
+		t.Error("leaf-only tree must fail")
+	}
+	if _, err := Plan(SP, tree, Config{Procs: 0}); err == nil {
+		t.Error("zero processors must fail")
+	}
+	if _, err := Plan(Kind(42), tree, Config{Procs: 4}); err == nil {
+		t.Error("unknown strategy must fail")
+	}
+}
+
+func TestProportional(t *testing.T) {
+	procs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	parts, err := proportional([]float64{1, 5, 3, 4}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{len(parts[0]), len(parts[1]), len(parts[2]), len(parts[3])}
+	total := 0
+	for _, s := range sizes {
+		total += s
+		if s < 1 {
+			t.Errorf("allocation %v has empty group", sizes)
+		}
+	}
+	if total != 10 {
+		t.Errorf("allocated %d processors, want 10", total)
+	}
+	// Weight 5 gets the most, weight 1 the least.
+	if sizes[1] < sizes[2] || sizes[1] < sizes[3] || sizes[0] > sizes[2] {
+		t.Errorf("allocation %v not ordered by weight", sizes)
+	}
+	// Groups must be disjoint and cover procs.
+	seen := map[int]bool{}
+	for _, part := range parts {
+		for _, p := range part {
+			if seen[p] {
+				t.Errorf("processor %d allocated twice", p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestProportionalErrors(t *testing.T) {
+	if _, err := proportional([]float64{1, 1, 1}, []int{0, 1}); err == nil {
+		t.Error("3 groups on 2 procs must fail")
+	}
+	parts, err := proportional(nil, []int{0, 1})
+	if err != nil || parts != nil {
+		t.Error("empty weights should allocate nothing")
+	}
+}
+
+// TestProportionalProperties: allocations always use every processor exactly
+// once, give every group at least one, and are deterministic.
+func TestProportionalProperties(t *testing.T) {
+	f := func(ws []uint8, extraRaw uint8) bool {
+		if len(ws) == 0 || len(ws) > 12 {
+			return true
+		}
+		weights := make([]float64, len(ws))
+		for i, w := range ws {
+			weights[i] = float64(w%50) + 0.5
+		}
+		n := len(ws) + int(extraRaw%30)
+		procs := make([]int, n)
+		for i := range procs {
+			procs[i] = i
+		}
+		a, err := proportional(weights, procs)
+		if err != nil {
+			return false
+		}
+		b, _ := proportional(weights, procs)
+		seen := map[int]bool{}
+		total := 0
+		for gi, g := range a {
+			if len(g) < 1 {
+				return false
+			}
+			if fmt.Sprint(g) != fmt.Sprint(b[gi]) {
+				return false // nondeterministic
+			}
+			for _, p := range g {
+				if seen[p] {
+					return false
+				}
+				seen[p] = true
+				total++
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAllProcessorsUsed: for every strategy and shape, the union of join
+// processor sets covers [0, P) — no processor is left idle by construction.
+func TestAllProcessorsUsed(t *testing.T) {
+	for _, s := range jointree.Shapes {
+		tree := mustShape(t, s, 10)
+		for _, k := range Kinds {
+			p := mustPlan(t, k, tree, 20)
+			used := map[int]bool{}
+			for _, j := range joinOps(p) {
+				for _, pr := range j.Procs {
+					used[pr] = true
+				}
+			}
+			if len(used) != 20 {
+				t.Errorf("%v/%v: only %d of 20 processors used", s, k, len(used))
+			}
+		}
+	}
+}

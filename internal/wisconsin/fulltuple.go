@@ -1,0 +1,81 @@
+package wisconsin
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FullTuple is a complete 208-byte Wisconsin benchmark tuple [BDT83]. The
+// execution engine carries only the join-relevant attributes (see package
+// relation); FullTuple exists for the data-inspection tool and for tests
+// that pin down the declared tuple layout.
+type FullTuple struct {
+	Unique1       int32
+	Unique2       int32
+	Two           int32
+	Four          int32
+	Ten           int32
+	Twenty        int32
+	OnePercent    int32
+	TenPercent    int32
+	TwentyPercent int32
+	FiftyPercent  int32
+	Unique3       int32
+	EvenOnePct    int32
+	OddOnePct     int32
+	StringU1      string // 52 bytes
+	StringU2      string // 52 bytes
+	String4       string // 52 bytes
+}
+
+// Expand derives the full Wisconsin attribute set from the two unique
+// integers, exactly as the original benchmark defines the derived columns.
+func Expand(unique1, unique2 int64) FullTuple {
+	u1, u2 := int32(unique1), int32(unique2)
+	return FullTuple{
+		Unique1:       u1,
+		Unique2:       u2,
+		Two:           u1 % 2,
+		Four:          u1 % 4,
+		Ten:           u1 % 10,
+		Twenty:        u1 % 20,
+		OnePercent:    u1 % 100,
+		TenPercent:    u1 % 10,
+		TwentyPercent: u1 % 5,
+		FiftyPercent:  u1 % 2,
+		Unique3:       u1,
+		EvenOnePct:    (u1 % 100) * 2,
+		OddOnePct:     (u1%100)*2 + 1,
+		StringU1:      wisconsinString(unique1),
+		StringU2:      wisconsinString(unique2),
+		String4:       string4(unique1),
+	}
+}
+
+// Size returns the declared byte width of a full tuple (13 four-byte
+// integers plus three 52-byte strings).
+func (FullTuple) Size() int { return 13*4 + 3*52 }
+
+// wisconsinString builds the classic 52-byte Wisconsin string: a 7-letter
+// base-26 encoding of the value padded with 'x' to 52 characters.
+func wisconsinString(v int64) string {
+	var enc [7]byte
+	for i := 6; i >= 0; i-- {
+		enc[i] = byte('A' + v%26)
+		v /= 26
+	}
+	return string(enc[:]) + strings.Repeat("x", 52-7)
+}
+
+// string4 cycles through the four benchmark string constants.
+func string4(v int64) string {
+	pats := [4]string{"AAAA", "HHHH", "OOOO", "VVVV"}
+	p := pats[v%4]
+	return p + strings.Repeat("x", 52-len(p))
+}
+
+// String renders a compact view of the tuple.
+func (t FullTuple) String() string {
+	return fmt.Sprintf("(u1=%d u2=%d two=%d four=%d ten=%d twenty=%d str=%s...)",
+		t.Unique1, t.Unique2, t.Two, t.Four, t.Ten, t.Twenty, t.StringU1[:7])
+}

@@ -1,0 +1,148 @@
+package wisconsin
+
+import (
+	"testing"
+
+	"multijoin/internal/relation"
+)
+
+func TestVariableCardsValidate(t *testing.T) {
+	bad := []Config{
+		{Cards: []int{100}},
+		{Cards: []int{100, 0}},
+		{Cards: []int{100, 100}, Relations: 3},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+	ok := Config{Cards: []int{100, 50}, Relations: 2}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("matching Relations should validate: %v", err)
+	}
+}
+
+func TestVariableCardsShape(t *testing.T) {
+	cards := []int{200, 100, 50, 25}
+	db, err := Chain(Config{Cards: cards, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumRelations() != 4 {
+		t.Fatalf("relations = %d", db.NumRelations())
+	}
+	for i, want := range cards {
+		if got := db.Relation(i).Card(); got != want {
+			t.Errorf("relation %d card %d, want %d", i, got, want)
+		}
+		if got := db.Card(i); got != want {
+			t.Errorf("Card(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if db.Cardinality() != 200 {
+		t.Errorf("Cardinality() = %d, want first relation's 200", db.Cardinality())
+	}
+	// Unique1 must still be a permutation of [0, card_i).
+	for i := range cards {
+		seen := map[int64]bool{}
+		for _, tp := range db.Relation(i).Tuples {
+			if tp.Unique1 < 0 || tp.Unique1 >= int64(cards[i]) || seen[tp.Unique1] {
+				t.Fatalf("relation %d has bad unique1 %d", i, tp.Unique1)
+			}
+			seen[tp.Unique1] = true
+		}
+	}
+}
+
+func TestVariableSpanCard(t *testing.T) {
+	cards := []int{128, 64, 256, 32}
+	db, err := Chain(Config{Cards: cards, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < 4; lo++ {
+		for hi := lo; hi < 4; hi++ {
+			if got := db.SpanCard(lo, hi); got != float64(cards[lo]) {
+				t.Errorf("SpanCard(%d,%d) = %g, want %d", lo, hi, got, cards[lo])
+			}
+			exp, err := db.ExpectedPairs(lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exp.Card() != cards[lo] {
+				t.Errorf("ExpectedPairs(%d,%d) has %d tuples, want %d", lo, hi, exp.Card(), cards[lo])
+			}
+		}
+	}
+	if db.SpanCard(-1, 2) != 0 || db.SpanCard(9, 9) != 0 {
+		t.Error("out-of-range SpanCard must be 0")
+	}
+}
+
+// TestVariableBruteForceJoin verifies the pointer semantics against a
+// brute-force nested-loop join of the full variable chain.
+func TestVariableBruteForceJoin(t *testing.T) {
+	cards := []int{40, 20, 60, 10}
+	db, err := Chain(Config{Cards: cards, Seed: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := db.Relation(0).Clone()
+	for i := 1; i < db.NumRelations(); i++ {
+		next := db.Relation(i)
+		out := relation.New("acc", TupleBytes)
+		for _, l := range cur.Tuples {
+			for _, r := range next.Tuples {
+				if l.Unique2 == r.Unique1 {
+					out.Append(relation.Tuple{Unique1: l.Unique1, Unique2: r.Unique2})
+				}
+			}
+		}
+		cur = out
+	}
+	if cur.Card() != cards[0] {
+		t.Fatalf("brute-force chain has %d tuples, want %d", cur.Card(), cards[0])
+	}
+	ok, err := db.SamePairs(cur, 0, 3)
+	if err != nil || !ok {
+		t.Errorf("brute-force join disagrees with ExpectedPairs (err=%v)", err)
+	}
+}
+
+func TestVariableEveryLowerTupleMatchesOnce(t *testing.T) {
+	db, err := Chain(Config{Cards: []int{100, 30, 70}, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < db.NumRelations(); i++ {
+		right := db.Relation(i + 1)
+		keys := map[int64]int{}
+		for _, tp := range right.Tuples {
+			keys[tp.Unique1]++
+		}
+		for _, tp := range db.Relation(i).Tuples {
+			if keys[tp.Unique2] != 1 {
+				t.Fatalf("boundary %d: lower tuple matches %d higher tuples", i+1, keys[tp.Unique2])
+			}
+		}
+	}
+}
+
+func TestEqualCardsStayRegular(t *testing.T) {
+	// Cards all equal via the Cards field must behave exactly like the
+	// Cardinality field: 1:1 joins, identical databases.
+	a, err := Chain(Config{Relations: 3, Cardinality: 50, Seed: 39})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Chain(Config{Cards: []int{50, 50, 50}, Seed: 39})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Relations {
+		if !relation.EqualMultiset(a.Relations[i], b.Relations[i]) {
+			t.Errorf("relation %d differs between equivalent configs", i)
+		}
+	}
+}

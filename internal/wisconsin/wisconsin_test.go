@@ -1,0 +1,248 @@
+package wisconsin
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multijoin/internal/relation"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{Relations: 2, Cardinality: 1}, true},
+		{Config{Relations: 10, Cardinality: 5000}, true},
+		{Config{Relations: 1, Cardinality: 10}, false},
+		{Config{Relations: 3, Cardinality: 0}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) error = %v, want ok=%v", c.cfg, err, c.ok)
+		}
+	}
+}
+
+func TestChainShape(t *testing.T) {
+	db, err := Chain(Config{Relations: 4, Cardinality: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumRelations() != 4 || db.Cardinality() != 100 {
+		t.Fatalf("db shape %d x %d", db.NumRelations(), db.Cardinality())
+	}
+	for i, r := range db.Relations {
+		if r.Card() != 100 {
+			t.Errorf("relation %d card %d", i, r.Card())
+		}
+		if r.TupleBytes != TupleBytes {
+			t.Errorf("relation %d tuple bytes %d, want %d", i, r.TupleBytes, TupleBytes)
+		}
+		// Both attributes must be permutations of [0, N).
+		for _, attr := range []relation.Attr{relation.Unique1, relation.Unique2} {
+			seen := make(map[int64]bool, 100)
+			for _, tp := range r.Tuples {
+				v := tp.Get(attr)
+				if v < 0 || v >= 100 {
+					t.Fatalf("relation %d %v value %d out of range", i, attr, v)
+				}
+				if seen[v] {
+					t.Fatalf("relation %d %v value %d duplicated", i, attr, v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestChainBoundariesShared(t *testing.T) {
+	// Adjacent relations must agree on their shared boundary: the multiset
+	// of R_i.Unique2 values equals the multiset of R_{i+1}.Unique1 values,
+	// and each value appears in exactly one tuple on each side (1:1 joins).
+	db, err := Chain(Config{Relations: 5, Cardinality: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < db.NumRelations(); i++ {
+		left := db.Relation(i)
+		right := db.Relation(i + 1)
+		rightByKey := make(map[int64]int)
+		for _, tp := range right.Tuples {
+			rightByKey[tp.Unique1]++
+		}
+		for _, tp := range left.Tuples {
+			if rightByKey[tp.Unique2] != 1 {
+				t.Fatalf("boundary %d: value %d has %d matches, want 1",
+					i+1, tp.Unique2, rightByKey[tp.Unique2])
+			}
+		}
+	}
+}
+
+func TestChainDeterministic(t *testing.T) {
+	a, _ := Chain(Config{Relations: 3, Cardinality: 50, Seed: 11})
+	b, _ := Chain(Config{Relations: 3, Cardinality: 50, Seed: 11})
+	for i := range a.Relations {
+		if !relation.EqualMultiset(a.Relations[i], b.Relations[i]) {
+			t.Fatalf("same seed produced different relation %d", i)
+		}
+	}
+	c, _ := Chain(Config{Relations: 3, Cardinality: 50, Seed: 12})
+	same := true
+	for i := range a.Relations {
+		if !relation.EqualMultiset(a.Relations[i], c.Relations[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical databases")
+	}
+}
+
+func TestBaseCheckUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for rel := 0; rel < 10; rel++ {
+		for row := 0; row < 1000; row++ {
+			h := BaseCheck(rel, row)
+			if seen[h] {
+				t.Fatalf("BaseCheck collision at rel=%d row=%d", rel, row)
+			}
+			seen[h] = true
+		}
+	}
+}
+
+func TestExpectedPairs(t *testing.T) {
+	db, err := Chain(Config{Relations: 4, Cardinality: 80, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Span of a single relation equals that relation (ignoring checks).
+	for i := 0; i < 4; i++ {
+		want, err := db.ExpectedPairs(i, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := db.Relation(i).Clone()
+		for j := range got.Tuples {
+			got.Tuples[j].Check = 0
+		}
+		if !relation.EqualMultiset(got, want) {
+			t.Errorf("span [%d,%d] does not match relation %d", i, i, i)
+		}
+	}
+	if _, err := db.ExpectedPairs(-1, 2); err == nil {
+		t.Error("negative lo must fail")
+	}
+	if _, err := db.ExpectedPairs(2, 4); err == nil {
+		t.Error("hi out of range must fail")
+	}
+	if _, err := db.ExpectedPairs(3, 2); err == nil {
+		t.Error("inverted span must fail")
+	}
+}
+
+func TestSamePairs(t *testing.T) {
+	db, err := Chain(Config{Relations: 3, Cardinality: 40, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, _ := db.ExpectedPairs(0, 2)
+	ok, err := db.SamePairs(exp, 0, 2)
+	if err != nil || !ok {
+		t.Errorf("SamePairs on expected result: ok=%v err=%v", ok, err)
+	}
+	exp.Tuples[0].Unique1++
+	ok, _ = db.SamePairs(exp, 0, 2)
+	if ok {
+		t.Error("SamePairs accepted a corrupted result")
+	}
+}
+
+// TestManualChainJoin joins the whole chain by brute force and compares the
+// pairs with ExpectedPairs — validating the generator's core guarantee
+// without using any package under test later in the stack.
+func TestManualChainJoin(t *testing.T) {
+	db, err := Chain(Config{Relations: 4, Cardinality: 30, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := db.Relation(0).Clone()
+	for i := 1; i < db.NumRelations(); i++ {
+		next := db.Relation(i)
+		out := relation.New("acc", TupleBytes)
+		for _, l := range cur.Tuples {
+			for _, r := range next.Tuples {
+				if l.Unique2 == r.Unique1 {
+					out.Append(relation.Tuple{Unique1: l.Unique1, Unique2: r.Unique2})
+				}
+			}
+		}
+		cur = out
+	}
+	if cur.Card() != 30 {
+		t.Fatalf("brute-force chain join has %d tuples, want 30", cur.Card())
+	}
+	ok, err := db.SamePairs(cur, 0, 3)
+	if err != nil || !ok {
+		t.Errorf("brute-force join disagrees with ExpectedPairs: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestChainJoinProperty: for random small configurations, every adjacent
+// join is 1:1 so every span has exactly N tuples.
+func TestChainJoinProperty(t *testing.T) {
+	f := func(seed int64, relsRaw, cardRaw uint8) bool {
+		rels := int(relsRaw%4) + 2
+		card := int(cardRaw%50) + 1
+		db, err := Chain(Config{Relations: rels, Cardinality: card, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for lo := 0; lo < rels; lo++ {
+			for hi := lo; hi < rels; hi++ {
+				exp, err := db.ExpectedPairs(lo, hi)
+				if err != nil || exp.Card() != card {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullTupleExpand(t *testing.T) {
+	ft := Expand(12345, 678)
+	if ft.Unique1 != 12345 || ft.Unique2 != 678 {
+		t.Errorf("unique attrs: %d, %d", ft.Unique1, ft.Unique2)
+	}
+	if ft.Two != 12345%2 || ft.Four != 12345%4 || ft.Ten != 12345%10 || ft.Twenty != 12345%20 {
+		t.Error("derived modulo attributes wrong")
+	}
+	if len(ft.StringU1) != 52 || len(ft.StringU2) != 52 || len(ft.String4) != 52 {
+		t.Errorf("string lengths %d/%d/%d, want 52",
+			len(ft.StringU1), len(ft.StringU2), len(ft.String4))
+	}
+	if ft.Size() != TupleBytes {
+		t.Errorf("declared size %d, want %d", ft.Size(), TupleBytes)
+	}
+	if ft.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestWisconsinStringDistinct(t *testing.T) {
+	a := Expand(1, 0).StringU1
+	b := Expand(2, 0).StringU1
+	if a == b {
+		t.Error("different unique1 values produced identical stringu1")
+	}
+	if Expand(0, 0).String4[:4] != "AAAA" || Expand(1, 0).String4[:4] != "HHHH" {
+		t.Error("string4 cycle broken")
+	}
+}

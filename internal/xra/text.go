@@ -1,0 +1,201 @@
+package xra
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"multijoin/internal/relation"
+)
+
+// The text format renders one operator per line as space-separated
+// key=value fields, in plan order:
+//
+//	plan strategy=FP
+//	op id=scan:R0 kind=scan leaf=0 frag=unique1 procs=0,1,2
+//	op id=join:1 kind=pipejoin join=1 buildlower=true \
+//	   build=scan:R0@unique2 probe=scan:R1@unique1 procs=3,4 after=join:2
+//	op id=collect kind=collect in=join:1@unique1 procs=-1
+//
+// Inputs are encoded as producer@routeattr. The format round-trips through
+// Encode and Parse and exists for plan inspection tools and golden tests.
+
+// Encode renders the plan in the textual XRA format.
+func Encode(p *Plan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan strategy=%s\n", p.Strategy)
+	for _, o := range p.Ops {
+		fmt.Fprintf(&b, "op id=%s kind=%s", o.ID, o.Kind)
+		switch o.Kind {
+		case OpScan:
+			fmt.Fprintf(&b, " leaf=%d frag=%s", o.Leaf, o.FragAttr)
+		case OpSimpleJoin, OpPipeJoin:
+			fmt.Fprintf(&b, " join=%d buildlower=%t build=%s probe=%s",
+				o.JoinID, o.BuildIsLower, encodeInput(o.Build), encodeInput(o.Probe))
+		case OpCollect:
+			fmt.Fprintf(&b, " in=%s", encodeInput(o.In))
+		}
+		fmt.Fprintf(&b, " procs=%s", encodeInts(o.Procs))
+		if len(o.After) > 0 {
+			after := append([]string(nil), o.After...)
+			sort.Strings(after)
+			fmt.Fprintf(&b, " after=%s", strings.Join(after, ","))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func encodeInput(in *Input) string {
+	return fmt.Sprintf("%s@%s", in.From, in.Route)
+}
+
+func encodeInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parse reads a plan in the textual XRA format and validates it.
+func Parse(text string) (*Plan, error) {
+	p := &Plan{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineno := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		kv := make(map[string]string)
+		for _, f := range fields[1:] {
+			i := strings.IndexByte(f, '=')
+			if i < 0 {
+				return nil, fmt.Errorf("xra: line %d: field %q is not key=value", lineno, f)
+			}
+			kv[f[:i]] = f[i+1:]
+		}
+		switch fields[0] {
+		case "plan":
+			if sawHeader {
+				return nil, fmt.Errorf("xra: line %d: duplicate plan header", lineno)
+			}
+			sawHeader = true
+			p.Strategy = kv["strategy"]
+		case "op":
+			if !sawHeader {
+				return nil, fmt.Errorf("xra: line %d: op before plan header", lineno)
+			}
+			o, err := parseOp(kv)
+			if err != nil {
+				return nil, fmt.Errorf("xra: line %d: %v", lineno, err)
+			}
+			p.Ops = append(p.Ops, o)
+		default:
+			return nil, fmt.Errorf("xra: line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("xra: missing plan header")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseOp(kv map[string]string) (*Op, error) {
+	o := &Op{ID: kv["id"], Leaf: -1}
+	if o.ID == "" {
+		return nil, fmt.Errorf("op without id")
+	}
+	var err error
+	switch kv["kind"] {
+	case "scan":
+		o.Kind = OpScan
+		if o.Leaf, err = strconv.Atoi(kv["leaf"]); err != nil {
+			return nil, fmt.Errorf("bad leaf %q", kv["leaf"])
+		}
+		if o.FragAttr, err = parseAttr(kv["frag"]); err != nil {
+			return nil, err
+		}
+	case "hashjoin", "pipejoin":
+		o.Kind = OpSimpleJoin
+		if kv["kind"] == "pipejoin" {
+			o.Kind = OpPipeJoin
+		}
+		if o.JoinID, err = strconv.Atoi(kv["join"]); err != nil {
+			return nil, fmt.Errorf("bad join id %q", kv["join"])
+		}
+		if o.BuildIsLower, err = strconv.ParseBool(kv["buildlower"]); err != nil {
+			return nil, fmt.Errorf("bad buildlower %q", kv["buildlower"])
+		}
+		if o.Build, err = parseInput(kv["build"]); err != nil {
+			return nil, err
+		}
+		if o.Probe, err = parseInput(kv["probe"]); err != nil {
+			return nil, err
+		}
+	case "collect":
+		o.Kind = OpCollect
+		if o.In, err = parseInput(kv["in"]); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kv["kind"])
+	}
+	if o.Procs, err = parseInts(kv["procs"]); err != nil {
+		return nil, err
+	}
+	if after := kv["after"]; after != "" {
+		o.After = strings.Split(after, ",")
+	}
+	return o, nil
+}
+
+func parseInput(s string) (*Input, error) {
+	i := strings.LastIndexByte(s, '@')
+	if i < 0 {
+		return nil, fmt.Errorf("bad input %q: want producer@attr", s)
+	}
+	attr, err := parseAttr(s[i+1:])
+	if err != nil {
+		return nil, err
+	}
+	return &Input{From: s[:i], Route: attr}, nil
+}
+
+func parseAttr(s string) (relation.Attr, error) {
+	switch s {
+	case relation.Unique1.String():
+		return relation.Unique1, nil
+	case relation.Unique2.String():
+		return relation.Unique2, nil
+	}
+	return 0, fmt.Errorf("unknown attribute %q", s)
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty processor list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad processor %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

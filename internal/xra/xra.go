@@ -1,0 +1,296 @@
+// Package xra is the parallel execution plan representation of the
+// reproduction, playing the role of PRISMA/DB's eXtended Relational Algebra
+// [GWF91]: a single intermediate form in which every parallelization
+// strategy can express its plan. An xra.Plan fixes, for every operation,
+// the set of processors executing it (intra-operator parallelism with
+// arbitrary degree), how its inputs are partitioned across those processors
+// (the tuple-stream routing), and explicit start-after dependencies
+// (inter-operator scheduling). The execution engine interprets plans without
+// knowing which strategy produced them.
+package xra
+
+import (
+	"fmt"
+	"sort"
+
+	"multijoin/internal/relation"
+)
+
+// OpKind enumerates plan operators.
+type OpKind int
+
+const (
+	// OpScan reads a base-relation fragment stored at each of the
+	// operator's processors and feeds its consumer.
+	OpScan OpKind = iota
+	// OpSimpleJoin is the two-phase build-probe hash-join: it consumes its
+	// build input completely before processing (buffered) probe input.
+	OpSimpleJoin
+	// OpPipeJoin is the symmetric pipelining hash-join, processing both
+	// inputs as they arrive and emitting results as early as possible.
+	OpPipeJoin
+	// OpCollect gathers the final result at the scheduler host.
+	OpCollect
+)
+
+// String names the operator kind (also used by the text format).
+func (k OpKind) String() string {
+	switch k {
+	case OpScan:
+		return "scan"
+	case OpSimpleJoin:
+		return "hashjoin"
+	case OpPipeJoin:
+		return "pipejoin"
+	case OpCollect:
+		return "collect"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// HostProc is the pseudo processor id of the scheduler host, used by
+// OpCollect. It is excluded from utilization accounting.
+const HostProc = -1
+
+// Input describes one dataflow edge into an operator: the producing
+// operator and the attribute on which tuples must be hash-partitioned over
+// the consumer's processors. Collect inputs gather instead and ignore Route.
+type Input struct {
+	From  string
+	Route relation.Attr
+}
+
+// Op is one operator of a parallel plan, executed by one operation process
+// per entry of Procs.
+type Op struct {
+	ID   string
+	Kind OpKind
+
+	// Join operators.
+	JoinID       int  // the join's label (the numbers in the paper's diagrams)
+	BuildIsLower bool // whether the build operand covers the lower chain span
+	Build        *Input
+	Probe        *Input
+
+	// Scan operators.
+	Leaf     int           // base relation index
+	FragAttr relation.Attr // attribute the stored fragments are declustered on
+
+	// Collect operators.
+	In *Input
+
+	// Procs lists the processors running this operator, one operation
+	// process each.
+	Procs []int
+
+	// After lists operator ids that must complete before this operator's
+	// processes start processing input (input arriving earlier is
+	// buffered). This expresses SP's strict phases, SE's
+	// operands-ready rule and RD's segment waves.
+	After []string
+}
+
+// Inputs returns the operator's dataflow inputs in a fixed order.
+func (o *Op) Inputs() []*Input {
+	var in []*Input
+	if o.Build != nil {
+		in = append(in, o.Build)
+	}
+	if o.Probe != nil {
+		in = append(in, o.Probe)
+	}
+	if o.In != nil {
+		in = append(in, o.In)
+	}
+	return in
+}
+
+// Plan is a complete parallel execution plan: operators in a deterministic
+// order (producers before consumers), exactly one OpCollect.
+type Plan struct {
+	Strategy string // label of the strategy that produced the plan
+	Ops      []*Op
+}
+
+// Op returns the operator with the given id, or nil.
+func (p *Plan) Op(id string) *Op {
+	for _, o := range p.Ops {
+		if o.ID == id {
+			return o
+		}
+	}
+	return nil
+}
+
+// Collect returns the plan's collect operator, or nil.
+func (p *Plan) Collect() *Op {
+	for _, o := range p.Ops {
+		if o.Kind == OpCollect {
+			return o
+		}
+	}
+	return nil
+}
+
+// NumProcesses returns the total number of operation processes the plan
+// uses — the quantity that drives startup overhead (Section 3.5).
+func (p *Plan) NumProcesses() int {
+	n := 0
+	for _, o := range p.Ops {
+		n += len(o.Procs)
+	}
+	return n
+}
+
+// NumStreams returns the total number of tuple streams the plan opens: for
+// each dataflow edge, (#producer processes) x (#consumer processes) for a
+// redistribution, or #processes for an aligned local edge — the quantity
+// that drives coordination overhead (Section 3.5).
+func (p *Plan) NumStreams() int {
+	n := 0
+	for _, o := range p.Ops {
+		for _, in := range o.Inputs() {
+			from := p.Op(in.From)
+			if from == nil {
+				continue
+			}
+			if LocalEdge(from, o, in) {
+				n += len(o.Procs)
+			} else {
+				n += len(from.Procs) * len(o.Procs)
+			}
+		}
+	}
+	return n
+}
+
+// LocalEdge reports whether the edge from producer to consumer delivers
+// tuples purely processor-locally: the producer is a scan whose stored
+// fragmentation attribute matches the consumer's required routing attribute
+// and whose processor list is identical. Ideal initial data fragmentation
+// (Section 4.1) makes exactly the base-operand edges local; intermediate
+// results are always refragmented.
+func LocalEdge(from, to *Op, in *Input) bool {
+	if from.Kind != OpScan || from.FragAttr != in.Route {
+		return false
+	}
+	if to.Kind == OpCollect {
+		return false
+	}
+	if len(from.Procs) != len(to.Procs) {
+		return false
+	}
+	for i := range from.Procs {
+		if from.Procs[i] != to.Procs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxProc returns the largest worker processor id used by the plan.
+func (p *Plan) MaxProc() int {
+	max := -1
+	for _, o := range p.Ops {
+		for _, pr := range o.Procs {
+			if pr > max {
+				max = pr
+			}
+		}
+	}
+	return max
+}
+
+// Validate checks that the plan is well formed: unique ids, existing input
+// and After references, non-empty processor lists, every operator consumed
+// exactly once (except collect), join operators with both inputs, exactly
+// one collect, and an acyclic dataflow+After graph with producers listed
+// before consumers.
+func (p *Plan) Validate() error {
+	if len(p.Ops) == 0 {
+		return fmt.Errorf("xra: empty plan")
+	}
+	seen := make(map[string]int)
+	for i, o := range p.Ops {
+		if o.ID == "" {
+			return fmt.Errorf("xra: op %d has empty id", i)
+		}
+		if _, dup := seen[o.ID]; dup {
+			return fmt.Errorf("xra: duplicate op id %q", o.ID)
+		}
+		seen[o.ID] = i
+		if len(o.Procs) == 0 {
+			return fmt.Errorf("xra: op %q has no processors", o.ID)
+		}
+		switch o.Kind {
+		case OpScan:
+			if o.Build != nil || o.Probe != nil || o.In != nil {
+				return fmt.Errorf("xra: scan %q must have no inputs", o.ID)
+			}
+			if o.Leaf < 0 {
+				return fmt.Errorf("xra: scan %q has negative leaf %d", o.ID, o.Leaf)
+			}
+		case OpSimpleJoin, OpPipeJoin:
+			if o.Build == nil || o.Probe == nil {
+				return fmt.Errorf("xra: join %q needs build and probe inputs", o.ID)
+			}
+		case OpCollect:
+			if o.In == nil {
+				return fmt.Errorf("xra: collect %q needs an input", o.ID)
+			}
+			if len(o.Procs) != 1 {
+				return fmt.Errorf("xra: collect %q must run on exactly one processor", o.ID)
+			}
+		default:
+			return fmt.Errorf("xra: op %q has unknown kind %d", o.ID, int(o.Kind))
+		}
+	}
+	collects := 0
+	consumed := make(map[string]int)
+	for i, o := range p.Ops {
+		if o.Kind == OpCollect {
+			collects++
+		}
+		for _, in := range o.Inputs() {
+			j, ok := seen[in.From]
+			if !ok {
+				return fmt.Errorf("xra: op %q reads unknown op %q", o.ID, in.From)
+			}
+			if j >= i {
+				return fmt.Errorf("xra: op %q reads op %q that is not listed before it", o.ID, in.From)
+			}
+			consumed[in.From]++
+		}
+		for _, a := range o.After {
+			j, ok := seen[a]
+			if !ok {
+				return fmt.Errorf("xra: op %q is after unknown op %q", o.ID, a)
+			}
+			if j >= i {
+				return fmt.Errorf("xra: op %q is after op %q that is not listed before it", o.ID, a)
+			}
+		}
+	}
+	if collects != 1 {
+		return fmt.Errorf("xra: plan needs exactly one collect, got %d", collects)
+	}
+	for _, o := range p.Ops {
+		want := 1
+		if o.Kind == OpCollect {
+			want = 0
+		}
+		if consumed[o.ID] != want {
+			return fmt.Errorf("xra: op %q consumed %d times, want %d", o.ID, consumed[o.ID], want)
+		}
+	}
+	return nil
+}
+
+// SortProcs normalizes every operator's processor list into ascending order.
+// Strategies call it so that plans are canonical.
+func (p *Plan) SortProcs() {
+	for _, o := range p.Ops {
+		sort.Ints(o.Procs)
+	}
+}

@@ -1,0 +1,219 @@
+package xra
+
+import (
+	"strings"
+	"testing"
+
+	"multijoin/internal/relation"
+)
+
+// smallPlan builds a valid two-join plan by hand: two scans feed join 1,
+// whose output and a third scan feed join 2, collected at the host.
+func smallPlan() *Plan {
+	return &Plan{
+		Strategy: "TEST",
+		Ops: []*Op{
+			{ID: "scan:R0", Kind: OpScan, Leaf: 0, FragAttr: relation.Unique2, Procs: []int{0, 1}},
+			{ID: "scan:R1", Kind: OpScan, Leaf: 1, FragAttr: relation.Unique1, Procs: []int{0, 1}},
+			{
+				ID: "join:1", Kind: OpSimpleJoin, JoinID: 1, BuildIsLower: true,
+				Build: &Input{From: "scan:R0", Route: relation.Unique2},
+				Probe: &Input{From: "scan:R1", Route: relation.Unique1},
+				Procs: []int{0, 1},
+			},
+			{ID: "scan:R2", Kind: OpScan, Leaf: 2, FragAttr: relation.Unique1, Procs: []int{2, 3}},
+			{
+				ID: "join:2", Kind: OpPipeJoin, JoinID: 2, BuildIsLower: true,
+				Build: &Input{From: "join:1", Route: relation.Unique2},
+				Probe: &Input{From: "scan:R2", Route: relation.Unique1},
+				Procs: []int{2, 3},
+				After: []string{"join:1"},
+			},
+			{ID: "collect", Kind: OpCollect, In: &Input{From: "join:2", Route: relation.Unique1}, Procs: []int{HostProc}},
+		},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := smallPlan().Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Plan)
+	}{
+		{"empty plan", func(p *Plan) { p.Ops = nil }},
+		{"empty id", func(p *Plan) { p.Ops[0].ID = "" }},
+		{"duplicate id", func(p *Plan) { p.Ops[1].ID = "scan:R0" }},
+		{"no procs", func(p *Plan) { p.Ops[2].Procs = nil }},
+		{"scan with input", func(p *Plan) { p.Ops[0].In = &Input{From: "scan:R1", Route: relation.Unique1} }},
+		{"negative leaf", func(p *Plan) { p.Ops[0].Leaf = -1 }},
+		{"join missing build", func(p *Plan) { p.Ops[2].Build = nil }},
+		{"collect missing input", func(p *Plan) { p.Ops[5].In = nil }},
+		{"collect two procs", func(p *Plan) { p.Ops[5].Procs = []int{0, 1} }},
+		{"unknown input", func(p *Plan) { p.Ops[2].Build.From = "nope" }},
+		{"forward input reference", func(p *Plan) { p.Ops[2].Build.From = "join:2" }},
+		{"unknown after", func(p *Plan) { p.Ops[4].After = []string{"ghost"} }},
+		{"forward after", func(p *Plan) { p.Ops[2].After = []string{"join:2"} }},
+		{"two collects", func(p *Plan) {
+			p.Ops[4].Kind = OpCollect
+			p.Ops[4].In = p.Ops[4].Build
+			p.Ops[4].Build, p.Ops[4].Probe = nil, nil
+			p.Ops[4].Procs = []int{0}
+		}},
+		{"unconsumed op", func(p *Plan) {
+			p.Ops = append(p.Ops[:5:5], &Op{ID: "scan:R9", Kind: OpScan, Leaf: 9,
+				FragAttr: relation.Unique1, Procs: []int{0}}, p.Ops[5])
+		}},
+	}
+	for _, m := range mutations {
+		p := smallPlan()
+		m.mut(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", m.name)
+		}
+	}
+}
+
+func TestOpLookup(t *testing.T) {
+	p := smallPlan()
+	if p.Op("join:1") == nil || p.Op("ghost") != nil {
+		t.Error("Op lookup wrong")
+	}
+	if p.Collect() == nil || p.Collect().ID != "collect" {
+		t.Error("Collect lookup wrong")
+	}
+}
+
+func TestNumProcesses(t *testing.T) {
+	p := smallPlan()
+	// 2+2+2+2+2+1 = 11 processes.
+	if got := p.NumProcesses(); got != 11 {
+		t.Errorf("NumProcesses = %d, want 11", got)
+	}
+}
+
+func TestLocalEdgeDetection(t *testing.T) {
+	p := smallPlan()
+	scan0, join1 := p.Op("scan:R0"), p.Op("join:1")
+	if !LocalEdge(scan0, join1, join1.Build) {
+		t.Error("aligned scan edge must be local")
+	}
+	// Mismatched attribute.
+	scan0.FragAttr = relation.Unique1
+	if LocalEdge(scan0, join1, join1.Build) {
+		t.Error("attribute mismatch must not be local")
+	}
+	scan0.FragAttr = relation.Unique2
+	// Mismatched processors.
+	scan0.Procs = []int{0, 2}
+	if LocalEdge(scan0, join1, join1.Build) {
+		t.Error("processor mismatch must not be local")
+	}
+	scan0.Procs = []int{0, 1}
+	// Join outputs are never local.
+	join2 := p.Op("join:2")
+	if LocalEdge(join1, join2, join2.Build) {
+		t.Error("join output must always redistribute")
+	}
+}
+
+func TestNumStreams(t *testing.T) {
+	p := smallPlan()
+	// scan:R0 -> join:1 local: 2 streams; scan:R1 -> join:1 local: 2;
+	// join:1 -> join:2 redistribution: 2x2 = 4; scan:R2 -> join:2 local: 2;
+	// join:2 -> collect: 2x1 = 2. Total 12.
+	if got := p.NumStreams(); got != 12 {
+		t.Errorf("NumStreams = %d, want 12", got)
+	}
+}
+
+func TestMaxProc(t *testing.T) {
+	if got := smallPlan().MaxProc(); got != 3 {
+		t.Errorf("MaxProc = %d, want 3", got)
+	}
+}
+
+func TestSortProcs(t *testing.T) {
+	p := smallPlan()
+	p.Ops[0].Procs = []int{1, 0}
+	p.SortProcs()
+	if p.Ops[0].Procs[0] != 0 {
+		t.Error("SortProcs did not sort")
+	}
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	p := smallPlan()
+	text := Encode(p)
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse failed: %v\n%s", err, text)
+	}
+	if Encode(q) != text {
+		t.Errorf("round trip not stable:\n%s\nvs\n%s", text, Encode(q))
+	}
+	if q.Strategy != "TEST" || len(q.Ops) != len(p.Ops) {
+		t.Error("parsed plan differs structurally")
+	}
+	j2 := q.Op("join:2")
+	if j2.Kind != OpPipeJoin || !j2.BuildIsLower || j2.JoinID != 2 {
+		t.Errorf("join:2 fields lost: %+v", j2)
+	}
+	if len(j2.After) != 1 || j2.After[0] != "join:1" {
+		t.Errorf("After lost: %v", j2.After)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                                 // missing header
+		"op id=x kind=scan",                // op before header
+		"plan strategy=a\nplan strategy=b", // duplicate header
+		"plan strategy=a\nfrobnicate x=1",  // unknown directive
+		"plan strategy=a\nop id=s kind=scan leaf=z frag=unique1 procs=0",   // bad leaf
+		"plan strategy=a\nop id=s kind=scan leaf=0 frag=unique9 procs=0",   // bad attr
+		"plan strategy=a\nop id=s kind=wat leaf=0 frag=unique1 procs=0",    // bad kind
+		"plan strategy=a\nop id=s kind=scan leaf=0 frag=unique1 procs=",    // empty procs
+		"plan strategy=a\nop id=s kind=scan leaf=0 frag=unique1 procs=0,x", // bad proc
+		"plan strategy=a\nop kind=scan leaf=0 frag=unique1 procs=0",        // missing id
+		"plan strategy=a\nop id=c kind=collect in=xunique1 procs=-1",       // malformed input
+		"plan strategy=a\nop id=s kind=scan leaf=0 frag procs=0",           // field not k=v
+	}
+	for i, text := range bad {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("case %d: expected parse error for %q", i, text)
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	names := map[OpKind]string{
+		OpScan: "scan", OpSimpleJoin: "hashjoin", OpPipeJoin: "pipejoin", OpCollect: "collect",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if !strings.Contains(OpKind(42).String(), "42") {
+		t.Error("unknown kind should include its number")
+	}
+}
+
+func TestInputsOrder(t *testing.T) {
+	p := smallPlan()
+	in := p.Op("join:1").Inputs()
+	if len(in) != 2 || in[0].From != "scan:R0" || in[1].From != "scan:R1" {
+		t.Errorf("Inputs order wrong: %+v", in)
+	}
+	if len(p.Op("scan:R0").Inputs()) != 0 {
+		t.Error("scan must have no inputs")
+	}
+	if len(p.Op("collect").Inputs()) != 1 {
+		t.Error("collect must have one input")
+	}
+}

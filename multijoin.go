@@ -1,0 +1,176 @@
+// Package multijoin is a reproduction of "Parallel Evaluation of Multi-Join
+// Queries" (Annita N. Wilschut, Jan Flokstra, Peter M.G. Apers, SIGMOD 1995).
+//
+// The paper implements four strategies for parallelizing a multi-join query
+// on PRISMA/DB — a shared-nothing, main-memory parallel DBMS — and compares
+// them experimentally on up to 80 processors:
+//
+//   - SP (Sequential Parallel): joins one after another, each on all
+//     processors;
+//   - SE (Synchronous Execution): independent subtrees in parallel on
+//     processor subsets proportional to subtree work;
+//   - RD (Segmented Right-Deep): right-deep segments with shared build
+//     phases and one probe pipeline per segment;
+//   - FP (Full Parallel): every join on private processors, pipelining
+//     hash-joins, everything concurrent.
+//
+// This package is the public facade over the implementation in internal/:
+// the Wisconsin chain-query workload generator, the discrete-event-simulated
+// PRISMA/DB machine, the two hash-join algorithms, the phase-1 cost
+// optimizer, the four phase-2 strategies, and the experiment harness that
+// regenerates every figure of the paper's evaluation. See README.md for a
+// tour and EXPERIMENTS.md for measured results.
+//
+// A minimal session:
+//
+//	db, _ := multijoin.NewDatabase(10, 5000, 1995)
+//	tree, _ := multijoin.BuildTree(multijoin.WideBushy, 10)
+//	res, _ := multijoin.Run(multijoin.Query{
+//		DB: db, Tree: tree, Strategy: multijoin.FP, Procs: 80,
+//		Params: multijoin.DefaultParams(),
+//	})
+//	fmt.Printf("response time %.2fs\n", res.ResponseTime.Seconds())
+package multijoin
+
+import (
+	"multijoin/internal/core"
+	"multijoin/internal/costmodel"
+	"multijoin/internal/engine"
+	"multijoin/internal/jointree"
+	"multijoin/internal/optimizer"
+	"multijoin/internal/relation"
+	"multijoin/internal/strategy"
+	"multijoin/internal/wisconsin"
+	"multijoin/internal/xra"
+)
+
+// Core types, re-exported for library users.
+type (
+	// Query is one parallel multi-join execution request.
+	Query = core.Query
+	// RunResult is the outcome of executing a query: the real join result,
+	// the virtual response time, and the overhead statistics.
+	RunResult = engine.RunResult
+	// Stats aggregates process, stream and transport counters.
+	Stats = engine.Stats
+	// Params is the simulated machine model.
+	Params = costmodel.Params
+	// Database is a generated Wisconsin chain database.
+	Database = wisconsin.Database
+	// DatabaseConfig configures database generation.
+	DatabaseConfig = wisconsin.Config
+	// Node is a join-tree node.
+	Node = jointree.Node
+	// Shape enumerates the five paper query-tree shapes.
+	Shape = jointree.Shape
+	// Strategy selects one of the four parallelization strategies.
+	Strategy = strategy.Kind
+	// Plan is a parallel execution plan in the XRA-like representation.
+	Plan = xra.Plan
+	// Relation is a named multiset of Wisconsin-style tuples.
+	Relation = relation.Relation
+	// Tuple is one Wisconsin-style tuple.
+	Tuple = relation.Tuple
+	// Catalog holds chain-query statistics for the phase-1 optimizer.
+	Catalog = optimizer.Catalog
+	// Space selects the phase-1 plan search space (linear or bushy).
+	Space = optimizer.Space
+)
+
+// The four strategies of Section 3.
+const (
+	SP = strategy.SP
+	SE = strategy.SE
+	RD = strategy.RD
+	FP = strategy.FP
+)
+
+// The five query shapes of Figure 8.
+const (
+	LeftLinear  = jointree.LeftLinear
+	LeftBushy   = jointree.LeftBushy
+	WideBushy   = jointree.WideBushy
+	RightBushy  = jointree.RightBushy
+	RightLinear = jointree.RightLinear
+)
+
+// Optimizer search spaces.
+const (
+	LinearSpace = optimizer.LinearSpace
+	BushySpace  = optimizer.BushySpace
+)
+
+// Strategies lists all four strategies in the paper's order.
+var Strategies = strategy.Kinds
+
+// Shapes lists all five query shapes in the paper's order.
+var Shapes = jointree.Shapes
+
+// DefaultParams returns the calibrated machine model (see EXPERIMENTS.md for
+// the calibration).
+func DefaultParams() Params { return costmodel.Default() }
+
+// NewDatabase generates a chain of `relations` Wisconsin relations with
+// `card` tuples each — the paper's test database (Section 4.1).
+func NewDatabase(relations, card int, seed int64) (*Database, error) {
+	return wisconsin.Chain(wisconsin.Config{Relations: relations, Cardinality: card, Seed: seed})
+}
+
+// BuildTree constructs one of the five paper query-tree shapes over k
+// relations.
+func BuildTree(s Shape, k int) (*Node, error) { return jointree.BuildShape(s, k) }
+
+// ExampleTree returns the 5-way join tree of Figure 2 that the paper uses to
+// illustrate the strategies.
+func ExampleTree() *Node { return jointree.Example() }
+
+// Run plans and executes the query on the simulated PRISMA/DB machine.
+func Run(q Query) (*RunResult, error) { return q.Run() }
+
+// Verify runs the query and checks the result against the sequential
+// reference execution.
+func Verify(q Query) (*RunResult, error) { return core.Verify(q) }
+
+// Reference evaluates the tree sequentially — the correctness oracle.
+func Reference(db *Database, tree *Node) *Relation { return core.Reference(db, tree) }
+
+// Optimize runs phase 1 of the two-phase optimization: it returns a
+// minimal-total-cost join tree for the catalog within the given search
+// space.
+func Optimize(c Catalog, space Space) (*Node, float64, error) {
+	res, err := optimizer.Optimize(c, space)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Tree, res.Cost, nil
+}
+
+// UniformCatalog returns the paper's regular catalog: k relations of equal
+// cardinality with 1:1 joins.
+func UniformCatalog(k int, card float64) Catalog { return optimizer.Uniform(k, card) }
+
+// TwoPhase runs the complete pipeline of Section 1.2: phase 1 picks the
+// cheapest tree, phase 2 parallelizes and executes it.
+func TwoPhase(db *Database, space Space, s Strategy, procs int, params Params) (*Node, *RunResult, error) {
+	return core.TwoPhase(db, space, s, procs, params)
+}
+
+// Advice-related types: the paper's Section 5 guidelines as an API.
+type (
+	// Advice is a strategy recommendation.
+	Advice = core.Advice
+	// AdviseInput describes the situation to recommend a strategy for.
+	AdviseInput = core.AdviseInput
+)
+
+// Advise applies the paper's Section 5 guidelines: SP for small machines or
+// memory-constrained nodes, SE for wide bushy trees on large problems, RD
+// for right-oriented trees (mirroring left-oriented ones first, which is
+// free), FP otherwise.
+func Advise(in AdviseInput) (Advice, error) { return core.Advise(in) }
+
+// EncodePlan renders a plan in the textual XRA format.
+func EncodePlan(p *Plan) string { return xra.Encode(p) }
+
+// ParsePlan reads a plan in the textual XRA format.
+func ParsePlan(text string) (*Plan, error) { return xra.Parse(text) }

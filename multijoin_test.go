@@ -1,0 +1,114 @@
+package multijoin_test
+
+import (
+	"strings"
+	"testing"
+
+	"multijoin"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	db, err := multijoin.NewDatabase(6, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := multijoin.BuildTree(multijoin.RightBushy, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range multijoin.Strategies {
+		res, err := multijoin.Verify(multijoin.Query{
+			DB: db, Tree: tree, Strategy: s, Procs: 10,
+			Params: multijoin.DefaultParams(),
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if res.Stats.ResultTuples != 300 {
+			t.Errorf("%v: %d result tuples", s, res.Stats.ResultTuples)
+		}
+	}
+}
+
+func TestFacadeTwoPhase(t *testing.T) {
+	db, err := multijoin.NewDatabase(8, 200, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, res, err := multijoin.TwoPhase(db, multijoin.BushySpace, multijoin.FP, 12, multijoin.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree == nil || res.Stats.ResultTuples != 200 {
+		t.Errorf("two-phase result wrong")
+	}
+}
+
+func TestFacadeOptimize(t *testing.T) {
+	cat := multijoin.UniformCatalog(6, 100)
+	tree, cost, err := multijoin.Optimize(cat, multijoin.LinearSpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree == nil || cost <= 0 {
+		t.Error("optimize returned nothing")
+	}
+}
+
+func TestFacadePlanTextRoundTrip(t *testing.T) {
+	db, err := multijoin.NewDatabase(5, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := multijoin.Query{
+		DB: db, Tree: multijoin.ExampleTree(), Strategy: multijoin.RD, Procs: 10,
+		Params: multijoin.DefaultParams(),
+	}
+	plan, err := q.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := multijoin.EncodePlan(plan)
+	if !strings.Contains(text, "strategy=RD") {
+		t.Errorf("encoded plan missing strategy:\n%s", text)
+	}
+	back, err := multijoin.ParsePlan(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multijoin.EncodePlan(back) != text {
+		t.Error("plan text round trip unstable")
+	}
+}
+
+func TestFacadeReference(t *testing.T) {
+	db, err := multijoin.NewDatabase(4, 150, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := multijoin.BuildTree(multijoin.LeftLinear, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := multijoin.Reference(db, tree)
+	if ref.Card() != 150 {
+		t.Errorf("reference card %d", ref.Card())
+	}
+}
+
+func TestFacadeAdvise(t *testing.T) {
+	tree, err := multijoin.BuildTree(multijoin.RightBushy, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := multijoin.Advise(multijoin.AdviseInput{Tree: tree, Procs: 80, Card: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Strategy != multijoin.RD {
+		t.Errorf("right bushy on 80 procs: advised %v, want RD", a.Strategy)
+	}
+	if a.Reason == "" {
+		t.Error("advice must carry a reason")
+	}
+}
