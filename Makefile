@@ -1,0 +1,30 @@
+# Single source of truth for the commands CI and humans run.
+GO ?= go
+
+.PHONY: all build lint test bench clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+# Lint fails on unformatted files (gofmt prints their names) and vet errors.
+lint:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+# Bench smoke: one iteration of every benchmark, with the sim-vs-parallel
+# comparison captured as test2json lines in BENCH_parallel.json.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -json . > BENCH_parallel.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_parallel.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
+	@echo "wrote BENCH_parallel.json"
+
+clean:
+	rm -f BENCH_parallel.json

@@ -15,7 +15,9 @@ package multijoin_test
 import (
 	"sync"
 	"testing"
+	"time"
 
+	"multijoin"
 	"multijoin/internal/experiments"
 	"multijoin/internal/jointree"
 	"multijoin/internal/strategy"
@@ -168,3 +170,47 @@ func BenchmarkEngineSingleQuery(b *testing.B) {
 		}
 	}
 }
+
+// benchParallelVsSim runs the same mid-sized wide-bushy query through both
+// runtimes for one strategy: the benchmark's own ns/op is the goroutine
+// runtime's real wall clock; the simulator's prediction for the identical
+// plan is reported alongside as sim-resp-s. Comparing the four strategies'
+// benchmarks shows whether the paper's virtual-clock ordering (FP/SE ahead
+// of SP at this scale) survives contact with real cores.
+func benchParallelVsSim(b *testing.B, kind strategy.Kind) {
+	db, err := multijoin.NewDatabase(10, 5000, 1995)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := multijoin.BuildTree(multijoin.WideBushy, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Plans target 16 processors (RD and FP need one per concurrent join);
+	// the runtime's semaphore caps real concurrency at the host cores.
+	const procs = 16
+	maxProcs := multijoin.HostCap(procs)
+	q := multijoin.Query{DB: db, Tree: tree, Strategy: kind, Procs: procs, Params: multijoin.DefaultParams()}
+	simRes, err := multijoin.Run(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var wall time.Duration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := multijoin.ExecuteParallel(q, multijoin.ParallelConfig{MaxProcs: maxProcs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wall = res.WallTime
+	}
+	b.StopTimer()
+	b.ReportMetric(simRes.ResponseTime.Seconds(), "sim-resp-s")
+	b.ReportMetric(wall.Seconds(), "real-wall-s")
+}
+
+func BenchmarkParallelVsSim_SP(b *testing.B) { benchParallelVsSim(b, strategy.SP) }
+func BenchmarkParallelVsSim_SE(b *testing.B) { benchParallelVsSim(b, strategy.SE) }
+func BenchmarkParallelVsSim_RD(b *testing.B) { benchParallelVsSim(b, strategy.RD) }
+func BenchmarkParallelVsSim_FP(b *testing.B) { benchParallelVsSim(b, strategy.FP) }

@@ -12,6 +12,11 @@
 //	mjbench -fig ablation # Section 3.5 overhead ablation
 //	mjbench -fig all      # everything
 //
+// -runtime selects the execution runtime for the response-time figures:
+// "sim" (default) measures virtual seconds on the simulated PRISMA/DB
+// machine; "parallel" runs the same plans on the goroutine runtime and
+// measures wall-clock seconds on the host's real cores.
+//
 // -card5k/-card40k/-procs scale the experiments down for quick runs.
 package main
 
@@ -31,7 +36,12 @@ func main() {
 	card40k := flag.Int("card40k", 40000, "cardinality of the large experiment")
 	seed := flag.Int64("seed", 1995, "database generator seed")
 	csvPath := flag.String("csv", "", "also write all response-time sweeps (figures 9-13) to this CSV file")
+	rt := flag.String("runtime", "sim", "execution runtime for figures 9-13: sim (virtual clock) or parallel (goroutines, wall clock)")
 	flag.Parse()
+	if *rt != "sim" && *rt != "parallel" {
+		fmt.Fprintf(os.Stderr, "mjbench: unknown -runtime %q (want sim or parallel)\n", *rt)
+		os.Exit(2)
+	}
 
 	r := experiments.NewRunner()
 	r.Seed = *seed
@@ -60,11 +70,21 @@ func main() {
 		case "9", "10", "11", "12", "13":
 			shape := figureShapes[name]
 			for _, size := range sizes {
-				pts, err := r.SweepShape(shape, size)
+				var (
+					pts []experiments.Point
+					err error
+				)
+				unit := "virtual seconds"
+				if *rt == "parallel" {
+					pts, err = r.SweepShapeParallel(shape, size)
+					unit = "wall seconds, goroutine runtime"
+				} else {
+					pts, err = r.SweepShape(shape, size)
+				}
 				if err != nil {
 					return err
 				}
-				title := fmt.Sprintf("Figure %s: %s query tree, %s experiment (seconds)", name, shape, size.Name)
+				title := fmt.Sprintf("Figure %s: %s query tree, %s experiment (%s)", name, shape, size.Name, unit)
 				fmt.Println(experiments.FormatSweep(title, pts))
 			}
 		case "14":
@@ -128,7 +148,11 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := r.CSVForShapes(f, sizes); err != nil {
+		writeCSV := r.CSVForShapes
+		if *rt == "parallel" {
+			writeCSV = r.CSVForShapesParallel
+		}
+		if err := writeCSV(f, sizes); err != nil {
 			fmt.Fprintf(os.Stderr, "mjbench: %v\n", err)
 			os.Exit(1)
 		}

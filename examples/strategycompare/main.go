@@ -65,4 +65,42 @@ func main() {
 	}
 	fmt.Printf("RD on left-linear: %.2fs; after mirroring to right-linear: %.2fs\n",
 		left.ResponseTime.Seconds(), right.ResponseTime.Seconds())
+
+	// The same comparison on real cores: the goroutine runtime executes the
+	// identical plans with one worker goroutine per operation process and
+	// reports wall-clock time. Results are verified against the sequential
+	// reference on every run.
+	// Plans are generated for 16 processors (RD and FP need one processor
+	// per concurrently executing join); the semaphore then caps actual
+	// concurrency at the host's real core count.
+	procs := 16
+	maxProcs := multijoin.HostCap(procs)
+	fmt.Printf("\n===== goroutine runtime: %d-processor plans on %d cores, wall-clock ms =====\n", procs, maxProcs)
+	fmt.Printf("%-22s", "shape")
+	for _, s := range multijoin.Strategies {
+		fmt.Printf("%10v", s)
+	}
+	fmt.Printf("%10s\n", "winner")
+	for _, shape := range multijoin.Shapes {
+		tree, err := multijoin.BuildTree(shape, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22v", shape)
+		bestMS, bestStrat := -1.0, multijoin.SP
+		for _, s := range multijoin.Strategies {
+			res, err := multijoin.VerifyParallel(multijoin.Query{
+				DB: db, Tree: tree, Strategy: s, Procs: procs, Params: params,
+			}, multijoin.ParallelConfig{MaxProcs: maxProcs})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ms := float64(res.WallTime.Microseconds()) / 1000
+			fmt.Printf("%10.1f", ms)
+			if bestMS < 0 || ms < bestMS {
+				bestMS, bestStrat = ms, s
+			}
+		}
+		fmt.Printf("%10v\n", bestStrat)
+	}
 }

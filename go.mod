@@ -1,0 +1,3 @@
+module multijoin
+
+go 1.24

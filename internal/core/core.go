@@ -15,6 +15,7 @@ import (
 	"multijoin/internal/engine"
 	"multijoin/internal/jointree"
 	"multijoin/internal/optimizer"
+	"multijoin/internal/parallel"
 	"multijoin/internal/relation"
 	"multijoin/internal/strategy"
 	"multijoin/internal/wisconsin"
@@ -65,6 +66,36 @@ func (q Query) baseRelation(leaf int) *relation.Relation {
 		return nil
 	}
 	return q.DB.Relation(leaf)
+}
+
+// ExecuteParallel plans the query and executes the plan with real
+// goroutine concurrency (package parallel) instead of the simulator: one
+// worker goroutine per operation process, buffered channels as tuple
+// streams, and a processor-cap semaphore. The returned result is the same
+// multiset the simulator and the sequential reference produce.
+func ExecuteParallel(q Query, cfg parallel.Config) (*parallel.RunResult, error) {
+	plan, err := q.Plan()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.BatchTuples < 1 {
+		cfg.BatchTuples = q.Params.BatchTuples
+	}
+	return parallel.Run(plan, q.baseRelation, cfg)
+}
+
+// VerifyParallel executes the query on the goroutine runtime and checks the
+// result against the sequential reference.
+func VerifyParallel(q Query, cfg parallel.Config) (*parallel.RunResult, error) {
+	res, err := ExecuteParallel(q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	want := Reference(q.DB, q.Tree)
+	if diff := relation.DiffMultiset(res.Result, want); diff != "" {
+		return nil, fmt.Errorf("core: parallel %v result differs from reference: %s", q.Strategy, diff)
+	}
+	return res, nil
 }
 
 // Reference evaluates the tree sequentially with real hash joins — the

@@ -43,13 +43,23 @@ func WriteCSV(w io.Writer, points []Point) error {
 	return nil
 }
 
-// CSVForShapes runs the sweeps for all five paper shapes over the given
-// sizes and writes a single CSV covering all of them.
+// CSVForShapes runs the simulator sweeps for all five paper shapes over the
+// given sizes and writes a single CSV covering all of them.
 func (r *Runner) CSVForShapes(w io.Writer, sizes []ProblemSize) error {
+	return r.csvForShapes(w, sizes, r.SweepShape)
+}
+
+// CSVForShapesParallel is CSVForShapes on the goroutine runtime: the same
+// shapes and sizes, measured in wall-clock seconds.
+func (r *Runner) CSVForShapesParallel(w io.Writer, sizes []ProblemSize) error {
+	return r.csvForShapes(w, sizes, r.SweepShapeParallel)
+}
+
+func (r *Runner) csvForShapes(w io.Writer, sizes []ProblemSize, sweep func(jointree.Shape, ProblemSize) ([]Point, error)) error {
 	var all []Point
 	for _, shape := range jointree.Shapes {
 		for _, size := range sizes {
-			pts, err := r.SweepShape(shape, size)
+			pts, err := sweep(shape, size)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"multijoin/internal/core"
+	"multijoin/internal/engine"
+	"multijoin/internal/jointree"
+	"multijoin/internal/parallel"
+	"multijoin/internal/strategy"
+)
+
+// RunParallel measures one configuration on the goroutine runtime: the same
+// plan the simulator would execute, run with real concurrency, reported in
+// wall-clock seconds instead of virtual seconds. The processor cap is the
+// swept processor count, bounded by the host's GOMAXPROCS (a laptop does
+// not have 80 CPUs; capping keeps the sweep honest about what actually runs
+// concurrently).
+func (r *Runner) RunParallel(shape jointree.Shape, kind strategy.Kind, card, procs int) (Point, error) {
+	db, err := r.DB(card)
+	if err != nil {
+		return Point{}, err
+	}
+	tree, err := jointree.BuildShape(shape, r.Relations)
+	if err != nil {
+		return Point{}, err
+	}
+	q := core.Query{DB: db, Tree: tree, Strategy: kind, Procs: procs, Params: r.Params}
+	res, err := core.ExecuteParallel(q, parallel.Config{MaxProcs: parallel.HostCap(procs)})
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{
+		Shape:    shape,
+		Strategy: kind,
+		Card:     card,
+		Procs:    procs,
+		Seconds:  res.WallTime.Seconds(),
+		// The structural counters are runtime-independent; carrying them
+		// over keeps the CSV columns meaningful for parallel sweeps.
+		Stats: engine.Stats{
+			Processes:         res.Stats.Processes,
+			Streams:           res.Stats.Streams,
+			TuplesMovedRemote: res.Stats.TuplesMovedRemote,
+			TuplesLocal:       res.Stats.TuplesLocal,
+			Batches:           res.Stats.Batches,
+			ResultTuples:      res.Stats.ResultTuples,
+		},
+	}, nil
+}
+
+// SweepShapeParallel measures all strategies over all processor counts of
+// one problem size on the goroutine runtime — the wall-clock counterpart of
+// SweepShape.
+func (r *Runner) SweepShapeParallel(shape jointree.Shape, size ProblemSize) ([]Point, error) {
+	var out []Point
+	for _, procs := range size.Procs {
+		for _, kind := range strategy.Kinds {
+			p, err := r.RunParallel(shape, kind, size.Card, procs)
+			if err != nil {
+				return nil, fmt.Errorf("%v/%v/%d procs: %w", shape, kind, procs, err)
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}

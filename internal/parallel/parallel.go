@@ -1,0 +1,406 @@
+// Package parallel executes xra plans with real goroutine concurrency — the
+// wall-clock counterpart of the discrete-event simulator in package engine.
+//
+// The simulator reproduces the paper's *structural* cost effects on a
+// virtual clock; this package runs the very same plans on the host machine
+// so that the FP-vs-RD pipelining tradeoffs can be measured on real cores:
+//
+//   - every operation process of the plan (one operator replica per
+//     processor in Op.Procs) becomes one worker goroutine;
+//   - every tuple stream becomes one buffered channel — n×m channels per
+//     redistribution edge from n producer to m consumer processes, n
+//     channels per local edge — exactly the stream structure counted by
+//     engine.Stats and xra.Plan.NumStreams;
+//   - operand redistribution hash-partitions result batches over the
+//     consumer's processes with relation.HashKey, identical to the
+//     simulator, so both runtimes compute the identical result multiset;
+//   - the plan's processor count is modeled by a counting semaphore: at
+//     most MaxProcs operation processes compute at any instant, while
+//     channel sends and receives are never performed under the semaphore
+//     (blocked processes release their processor, as on a real machine);
+//   - Op.After start dependencies are honored without deadlock: a process
+//     whose dependencies are pending keeps draining its input into an
+//     unbounded stash (the simulator's "input arriving earlier is
+//     buffered") and processes it once the dependencies complete.
+//
+// The join operators reuse the hash-join state machines of package
+// hashjoin; the simple join blocks its probe operand until the build phase
+// ends, the pipelining join processes both operands as they arrive. Result
+// equivalence against the sequential reference is asserted for every
+// strategy in the tests.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multijoin/internal/relation"
+	"multijoin/internal/xra"
+)
+
+// HostCap returns procs bounded by the host's GOMAXPROCS: the MaxProcs to
+// use when a plan targets more processors than the machine has cores.
+// Plans must keep their full processor count (RD and FP need one processor
+// per concurrently executing join); only the semaphore is capped.
+func HostCap(procs int) int {
+	if n := runtime.GOMAXPROCS(0); procs > n {
+		return n
+	}
+	return procs
+}
+
+// Config parameterizes one parallel execution.
+type Config struct {
+	// MaxProcs caps the number of operation processes computing
+	// concurrently — the semaphore modeling p physical processors. Zero
+	// means the plan's own processor count (MaxProc+1), i.e. the machine
+	// the plan was generated for.
+	MaxProcs int
+	// BatchTuples is the number of tuples per transport batch (the
+	// pipelining granularity). Zero means DefaultBatchTuples.
+	BatchTuples int
+	// ChannelDepth is the buffer capacity, in batches, of each tuple
+	// stream channel. Zero means DefaultChannelDepth.
+	ChannelDepth int
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultBatchTuples  = 64
+	DefaultChannelDepth = 4
+)
+
+func (c Config) withDefaults(plan *xra.Plan) Config {
+	if c.MaxProcs < 1 {
+		c.MaxProcs = plan.MaxProc() + 1
+		if c.MaxProcs < 1 {
+			c.MaxProcs = 1
+		}
+	}
+	if c.BatchTuples < 1 {
+		c.BatchTuples = DefaultBatchTuples
+	}
+	if c.ChannelDepth < 1 {
+		c.ChannelDepth = DefaultChannelDepth
+	}
+	return c
+}
+
+// Stats aggregates the structural counters of one parallel run, mirroring
+// engine.Stats where the quantity is meaningful on a real machine.
+type Stats struct {
+	// Processes is the number of operation processes (worker goroutines).
+	Processes int
+	// Streams is the number of tuple-stream channels opened.
+	Streams int
+	// Goroutines is the total number of goroutines launched: workers,
+	// one stream forwarder per incoming stream, and dependency waiters.
+	Goroutines int
+	// MaxProcs is the effective processor cap.
+	MaxProcs int
+	// TuplesMovedRemote counts tuples that crossed plan-processor
+	// boundaries (producer and consumer process bound to different
+	// processor ids).
+	TuplesMovedRemote int64
+	// TuplesLocal counts tuples delivered between processes bound to the
+	// same processor id.
+	TuplesLocal int64
+	// Batches counts delivered data batches.
+	Batches int64
+	// ResultTuples is the cardinality of the final result.
+	ResultTuples int
+	// OpWall maps operator ids to their wall-clock completion offset from
+	// query start.
+	OpWall map[string]time.Duration
+}
+
+// RunResult is the outcome of one parallel execution.
+type RunResult struct {
+	// Result is the collected final relation (real tuples, same multiset
+	// as the simulator and the sequential reference).
+	Result *relation.Relation
+	// WallTime is the elapsed real time from launch to the completion of
+	// the last operation process.
+	WallTime time.Duration
+	// Stats holds structural counters.
+	Stats Stats
+}
+
+// port identifies one logical input of an operator (same roles as the
+// simulator's ports).
+type port int
+
+const (
+	portBuild port = iota
+	portProbe
+	portIn
+)
+
+// item is one unit of work in a process's mailbox: a data batch or an
+// end-of-stream marker for one port.
+type item struct {
+	port   port
+	tuples []relation.Tuple
+	eos    bool
+}
+
+// stream is one tuple stream: a buffered channel from one producer process
+// to one consumer process. Closing the channel ends the stream.
+type stream struct {
+	ch     chan []relation.Tuple
+	port   port
+	remote bool // producer and consumer bound to different processor ids
+}
+
+// consumerEdge describes where an operator's output goes.
+type consumerEdge struct {
+	to    *opState
+	port  port
+	route relation.Attr
+	local bool
+}
+
+// opState is the shared runtime state of one plan operator.
+type opState struct {
+	op        *xra.Op
+	instances []*inst
+	edge      *consumerEdge // nil only for collect
+	deps      []*opState
+
+	ready     chan struct{} // closed when all After dependencies completed
+	done      chan struct{} // closed when all instances finished
+	remaining atomic.Int32
+	wallDone  time.Duration // written by the closing instance before close(done)
+}
+
+// runtimeState carries one execution.
+type runtimeState struct {
+	plan  *xra.Plan
+	cfg   Config
+	sem   chan struct{}
+	ops   map[string]*opState
+	order []*opState
+
+	collect *inst
+	start   time.Time
+	wg      sync.WaitGroup
+
+	goroutines   int
+	remoteTuples atomic.Int64
+	localTuples  atomic.Int64
+	batches      atomic.Int64
+}
+
+// Run executes the plan against the base relations (leaf index → relation)
+// with real goroutine concurrency and returns the collected result and
+// wall-clock statistics.
+func Run(plan *xra.Plan, base func(leaf int) *relation.Relation, cfg Config) (*RunResult, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("parallel: %w", err)
+	}
+	r := &runtimeState{
+		plan: plan,
+		cfg:  cfg.withDefaults(plan),
+		ops:  make(map[string]*opState, len(plan.Ops)),
+	}
+	r.sem = make(chan struct{}, r.cfg.MaxProcs)
+	if err := r.setup(base); err != nil {
+		return nil, err
+	}
+	r.start = time.Now()
+	r.launch()
+	r.wg.Wait()
+	return r.finish(), nil
+}
+
+// setup builds operator and process state, wires dependency edges, creates
+// one channel per tuple stream, and pre-places base relation fragments.
+func (r *runtimeState) setup(base func(leaf int) *relation.Relation) error {
+	for _, op := range r.plan.Ops {
+		os := &opState{op: op, ready: make(chan struct{}), done: make(chan struct{})}
+		os.remaining.Store(int32(len(op.Procs)))
+		r.ops[op.ID] = os
+		r.order = append(r.order, os)
+	}
+	// Wire consumer edges and After dependencies.
+	for _, os := range r.order {
+		for _, in := range os.op.Inputs() {
+			from := r.ops[in.From]
+			from.edge = &consumerEdge{
+				to:    os,
+				port:  portOf(os.op, in),
+				route: in.Route,
+				local: xra.LocalEdge(from.op, os.op, in),
+			}
+		}
+		for _, a := range os.op.After {
+			os.deps = append(os.deps, r.ops[a])
+		}
+	}
+	// Create one process (worker) per operator replica.
+	for _, os := range r.order {
+		for i, procID := range os.op.Procs {
+			w := &inst{
+				r:      r,
+				op:     os,
+				idx:    i,
+				proc:   procID,
+				eosGot: make(map[port]int),
+			}
+			os.instances = append(os.instances, w)
+		}
+		if os.op.Kind == xra.OpCollect {
+			r.collect = os.instances[0]
+			r.collect.gathered = relation.New("result", 0)
+		}
+	}
+	// Pre-place base relation fragments: ideal initial fragmentation
+	// (Section 4.1), identical to the simulator — fragment i of a scan
+	// goes to scan process i.
+	for _, os := range r.order {
+		if os.op.Kind != xra.OpScan {
+			continue
+		}
+		rel := base(os.op.Leaf)
+		if rel == nil {
+			return fmt.Errorf("parallel: no base relation for leaf %d", os.op.Leaf)
+		}
+		if r.collect.gathered.TupleBytes == 0 {
+			r.collect.gathered.TupleBytes = rel.TupleBytes
+		}
+		frags := relation.Fragment(rel, os.op.FragAttr, len(os.instances))
+		for i, w := range os.instances {
+			w.scanTuples = frags[i].Tuples
+		}
+	}
+	// Open the tuple streams: on a local edge, producer process i feeds
+	// consumer process i over one channel; on a redistribution edge every
+	// producer process opens one channel to every consumer process.
+	for _, os := range r.order {
+		c := os.edge
+		if c == nil {
+			continue
+		}
+		for _, w := range os.instances {
+			if c.local {
+				dest := c.to.instances[w.idx]
+				s := r.newStream(c.port, w.proc, dest.proc)
+				w.outs = []*stream{s}
+				dest.incoming = append(dest.incoming, s)
+			} else {
+				w.outs = make([]*stream, len(c.to.instances))
+				for d, dest := range c.to.instances {
+					s := r.newStream(c.port, w.proc, dest.proc)
+					w.outs[d] = s
+					dest.incoming = append(dest.incoming, s)
+				}
+			}
+			w.outBufs = make([][]relation.Tuple, len(w.outs))
+		}
+	}
+	// End-of-stream accounting and mailboxes: every incoming stream
+	// delivers exactly one end-of-stream marker on its port.
+	for _, os := range r.order {
+		for _, w := range os.instances {
+			w.eosWant = make(map[port]int)
+			for _, s := range w.incoming {
+				w.eosWant[s.port]++
+			}
+			depth := len(w.incoming) * r.cfg.ChannelDepth
+			if depth < 1 {
+				depth = 1
+			}
+			w.mailbox = make(chan item, depth)
+		}
+	}
+	return nil
+}
+
+func (r *runtimeState) newStream(p port, fromProc, toProc int) *stream {
+	return &stream{
+		ch:     make(chan []relation.Tuple, r.cfg.ChannelDepth),
+		port:   p,
+		remote: fromProc != toProc,
+	}
+}
+
+// portOf resolves which logical port an input feeds, by identity with the
+// operator's input fields (as the simulator does).
+func portOf(op *xra.Op, in *xra.Input) port {
+	switch in {
+	case op.Build:
+		return portBuild
+	case op.Probe:
+		return portProbe
+	default:
+		return portIn
+	}
+}
+
+// launch starts dependency waiters, stream forwarders and workers.
+func (r *runtimeState) launch() {
+	for _, os := range r.order {
+		os := os
+		if len(os.deps) == 0 {
+			close(os.ready)
+		} else {
+			r.wg.Add(1)
+			r.goroutines++
+			go func() {
+				defer r.wg.Done()
+				for _, d := range os.deps {
+					<-d.done
+				}
+				close(os.ready)
+			}()
+		}
+		for _, w := range os.instances {
+			w := w
+			for _, s := range w.incoming {
+				s := s
+				r.wg.Add(1)
+				r.goroutines++
+				go func() {
+					defer r.wg.Done()
+					for b := range s.ch {
+						w.mailbox <- item{port: s.port, tuples: b}
+					}
+					w.mailbox <- item{port: s.port, eos: true}
+				}()
+			}
+			r.wg.Add(1)
+			r.goroutines++
+			go w.run()
+		}
+	}
+}
+
+// finish assembles the run result after every goroutine exited.
+func (r *runtimeState) finish() *RunResult {
+	var last time.Duration
+	opWall := make(map[string]time.Duration, len(r.order))
+	for _, os := range r.order {
+		opWall[os.op.ID] = os.wallDone
+		if os.op.Kind != xra.OpCollect && os.wallDone > last {
+			last = os.wallDone
+		}
+	}
+	return &RunResult{
+		Result:   r.collect.gathered,
+		WallTime: last,
+		Stats: Stats{
+			Processes:         r.plan.NumProcesses(),
+			Streams:           r.plan.NumStreams(),
+			Goroutines:        r.goroutines,
+			MaxProcs:          r.cfg.MaxProcs,
+			TuplesMovedRemote: r.remoteTuples.Load(),
+			TuplesLocal:       r.localTuples.Load(),
+			Batches:           r.batches.Load(),
+			ResultTuples:      r.collect.gathered.Card(),
+			OpWall:            opWall,
+		},
+	}
+}

@@ -1,0 +1,247 @@
+package parallel_test
+
+import (
+	"fmt"
+	"testing"
+
+	"multijoin/internal/core"
+	"multijoin/internal/jointree"
+	"multijoin/internal/parallel"
+	"multijoin/internal/relation"
+	"multijoin/internal/strategy"
+	"multijoin/internal/wisconsin"
+	"multijoin/internal/xra"
+)
+
+// testDB returns a small deterministic chain database (seed-pinned so every
+// run, including CI's -race runs, sees identical data).
+func testDB(t testing.TB, relations, card int) *wisconsin.Database {
+	t.Helper()
+	db, err := wisconsin.Chain(wisconsin.Config{Relations: relations, Cardinality: card, Seed: 1995})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func planFor(t testing.TB, db *wisconsin.Database, tree *jointree.Node, kind strategy.Kind, procs int) *core.Query {
+	t.Helper()
+	return &core.Query{DB: db, Tree: tree, Strategy: kind, Procs: procs}
+}
+
+// TestResultEquivalence checks the acceptance criterion: the goroutine
+// runtime returns the identical result multiset as the sequential reference
+// (and therefore as the simulator, which is verified against the same
+// reference elsewhere) for all four strategies on linear and wide-bushy
+// trees.
+func TestResultEquivalence(t *testing.T) {
+	db := testDB(t, 6, 400)
+	shapes := []jointree.Shape{jointree.LeftLinear, jointree.RightLinear, jointree.WideBushy}
+	for _, shape := range shapes {
+		tree, err := jointree.BuildShape(shape, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := core.Reference(db, tree)
+		for _, kind := range strategy.Kinds {
+			t.Run(fmt.Sprintf("%v/%v", shape, kind), func(t *testing.T) {
+				q := planFor(t, db, tree, kind, 12)
+				res, err := core.ExecuteParallel(*q, parallel.Config{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if diff := relation.DiffMultiset(res.Result, want); diff != "" {
+					t.Fatalf("%v/%v: parallel result differs from reference: %s", shape, kind, diff)
+				}
+				if res.Stats.ResultTuples != want.Card() {
+					t.Fatalf("ResultTuples = %d, want %d", res.Stats.ResultTuples, want.Card())
+				}
+			})
+		}
+	}
+}
+
+// TestSimulatorEquivalence runs the same plan through both runtimes and
+// compares the result multisets directly.
+func TestSimulatorEquivalence(t *testing.T) {
+	db := testDB(t, 5, 300)
+	tree, err := jointree.BuildShape(jointree.WideBushy, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range strategy.Kinds {
+		q := core.Query{DB: db, Tree: tree, Strategy: kind, Procs: 10}
+		sim, err := core.Verify(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := core.ExecuteParallel(q, parallel.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := relation.DiffMultiset(par.Result, sim.Result); diff != "" {
+			t.Fatalf("%v: parallel vs simulator: %s", kind, diff)
+		}
+	}
+}
+
+// TestStructuralCounters checks that the runtime opens exactly the stream
+// and process structure the plan declares — the quantities engine.Stats
+// counts on the virtual machine.
+func TestStructuralCounters(t *testing.T) {
+	db := testDB(t, 5, 200)
+	tree, err := jointree.BuildShape(jointree.LeftLinear, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.Query{DB: db, Tree: tree, Strategy: strategy.FP, Procs: 8}
+	plan, err := q.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.ExecuteParallel(q, parallel.Config{MaxProcs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Processes != plan.NumProcesses() {
+		t.Errorf("Processes = %d, want %d", res.Stats.Processes, plan.NumProcesses())
+	}
+	if res.Stats.Streams != plan.NumStreams() {
+		t.Errorf("Streams = %d, want %d", res.Stats.Streams, plan.NumStreams())
+	}
+	if res.Stats.MaxProcs != 4 {
+		t.Errorf("MaxProcs = %d, want 4", res.Stats.MaxProcs)
+	}
+	if res.Stats.Goroutines < plan.NumProcesses()+plan.NumStreams() {
+		t.Errorf("Goroutines = %d, want at least processes+streams = %d",
+			res.Stats.Goroutines, plan.NumProcesses()+plan.NumStreams())
+	}
+	if len(res.Stats.OpWall) != len(plan.Ops) {
+		t.Errorf("OpWall has %d entries, want %d", len(res.Stats.OpWall), len(plan.Ops))
+	}
+	if res.WallTime <= 0 {
+		t.Errorf("WallTime = %v, want > 0", res.WallTime)
+	}
+}
+
+// TestProcessorCapExtremes runs with the tightest possible cap (one
+// processor slot) and a cap far above the plan's parallelism: both must
+// produce the reference result. MaxProcs=1 in particular proves the
+// semaphore never holds a slot across a blocking channel operation.
+func TestProcessorCapExtremes(t *testing.T) {
+	db := testDB(t, 5, 300)
+	tree, err := jointree.BuildShape(jointree.WideBushy, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Reference(db, tree)
+	for _, maxProcs := range []int{1, 2, 64} {
+		for _, kind := range strategy.Kinds {
+			q := core.Query{DB: db, Tree: tree, Strategy: kind, Procs: 10}
+			res, err := core.ExecuteParallel(q, parallel.Config{MaxProcs: maxProcs})
+			if err != nil {
+				t.Fatalf("MaxProcs=%d %v: %v", maxProcs, kind, err)
+			}
+			if diff := relation.DiffMultiset(res.Result, want); diff != "" {
+				t.Fatalf("MaxProcs=%d %v: %s", maxProcs, kind, diff)
+			}
+		}
+	}
+}
+
+// TestBatchAndDepthExtremes exercises pipelining granularity edge cases:
+// single-tuple batches (maximal stream traffic) and depth-1 channels
+// (maximal backpressure) — the configurations most likely to deadlock a
+// buggy dependency or build-phase gate.
+func TestBatchAndDepthExtremes(t *testing.T) {
+	db := testDB(t, 4, 150)
+	tree, err := jointree.BuildShape(jointree.LeftLinear, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Reference(db, tree)
+	for _, cfg := range []parallel.Config{
+		{BatchTuples: 1, ChannelDepth: 1},
+		{BatchTuples: 7, ChannelDepth: 1},
+		{BatchTuples: 1024, ChannelDepth: 2},
+	} {
+		for _, kind := range strategy.Kinds {
+			q := core.Query{DB: db, Tree: tree, Strategy: kind, Procs: 8}
+			res, err := core.ExecuteParallel(q, cfg)
+			if err != nil {
+				t.Fatalf("%+v %v: %v", cfg, kind, err)
+			}
+			if diff := relation.DiffMultiset(res.Result, want); diff != "" {
+				t.Fatalf("%+v %v: %s", cfg, kind, diff)
+			}
+		}
+	}
+}
+
+// TestVerifyParallel exercises the public verification path.
+func TestVerifyParallel(t *testing.T) {
+	db := testDB(t, 5, 250)
+	tree, err := jointree.BuildShape(jointree.RightBushy, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range strategy.Kinds {
+		if _, err := core.VerifyParallel(core.Query{DB: db, Tree: tree, Strategy: kind, Procs: 10}, parallel.Config{}); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+	}
+}
+
+// TestRaceStress is the -race stress test: many concurrent small queries
+// across every strategy, exercising scheduler interleavings of workers,
+// forwarders and dependency waiters. Data is seed-pinned; only goroutine
+// scheduling varies between runs.
+func TestRaceStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	db := testDB(t, 4, 120)
+	trees := make([]*jointree.Node, 0, 2)
+	for _, shape := range []jointree.Shape{jointree.LeftLinear, jointree.WideBushy} {
+		tree, err := jointree.BuildShape(shape, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees = append(trees, tree)
+	}
+	wants := []*relation.Relation{core.Reference(db, trees[0]), core.Reference(db, trees[1])}
+	const rounds = 8
+	errc := make(chan error, rounds*len(strategy.Kinds)*len(trees))
+	for round := 0; round < rounds; round++ {
+		for ti, tree := range trees {
+			for _, kind := range strategy.Kinds {
+				tree, kind, want := tree, kind, wants[ti]
+				go func() {
+					q := core.Query{DB: db, Tree: tree, Strategy: kind, Procs: 8}
+					res, err := core.ExecuteParallel(q, parallel.Config{BatchTuples: 16, ChannelDepth: 1})
+					if err != nil {
+						errc <- err
+						return
+					}
+					if diff := relation.DiffMultiset(res.Result, want); diff != "" {
+						errc <- fmt.Errorf("%v: %s", kind, diff)
+						return
+					}
+					errc <- nil
+				}()
+			}
+		}
+	}
+	for i := 0; i < rounds*len(strategy.Kinds)*len(trees); i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestInvalidPlan checks input validation paths.
+func TestInvalidPlan(t *testing.T) {
+	if _, err := parallel.Run(&xra.Plan{}, nil, parallel.Config{}); err == nil {
+		t.Fatal("empty plan must be rejected")
+	}
+}

@@ -1,0 +1,239 @@
+package parallel
+
+import (
+	"time"
+
+	"multijoin/internal/hashjoin"
+	"multijoin/internal/relation"
+	"multijoin/internal/xra"
+)
+
+// inst is one operation process: an operator replica bound to one plan
+// processor id, running as one worker goroutine.
+type inst struct {
+	r    *runtimeState
+	op   *opState
+	idx  int
+	proc int
+
+	// Input side.
+	mailbox  chan item
+	incoming []*stream
+	eosWant  map[port]int
+	eosGot   map[port]int
+	stash    []item // input buffered while After dependencies are pending
+
+	// Join algorithm state (exactly one is non-nil for join operators).
+	simple    *hashjoin.Simple
+	pipe      *hashjoin.Pipelining
+	buildDone bool
+	probeWait []item // probe batches buffered during the simple join's build phase
+
+	// Scan state.
+	scanTuples []relation.Tuple
+
+	// Output side: one stream and one batch buffer per destination
+	// process (a single destination on local edges).
+	outs    []*stream
+	outBufs [][]relation.Tuple
+
+	// Collect state.
+	gathered *relation.Relation
+}
+
+// run is the worker goroutine body. It first buffers any input that arrives
+// while the operator's After dependencies are pending — draining the
+// mailbox unconditionally is what makes dependency waiting deadlock-free:
+// producers are never blocked forever by a consumer that is not allowed to
+// start yet. Once the dependencies complete it replays the stash and then
+// processes live input until every incoming stream has ended.
+func (w *inst) run() {
+	defer w.r.wg.Done()
+	for waiting := len(w.op.deps) > 0; waiting; {
+		select {
+		case <-w.op.ready:
+			waiting = false
+		case it := <-w.mailbox:
+			w.stash = append(w.stash, it)
+		}
+	}
+	w.initState()
+	if w.op.op.Kind == xra.OpScan {
+		w.emitScan()
+	}
+	for _, it := range w.stash {
+		w.handle(it)
+	}
+	w.stash = nil
+	for !w.allEOS() {
+		w.handle(<-w.mailbox)
+	}
+	w.finish()
+}
+
+// initState creates the join algorithm state once processing may begin.
+func (w *inst) initState() {
+	spec := hashjoin.Spec{BuildIsLower: w.op.op.BuildIsLower}
+	switch w.op.op.Kind {
+	case xra.OpSimpleJoin:
+		w.simple = hashjoin.NewSimple(spec)
+	case xra.OpPipeJoin:
+		w.pipe = hashjoin.NewPipelining(spec)
+	}
+}
+
+// allEOS reports whether every incoming stream has delivered its
+// end-of-stream marker.
+func (w *inst) allEOS() bool {
+	for p, want := range w.eosWant {
+		if w.eosGot[p] < want {
+			return false
+		}
+	}
+	return true
+}
+
+// handle applies one mailbox item to the operator state, computing under
+// the processor semaphore and emitting any result tuples downstream.
+func (w *inst) handle(it item) {
+	if it.eos {
+		w.eosGot[it.port]++
+		switch w.op.op.Kind {
+		case xra.OpPipeJoin:
+			if w.eosGot[it.port] == w.eosWant[it.port] {
+				// A closed operand lets the pipelining join stop inserting
+				// the other operand's tuples (no future match can need them).
+				if it.port == portBuild {
+					w.pipe.CloseBuildSide()
+				} else {
+					w.pipe.CloseProbeSide()
+				}
+			}
+		case xra.OpSimpleJoin:
+			if it.port == portBuild && w.eosGot[portBuild] == w.eosWant[portBuild] {
+				// Build phase complete: release the buffered probe input in
+				// arrival order.
+				w.buildDone = true
+				pending := w.probeWait
+				w.probeWait = nil
+				for _, p := range pending {
+					w.handle(p)
+				}
+			}
+		}
+		return
+	}
+	switch w.op.op.Kind {
+	case xra.OpSimpleJoin:
+		if it.port == portBuild {
+			w.compute(func() { w.simple.Insert(it.tuples) })
+			return
+		}
+		if !w.buildDone {
+			// The simple hash-join blocks its probe operand until the hash
+			// table is complete.
+			w.probeWait = append(w.probeWait, it)
+			return
+		}
+		var out []relation.Tuple
+		w.compute(func() { out = w.simple.Probe(it.tuples) })
+		w.emit(out)
+	case xra.OpPipeJoin:
+		var out []relation.Tuple
+		w.compute(func() {
+			if it.port == portBuild {
+				out = w.pipe.FromBuildSide(it.tuples)
+			} else {
+				out = w.pipe.FromProbeSide(it.tuples)
+			}
+		})
+		w.emit(out)
+	case xra.OpCollect:
+		w.gathered.Append(it.tuples...)
+	}
+}
+
+// compute runs one batch of operator work holding one of the MaxProcs
+// processor slots. Channel operations never happen under the semaphore: a
+// process blocked on transport has released its processor.
+func (w *inst) compute(f func()) {
+	w.r.sem <- struct{}{}
+	f()
+	<-w.r.sem
+}
+
+// emitScan streams the pre-placed base relation fragment downstream in
+// batches. Scan work is a slice traversal and is not charged against the
+// processor cap (the simulator's near-zero ScanUnits).
+func (w *inst) emitScan() {
+	b := w.r.cfg.BatchTuples
+	for lo := 0; lo < len(w.scanTuples); lo += b {
+		hi := lo + b
+		if hi > len(w.scanTuples) {
+			hi = len(w.scanTuples)
+		}
+		w.emit(w.scanTuples[lo:hi])
+	}
+}
+
+// emit routes result tuples into per-destination batch buffers — hashing
+// the consumer's routing attribute over its processes exactly like the
+// simulator — and flushes full batches.
+func (w *inst) emit(results []relation.Tuple) {
+	if len(results) == 0 || w.op.edge == nil {
+		return
+	}
+	if len(w.outs) == 1 {
+		w.outBufs[0] = append(w.outBufs[0], results...)
+	} else {
+		m := len(w.outs)
+		route := w.op.edge.route
+		for _, t := range results {
+			d := relation.HashKey(t.Get(route), m)
+			w.outBufs[d] = append(w.outBufs[d], t)
+		}
+	}
+	for d := range w.outBufs {
+		if len(w.outBufs[d]) >= w.r.cfg.BatchTuples {
+			w.flush(d)
+		}
+	}
+}
+
+// flush sends buffer d down its stream, transferring ownership of the
+// batch. The final gather at the collect operator is excluded from the
+// transport statistics, as in the simulator.
+func (w *inst) flush(d int) {
+	buf := w.outBufs[d]
+	if len(buf) == 0 {
+		return
+	}
+	w.outBufs[d] = nil
+	s := w.outs[d]
+	if w.op.edge.to.op.Kind != xra.OpCollect {
+		if s.remote {
+			w.r.remoteTuples.Add(int64(len(buf)))
+		} else {
+			w.r.localTuples.Add(int64(len(buf)))
+		}
+		w.r.batches.Add(1)
+	}
+	s.ch <- buf
+}
+
+// finish flushes remaining buffers, ends every outgoing stream, and reports
+// operator completion when the last sibling process finishes.
+func (w *inst) finish() {
+	if w.op.edge != nil {
+		for d := range w.outBufs {
+			w.flush(d)
+		}
+		for _, s := range w.outs {
+			close(s.ch)
+		}
+	}
+	if w.op.remaining.Add(-1) == 0 {
+		w.op.wallDone = time.Since(w.r.start)
+		close(w.op.done)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"multijoin/internal/engine"
 	"multijoin/internal/jointree"
 	"multijoin/internal/optimizer"
+	"multijoin/internal/parallel"
 	"multijoin/internal/relation"
 	"multijoin/internal/strategy"
 	"multijoin/internal/wisconsin"
@@ -124,8 +125,43 @@ func BuildTree(s Shape, k int) (*Node, error) { return jointree.BuildShape(s, k)
 // illustrate the strategies.
 func ExampleTree() *Node { return jointree.Example() }
 
+// Parallel-runtime types: the goroutine executor that runs the same plans
+// with real concurrency instead of the virtual clock.
+type (
+	// ParallelConfig parameterizes the goroutine runtime: processor cap,
+	// batch size, stream channel depth.
+	ParallelConfig = parallel.Config
+	// ParallelResult is the outcome of a goroutine-parallel execution:
+	// the real join result, wall-clock time, and structural counters.
+	ParallelResult = parallel.RunResult
+	// ParallelStats aggregates goroutine, stream and transport counters.
+	ParallelStats = parallel.Stats
+)
+
 // Run plans and executes the query on the simulated PRISMA/DB machine.
 func Run(q Query) (*RunResult, error) { return q.Run() }
+
+// ExecuteParallel plans the query and executes the plan with real goroutine
+// concurrency: one worker goroutine per operation process, one buffered
+// channel per tuple stream (n×m per redistribution edge), and a semaphore
+// capping concurrent computation at ParallelConfig.MaxProcs processors. It
+// produces the same result multiset as Run and Reference, measured in wall
+// time instead of virtual time.
+func ExecuteParallel(q Query, cfg ParallelConfig) (*ParallelResult, error) {
+	return core.ExecuteParallel(q, cfg)
+}
+
+// VerifyParallel runs ExecuteParallel and checks the result against the
+// sequential reference execution.
+func VerifyParallel(q Query, cfg ParallelConfig) (*ParallelResult, error) {
+	return core.VerifyParallel(q, cfg)
+}
+
+// HostCap bounds a plan's processor count by the host's real core count —
+// the ParallelConfig.MaxProcs to use when executing plans generated for
+// machines larger than this one. Plans keep their full processor count;
+// only concurrent computation is capped.
+func HostCap(procs int) int { return parallel.HostCap(procs) }
 
 // Verify runs the query and checks the result against the sequential
 // reference execution.
