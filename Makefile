@@ -1,7 +1,7 @@
 # Single source of truth for the commands CI and humans run.
 GO ?= go
 
-.PHONY: all build lint test bench clean
+.PHONY: all build lint test bench examples clean
 
 all: build lint test
 
@@ -26,5 +26,14 @@ bench:
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_parallel.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 	@echo "wrote BENCH_parallel.json"
 
+# Examples smoke: build every example binary, then run each one to
+# completion (their output doubles as an end-to-end check of the facade).
+examples:
+	@mkdir -p .bin
+	$(GO) build -o .bin/ ./examples/...
+	@set -e; for b in .bin/*; do echo "== $$b"; "$$b" > /dev/null; done
+	@echo "all examples ran"
+
 clean:
 	rm -f BENCH_parallel.json
+	rm -rf .bin

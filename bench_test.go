@@ -13,6 +13,7 @@
 package multijoin_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -40,7 +41,7 @@ func sweep(b *testing.B, shape jointree.Shape, size experiments.ProblemSize) []e
 	if pts, ok := sweepCache[key]; ok {
 		return pts
 	}
-	pts, err := runner.SweepShape(shape, size)
+	pts, err := runner.SweepShape(shape, size, multijoin.DefaultRuntime)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func BenchmarkEngineSingleQuery(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.Run(jointree.WideBushy, strategy.FP, 5000, 40); err != nil {
+		if _, err := r.Run(jointree.WideBushy, strategy.FP, 5000, 40, multijoin.DefaultRuntime); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -195,15 +196,17 @@ func benchParallelVsSim(b *testing.B, kind strategy.Kind) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	ctx := context.Background()
 	var wall time.Duration
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := multijoin.ExecuteParallel(q, multijoin.ParallelConfig{MaxProcs: maxProcs})
+		res, err := multijoin.Exec(ctx, q,
+			multijoin.WithRuntime("parallel"), multijoin.WithMaxProcs(maxProcs))
 		if err != nil {
 			b.Fatal(err)
 		}
-		wall = res.WallTime
+		wall = res.Time
 	}
 	b.StopTimer()
 	b.ReportMetric(simRes.ResponseTime.Seconds(), "sim-resp-s")

@@ -1,5 +1,5 @@
 // Command mjbench regenerates the tables and figures of the paper's
-// evaluation section on the simulated PRISMA/DB machine.
+// evaluation section.
 //
 // Usage:
 //
@@ -12,10 +12,17 @@
 //	mjbench -fig ablation # Section 3.5 overhead ablation
 //	mjbench -fig all      # everything
 //
-// -runtime selects the execution runtime for the response-time figures:
-// "sim" (default) measures virtual seconds on the simulated PRISMA/DB
-// machine; "parallel" runs the same plans on the goroutine runtime and
-// measures wall-clock seconds on the host's real cores.
+// -runtime selects the execution runtime for the response-time figures by
+// registry name: "sim" (default) measures virtual seconds on the simulated
+// PRISMA/DB machine; "parallel" runs the same plans on the goroutine
+// runtime and measures wall-clock seconds on the host's real cores. Any
+// runtime registered with multijoin.RegisterRuntime is accepted.
+//
+// -csv writes the response-time sweeps that were run (figures 9-13) to a
+// CSV file; it therefore requires at least one of those figures in -fig.
+//
+// All flag combinations are validated before any experiment runs, so an
+// invalid figure name cannot abort the run midway through partial output.
 //
 // -card5k/-card40k/-procs scale the experiments down for quick runs.
 package main
@@ -26,21 +33,76 @@ import (
 	"os"
 	"strings"
 
+	"multijoin"
 	"multijoin/internal/experiments"
 	"multijoin/internal/jointree"
 )
 
+// figureShapes maps the response-time figures 9-13 to their query shapes.
+var figureShapes = map[string]jointree.Shape{
+	"9":  jointree.LeftLinear,
+	"10": jointree.LeftBushy,
+	"11": jointree.WideBushy,
+	"12": jointree.RightBushy,
+	"13": jointree.RightLinear,
+}
+
+// allFigures lists every valid -fig name in output order.
+var allFigures = []string{"3", "4", "6", "7", "9", "10", "11", "12", "13", "14", "speedup", "pipedelay", "ablation", "memory", "costfn"}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mjbench: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// parseFigures expands and validates the -fig argument up front, before any
+// experiment output, so a typo cannot abort a long run midway through.
+func parseFigures(fig string) []string {
+	if fig == "all" {
+		return allFigures
+	}
+	valid := make(map[string]bool, len(allFigures))
+	for _, name := range allFigures {
+		valid[name] = true
+	}
+	var names []string
+	for _, name := range strings.Split(fig, ",") {
+		name = strings.TrimSpace(name)
+		if !valid[name] {
+			fail("unknown figure %q (valid: %s, all)", name, strings.Join(allFigures, ", "))
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		fail("-fig is empty (valid: %s, all)", strings.Join(allFigures, ", "))
+	}
+	return names
+}
+
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3,4,6,7,9,10,11,12,13,14,speedup,pipedelay,ablation,memory,costfn,all")
+	fig := flag.String("fig", "all", "comma-separated figures to regenerate: "+strings.Join(allFigures, ",")+", or all")
 	card5k := flag.Int("card5k", 5000, "cardinality of the small experiment")
 	card40k := flag.Int("card40k", 40000, "cardinality of the large experiment")
 	seed := flag.Int64("seed", 1995, "database generator seed")
-	csvPath := flag.String("csv", "", "also write all response-time sweeps (figures 9-13) to this CSV file")
-	rt := flag.String("runtime", "sim", "execution runtime for figures 9-13: sim (virtual clock) or parallel (goroutines, wall clock)")
+	csvPath := flag.String("csv", "", "write the response-time sweeps run for figures 9-13 to this CSV file")
+	rt := flag.String("runtime", multijoin.DefaultRuntime, "execution runtime for figures 9-13, by registry name: "+strings.Join(multijoin.RuntimeNames(), ", "))
 	flag.Parse()
-	if *rt != "sim" && *rt != "parallel" {
-		fmt.Fprintf(os.Stderr, "mjbench: unknown -runtime %q (want sim or parallel)\n", *rt)
-		os.Exit(2)
+
+	// Validate every flag combination before producing any output.
+	names := parseFigures(*fig)
+	if _, err := multijoin.LookupRuntime(*rt); err != nil {
+		fail("invalid -runtime: %v", err)
+	}
+	if *csvPath != "" {
+		sweeps := 0
+		for _, name := range names {
+			if _, ok := figureShapes[name]; ok {
+				sweeps++
+			}
+		}
+		if sweeps == 0 {
+			fail("-csv needs at least one response-time figure (9, 10, 11, 12, 13) in -fig; got -fig %s", *fig)
+		}
 	}
 
 	r := experiments.NewRunner()
@@ -51,14 +113,7 @@ func main() {
 	large.Card = *card40k
 	sizes := []experiments.ProblemSize{small, large}
 
-	figureShapes := map[string]jointree.Shape{
-		"9":  jointree.LeftLinear,
-		"10": jointree.LeftBushy,
-		"11": jointree.WideBushy,
-		"12": jointree.RightBushy,
-		"13": jointree.RightLinear,
-	}
-
+	var csvPoints []experiments.Point
 	run := func(name string) error {
 		switch name {
 		case "3", "4", "6", "7":
@@ -70,22 +125,17 @@ func main() {
 		case "9", "10", "11", "12", "13":
 			shape := figureShapes[name]
 			for _, size := range sizes {
-				var (
-					pts []experiments.Point
-					err error
-				)
-				unit := "virtual seconds"
-				if *rt == "parallel" {
-					pts, err = r.SweepShapeParallel(shape, size)
-					unit = "wall seconds, goroutine runtime"
-				} else {
-					pts, err = r.SweepShape(shape, size)
-				}
+				pts, err := r.SweepShape(shape, size, *rt)
 				if err != nil {
 					return err
 				}
+				unit := "virtual seconds"
+				if len(pts) > 0 && !pts[0].Virtual {
+					unit = fmt.Sprintf("wall seconds, %s runtime", *rt)
+				}
 				title := fmt.Sprintf("Figure %s: %s query tree, %s experiment (%s)", name, shape, size.Name, unit)
 				fmt.Println(experiments.FormatSweep(title, pts))
+				csvPoints = append(csvPoints, pts...)
 			}
 		case "14":
 			rows, err := r.Figure14()
@@ -124,19 +174,15 @@ func main() {
 			}
 			fmt.Print(out)
 		default:
-			return fmt.Errorf("unknown figure %q", name)
+			// parseFigures validates against allFigures; reaching here means
+			// the list and this switch drifted apart.
+			return fmt.Errorf("internal error: figure %q validated but not implemented", name)
 		}
 		return nil
 	}
 
-	var names []string
-	if *fig == "all" {
-		names = []string{"3", "4", "6", "7", "9", "10", "11", "12", "13", "14", "speedup", "pipedelay", "ablation", "memory", "costfn"}
-	} else {
-		names = strings.Split(*fig, ",")
-	}
 	for _, name := range names {
-		if err := run(strings.TrimSpace(name)); err != nil {
+		if err := run(name); err != nil {
 			fmt.Fprintf(os.Stderr, "mjbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -148,14 +194,10 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		writeCSV := r.CSVForShapes
-		if *rt == "parallel" {
-			writeCSV = r.CSVForShapesParallel
-		}
-		if err := writeCSV(f, sizes); err != nil {
+		if err := experiments.WriteCSV(f, csvPoints); err != nil {
 			fmt.Fprintf(os.Stderr, "mjbench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s\n", *csvPath)
+		fmt.Printf("wrote %s (%d rows)\n", *csvPath, len(csvPoints))
 	}
 }

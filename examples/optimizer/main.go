@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -65,4 +66,20 @@ func main() {
 	fmt.Printf("  chosen tree: %v\n", tree)
 	fmt.Printf("  FP on 40 processors: %.2fs response time, %d result tuples\n",
 		res.ResponseTime.Seconds(), res.Stats.ResultTuples)
+
+	// The same optimized tree through the unified execution API, this time
+	// on the goroutine runtime: real wall-clock time on the host's cores,
+	// verified against the sequential reference.
+	par, err := multijoin.Exec(context.Background(), multijoin.Query{
+		DB: db, Tree: tree, Strategy: multijoin.FP, Procs: 16,
+		Params: multijoin.DefaultParams(),
+	},
+		multijoin.WithRuntime("parallel"),
+		multijoin.WithMaxProcs(multijoin.HostCap(16)),
+		multijoin.WithVerify())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  same tree on the %s runtime: %v wall time, verified\n",
+		par.Runtime, par.Time)
 }

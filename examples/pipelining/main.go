@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -68,13 +69,13 @@ func main() {
 	}
 	tree, _ := multijoin.BuildTree(multijoin.RightLinear, 10)
 	for _, s := range []multijoin.Strategy{multijoin.SP, multijoin.FP} {
-		res, err := multijoin.Run(multijoin.Query{
+		res, err := multijoin.Exec(context.Background(), multijoin.Query{
 			DB: big, Tree: tree, Strategy: s, Procs: 60, Params: multijoin.DefaultParams(),
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("right-linear chain, 60 procs, %v: %.2fs (%d processes)\n",
-			s, res.ResponseTime.Seconds(), res.Stats.Processes)
+			s, res.Time.Seconds(), res.Stats.Processes)
 	}
 }

@@ -1,10 +1,12 @@
 // Quickstart: generate the paper's test database, parallelize one join tree
-// with each of the four strategies, execute on the simulated 80-processor
-// PRISMA/DB machine, and verify every result against a sequential reference
-// execution.
+// with each of the four strategies, and execute through the unified Exec
+// API — first on the simulated 80-processor PRISMA/DB machine, then the
+// same plans on the goroutine runtime with real concurrency. Every run is
+// verified against a sequential reference execution via WithVerify.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +14,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// The paper's small experiment: 10 Wisconsin relations of 5000 tuples,
 	// joined in a chain (Section 4.1).
 	db, err := multijoin.NewDatabase(10, 5000, 1995)
@@ -27,26 +31,32 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The correctness oracle: a sequential reference execution.
-	want := multijoin.Reference(db, tree)
-
-	// Phase 2: parallelize with each strategy and execute on 80 simulated
-	// processors.
-	fmt.Println("wide bushy tree, 50000 tuples, 80 processors:")
-	fmt.Printf("%-10s%12s%12s%12s%14s\n", "strategy", "resp (s)", "processes", "streams", "verified")
-	for _, s := range multijoin.Strategies {
-		res, err := multijoin.Run(multijoin.Query{
-			DB: db, Tree: tree, Strategy: s, Procs: 80,
-			Params: multijoin.DefaultParams(),
-		})
-		if err != nil {
-			log.Fatal(err)
+	// Phase 2: parallelize with each strategy and execute on every
+	// registered runtime through the same call. The simulator measures
+	// virtual seconds on 80 simulated processors; the goroutine runtime
+	// runs the identical plans on the host's real cores. WithVerify checks
+	// each result against the sequential reference.
+	for _, rt := range multijoin.RuntimeNames() {
+		fmt.Printf("wide bushy tree, 50000 tuples, runtime=%s:\n", rt)
+		fmt.Printf("%-10s%14s%12s%12s%10s\n", "strategy", "time (s)", "processes", "streams", "virtual")
+		for _, s := range multijoin.Strategies {
+			q := multijoin.Query{
+				DB: db, Tree: tree, Strategy: s, Procs: 80,
+				Params: multijoin.DefaultParams(),
+			}
+			res, err := multijoin.Exec(ctx, q,
+				multijoin.WithRuntime(rt),
+				multijoin.WithMaxProcs(multijoin.HostCap(80)),
+				multijoin.WithVerify())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10v%14.3f%12d%12d%10v\n",
+				s, res.Time.Seconds(), res.Stats.Processes, res.Stats.Streams, res.Virtual)
 		}
-		verified := res.Result.Card() == want.Card()
-		fmt.Printf("%-10v%12.2f%12d%12d%14v\n",
-			s, res.ResponseTime.Seconds(), res.Stats.Processes, res.Stats.Streams, verified)
+		fmt.Println()
 	}
 
-	fmt.Println("\nThe paper's guideline: use SP on few processors, FP on many;")
+	fmt.Println("The paper's guideline: use SP on few processors, FP on many;")
 	fmt.Println("SE shines on wide bushy trees, RD on right-oriented ones.")
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	db, err := multijoin.NewDatabase(10, 5000, 1995)
 	if err != nil {
 		log.Fatal(err)
@@ -34,13 +36,13 @@ func main() {
 			fmt.Printf("%-22v", shape)
 			bestSec, bestStrat := -1.0, multijoin.SP
 			for _, s := range multijoin.Strategies {
-				res, err := multijoin.Run(multijoin.Query{
+				res, err := multijoin.Exec(ctx, multijoin.Query{
 					DB: db, Tree: tree, Strategy: s, Procs: procs, Params: params,
 				})
 				if err != nil {
 					log.Fatal(err)
 				}
-				sec := res.ResponseTime.Seconds()
+				sec := res.Time.Seconds()
 				fmt.Printf("%10.2f", sec)
 				if bestSec < 0 || sec < bestSec {
 					bestSec, bestStrat = sec, s
@@ -54,17 +56,17 @@ func main() {
 	// Mirroring (Section 5): RD on a left-linear tree degenerates to SP,
 	// but mirroring the tree is free and makes it right-linear.
 	tree, _ := multijoin.BuildTree(multijoin.LeftLinear, 10)
-	left, err := multijoin.Run(multijoin.Query{DB: db, Tree: tree, Strategy: multijoin.RD, Procs: 80, Params: params})
+	left, err := multijoin.Exec(ctx, multijoin.Query{DB: db, Tree: tree, Strategy: multijoin.RD, Procs: 80, Params: params})
 	if err != nil {
 		log.Fatal(err)
 	}
 	mirrored, _ := multijoin.BuildTree(multijoin.RightLinear, 10)
-	right, err := multijoin.Run(multijoin.Query{DB: db, Tree: mirrored, Strategy: multijoin.RD, Procs: 80, Params: params})
+	right, err := multijoin.Exec(ctx, multijoin.Query{DB: db, Tree: mirrored, Strategy: multijoin.RD, Procs: 80, Params: params})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("RD on left-linear: %.2fs; after mirroring to right-linear: %.2fs\n",
-		left.ResponseTime.Seconds(), right.ResponseTime.Seconds())
+		left.Time.Seconds(), right.Time.Seconds())
 
 	// The same comparison on real cores: the goroutine runtime executes the
 	// identical plans with one worker goroutine per operation process and
@@ -89,13 +91,13 @@ func main() {
 		fmt.Printf("%-22v", shape)
 		bestMS, bestStrat := -1.0, multijoin.SP
 		for _, s := range multijoin.Strategies {
-			res, err := multijoin.VerifyParallel(multijoin.Query{
+			res, err := multijoin.Exec(ctx, multijoin.Query{
 				DB: db, Tree: tree, Strategy: s, Procs: procs, Params: params,
-			}, multijoin.ParallelConfig{MaxProcs: maxProcs})
+			}, multijoin.WithRuntime("parallel"), multijoin.WithMaxProcs(maxProcs), multijoin.WithVerify())
 			if err != nil {
 				log.Fatal(err)
 			}
-			ms := float64(res.WallTime.Microseconds()) / 1000
+			ms := float64(res.Time.Microseconds()) / 1000
 			fmt.Printf("%10.1f", ms)
 			if bestMS < 0 || ms < bestMS {
 				bestMS, bestStrat = ms, s

@@ -53,6 +53,9 @@ func (q Query) Plan() (*xra.Plan, error) {
 }
 
 // Run plans and executes the query on the simulated machine.
+//
+// Deprecated: use Exec, which executes on any registered runtime with
+// context cancellation and returns the unified Result.
 func (q Query) Run() (*engine.RunResult, error) {
 	plan, err := q.Plan()
 	if err != nil {
@@ -73,6 +76,8 @@ func (q Query) baseRelation(leaf int) *relation.Relation {
 // worker goroutine per operation process, buffered channels as tuple
 // streams, and a processor-cap semaphore. The returned result is the same
 // multiset the simulator and the sequential reference produce.
+//
+// Deprecated: use Exec with WithRuntime("parallel").
 func ExecuteParallel(q Query, cfg parallel.Config) (*parallel.RunResult, error) {
 	plan, err := q.Plan()
 	if err != nil {
@@ -86,6 +91,8 @@ func ExecuteParallel(q Query, cfg parallel.Config) (*parallel.RunResult, error) 
 
 // VerifyParallel executes the query on the goroutine runtime and checks the
 // result against the sequential reference.
+//
+// Deprecated: use Exec with WithRuntime("parallel") and WithVerify.
 func VerifyParallel(q Query, cfg parallel.Config) (*parallel.RunResult, error) {
 	res, err := ExecuteParallel(q, cfg)
 	if err != nil {
@@ -110,6 +117,8 @@ func Reference(db *wisconsin.Database, tree *jointree.Node) *relation.Relation {
 // Verify runs the query and checks the result against the sequential
 // reference, returning the run result or an error describing the first
 // discrepancy.
+//
+// Deprecated: use Exec with WithVerify.
 func Verify(q Query) (*engine.RunResult, error) {
 	res, err := q.Run()
 	if err != nil {

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DefaultRuntime is the backend Exec uses when no runtime is selected: the
+// discrete-event simulator that reproduces the paper's figures.
+const DefaultRuntime = "sim"
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Runtime)
+)
+
+// RegisterRuntime adds an execution backend to the by-name registry. It
+// panics on an empty name, a nil runtime, or a duplicate registration —
+// runtime registration is a program-initialization-time act, like
+// database/sql driver registration.
+func RegisterRuntime(name string, rt Runtime) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if name == "" {
+		panic("core: RegisterRuntime with empty name")
+	}
+	if rt == nil {
+		panic("core: RegisterRuntime with nil runtime")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("core: RegisterRuntime called twice for %q", name))
+	}
+	registry[name] = rt
+}
+
+// LookupRuntime resolves a registry name to its runtime. The error for an
+// unknown name lists every registered runtime.
+func LookupRuntime(name string) (Runtime, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	if rt, ok := registry[name]; ok {
+		return rt, nil
+	}
+	return nil, fmt.Errorf("core: unknown runtime %q (registered: %s)", name, strings.Join(runtimeNamesLocked(), ", "))
+}
+
+// RuntimeNames lists every registered runtime name, sorted.
+func RuntimeNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return runtimeNamesLocked()
+}
+
+func runtimeNamesLocked() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

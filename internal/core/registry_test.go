@@ -1,0 +1,85 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"multijoin/internal/relation"
+	"multijoin/internal/xra"
+)
+
+func TestRuntimeNamesContainBuiltins(t *testing.T) {
+	names := RuntimeNames()
+	got := strings.Join(names, ",")
+	for _, want := range []string{"parallel", "sim"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("RuntimeNames() = %s, missing %q", got, want)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("RuntimeNames() not sorted: %s", got)
+		}
+	}
+}
+
+func TestLookupRuntimeUnknownListsNames(t *testing.T) {
+	_, err := LookupRuntime("nope")
+	if err == nil {
+		t.Fatal("unknown runtime must fail")
+	}
+	for _, want := range []string{`"nope"`, "sim", "parallel"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// fakeRuntime honors the Runtime contract (a non-nil Result or an error,
+// prompt ctx handling) so that, being registered process-globally, it
+// cannot break any other test that resolves it through the registry.
+type fakeRuntime struct{}
+
+func (fakeRuntime) Name() string { return "fake" }
+func (fakeRuntime) Execute(ctx context.Context, _ *xra.Plan, _ BaseFunc, _ Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &Result{Runtime: "fake", Result: relation.New("fake", 0)}, nil
+}
+
+// registerFakeOnce makes TestRegisterRuntimeDuplicatePanics reentrant: the
+// registry is process-global with no unregister, so under -count=N only
+// the first pass may perform the initial registration.
+var registerFakeOnce sync.Once
+
+func TestRegisterRuntimeDuplicatePanics(t *testing.T) {
+	registerFakeOnce.Do(func() { RegisterRuntime("registry-test-once", fakeRuntime{}) })
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration must panic")
+		}
+	}()
+	RegisterRuntime("registry-test-once", fakeRuntime{})
+}
+
+func TestRegisterRuntimeRejectsEmptyAndNil(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty name", func() { RegisterRuntime("", fakeRuntime{}) })
+	mustPanic("nil runtime", func() { RegisterRuntime("registry-test-nil", nil) })
+}

@@ -1,0 +1,192 @@
+// Runtime abstraction: one pluggable execution API over every backend that
+// can run an xra plan.
+//
+// The paper's central move is executing the *same* XRA plan on different
+// machines — PRISMA/DB's 80-node shared-nothing cluster and analytical
+// models. This file is that move as an API: a Runtime turns a plan plus
+// base relations into a unified Result, and a by-name registry
+// (registry.go) lets callers pick the backend ("sim", "parallel") without
+// touching a different code path per backend. Future runtimes — per-
+// processor affinity queues, calibrated wall-clock models, spill-to-disk
+// execution — are a RegisterRuntime call, not a new API surface.
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"multijoin/internal/costmodel"
+	"multijoin/internal/relation"
+	"multijoin/internal/xra"
+)
+
+// BaseFunc resolves a plan leaf index to its base relation.
+type BaseFunc func(leaf int) *relation.Relation
+
+// Stats is the unified structural-counter set across runtimes. Quantities
+// that only one backend can measure are documented as such and are zero on
+// the other; everything structural (processes, streams, tuple movement) is
+// runtime-independent by construction — both backends interpret the same
+// plan — and is filled by every runtime.
+type Stats struct {
+	// Processes is the number of operation processes the plan used.
+	Processes int
+	// Streams is the number of tuple streams opened (n×m per
+	// redistribution edge, n per local edge).
+	Streams int
+	// TuplesMovedRemote counts tuples that crossed processor boundaries.
+	TuplesMovedRemote int64
+	// TuplesLocal counts tuples delivered processor-locally.
+	TuplesLocal int64
+	// Batches counts delivered data batches.
+	Batches int64
+	// ResultTuples is the cardinality of the final result.
+	ResultTuples int
+	// OpDone maps operator ids to their completion offset from query
+	// start (virtual time on the simulator, wall time on real runtimes).
+	OpDone map[string]time.Duration
+
+	// Simulator-only counters (zero on wall-clock runtimes).
+
+	// StartupTime is the total serial scheduler time spent initializing
+	// operation processes.
+	StartupTime time.Duration
+	// HandshakeTime is the total processor time spent on stream
+	// handshakes.
+	HandshakeTime time.Duration
+	// SimEvents is the number of simulation events processed.
+	SimEvents uint64
+	// PeakTableTuplesPerProc is the per-processor peak of hash-table
+	// resident tuples (the Section 5 memory observation).
+	PeakTableTuplesPerProc int
+	// PeakTableTuplesTotal is the machine-wide peak of hash-table
+	// resident tuples.
+	PeakTableTuplesTotal int
+
+	// Wall-clock-runtime-only counters (zero on the simulator).
+
+	// Goroutines is the total number of goroutines launched.
+	Goroutines int
+	// MaxProcs is the effective concurrent-computation cap.
+	MaxProcs int
+}
+
+// Result is the unified outcome of executing a plan on any runtime.
+type Result struct {
+	// Runtime is the registry name of the runtime that produced this
+	// result.
+	Runtime string
+	// Virtual reports whether Time is virtual (simulated) rather than
+	// wall-clock time.
+	Virtual bool
+	// Time is the response time: virtual time on the simulator (the
+	// paper's metric, Figures 9-13), elapsed wall time on real runtimes.
+	Time time.Duration
+	// Result is the collected final relation — the same multiset on every
+	// runtime, verified against the sequential reference in tests.
+	Result *relation.Relation
+	// Stats holds the unified structural counters.
+	Stats Stats
+}
+
+// Options parameterizes one execution, runtime-independently. Runtimes
+// ignore the knobs that do not apply to them (the simulator has no
+// channel depth; a wall-clock runtime has no virtual machine model beyond
+// BatchTuples).
+type Options struct {
+	// Runtime is the registry name of the backend to execute on.
+	// Empty means DefaultRuntime.
+	Runtime string
+	// Params is the simulated machine model (simulator) and the source of
+	// the default batch size (all runtimes).
+	Params costmodel.Params
+	// MaxProcs caps concurrent computation on wall-clock runtimes. Zero
+	// means the plan's own processor count.
+	MaxProcs int
+	// BatchTuples is the number of tuples per transport batch. Zero means
+	// Params.BatchTuples, or the runtime's default.
+	BatchTuples int
+	// ChannelDepth is the per-stream buffer capacity in batches on
+	// wall-clock runtimes. Zero means the runtime's default.
+	ChannelDepth int
+	// Verify checks the result against the sequential reference execution
+	// after the run (Exec only; runtimes do not see it).
+	Verify bool
+}
+
+// Option mutates Options — the functional options accepted by Exec.
+type Option func(*Options)
+
+// WithRuntime selects the execution backend by registry name
+// ("sim", "parallel", or any registered runtime).
+func WithRuntime(name string) Option { return func(o *Options) { o.Runtime = name } }
+
+// WithParams sets the simulated machine model.
+func WithParams(p costmodel.Params) Option { return func(o *Options) { o.Params = p } }
+
+// WithMaxProcs caps concurrent computation on wall-clock runtimes.
+func WithMaxProcs(n int) Option { return func(o *Options) { o.MaxProcs = n } }
+
+// WithBatchTuples sets the transport batch size (pipelining granularity).
+func WithBatchTuples(n int) Option { return func(o *Options) { o.BatchTuples = n } }
+
+// WithChannelDepth sets the per-stream buffer capacity, in batches, on
+// wall-clock runtimes.
+func WithChannelDepth(n int) Option { return func(o *Options) { o.ChannelDepth = n } }
+
+// WithVerify checks the result against the sequential reference execution.
+func WithVerify() Option { return func(o *Options) { o.Verify = true } }
+
+// Runtime is one execution backend for xra plans. Execute runs the plan
+// against the base relations and returns the unified result; it must honor
+// ctx cancellation by returning promptly with the context's error and
+// without leaking goroutines.
+type Runtime interface {
+	// Name is the registry name the runtime is addressed by.
+	Name() string
+	// Execute runs one plan to completion or cancellation.
+	Execute(ctx context.Context, plan *xra.Plan, base BaseFunc, opts Options) (*Result, error)
+}
+
+// Exec plans the query and executes it on the runtime selected by the
+// options (default: the simulator). It is the single execution entry point
+// over every registered backend:
+//
+//	res, err := core.Exec(ctx, q)                              // simulator
+//	res, err := core.Exec(ctx, q, core.WithRuntime("parallel"),
+//	        core.WithMaxProcs(8), core.WithVerify())           // goroutines
+//
+// Params defaults to the query's own Params; BatchTuples defaults to
+// Params.BatchTuples.
+func Exec(ctx context.Context, q Query, opts ...Option) (*Result, error) {
+	o := Options{Runtime: DefaultRuntime, Params: q.Params}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.Runtime == "" {
+		o.Runtime = DefaultRuntime
+	}
+	rt, err := LookupRuntime(o.Runtime)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := q.Plan()
+	if err != nil {
+		return nil, err
+	}
+	if o.BatchTuples < 1 {
+		o.BatchTuples = o.Params.BatchTuples
+	}
+	res, err := rt.Execute(ctx, plan, q.baseRelation, o)
+	if err != nil {
+		return nil, err
+	}
+	if o.Verify {
+		want := Reference(q.DB, q.Tree)
+		if diff := relation.DiffMultiset(res.Result, want); diff != "" {
+			return nil, fmt.Errorf("core: %s %v result differs from reference: %s", rt.Name(), q.Strategy, diff)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"multijoin/internal/engine"
+	"multijoin/internal/parallel"
+	"multijoin/internal/sim"
+	"multijoin/internal/xra"
+)
+
+// The two built-in backends register themselves like database/sql drivers;
+// future runtimes (affinity queues, calibrated wall-clock, spill-to-disk)
+// do the same from their own packages.
+func init() {
+	RegisterRuntime("sim", simRuntime{})
+	RegisterRuntime("parallel", parallelRuntime{})
+}
+
+// simRuntime executes plans on the discrete-event-simulated PRISMA/DB
+// machine (package engine): virtual response time, deterministic, the
+// source of every figure of the paper's evaluation.
+type simRuntime struct{}
+
+func (simRuntime) Name() string { return "sim" }
+
+func (simRuntime) Execute(ctx context.Context, plan *xra.Plan, base BaseFunc, opts Options) (*Result, error) {
+	res, err := engine.RunContext(ctx, plan, base, opts.Params)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Runtime: "sim",
+		Virtual: true,
+		Time:    simToWall(res.ResponseTime),
+		Result:  res.Result,
+		Stats: Stats{
+			Processes:              res.Stats.Processes,
+			Streams:                res.Stats.Streams,
+			TuplesMovedRemote:      res.Stats.TuplesMovedRemote,
+			TuplesLocal:            res.Stats.TuplesLocal,
+			Batches:                res.Stats.Batches,
+			ResultTuples:           res.Stats.ResultTuples,
+			OpDone:                 simOpDone(res.Stats.OpFinish),
+			StartupTime:            simToWall(res.Stats.StartupTime),
+			HandshakeTime:          simToWall(res.Stats.HandshakeTime),
+			SimEvents:              res.Stats.SimEvents,
+			PeakTableTuplesPerProc: res.Stats.PeakTableTuplesPerProc,
+			PeakTableTuplesTotal:   res.Stats.PeakTableTuplesTotal,
+		},
+	}, nil
+}
+
+// simToWall converts virtual microseconds to a time.Duration of the same
+// magnitude.
+func simToWall[T ~int64](d T) time.Duration { return time.Duration(d) * time.Microsecond }
+
+func simOpDone(finish map[string]sim.Time) map[string]time.Duration {
+	done := make(map[string]time.Duration, len(finish))
+	for id, t := range finish {
+		done[id] = simToWall(t)
+	}
+	return done
+}
+
+// parallelRuntime executes plans with real goroutine concurrency (package
+// parallel): one worker goroutine per operation process, one buffered
+// channel per tuple stream, wall-clock time.
+type parallelRuntime struct{}
+
+func (parallelRuntime) Name() string { return "parallel" }
+
+func (parallelRuntime) Execute(ctx context.Context, plan *xra.Plan, base BaseFunc, opts Options) (*Result, error) {
+	cfg := parallel.Config{
+		MaxProcs:     opts.MaxProcs,
+		BatchTuples:  opts.BatchTuples,
+		ChannelDepth: opts.ChannelDepth,
+	}
+	res, err := parallel.RunContext(ctx, plan, base, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Runtime: "parallel",
+		Virtual: false,
+		Time:    res.WallTime,
+		Result:  res.Result,
+		Stats: Stats{
+			Processes:         res.Stats.Processes,
+			Streams:           res.Stats.Streams,
+			TuplesMovedRemote: res.Stats.TuplesMovedRemote,
+			TuplesLocal:       res.Stats.TuplesLocal,
+			Batches:           res.Stats.Batches,
+			ResultTuples:      res.Stats.ResultTuples,
+			OpDone:            res.Stats.OpWall,
+			Goroutines:        res.Stats.Goroutines,
+			MaxProcs:          res.Stats.MaxProcs,
+		},
+	}, nil
+}

@@ -17,6 +17,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -83,6 +84,13 @@ type RunResult struct {
 // Run executes the plan against the base relations (leaf index -> relation)
 // under the given machine parameters.
 func Run(plan *xra.Plan, base func(leaf int) *relation.Relation, params costmodel.Params) (*RunResult, error) {
+	return RunContext(context.Background(), plan, base, params)
+}
+
+// RunContext is Run with cancellation: the simulator's event loop checks ctx
+// between events, so a cancelled context aborts the virtual execution at the
+// next event boundary and returns the context's error.
+func RunContext(ctx context.Context, plan *xra.Plan, base func(leaf int) *relation.Relation, params costmodel.Params) (*RunResult, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
@@ -103,7 +111,9 @@ func Run(plan *xra.Plan, base func(leaf int) *relation.Relation, params costmode
 	if err := e.setup(base); err != nil {
 		return nil, err
 	}
-	e.sim.Run()
+	if _, err := e.sim.RunContext(ctx); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
 	return e.finish()
 }
 

@@ -10,11 +10,11 @@ import (
 )
 
 // WriteCSV emits sweep points as CSV with the columns
-// shape,strategy,card,procs,seconds,processes,streams — one row per
+// shape,strategy,card,procs,runtime,seconds,processes,streams — one row per
 // measurement — so the figures can be re-plotted with external tools.
-// Rows are ordered by (card, procs, strategy) for stable diffs.
+// Rows are ordered by (shape, card, procs, strategy) for stable diffs.
 func WriteCSV(w io.Writer, points []Point) error {
-	if _, err := io.WriteString(w, "shape,strategy,card,procs,seconds,processes,streams\n"); err != nil {
+	if _, err := io.WriteString(w, "shape,strategy,card,procs,runtime,seconds,processes,streams\n"); err != nil {
 		return err
 	}
 	ordered := append([]Point(nil), points...)
@@ -32,8 +32,8 @@ func WriteCSV(w io.Writer, points []Point) error {
 		return a.Strategy < b.Strategy
 	})
 	for _, p := range ordered {
-		_, err := fmt.Fprintf(w, "%s,%s,%d,%d,%s,%d,%d\n",
-			p.Shape, p.Strategy, p.Card, p.Procs,
+		_, err := fmt.Fprintf(w, "%s,%s,%d,%d,%s,%s,%d,%d\n",
+			p.Shape, p.Strategy, p.Card, p.Procs, p.Runtime,
 			strconv.FormatFloat(p.Seconds, 'f', 4, 64),
 			p.Stats.Processes, p.Stats.Streams)
 		if err != nil {
@@ -43,23 +43,13 @@ func WriteCSV(w io.Writer, points []Point) error {
 	return nil
 }
 
-// CSVForShapes runs the simulator sweeps for all five paper shapes over the
-// given sizes and writes a single CSV covering all of them.
-func (r *Runner) CSVForShapes(w io.Writer, sizes []ProblemSize) error {
-	return r.csvForShapes(w, sizes, r.SweepShape)
-}
-
-// CSVForShapesParallel is CSVForShapes on the goroutine runtime: the same
-// shapes and sizes, measured in wall-clock seconds.
-func (r *Runner) CSVForShapesParallel(w io.Writer, sizes []ProblemSize) error {
-	return r.csvForShapes(w, sizes, r.SweepShapeParallel)
-}
-
-func (r *Runner) csvForShapes(w io.Writer, sizes []ProblemSize, sweep func(jointree.Shape, ProblemSize) ([]Point, error)) error {
+// CSVForShapes runs the sweeps for all five paper shapes over the given
+// sizes on the named runtime and writes a single CSV covering all of them.
+func (r *Runner) CSVForShapes(w io.Writer, sizes []ProblemSize, runtime string) error {
 	var all []Point
 	for _, shape := range jointree.Shapes {
 		for _, size := range sizes {
-			pts, err := sweep(shape, size)
+			pts, err := r.SweepShape(shape, size, runtime)
 			if err != nil {
 				return err
 			}

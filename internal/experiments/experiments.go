@@ -7,14 +7,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"multijoin/internal/core"
 	"multijoin/internal/costmodel"
-	"multijoin/internal/engine"
 	"multijoin/internal/jointree"
+	"multijoin/internal/parallel"
 	"multijoin/internal/strategy"
 	"multijoin/internal/wisconsin"
 )
@@ -42,8 +43,12 @@ type Point struct {
 	Strategy strategy.Kind
 	Card     int
 	Procs    int
-	Seconds  float64
-	Stats    engine.Stats
+	// Runtime is the registry name of the runtime that measured the point.
+	Runtime string
+	// Virtual reports whether Seconds is virtual (simulated) time.
+	Virtual bool
+	Seconds float64
+	Stats   core.Stats
 }
 
 // Runner executes experiment sweeps, caching generated databases per
@@ -77,8 +82,12 @@ func (r *Runner) DB(card int) (*wisconsin.Database, error) {
 	return db, nil
 }
 
-// Run measures one configuration.
-func (r *Runner) Run(shape jointree.Shape, kind strategy.Kind, card, procs int) (Point, error) {
+// Run measures one configuration on the named runtime ("sim" reports
+// virtual seconds, "parallel" wall-clock seconds for the identical plan).
+// On wall-clock runtimes the concurrency cap is the swept processor count
+// bounded by the host's GOMAXPROCS — a laptop does not have 80 CPUs;
+// capping keeps the sweep honest about what actually runs concurrently.
+func (r *Runner) Run(shape jointree.Shape, kind strategy.Kind, card, procs int, runtime string) (Point, error) {
 	db, err := r.DB(card)
 	if err != nil {
 		return Point{}, err
@@ -87,7 +96,9 @@ func (r *Runner) Run(shape jointree.Shape, kind strategy.Kind, card, procs int) 
 	if err != nil {
 		return Point{}, err
 	}
-	res, err := core.Query{DB: db, Tree: tree, Strategy: kind, Procs: procs, Params: r.Params}.Run()
+	q := core.Query{DB: db, Tree: tree, Strategy: kind, Procs: procs, Params: r.Params}
+	res, err := core.Exec(context.Background(), q,
+		core.WithRuntime(runtime), core.WithMaxProcs(parallel.HostCap(procs)))
 	if err != nil {
 		return Point{}, err
 	}
@@ -96,18 +107,21 @@ func (r *Runner) Run(shape jointree.Shape, kind strategy.Kind, card, procs int) 
 		Strategy: kind,
 		Card:     card,
 		Procs:    procs,
-		Seconds:  res.ResponseTime.Seconds(),
+		Runtime:  res.Runtime,
+		Virtual:  res.Virtual,
+		Seconds:  res.Time.Seconds(),
 		Stats:    res.Stats,
 	}, nil
 }
 
 // SweepShape measures all strategies over all processor counts of one
-// problem size for one query shape — one half of one of Figures 9-13.
-func (r *Runner) SweepShape(shape jointree.Shape, size ProblemSize) ([]Point, error) {
+// problem size for one query shape on the named runtime — one half of one
+// of Figures 9-13 on "sim", its wall-clock counterpart on "parallel".
+func (r *Runner) SweepShape(shape jointree.Shape, size ProblemSize, runtime string) ([]Point, error) {
 	var out []Point
 	for _, procs := range size.Procs {
 		for _, kind := range strategy.Kinds {
-			p, err := r.Run(shape, kind, size.Card, procs)
+			p, err := r.Run(shape, kind, size.Card, procs, runtime)
 			if err != nil {
 				return nil, fmt.Errorf("%v/%v/%d procs: %w", shape, kind, procs, err)
 			}
@@ -178,12 +192,12 @@ func BestOf(shape jointree.Shape, size ProblemSize, points []Point) Best {
 }
 
 // Figure14 computes the full best-response-time table: every shape, both
-// problem sizes.
+// problem sizes, on the simulator (the paper's virtual-time metric).
 func (r *Runner) Figure14() ([]Best, error) {
 	var out []Best
 	for _, shape := range jointree.Shapes {
 		for _, size := range Sizes {
-			pts, err := r.SweepShape(shape, size)
+			pts, err := r.SweepShape(shape, size, core.DefaultRuntime)
 			if err != nil {
 				return nil, err
 			}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"multijoin/internal/core"
 	"multijoin/internal/jointree"
 	"multijoin/internal/strategy"
 )
@@ -20,7 +21,7 @@ var smallSize = ProblemSize{Name: "tiny", Card: 200, Procs: []int{8, 12}}
 
 func TestRunPoint(t *testing.T) {
 	r := smallRunner()
-	p, err := r.Run(jointree.WideBushy, strategy.FP, 200, 8)
+	p, err := r.Run(jointree.WideBushy, strategy.FP, 200, 8, core.DefaultRuntime)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestDBCaching(t *testing.T) {
 
 func TestSweepShapeComplete(t *testing.T) {
 	r := smallRunner()
-	pts, err := r.SweepShape(jointree.LeftLinear, smallSize)
+	pts, err := r.SweepShape(jointree.LeftLinear, smallSize, core.DefaultRuntime)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestSweepShapeComplete(t *testing.T) {
 
 func TestFormatSweep(t *testing.T) {
 	r := smallRunner()
-	pts, err := r.SweepShape(jointree.WideBushy, smallSize)
+	pts, err := r.SweepShape(jointree.WideBushy, smallSize, core.DefaultRuntime)
 	if err != nil {
 		t.Fatal(err)
 	}

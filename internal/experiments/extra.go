@@ -169,7 +169,7 @@ func Memory(card, procs int, seed int64) (string, error) {
 	mb := func(tuples int) float64 { return float64(tuples) * wisconsin.TupleBytes / (1 << 20) }
 	for _, shape := range []jointree.Shape{jointree.WideBushy, jointree.RightLinear} {
 		for _, kind := range strategy.Kinds {
-			pt, err := r.Run(shape, kind, card, procs)
+			pt, err := r.Run(shape, kind, card, procs, core.DefaultRuntime)
 			if err != nil {
 				return "", err
 			}
@@ -253,7 +253,7 @@ func Ablation(card int, seed int64) (string, error) {
 		cfg.mod(&r.Params)
 		fmt.Fprintf(&b, "%-14s", cfg.name)
 		for _, procs := range procCounts {
-			pt, err := r.Run(jointree.LeftLinear, strategy.SP, card, procs)
+			pt, err := r.Run(jointree.LeftLinear, strategy.SP, card, procs, core.DefaultRuntime)
 			if err != nil {
 				return "", err
 			}

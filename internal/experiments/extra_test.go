@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"multijoin/internal/core"
 	"multijoin/internal/jointree"
 )
 
@@ -61,7 +62,7 @@ func TestPipelineDelayOutput(t *testing.T) {
 
 func TestWriteCSV(t *testing.T) {
 	r := smallRunner()
-	pts, err := r.SweepShape(jointree.WideBushy, smallSize)
+	pts, err := r.SweepShape(jointree.WideBushy, smallSize, core.DefaultRuntime)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,11 +74,11 @@ func TestWriteCSV(t *testing.T) {
 	if len(lines) != 1+len(pts) {
 		t.Fatalf("CSV has %d lines, want %d", len(lines), 1+len(pts))
 	}
-	if lines[0] != "shape,strategy,card,procs,seconds,processes,streams" {
+	if lines[0] != "shape,strategy,card,procs,runtime,seconds,processes,streams" {
 		t.Errorf("CSV header = %q", lines[0])
 	}
 	for _, l := range lines[1:] {
-		if cols := strings.Split(l, ","); len(cols) != 7 {
+		if cols := strings.Split(l, ","); len(cols) != 8 {
 			t.Errorf("CSV row %q has %d columns", l, len(cols))
 		}
 	}

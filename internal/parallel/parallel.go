@@ -31,6 +31,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -180,6 +181,7 @@ type opState struct {
 type runtimeState struct {
 	plan  *xra.Plan
 	cfg   Config
+	ctx   context.Context
 	sem   chan struct{}
 	ops   map[string]*opState
 	order []*opState
@@ -198,12 +200,25 @@ type runtimeState struct {
 // with real goroutine concurrency and returns the collected result and
 // wall-clock statistics.
 func Run(plan *xra.Plan, base func(leaf int) *relation.Relation, cfg Config) (*RunResult, error) {
+	return RunContext(context.Background(), plan, base, cfg)
+}
+
+// RunContext is Run with cancellation: every worker goroutine, stream
+// forwarder and dependency waiter selects on ctx.Done() at each blocking
+// point, so a cancelled query tears the whole process tree down — no
+// goroutine outlives the call — and the context's error is returned instead
+// of a partial result.
+func RunContext(ctx context.Context, plan *xra.Plan, base func(leaf int) *relation.Relation, cfg Config) (*RunResult, error) {
 	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("parallel: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("parallel: %w", err)
 	}
 	r := &runtimeState{
 		plan: plan,
 		cfg:  cfg.withDefaults(plan),
+		ctx:  ctx,
 		ops:  make(map[string]*opState, len(plan.Ops)),
 	}
 	r.sem = make(chan struct{}, r.cfg.MaxProcs)
@@ -213,6 +228,9 @@ func Run(plan *xra.Plan, base func(leaf int) *relation.Relation, cfg Config) (*R
 	r.start = time.Now()
 	r.launch()
 	r.wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("parallel: %w", err)
+	}
 	return r.finish(), nil
 }
 
@@ -340,8 +358,11 @@ func portOf(op *xra.Op, in *xra.Input) port {
 	}
 }
 
-// launch starts dependency waiters, stream forwarders and workers.
+// launch starts dependency waiters, stream forwarders and workers. Every
+// blocking channel operation selects on ctx.Done() so cancellation unwinds
+// the whole goroutine tree.
 func (r *runtimeState) launch() {
+	done := r.ctx.Done()
 	for _, os := range r.order {
 		os := os
 		if len(os.deps) == 0 {
@@ -352,7 +373,11 @@ func (r *runtimeState) launch() {
 			go func() {
 				defer r.wg.Done()
 				for _, d := range os.deps {
-					<-d.done
+					select {
+					case <-d.done:
+					case <-done:
+						return
+					}
 				}
 				close(os.ready)
 			}()
@@ -365,10 +390,25 @@ func (r *runtimeState) launch() {
 				r.goroutines++
 				go func() {
 					defer r.wg.Done()
-					for b := range s.ch {
-						w.mailbox <- item{port: s.port, tuples: b}
+					for {
+						select {
+						case b, ok := <-s.ch:
+							if !ok {
+								select {
+								case w.mailbox <- item{port: s.port, eos: true}:
+								case <-done:
+								}
+								return
+							}
+							select {
+							case w.mailbox <- item{port: s.port, tuples: b}:
+							case <-done:
+								return
+							}
+						case <-done:
+							return
+						}
 					}
-					w.mailbox <- item{port: s.port, eos: true}
 				}()
 			}
 			r.wg.Add(1)

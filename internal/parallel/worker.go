@@ -49,12 +49,15 @@ type inst struct {
 // processes live input until every incoming stream has ended.
 func (w *inst) run() {
 	defer w.r.wg.Done()
+	done := w.r.ctx.Done()
 	for waiting := len(w.op.deps) > 0; waiting; {
 		select {
 		case <-w.op.ready:
 			waiting = false
 		case it := <-w.mailbox:
 			w.stash = append(w.stash, it)
+		case <-done:
+			return
 		}
 	}
 	w.initState()
@@ -66,7 +69,17 @@ func (w *inst) run() {
 	}
 	w.stash = nil
 	for !w.allEOS() {
-		w.handle(<-w.mailbox)
+		select {
+		case it := <-w.mailbox:
+			w.handle(it)
+		case <-done:
+			return
+		}
+	}
+	if w.r.ctx.Err() != nil {
+		// Cancelled while draining: the partial output must not be
+		// reported as a completed operator.
+		return
 	}
 	w.finish()
 }
@@ -155,9 +168,14 @@ func (w *inst) handle(it item) {
 
 // compute runs one batch of operator work holding one of the MaxProcs
 // processor slots. Channel operations never happen under the semaphore: a
-// process blocked on transport has released its processor.
+// process blocked on transport has released its processor. A cancelled
+// context skips the work instead of queueing for a slot.
 func (w *inst) compute(f func()) {
-	w.r.sem <- struct{}{}
+	select {
+	case w.r.sem <- struct{}{}:
+	case <-w.r.ctx.Done():
+		return
+	}
 	f()
 	<-w.r.sem
 }
@@ -218,7 +236,10 @@ func (w *inst) flush(d int) {
 		}
 		w.r.batches.Add(1)
 	}
-	s.ch <- buf
+	select {
+	case s.ch <- buf:
+	case <-w.r.ctx.Done():
+	}
 }
 
 // finish flushes remaining buffers, ends every outgoing stream, and reports

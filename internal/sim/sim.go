@@ -18,6 +18,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 )
 
@@ -114,7 +115,25 @@ func (s *Sim) After(d Duration, fn func()) {
 // Run executes events in order until no events remain. It returns the final
 // virtual time.
 func (s *Sim) Run() Time {
+	t, _ := s.RunContext(context.Background())
+	return t
+}
+
+// RunContext executes events in order until no events remain or ctx is
+// cancelled. The context is checked between events — a single event callback
+// is never interrupted — so cancellation leaves the simulation in a
+// consistent (if incomplete) state. It returns the final virtual time and,
+// on cancellation, the context's error.
+func (s *Sim) RunContext(ctx context.Context) (Time, error) {
+	done := ctx.Done()
 	for len(s.events) > 0 {
+		if done != nil {
+			select {
+			case <-done:
+				return s.now, ctx.Err()
+			default:
+			}
+		}
 		e := heap.Pop(&s.events).(event)
 		s.now = e.at
 		s.count++
@@ -123,7 +142,7 @@ func (s *Sim) Run() Time {
 		}
 		e.fn()
 	}
-	return s.now
+	return s.now, nil
 }
 
 // Step executes the single next event, if any, and reports whether one ran.

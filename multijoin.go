@@ -25,14 +25,25 @@
 //
 //	db, _ := multijoin.NewDatabase(10, 5000, 1995)
 //	tree, _ := multijoin.BuildTree(multijoin.WideBushy, 10)
-//	res, _ := multijoin.Run(multijoin.Query{
+//	q := multijoin.Query{
 //		DB: db, Tree: tree, Strategy: multijoin.FP, Procs: 80,
 //		Params: multijoin.DefaultParams(),
-//	})
-//	fmt.Printf("response time %.2fs\n", res.ResponseTime.Seconds())
+//	}
+//	res, _ := multijoin.Exec(ctx, q) // simulated PRISMA/DB machine
+//	fmt.Printf("response time %.2fs\n", res.Time.Seconds())
+//
+// The same query on the goroutine runtime, on 8 real cores, verified
+// against the sequential reference:
+//
+//	res, _ = multijoin.Exec(ctx, q,
+//		multijoin.WithRuntime("parallel"),
+//		multijoin.WithMaxProcs(8),
+//		multijoin.WithVerify())
 package multijoin
 
 import (
+	"context"
+
 	"multijoin/internal/core"
 	"multijoin/internal/costmodel"
 	"multijoin/internal/engine"
@@ -49,10 +60,28 @@ import (
 type (
 	// Query is one parallel multi-join execution request.
 	Query = core.Query
-	// RunResult is the outcome of executing a query: the real join result,
-	// the virtual response time, and the overhead statistics.
+	// Result is the unified outcome of executing a query on any runtime:
+	// the real join result, the response time (virtual or wall-clock,
+	// distinguished by Virtual), and the merged statistics.
+	Result = core.Result
+	// ExecStats is the unified structural-counter set across runtimes.
+	ExecStats = core.Stats
+	// ExecOption is a functional option for Exec.
+	ExecOption = core.Option
+	// ExecOptions is the resolved option set a Runtime receives.
+	ExecOptions = core.Options
+	// Runtime is one pluggable execution backend for plans. Register
+	// implementations with RegisterRuntime and select them per query with
+	// WithRuntime.
+	Runtime = core.Runtime
+	// BaseFunc resolves a plan leaf index to its base relation.
+	BaseFunc = core.BaseFunc
+	// RunResult is the outcome of executing a query on the simulator via
+	// the deprecated Run/Verify entry points.
 	RunResult = engine.RunResult
-	// Stats aggregates process, stream and transport counters.
+	// Stats aggregates the simulator's process, stream and transport
+	// counters (used by the deprecated Run/Verify entry points; Exec
+	// returns the unified ExecStats instead).
 	Stats = engine.Stats
 	// Params is the simulated machine model.
 	Params = costmodel.Params
@@ -125,20 +154,85 @@ func BuildTree(s Shape, k int) (*Node, error) { return jointree.BuildShape(s, k)
 // illustrate the strategies.
 func ExampleTree() *Node { return jointree.Example() }
 
+// DefaultRuntime is the runtime Exec uses when WithRuntime is not given:
+// "sim", the discrete-event simulator that reproduces the paper's figures.
+const DefaultRuntime = core.DefaultRuntime
+
+// Exec plans the query and executes it on one of the registered runtimes —
+// the single execution entry point over every backend. With no options it
+// runs on the simulated PRISMA/DB machine and reports virtual response
+// time; WithRuntime selects another backend by registry name. The context
+// cancels the execution on either runtime: the simulator aborts between
+// events, the goroutine runtime tears down every worker without leaks.
+//
+//	res, err := multijoin.Exec(ctx, q)                       // simulator
+//	res, err := multijoin.Exec(ctx, q,
+//	        multijoin.WithRuntime("parallel"),
+//	        multijoin.WithMaxProcs(8), multijoin.WithVerify())
+func Exec(ctx context.Context, q Query, opts ...ExecOption) (*Result, error) {
+	return core.Exec(ctx, q, opts...)
+}
+
+// WithRuntime selects the execution backend by registry name ("sim",
+// "parallel", or any runtime added with RegisterRuntime).
+func WithRuntime(name string) ExecOption { return core.WithRuntime(name) }
+
+// WithParams sets the simulated machine model (defaults to the query's own
+// Params).
+func WithParams(p Params) ExecOption { return core.WithParams(p) }
+
+// WithMaxProcs caps concurrent computation on wall-clock runtimes. Zero
+// means the plan's own processor count.
+func WithMaxProcs(n int) ExecOption { return core.WithMaxProcs(n) }
+
+// WithBatchTuples sets the transport batch size (pipelining granularity).
+func WithBatchTuples(n int) ExecOption { return core.WithBatchTuples(n) }
+
+// WithChannelDepth sets the per-stream buffer capacity, in batches, on
+// wall-clock runtimes.
+func WithChannelDepth(n int) ExecOption { return core.WithChannelDepth(n) }
+
+// WithVerify checks the result against the sequential reference execution
+// and fails the Exec call on the first discrepancy.
+func WithVerify() ExecOption { return core.WithVerify() }
+
+// RegisterRuntime adds an execution backend to the by-name registry used by
+// Exec's WithRuntime option. Like database/sql driver registration it is
+// meant for init time and panics on duplicate or empty names.
+func RegisterRuntime(name string, rt Runtime) { core.RegisterRuntime(name, rt) }
+
+// LookupRuntime resolves a registry name to its runtime; the error for an
+// unknown name lists every registered runtime.
+func LookupRuntime(name string) (Runtime, error) { return core.LookupRuntime(name) }
+
+// RuntimeNames lists every registered runtime name, sorted.
+func RuntimeNames() []string { return core.RuntimeNames() }
+
 // Parallel-runtime types: the goroutine executor that runs the same plans
 // with real concurrency instead of the virtual clock.
 type (
 	// ParallelConfig parameterizes the goroutine runtime: processor cap,
 	// batch size, stream channel depth.
+	//
+	// Deprecated: pass WithMaxProcs/WithBatchTuples/WithChannelDepth to
+	// Exec instead.
 	ParallelConfig = parallel.Config
 	// ParallelResult is the outcome of a goroutine-parallel execution:
 	// the real join result, wall-clock time, and structural counters.
+	//
+	// Deprecated: Exec returns the unified Result for every runtime.
 	ParallelResult = parallel.RunResult
 	// ParallelStats aggregates goroutine, stream and transport counters.
+	//
+	// Deprecated: Exec returns the unified ExecStats for every runtime.
 	ParallelStats = parallel.Stats
 )
 
 // Run plans and executes the query on the simulated PRISMA/DB machine.
+//
+// Deprecated: use Exec, which adds context cancellation and runtime
+// selection; Run is equivalent to Exec(context.Background(), q) with the
+// engine-specific result type.
 func Run(q Query) (*RunResult, error) { return q.Run() }
 
 // ExecuteParallel plans the query and executes the plan with real goroutine
@@ -147,24 +241,30 @@ func Run(q Query) (*RunResult, error) { return q.Run() }
 // capping concurrent computation at ParallelConfig.MaxProcs processors. It
 // produces the same result multiset as Run and Reference, measured in wall
 // time instead of virtual time.
+//
+// Deprecated: use Exec with WithRuntime("parallel").
 func ExecuteParallel(q Query, cfg ParallelConfig) (*ParallelResult, error) {
 	return core.ExecuteParallel(q, cfg)
 }
 
 // VerifyParallel runs ExecuteParallel and checks the result against the
 // sequential reference execution.
+//
+// Deprecated: use Exec with WithRuntime("parallel") and WithVerify.
 func VerifyParallel(q Query, cfg ParallelConfig) (*ParallelResult, error) {
 	return core.VerifyParallel(q, cfg)
 }
 
 // HostCap bounds a plan's processor count by the host's real core count —
-// the ParallelConfig.MaxProcs to use when executing plans generated for
-// machines larger than this one. Plans keep their full processor count;
-// only concurrent computation is capped.
+// the WithMaxProcs cap to use when executing plans generated for machines
+// larger than this one. Plans keep their full processor count; only
+// concurrent computation is capped.
 func HostCap(procs int) int { return parallel.HostCap(procs) }
 
 // Verify runs the query and checks the result against the sequential
 // reference execution.
+//
+// Deprecated: use Exec with WithVerify.
 func Verify(q Query) (*RunResult, error) { return core.Verify(q) }
 
 // Reference evaluates the tree sequentially — the correctness oracle.

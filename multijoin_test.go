@@ -1,12 +1,15 @@
 package multijoin_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"multijoin"
 )
 
+// TestFacadeEndToEnd exercises the unified Exec API on every registered
+// runtime: every strategy, verified against the sequential reference.
 func TestFacadeEndToEnd(t *testing.T) {
 	db, err := multijoin.NewDatabase(6, 300, 7)
 	if err != nil {
@@ -16,17 +19,78 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, s := range multijoin.Strategies {
-		res, err := multijoin.Verify(multijoin.Query{
-			DB: db, Tree: tree, Strategy: s, Procs: 10,
-			Params: multijoin.DefaultParams(),
-		})
-		if err != nil {
-			t.Fatalf("%v: %v", s, err)
+	ctx := context.Background()
+	for _, rt := range multijoin.RuntimeNames() {
+		for _, s := range multijoin.Strategies {
+			res, err := multijoin.Exec(ctx, multijoin.Query{
+				DB: db, Tree: tree, Strategy: s, Procs: 10,
+				Params: multijoin.DefaultParams(),
+			}, multijoin.WithRuntime(rt), multijoin.WithVerify())
+			if err != nil {
+				t.Fatalf("%s/%v: %v", rt, s, err)
+			}
+			if res.Runtime != rt {
+				t.Errorf("%s/%v: result names runtime %q", rt, s, res.Runtime)
+			}
+			if res.Virtual != (rt == "sim") {
+				t.Errorf("%s/%v: Virtual = %v", rt, s, res.Virtual)
+			}
+			if res.Stats.ResultTuples != 300 {
+				t.Errorf("%s/%v: %d result tuples", rt, s, res.Stats.ResultTuples)
+			}
+			if res.Time <= 0 {
+				t.Errorf("%s/%v: non-positive time %v", rt, s, res.Time)
+			}
 		}
-		if res.Stats.ResultTuples != 300 {
-			t.Errorf("%v: %d result tuples", s, res.Stats.ResultTuples)
+	}
+}
+
+// TestFacadeExecUnknownRuntime checks that the registry error names the
+// registered runtimes.
+func TestFacadeExecUnknownRuntime(t *testing.T) {
+	db, err := multijoin.NewDatabase(4, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := multijoin.BuildTree(multijoin.LeftLinear, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := multijoin.Query{DB: db, Tree: tree, Strategy: multijoin.FP, Procs: 4, Params: multijoin.DefaultParams()}
+	_, err = multijoin.Exec(context.Background(), q, multijoin.WithRuntime("warp-drive"))
+	if err == nil {
+		t.Fatal("unknown runtime must fail")
+	}
+	for _, want := range []string{"warp-drive", "sim", "parallel"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
 		}
+	}
+}
+
+// TestFacadeDeprecatedWrappers keeps the pre-Exec entry points compiling
+// and correct: they are thin wrappers over the same runtimes.
+func TestFacadeDeprecatedWrappers(t *testing.T) {
+	db, err := multijoin.NewDatabase(5, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := multijoin.BuildTree(multijoin.WideBushy, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := multijoin.Query{DB: db, Tree: tree, Strategy: multijoin.FP, Procs: 8, Params: multijoin.DefaultParams()}
+	simRes, err := multijoin.Verify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := multijoin.VerifyParallel(q, multijoin.ParallelConfig{MaxProcs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simRes.Stats.ResultTuples != parRes.Stats.ResultTuples {
+		t.Errorf("wrapper results disagree: sim %d vs parallel %d tuples",
+			simRes.Stats.ResultTuples, parRes.Stats.ResultTuples)
 	}
 }
 
