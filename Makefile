@@ -20,11 +20,16 @@ test:
 	$(GO) test -race ./...
 
 # Bench smoke: one iteration of every benchmark, with the sim-vs-parallel
-# comparison captured as test2json lines in BENCH_parallel.json.
+# comparison captured as test2json lines in BENCH_parallel.json and the
+# allocation benchmarks in BENCH_alloc.json, gated against the checked-in
+# allocs/op baseline (fails on >20% regression).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -json . > BENCH_parallel.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_parallel.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 	@echo "wrote BENCH_parallel.json"
+	$(GO) test -run '^$$' -bench 'BenchmarkExecAlloc|BenchmarkHashTable' -benchtime 1x -benchmem -json . ./internal/hashjoin > BENCH_alloc.json
+	@echo "wrote BENCH_alloc.json"
+	$(GO) run ./cmd/benchcheck -in BENCH_alloc.json -baseline bench_alloc_baseline.txt
 
 # Examples smoke: build every example binary, then run each one to
 # completion (their output doubles as an end-to-end check of the facade).
@@ -35,5 +40,5 @@ examples:
 	@echo "all examples ran"
 
 clean:
-	rm -f BENCH_parallel.json
+	rm -f BENCH_parallel.json BENCH_alloc.json
 	rm -rf .bin

@@ -213,6 +213,38 @@ func benchParallelVsSim(b *testing.B, kind strategy.Kind) {
 	b.ReportMetric(wall.Seconds(), "real-wall-s")
 }
 
+// benchExecAlloc measures the allocation profile of the goroutine runtime's
+// steady-state data path on the paper's large problem: a left-linear tree
+// over 10 relations of 40K tuples, planned for 80 processors. The left-linear
+// shape maximizes pipeline depth, so per-batch garbage in scans, transport
+// and hash tables dominates; allocs/op is the number the arena/pool work is
+// gated on in CI (cmd/benchcheck).
+func benchExecAlloc(b *testing.B, kind strategy.Kind) {
+	db, err := multijoin.NewDatabase(10, 40000, 1995)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := multijoin.BuildTree(multijoin.LeftLinear, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const procs = 80
+	maxProcs := multijoin.HostCap(procs)
+	q := multijoin.Query{DB: db, Tree: tree, Strategy: kind, Procs: procs, Params: multijoin.DefaultParams()}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := multijoin.Exec(ctx, q,
+			multijoin.WithRuntime("parallel"), multijoin.WithMaxProcs(maxProcs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecAlloc_FP(b *testing.B) { benchExecAlloc(b, strategy.FP) }
+func BenchmarkExecAlloc_RD(b *testing.B) { benchExecAlloc(b, strategy.RD) }
+
 func BenchmarkParallelVsSim_SP(b *testing.B) { benchParallelVsSim(b, strategy.SP) }
 func BenchmarkParallelVsSim_SE(b *testing.B) { benchParallelVsSim(b, strategy.SE) }
 func BenchmarkParallelVsSim_RD(b *testing.B) { benchParallelVsSim(b, strategy.RD) }

@@ -1,0 +1,169 @@
+// Command benchcheck gates allocation regressions in CI: it reads the
+// test2json stream `make bench` writes to BENCH_alloc.json, extracts the
+// allocs/op of selected benchmarks, and fails (exit 1) when a benchmark
+// regresses by more than the allowed fraction against the checked-in
+// baseline.
+//
+// Usage:
+//
+//	benchcheck -in BENCH_alloc.json -baseline bench_alloc_baseline.txt [-max-regress 0.20]
+//
+// The baseline file holds one `BenchmarkName allocs/op` pair per line
+// (# starts a comment); only benchmarks listed there are gated, so adding a
+// benchmark to the suite does not break CI until a baseline is recorded
+// for it. Allocation counts, unlike ns/op, are stable enough on shared CI
+// runners for a hard gate; the slack absorbs scheduling-dependent pool
+// misses of the parallel runtime.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// allocCount extracts the allocs/op figure of a -benchmem result line.
+var allocCount = regexp.MustCompile(`(\d+)\s+allocs/op`)
+
+// parseBenchName returns the benchmark name opening a result line (GOMAXPROCS
+// suffix stripped) and the rest of the line, or "" when the line does not
+// start a benchmark result.
+func parseBenchName(out string) (name, rest string) {
+	if !strings.HasPrefix(out, "Benchmark") {
+		return "", out
+	}
+	name = out
+	if i := strings.IndexAny(out, " \t"); i >= 0 {
+		name, rest = out[:i], out[i:]
+	}
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name, rest
+}
+
+// event is the subset of a test2json record benchcheck needs.
+type event struct {
+	Output string `json:"Output"`
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchcheck: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// readBaseline parses "BenchmarkName allocs" lines; # starts a comment.
+func readBaseline(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s: want `BenchmarkName allocs/op`, got %q", path, line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %q: %v", path, line, err)
+		}
+		base[fields[0]] = v
+	}
+	return base, sc.Err()
+}
+
+// readResults extracts benchmark allocs/op from a test2json stream.
+func readResults(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	got := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var pending string // last benchmark name seen without metrics yet
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // non-JSON noise (plain `go test` output) is ignored
+		}
+		out := strings.TrimRight(ev.Output, "\n")
+		name := pending
+		// test2json may emit the name and the metrics as one Output record
+		// or as two consecutive ones ("BenchmarkExecAlloc_FP \t" followed
+		// by "       1\t  70179468 ns/op\t...\t8090 allocs/op\n"): a
+		// metrics-only record is stitched to the preceding name.
+		if n, rest := parseBenchName(out); n != "" {
+			name = n
+			pending = n
+			out = rest
+		}
+		a := allocCount.FindStringSubmatch(out)
+		if a == nil || name == "" {
+			continue
+		}
+		if v, err := strconv.ParseFloat(a[1], 64); err == nil {
+			got[name] = v
+		}
+		pending = ""
+	}
+	return got, sc.Err()
+}
+
+func main() {
+	in := flag.String("in", "BENCH_alloc.json", "test2json benchmark output to check")
+	baseline := flag.String("baseline", "bench_alloc_baseline.txt", "checked-in allocs/op baseline")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximum allowed fractional allocs/op regression")
+	flag.Parse()
+
+	base, err := readBaseline(*baseline)
+	if err != nil {
+		fail("%v", err)
+	}
+	if len(base) == 0 {
+		fail("%s lists no benchmarks", *baseline)
+	}
+	got, err := readResults(*in)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	bad := false
+	for name, want := range base {
+		have, ok := got[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s has a baseline but no result in %s\n", name, *in)
+			bad = true
+			continue
+		}
+		limit := want * (1 + *maxRegress)
+		status := "ok"
+		if have > limit {
+			status = "REGRESSION"
+			bad = true
+		}
+		fmt.Printf("%-28s %12.0f allocs/op  (baseline %.0f, limit %.0f)  %s\n",
+			name, have, want, limit, status)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -25,12 +25,22 @@
 // invalid figure name cannot abort the run midway through partial output.
 //
 // -card5k/-card40k/-procs scale the experiments down for quick runs.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// experiments (the CPU profile spans the whole run; the heap profile is
+// taken after the last experiment), so perf work can attach evidence
+// without editing the binary:
+//
+//	mjbench -fig 9 -runtime parallel -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"multijoin"
@@ -50,9 +60,17 @@ var figureShapes = map[string]jointree.Shape{
 // allFigures lists every valid -fig name in output order.
 var allFigures = []string{"3", "4", "6", "7", "9", "10", "11", "12", "13", "14", "speedup", "pipedelay", "ablation", "memory", "costfn"}
 
-func fail(format string, args ...interface{}) {
+// fail reports a usage error (exit 2); die reports a runtime error
+// (exit 1). Both stop an active CPU profile first — os.Exit skips defers,
+// and without StopCPUProfile the profile file lacks its trailer and
+// `go tool pprof` rejects it.
+func fail(format string, args ...interface{}) { exit(2, format, args...) }
+func die(format string, args ...interface{})  { exit(1, format, args...) }
+
+func exit(code int, format string, args ...interface{}) {
+	pprof.StopCPUProfile() // no-op when no profile is active
 	fmt.Fprintf(os.Stderr, "mjbench: "+format+"\n", args...)
-	os.Exit(2)
+	os.Exit(code)
 }
 
 // parseFigures expands and validates the -fig argument up front, before any
@@ -86,6 +104,8 @@ func main() {
 	seed := flag.Int64("seed", 1995, "database generator seed")
 	csvPath := flag.String("csv", "", "write the response-time sweeps run for figures 9-13 to this CSV file")
 	rt := flag.String("runtime", multijoin.DefaultRuntime, "execution runtime for figures 9-13, by registry name: "+strings.Join(multijoin.RuntimeNames(), ", "))
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after the last experiment) to this file")
 	flag.Parse()
 
 	// Validate every flag combination before producing any output.
@@ -103,6 +123,18 @@ func main() {
 		if sweeps == 0 {
 			fail("-csv needs at least one response-time figure (9, 10, 11, 12, 13) in -fig; got -fig %s", *fig)
 		}
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail("-cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("-cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	r := experiments.NewRunner()
@@ -183,21 +215,29 @@ func main() {
 
 	for _, name := range names {
 		if err := run(name); err != nil {
-			fmt.Fprintf(os.Stderr, "mjbench: %v\n", err)
-			os.Exit(1)
+			die("%v", err)
 		}
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mjbench: %v\n", err)
-			os.Exit(1)
+			die("%v", err)
 		}
 		defer f.Close()
 		if err := experiments.WriteCSV(f, csvPoints); err != nil {
-			fmt.Fprintf(os.Stderr, "mjbench: %v\n", err)
-			os.Exit(1)
+			die("%v", err)
 		}
 		fmt.Printf("wrote %s (%d rows)\n", *csvPath, len(csvPoints))
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			die("-memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC() // material heap only: drop garbage from the last run
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			die("-memprofile: %v", err)
+		}
 	}
 }

@@ -125,14 +125,21 @@ func WithRuntime(name string) Option { return func(o *Options) { o.Runtime = nam
 // WithParams sets the simulated machine model.
 func WithParams(p costmodel.Params) Option { return func(o *Options) { o.Params = p } }
 
-// WithMaxProcs caps concurrent computation on wall-clock runtimes.
+// WithMaxProcs sets the number of modeled processors on wall-clock
+// runtimes: one run-queue dispatcher each, serializing the operation
+// processes bound to it. Zero means the plan's own processor count.
 func WithMaxProcs(n int) Option { return func(o *Options) { o.MaxProcs = n } }
 
 // WithBatchTuples sets the transport batch size (pipelining granularity).
 func WithBatchTuples(n int) Option { return func(o *Options) { o.BatchTuples = n } }
 
 // WithChannelDepth sets the per-stream buffer capacity, in batches, on
-// wall-clock runtimes.
+// wall-clock runtimes. The depth is resolved once per run and applied to
+// every stream alike; each process's mailbox is additionally sized to
+// depth × its incoming stream count, so a stream forwarder can always
+// buffer a full channel's worth of batches without blocking a producer
+// whose consumer has not started yet (the deadlock-freedom heuristic —
+// see parallel.Config.ChannelDepth).
 func WithChannelDepth(n int) Option { return func(o *Options) { o.ChannelDepth = n } }
 
 // WithVerify checks the result against the sequential reference execution.

@@ -108,6 +108,11 @@ func RunContext(ctx context.Context, plan *xra.Plan, base func(leaf int) *relati
 		e.sim.SetEventLimit(params.EventLimit)
 	}
 	e.stats.OpFinish = make(map[string]sim.Time, len(plan.Ops))
+	retain := plan.NumStreams() * 2
+	if retain > relation.MaxPoolRetain {
+		retain = relation.MaxPoolRetain
+	}
+	e.pool = relation.NewBatchPool(params.BatchTuples, retain)
 	if err := e.setup(base); err != nil {
 		return nil, err
 	}
@@ -144,6 +149,11 @@ type opState struct {
 	doneCount  int
 	finished   bool
 	finishAt   sim.Time
+
+	// estCard is the estimated output cardinality (exact for scans, an
+	// upper-bound estimate for the 1:1 chain joins), used to size hash
+	// tables and the collect relation up front.
+	estCard int
 }
 
 func (o *opState) depsDone() bool {
@@ -165,6 +175,12 @@ type engineState struct {
 	order   []*opState // plan order
 	stats   Stats
 	collect *instance
+
+	// pool recycles transport batches: every batch delivered between
+	// instances is drawn here by the producer's emit and returned by the
+	// consumer that applies it, so steady-state simulation allocates no
+	// per-batch garbage.
+	pool *relation.BatchPool
 
 	// Hash-table memory accounting (tuples resident per processor).
 	tableNow map[int]int
@@ -257,9 +273,27 @@ func (e *engineState) setup(base func(leaf int) *relation.Relation) error {
 		if e.collect.gathered.TupleBytes == 0 {
 			e.collect.gathered.TupleBytes = rel.TupleBytes
 		}
+		os.estCard = rel.Card()
 		frags := relation.Fragment(rel, os.op.FragAttr, len(os.instances))
 		for i, inst := range os.instances {
 			inst.scanTuples = frags[i].Tuples
+		}
+	}
+	// Propagate cardinality estimates downstream (plan order lists
+	// producers before consumers): the chain query's joins are 1:1, so the
+	// larger operand bounds the output. The estimates size hash tables and
+	// the collect relation so the hot path never regrows them.
+	for _, os := range e.order {
+		if os.op.Kind == xra.OpScan {
+			continue
+		}
+		for _, in := range os.op.Inputs() {
+			if from := e.ops[in.From]; from.estCard > os.estCard {
+				os.estCard = from.estCard
+			}
+		}
+		if os.op.Kind == xra.OpCollect && os.estCard > 0 {
+			e.collect.gathered.Tuples = make([]relation.Tuple, 0, os.estCard)
 		}
 	}
 	// Sequential startup by the scheduler: process k may begin (receive

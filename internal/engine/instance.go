@@ -49,8 +49,14 @@ type instance struct {
 	// Scan state.
 	scanTuples []relation.Tuple
 
-	// Output batching: one buffer per destination instance of the consumer
-	// edge.
+	// scratch is the reusable join-result buffer: apply leaves results in
+	// it and the emit event copies them out before the next apply, so one
+	// buffer per instance suffices.
+	scratch []relation.Tuple
+
+	// Output batching: one pooled buffer per destination instance of the
+	// consumer edge (a nil buffer is replaced from the pool on first use
+	// after each flush).
 	outBufs [][]relation.Tuple
 
 	// Collect state.
@@ -105,13 +111,16 @@ func (in *instance) numStreams() int {
 	return n
 }
 
-// initState lazily creates algorithm state and enqueues scan work.
+// initState lazily creates algorithm state and enqueues scan work. Join
+// tables are sized from the operator's estimated per-process operand
+// cardinality so steady-state inserts never rehash.
 func (in *instance) initState() {
+	hint := relation.PerFragmentCap(in.op.estCard, len(in.op.instances))
 	switch in.op.op.Kind {
 	case xra.OpSimpleJoin:
-		in.simple = hashjoin.NewSimple(in.spec())
+		in.simple = hashjoin.NewSimpleSized(in.spec(), hint)
 	case xra.OpPipeJoin:
-		in.pipe = hashjoin.NewPipelining(in.spec())
+		in.pipe = hashjoin.NewPipeliningSized(in.spec(), hint)
 	case xra.OpScan:
 		b := in.e.params.BatchTuples
 		for lo := 0; lo < len(in.scanTuples); lo += b {
@@ -207,7 +216,10 @@ func (in *instance) next() {
 
 // apply runs the operator logic on one item, returning the work in cost
 // units (Section 4.3: hash=1, net receive=1, result create+send=2) and any
-// result tuples to emit.
+// result tuples to emit. Join results land in the instance's scratch
+// buffer, which the emit event consumes before the next apply; exhausted
+// input batches return to the batch pool (scan items are borrowed slices of
+// the base relation and stay out of the pool).
 func (in *instance) apply(it item) (units float64, results []relation.Tuple) {
 	n := float64(len(it.tuples))
 	switch {
@@ -223,9 +235,12 @@ func (in *instance) apply(it item) (units float64, results []relation.Tuple) {
 			units += n * costmodel.UnitsNetReceive
 		}
 		in.simple.Insert(it.tuples)
-		in.e.addTableTuples(in.proc.ID, len(it.tuples))
+		in.e.pool.Put(it.tuples)
+		in.e.addTableTuples(in.proc.ID, int(n))
 	case in.op.op.Kind == xra.OpSimpleJoin: // probe, build complete
-		results = in.simple.Probe(it.tuples)
+		in.scratch = in.simple.ProbeInto(in.scratch[:0], it.tuples)
+		in.e.pool.Put(it.tuples)
+		results = in.scratch
 		units = n * costmodel.UnitsHash
 		if it.remote {
 			units += n * costmodel.UnitsNetReceive
@@ -244,10 +259,12 @@ func (in *instance) apply(it item) (units float64, results []relation.Tuple) {
 		bn, pn := in.pipe.Sizes()
 		otherEmpty := (fromBuild && pn == 0) || (!fromBuild && bn == 0)
 		if fromBuild {
-			results = in.pipe.FromBuildSide(it.tuples)
+			in.scratch = in.pipe.FromBuildSideInto(in.scratch[:0], it.tuples)
 		} else {
-			results = in.pipe.FromProbeSide(it.tuples)
+			in.scratch = in.pipe.FromProbeSideInto(in.scratch[:0], it.tuples)
 		}
+		in.e.pool.Put(it.tuples)
+		results = in.scratch
 		b1, p1 := in.pipe.Sizes()
 		in.e.addTableTuples(in.proc.ID, (b1+p1)-(bn+pn))
 		units = n * costmodel.UnitsHash
@@ -262,28 +279,50 @@ func (in *instance) apply(it item) (units float64, results []relation.Tuple) {
 		// Gathering at the scheduler host is free and identical for every
 		// strategy; the paper's response time excludes it.
 		in.gathered.Append(it.tuples...)
+		in.e.pool.Put(it.tuples)
 	}
 	return units, results
 }
 
-// emit routes result tuples into per-destination buffers, flushing full
-// batches.
+// emit routes result tuples into per-destination pooled buffers, flushing
+// batches the moment they are full so a pooled buffer never regrows past
+// its fixed capacity.
 func (in *instance) emit(results []relation.Tuple) {
 	c := in.op.consumer
 	if c == nil {
 		return
 	}
+	bt := in.e.params.BatchTuples
 	if len(in.outBufs) == 1 {
-		in.outBufs[0] = append(in.outBufs[0], results...)
-	} else {
-		m := len(in.outBufs)
-		for _, t := range results {
-			d := relation.HashKey(t.Get(c.route), m)
-			in.outBufs[d] = append(in.outBufs[d], t)
+		buf := in.outBufs[0]
+		for len(results) > 0 {
+			if buf == nil {
+				buf = in.e.pool.Get()
+			}
+			n := bt - len(buf)
+			if n > len(results) {
+				n = len(results)
+			}
+			buf = append(buf, results[:n]...)
+			results = results[n:]
+			in.outBufs[0] = buf
+			if len(buf) == bt {
+				in.flush(0)
+				buf = nil
+			}
 		}
+		return
 	}
-	for d := range in.outBufs {
-		if len(in.outBufs[d]) >= in.e.params.BatchTuples {
+	m := len(in.outBufs)
+	for _, t := range results {
+		d := relation.HashKey(t.Get(c.route), m)
+		buf := in.outBufs[d]
+		if buf == nil {
+			buf = in.e.pool.Get()
+		}
+		buf = append(buf, t)
+		in.outBufs[d] = buf
+		if len(buf) == bt {
 			in.flush(d)
 		}
 	}

@@ -16,6 +16,12 @@
 // the execution engine drives them and separately accounts simulated time.
 // They are also directly usable for sequential reference execution in tests.
 //
+// The hash table itself is an open-addressing table over a flat slot array
+// plus a tuple arena (see Table) — the compact, reusable state the symmetric
+// hash-join literature assumes — so steady-state inserts and probes allocate
+// nothing. MapTable keeps the retired map[int64][]Tuple implementation as
+// the reference for differential tests.
+//
 // Join semantics follow the chain query of Section 4.1: the operand covering
 // the lower chain span joins its Unique2 attribute against the Unique1
 // attribute of the higher-span operand (the shared boundary attribute), and
@@ -71,30 +77,158 @@ func (s Spec) Result(build, probe relation.Tuple) relation.Tuple {
 	}
 }
 
-// Table is an in-memory hash table over one join attribute.
-type Table struct {
-	attr relation.Attr
-	m    map[int64][]relation.Tuple
-	n    int
+// nilIndex terminates entry chains and marks free slots.
+const nilIndex = -1
+
+// minSlots keeps the slot array non-empty so the probe loop needs no
+// emptiness check.
+const minSlots = 16
+
+// entry is one arena cell: a stored tuple plus the arena index of the next
+// tuple with the same key (duplicate chain), or nilIndex.
+type entry struct {
+	tuple relation.Tuple
+	next  int32
 }
 
-// NewTable returns an empty hash table keyed on the given attribute.
-func NewTable(attr relation.Attr) *Table {
-	return &Table{attr: attr, m: make(map[int64][]relation.Tuple)}
+// Table is an in-memory hash table over one join attribute: an
+// open-addressing slot array (linear probing, power-of-two size, no
+// tombstones — the table only ever grows) whose slots point into a tuple
+// arena. Duplicate keys chain inside the arena, so one slot per distinct
+// key. Steady-state Insert performs no per-key allocation; growth doubles
+// the slot array and re-seats slot heads without touching the arena.
+//
+// Sizing the table from the operand's declared cardinality (NewTableSized)
+// avoids rehash churn entirely — the PRISMA/DB setting, where scans declare
+// their fragment sizes up front.
+type Table struct {
+	attr    relation.Attr
+	keys    []int64 // keys[s] is meaningful only when head[s] != nilIndex
+	head    []int32 // slot -> first arena entry of the key's chain
+	entries []entry // tuple arena, insertion-ordered
+	used    int     // occupied slots (distinct keys)
+	mask    uint64
+}
+
+// hashKey mixes a join-attribute value for slot addressing (same multiplier
+// as relation.HashKey; the slot count is a power of two, so the high bits
+// are folded down).
+func hashKey(k int64) uint64 {
+	h := uint64(k) * 0x9e3779b97f4a7c15
+	return h ^ h>>32
+}
+
+// NewTable returns an empty hash table keyed on the given attribute, sized
+// for small inputs. Use NewTableSized when the cardinality is known.
+func NewTable(attr relation.Attr) *Table { return NewTableSized(attr, 0) }
+
+// NewTableSized returns an empty hash table keyed on the given attribute
+// with capacity for hint tuples before any growth.
+func NewTableSized(attr relation.Attr, hint int) *Table {
+	slots := minSlots
+	for slots*3 < hint*4 { // keep load factor under 3/4 at hint tuples
+		slots *= 2
+	}
+	t := &Table{
+		attr: attr,
+		keys: make([]int64, slots),
+		head: make([]int32, slots),
+		mask: uint64(slots - 1),
+	}
+	if hint > 0 {
+		t.entries = make([]entry, 0, hint)
+	}
+	for i := range t.head {
+		t.head[i] = nilIndex
+	}
+	return t
 }
 
 // Insert adds a tuple.
 func (t *Table) Insert(tp relation.Tuple) {
 	k := tp.Get(t.attr)
-	t.m[k] = append(t.m[k], tp)
-	t.n++
+	s := hashKey(k) & t.mask
+	for t.head[s] != nilIndex {
+		if t.keys[s] == k {
+			t.entries = append(t.entries, entry{tuple: tp, next: t.head[s]})
+			t.head[s] = int32(len(t.entries) - 1)
+			return
+		}
+		s = (s + 1) & t.mask
+	}
+	t.entries = append(t.entries, entry{tuple: tp, next: nilIndex})
+	t.keys[s] = k
+	t.head[s] = int32(len(t.entries) - 1)
+	t.used++
+	if t.used*4 > len(t.head)*3 {
+		t.grow()
+	}
 }
 
+// grow doubles the slot array and re-seats every chain head. The arena and
+// its chains are untouched: only the distinct keys rehash.
+func (t *Table) grow() {
+	oldKeys, oldHead := t.keys, t.head
+	slots := len(oldHead) * 2
+	t.keys = make([]int64, slots)
+	t.head = make([]int32, slots)
+	t.mask = uint64(slots - 1)
+	for i := range t.head {
+		t.head[i] = nilIndex
+	}
+	for s, h := range oldHead {
+		if h == nilIndex {
+			continue
+		}
+		k := oldKeys[s]
+		d := hashKey(k) & t.mask
+		for t.head[d] != nilIndex {
+			d = (d + 1) & t.mask
+		}
+		t.keys[d] = k
+		t.head[d] = h
+	}
+}
+
+// First returns the arena index of the most recently inserted tuple whose
+// key attribute equals k, or a negative index if none. Iterate the full
+// duplicate chain with Next:
+//
+//	for i := t.First(k); i >= 0; i = t.Next(i) {
+//	    tp := t.At(i)
+//	}
+//
+// The loop allocates nothing.
+func (t *Table) First(k int64) int32 {
+	s := hashKey(k) & t.mask
+	for t.head[s] != nilIndex {
+		if t.keys[s] == k {
+			return t.head[s]
+		}
+		s = (s + 1) & t.mask
+	}
+	return nilIndex
+}
+
+// Next returns the arena index of the next tuple with the same key as entry
+// i, or a negative index at the end of the chain.
+func (t *Table) Next(i int32) int32 { return t.entries[i].next }
+
+// At returns the tuple stored at arena index i.
+func (t *Table) At(i int32) relation.Tuple { return t.entries[i].tuple }
+
 // Matches returns the tuples whose key attribute equals k (nil if none).
-func (t *Table) Matches(k int64) []relation.Tuple { return t.m[k] }
+// It allocates a fresh slice per call; hot paths iterate First/Next instead.
+func (t *Table) Matches(k int64) []relation.Tuple {
+	var out []relation.Tuple
+	for i := t.First(k); i >= 0; i = t.Next(i) {
+		out = append(out, t.At(i))
+	}
+	return out
+}
 
 // Len returns the number of inserted tuples.
-func (t *Table) Len() int { return t.n }
+func (t *Table) Len() int { return len(t.entries) }
 
 // Attr returns the key attribute.
 func (t *Table) Attr() relation.Attr { return t.attr }
@@ -105,9 +239,14 @@ type Simple struct {
 	table *Table
 }
 
-// NewSimple returns a fresh simple hash-join.
-func NewSimple(spec Spec) *Simple {
-	return &Simple{spec: spec, table: NewTable(spec.BuildAttr())}
+// NewSimple returns a fresh simple hash-join. Use NewSimpleSized when the
+// build cardinality is known.
+func NewSimple(spec Spec) *Simple { return NewSimpleSized(spec, 0) }
+
+// NewSimpleSized returns a fresh simple hash-join whose table has capacity
+// for hint build tuples before any growth.
+func NewSimpleSized(spec Spec, hint int) *Simple {
+	return &Simple{spec: spec, table: NewTableSized(spec.BuildAttr(), hint)}
 }
 
 // Spec returns the join specification.
@@ -123,19 +262,26 @@ func (j *Simple) Insert(batch []relation.Tuple) {
 // BuildSize returns the number of tuples in the hash table.
 func (j *Simple) BuildSize() int { return j.table.Len() }
 
-// Probe streams a batch of probe-operand tuples through the (complete) hash
-// table and returns the result tuples. The caller is responsible for not
-// probing before the build phase finished — the engine buffers early probe
-// input, which is exactly the blocking behaviour of the algorithm.
-func (j *Simple) Probe(batch []relation.Tuple) []relation.Tuple {
-	var out []relation.Tuple
+// ProbeInto streams a batch of probe-operand tuples through the (complete)
+// hash table, appends the result tuples to dst and returns the extended
+// slice — the allocation-free form of Probe for callers that reuse a
+// scratch buffer. The caller is responsible for not probing before the
+// build phase finished — the engine buffers early probe input, which is
+// exactly the blocking behaviour of the algorithm.
+func (j *Simple) ProbeInto(dst, batch []relation.Tuple) []relation.Tuple {
 	pa := j.spec.ProbeAttr()
+	t := j.table
 	for _, tp := range batch {
-		for _, b := range j.table.Matches(tp.Get(pa)) {
-			out = append(out, j.spec.Result(b, tp))
+		for i := t.First(tp.Get(pa)); i >= 0; i = t.Next(i) {
+			dst = append(dst, j.spec.Result(t.At(i), tp))
 		}
 	}
-	return out
+	return dst
+}
+
+// Probe is ProbeInto into a fresh slice.
+func (j *Simple) Probe(batch []relation.Tuple) []relation.Tuple {
+	return j.ProbeInto(nil, batch)
 }
 
 // Pipelining is the state of one pipelining (symmetric) hash-join instance.
@@ -155,50 +301,65 @@ type Pipelining struct {
 	probeClosed bool
 }
 
-// NewPipelining returns a fresh pipelining hash-join.
-func NewPipelining(spec Spec) *Pipelining {
+// NewPipelining returns a fresh pipelining hash-join. Use NewPipeliningSized
+// when the operand cardinalities are known.
+func NewPipelining(spec Spec) *Pipelining { return NewPipeliningSized(spec, 0) }
+
+// NewPipeliningSized returns a fresh pipelining hash-join whose two tables
+// each have capacity for hint tuples before any growth.
+func NewPipeliningSized(spec Spec, hint int) *Pipelining {
 	return &Pipelining{
 		spec:       spec,
-		buildTable: NewTable(spec.BuildAttr()),
-		probeTable: NewTable(spec.ProbeAttr()),
+		buildTable: NewTableSized(spec.BuildAttr(), hint),
+		probeTable: NewTableSized(spec.ProbeAttr(), hint),
 	}
 }
 
 // Spec returns the join specification.
 func (j *Pipelining) Spec() Spec { return j.spec }
 
-// FromBuildSide consumes a batch arriving on the build operand: each tuple
-// probes the probe-side table built so far and, while the probe operand is
-// still open, is inserted into the build-side table. Matches found are
-// returned immediately.
-func (j *Pipelining) FromBuildSide(batch []relation.Tuple) []relation.Tuple {
-	var out []relation.Tuple
+// FromBuildSideInto consumes a batch arriving on the build operand: each
+// tuple probes the probe-side table built so far and, while the probe
+// operand is still open, is inserted into the build-side table. Matches are
+// appended to dst and the extended slice returned.
+func (j *Pipelining) FromBuildSideInto(dst, batch []relation.Tuple) []relation.Tuple {
 	ba := j.spec.BuildAttr()
+	pt := j.probeTable
 	for _, tp := range batch {
-		for _, p := range j.probeTable.Matches(tp.Get(ba)) {
-			out = append(out, j.spec.Result(tp, p))
+		for i := pt.First(tp.Get(ba)); i >= 0; i = pt.Next(i) {
+			dst = append(dst, j.spec.Result(tp, pt.At(i)))
 		}
 		if !j.probeClosed {
 			j.buildTable.Insert(tp)
 		}
 	}
-	return out
+	return dst
 }
 
-// FromProbeSide consumes a batch arriving on the probe operand,
-// symmetrically to FromBuildSide.
-func (j *Pipelining) FromProbeSide(batch []relation.Tuple) []relation.Tuple {
-	var out []relation.Tuple
+// FromBuildSide is FromBuildSideInto into a fresh slice.
+func (j *Pipelining) FromBuildSide(batch []relation.Tuple) []relation.Tuple {
+	return j.FromBuildSideInto(nil, batch)
+}
+
+// FromProbeSideInto consumes a batch arriving on the probe operand,
+// symmetrically to FromBuildSideInto.
+func (j *Pipelining) FromProbeSideInto(dst, batch []relation.Tuple) []relation.Tuple {
 	pa := j.spec.ProbeAttr()
+	bt := j.buildTable
 	for _, tp := range batch {
-		for _, b := range j.buildTable.Matches(tp.Get(pa)) {
-			out = append(out, j.spec.Result(b, tp))
+		for i := bt.First(tp.Get(pa)); i >= 0; i = bt.Next(i) {
+			dst = append(dst, j.spec.Result(bt.At(i), tp))
 		}
 		if !j.buildClosed {
 			j.probeTable.Insert(tp)
 		}
 	}
-	return out
+	return dst
+}
+
+// FromProbeSide is FromProbeSideInto into a fresh slice.
+func (j *Pipelining) FromProbeSide(batch []relation.Tuple) []relation.Tuple {
+	return j.FromProbeSideInto(nil, batch)
 }
 
 // CloseBuildSide declares the build operand ended: probe-side tuples stop
@@ -229,7 +390,11 @@ func (j *Pipelining) Sizes() (build, probe int) {
 func Join(build, probe *relation.Relation, spec Spec, pipelined bool) *relation.Relation {
 	out := relation.New("join", build.TupleBytes)
 	if pipelined {
-		j := NewPipelining(spec)
+		hint := build.Card()
+		if probe.Card() > hint {
+			hint = probe.Card()
+		}
+		j := NewPipeliningSized(spec, hint)
 		// Interleave the operands to exercise the symmetric path.
 		bi, pi := 0, 0
 		const chunk = 16
@@ -253,7 +418,7 @@ func Join(build, probe *relation.Relation, spec Spec, pipelined bool) *relation.
 		}
 		return out
 	}
-	j := NewSimple(spec)
+	j := NewSimpleSized(spec, build.Card())
 	j.Insert(build.Tuples)
 	out.Append(j.Probe(probe.Tuples)...)
 	return out

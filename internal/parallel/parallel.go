@@ -14,20 +14,26 @@
 //   - operand redistribution hash-partitions result batches over the
 //     consumer's processes with relation.HashKey, identical to the
 //     simulator, so both runtimes compute the identical result multiset;
-//   - the plan's processor count is modeled by a counting semaphore: at
-//     most MaxProcs operation processes compute at any instant, while
-//     channel sends and receives are never performed under the semaphore
-//     (blocked processes release their processor, as on a real machine);
+//   - the plan's processors are modeled by per-processor run queues: one
+//     dispatcher goroutine per modeled processor executes the operator work
+//     of every process bound (by plan processor id, modulo MaxProcs) to it,
+//     serializing a processor's operation processes exactly like the
+//     paper's shared-nothing nodes. Channel sends and receives never run on
+//     a dispatcher (blocked processes occupy no processor, as on a real
+//     machine);
 //   - Op.After start dependencies are honored without deadlock: a process
 //     whose dependencies are pending keeps draining its input into an
 //     unbounded stash (the simulator's "input arriving earlier is
 //     buffered") and processes it once the dependencies complete.
 //
-// The join operators reuse the hash-join state machines of package
-// hashjoin; the simple join blocks its probe operand until the build phase
-// ends, the pipelining join processes both operands as they arrive. Result
-// equivalence against the sequential reference is asserted for every
-// strategy in the tests.
+// The hot data path is allocation-free in steady state: tuple batches come
+// from a relation.BatchPool and are returned by the consumer that exhausts
+// them, join results are built in per-process scratch buffers, and the join
+// operators reuse the open-addressing hash-join state machines of package
+// hashjoin sized from the operands' declared cardinalities. The simple join
+// blocks its probe operand until the build phase ends, the pipelining join
+// processes both operands as they arrive. Result equivalence against the
+// sequential reference is asserted for every strategy in the tests.
 package parallel
 
 import (
@@ -45,7 +51,7 @@ import (
 // HostCap returns procs bounded by the host's GOMAXPROCS: the MaxProcs to
 // use when a plan targets more processors than the machine has cores.
 // Plans must keep their full processor count (RD and FP need one processor
-// per concurrently executing join); only the semaphore is capped.
+// per concurrently executing join); only the dispatcher count is capped.
 func HostCap(procs int) int {
 	if n := runtime.GOMAXPROCS(0); procs > n {
 		return n
@@ -55,16 +61,23 @@ func HostCap(procs int) int {
 
 // Config parameterizes one parallel execution.
 type Config struct {
-	// MaxProcs caps the number of operation processes computing
-	// concurrently — the semaphore modeling p physical processors. Zero
-	// means the plan's own processor count (MaxProc+1), i.e. the machine
-	// the plan was generated for.
+	// MaxProcs is the number of modeled processors: one run-queue
+	// dispatcher goroutine each. Plan processor id p maps to dispatcher
+	// p mod MaxProcs, so at most MaxProcs operation processes compute at
+	// any instant and processes sharing a plan processor are serialized on
+	// the same dispatcher. Zero means the plan's own processor count
+	// (MaxProc+1), i.e. the machine the plan was generated for.
 	MaxProcs int
 	// BatchTuples is the number of tuples per transport batch (the
-	// pipelining granularity). Zero means DefaultBatchTuples.
+	// pipelining granularity and the batch-pool capacity). Zero means
+	// DefaultBatchTuples.
 	BatchTuples int
 	// ChannelDepth is the buffer capacity, in batches, of each tuple
-	// stream channel. Zero means DefaultChannelDepth.
+	// stream channel; it is resolved once per run, not per edge. A
+	// process's mailbox is additionally sized to ChannelDepth × its
+	// incoming stream count, so that every stream forwarder can buffer a
+	// full channel's worth of batches without blocking a producer whose
+	// consumer has not been scheduled yet. Zero means DefaultChannelDepth.
 	ChannelDepth int
 }
 
@@ -98,9 +111,11 @@ type Stats struct {
 	// Streams is the number of tuple-stream channels opened.
 	Streams int
 	// Goroutines is the total number of goroutines launched: workers,
-	// one stream forwarder per incoming stream, and dependency waiters.
+	// one stream forwarder per incoming stream, dependency waiters, and
+	// one dispatcher per modeled processor.
 	Goroutines int
-	// MaxProcs is the effective processor cap.
+	// MaxProcs is the number of modeled processors (run-queue
+	// dispatchers).
 	MaxProcs int
 	// TuplesMovedRemote counts tuples that crossed plan-processor
 	// boundaries (producer and consumer process bound to different
@@ -141,11 +156,20 @@ const (
 )
 
 // item is one unit of work in a process's mailbox: a data batch or an
-// end-of-stream marker for one port.
+// end-of-stream marker for one port. Data batches are pool-owned: the
+// consumer that applies one returns it to the run's BatchPool.
 type item struct {
 	port   port
 	tuples []relation.Tuple
 	eos    bool
+}
+
+// task is one unit of operator work on a run queue: the process requesting
+// computation and the input item to apply. The dispatcher runs the
+// operator's state change and signals the process's taskDone channel.
+type task struct {
+	w  *inst
+	it item
 }
 
 // stream is one tuple stream: a buffered channel from one producer process
@@ -171,6 +195,11 @@ type opState struct {
 	edge      *consumerEdge // nil only for collect
 	deps      []*opState
 
+	// estCard is the estimated output cardinality of the operator (exact
+	// for scans, an upper-bound estimate for the 1:1 chain joins), used to
+	// size hash tables and the collect relation up front.
+	estCard int
+
 	ready     chan struct{} // closed when all After dependencies completed
 	done      chan struct{} // closed when all instances finished
 	remaining atomic.Int32
@@ -182,9 +211,15 @@ type runtimeState struct {
 	plan  *xra.Plan
 	cfg   Config
 	ctx   context.Context
-	sem   chan struct{}
+	pool  *relation.BatchPool
 	ops   map[string]*opState
 	order []*opState
+
+	// queues are the per-processor run queues, one dispatcher goroutine
+	// each; plan processor id p is served by queues[p mod len(queues)].
+	queues    []chan task
+	queueStop chan struct{} // closed when all workers finished
+	dwg       sync.WaitGroup
 
 	collect *inst
 	start   time.Time
@@ -204,10 +239,10 @@ func Run(plan *xra.Plan, base func(leaf int) *relation.Relation, cfg Config) (*R
 }
 
 // RunContext is Run with cancellation: every worker goroutine, stream
-// forwarder and dependency waiter selects on ctx.Done() at each blocking
-// point, so a cancelled query tears the whole process tree down — no
-// goroutine outlives the call — and the context's error is returned instead
-// of a partial result.
+// forwarder, dispatcher and dependency waiter selects on ctx.Done() at each
+// blocking point, so a cancelled query tears the whole process tree down —
+// no goroutine outlives the call — and the context's error is returned
+// instead of a partial result.
 func RunContext(ctx context.Context, plan *xra.Plan, base func(leaf int) *relation.Relation, cfg Config) (*RunResult, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, fmt.Errorf("parallel: %w", err)
@@ -221,13 +256,19 @@ func RunContext(ctx context.Context, plan *xra.Plan, base func(leaf int) *relati
 		ctx:  ctx,
 		ops:  make(map[string]*opState, len(plan.Ops)),
 	}
-	r.sem = make(chan struct{}, r.cfg.MaxProcs)
+	retain := plan.NumStreams() * (r.cfg.ChannelDepth + 1)
+	if retain > relation.MaxPoolRetain {
+		retain = relation.MaxPoolRetain
+	}
+	r.pool = relation.NewBatchPool(r.cfg.BatchTuples, retain)
 	if err := r.setup(base); err != nil {
 		return nil, err
 	}
 	r.start = time.Now()
 	r.launch()
 	r.wg.Wait()
+	close(r.queueStop)
+	r.dwg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("parallel: %w", err)
 	}
@@ -235,7 +276,8 @@ func RunContext(ctx context.Context, plan *xra.Plan, base func(leaf int) *relati
 }
 
 // setup builds operator and process state, wires dependency edges, creates
-// one channel per tuple stream, and pre-places base relation fragments.
+// one channel per tuple stream and one run queue per modeled processor, and
+// pre-places base relation fragments.
 func (r *runtimeState) setup(base func(leaf int) *relation.Relation) error {
 	for _, op := range r.plan.Ops {
 		os := &opState{op: op, ready: make(chan struct{}), done: make(chan struct{})}
@@ -243,6 +285,14 @@ func (r *runtimeState) setup(base func(leaf int) *relation.Relation) error {
 		r.ops[op.ID] = os
 		r.order = append(r.order, os)
 	}
+	// Per-processor run queues: plan processor id p maps to queue
+	// p mod MaxProcs. Buffered for every process, so a send can only block
+	// while the queue is genuinely backed up.
+	r.queues = make([]chan task, r.cfg.MaxProcs)
+	for i := range r.queues {
+		r.queues[i] = make(chan task, r.plan.NumProcesses()+1)
+	}
+	r.queueStop = make(chan struct{})
 	// Wire consumer edges and After dependencies.
 	for _, os := range r.order {
 		for _, in := range os.op.Inputs() {
@@ -258,26 +308,26 @@ func (r *runtimeState) setup(base func(leaf int) *relation.Relation) error {
 			os.deps = append(os.deps, r.ops[a])
 		}
 	}
-	// Create one process (worker) per operator replica.
+	// Create one process (worker) per operator replica, bound to its
+	// processor's run queue.
 	for _, os := range r.order {
 		for i, procID := range os.op.Procs {
 			w := &inst{
-				r:      r,
-				op:     os,
-				idx:    i,
-				proc:   procID,
-				eosGot: make(map[port]int),
+				r:        r,
+				op:       os,
+				idx:      i,
+				proc:     procID,
+				queue:    r.queues[queueIndex(procID, len(r.queues))],
+				taskDone: make(chan struct{}, 1),
+				eosGot:   make(map[port]int),
 			}
 			os.instances = append(os.instances, w)
-		}
-		if os.op.Kind == xra.OpCollect {
-			r.collect = os.instances[0]
-			r.collect.gathered = relation.New("result", 0)
 		}
 	}
 	// Pre-place base relation fragments: ideal initial fragmentation
 	// (Section 4.1), identical to the simulator — fragment i of a scan
 	// goes to scan process i.
+	var tupleBytes int
 	for _, os := range r.order {
 		if os.op.Kind != xra.OpScan {
 			continue
@@ -286,17 +336,39 @@ func (r *runtimeState) setup(base func(leaf int) *relation.Relation) error {
 		if rel == nil {
 			return fmt.Errorf("parallel: no base relation for leaf %d", os.op.Leaf)
 		}
-		if r.collect.gathered.TupleBytes == 0 {
-			r.collect.gathered.TupleBytes = rel.TupleBytes
+		if tupleBytes == 0 {
+			tupleBytes = rel.TupleBytes
 		}
+		os.estCard = rel.Card()
 		frags := relation.Fragment(rel, os.op.FragAttr, len(os.instances))
 		for i, w := range os.instances {
 			w.scanTuples = frags[i].Tuples
 		}
 	}
+	// Propagate cardinality estimates downstream (plan order lists
+	// producers before consumers). The chain query's joins are 1:1, so the
+	// larger operand bounds the output; the estimates size hash tables and
+	// the collect relation so the hot path never regrows them.
+	for _, os := range r.order {
+		if os.op.Kind == xra.OpScan {
+			continue
+		}
+		for _, in := range os.op.Inputs() {
+			if from := r.ops[in.From]; from.estCard > os.estCard {
+				os.estCard = from.estCard
+			}
+		}
+		if os.op.Kind == xra.OpCollect {
+			w := os.instances[0]
+			r.collect = w
+			w.gathered = relation.NewWithCap("result", tupleBytes, os.estCard)
+		}
+	}
 	// Open the tuple streams: on a local edge, producer process i feeds
 	// consumer process i over one channel; on a redistribution edge every
-	// producer process opens one channel to every consumer process.
+	// producer process opens one channel to every consumer process. The
+	// per-stream depth is resolved once per run (Config.ChannelDepth).
+	depth := r.cfg.ChannelDepth
 	for _, os := range r.order {
 		c := os.edge
 		if c == nil {
@@ -305,13 +377,13 @@ func (r *runtimeState) setup(base func(leaf int) *relation.Relation) error {
 		for _, w := range os.instances {
 			if c.local {
 				dest := c.to.instances[w.idx]
-				s := r.newStream(c.port, w.proc, dest.proc)
+				s := r.newStream(c.port, w.proc, dest.proc, depth)
 				w.outs = []*stream{s}
 				dest.incoming = append(dest.incoming, s)
 			} else {
 				w.outs = make([]*stream, len(c.to.instances))
 				for d, dest := range c.to.instances {
-					s := r.newStream(c.port, w.proc, dest.proc)
+					s := r.newStream(c.port, w.proc, dest.proc, depth)
 					w.outs[d] = s
 					dest.incoming = append(dest.incoming, s)
 				}
@@ -327,19 +399,29 @@ func (r *runtimeState) setup(base func(leaf int) *relation.Relation) error {
 			for _, s := range w.incoming {
 				w.eosWant[s.port]++
 			}
-			depth := len(w.incoming) * r.cfg.ChannelDepth
-			if depth < 1 {
-				depth = 1
+			md := len(w.incoming) * depth
+			if md < 1 {
+				md = 1
 			}
-			w.mailbox = make(chan item, depth)
+			w.mailbox = make(chan item, md)
 		}
 	}
 	return nil
 }
 
-func (r *runtimeState) newStream(p port, fromProc, toProc int) *stream {
+// queueIndex maps a plan processor id to its run queue. The scheduler
+// host's pseudo id (xra.HostProc, negative) wraps around like any other.
+func queueIndex(proc, n int) int {
+	i := proc % n
+	if i < 0 {
+		i += n
+	}
+	return i
+}
+
+func (r *runtimeState) newStream(p port, fromProc, toProc, depth int) *stream {
 	return &stream{
-		ch:     make(chan []relation.Tuple, r.cfg.ChannelDepth),
+		ch:     make(chan []relation.Tuple, depth),
 		port:   p,
 		remote: fromProc != toProc,
 	}
@@ -358,11 +440,17 @@ func portOf(op *xra.Op, in *xra.Input) port {
 	}
 }
 
-// launch starts dependency waiters, stream forwarders and workers. Every
-// blocking channel operation selects on ctx.Done() so cancellation unwinds
-// the whole goroutine tree.
+// launch starts dispatchers, dependency waiters, stream forwarders and
+// workers. Every blocking channel operation selects on ctx.Done() so
+// cancellation unwinds the whole goroutine tree.
 func (r *runtimeState) launch() {
 	done := r.ctx.Done()
+	for _, q := range r.queues {
+		q := q
+		r.dwg.Add(1)
+		r.goroutines++
+		go r.dispatch(q)
+	}
 	for _, os := range r.order {
 		os := os
 		if len(os.deps) == 0 {
@@ -414,6 +502,27 @@ func (r *runtimeState) launch() {
 			r.wg.Add(1)
 			r.goroutines++
 			go w.run()
+		}
+	}
+}
+
+// dispatch is one modeled processor: it serializes the operator work of
+// every process bound to its run queue. It exits when all workers finished
+// (queueStop) or the run is cancelled.
+func (r *runtimeState) dispatch(q chan task) {
+	defer r.dwg.Done()
+	done := r.ctx.Done()
+	for {
+		select {
+		case t := <-q:
+			t.w.applyJoin(t.it)
+			// taskDone is buffered for the one outstanding task its worker
+			// can have, so this send never blocks.
+			t.w.taskDone <- struct{}{}
+		case <-r.queueStop:
+			return
+		case <-done:
+			return
 		}
 	}
 }

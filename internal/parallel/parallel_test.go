@@ -124,10 +124,11 @@ func TestStructuralCounters(t *testing.T) {
 	}
 }
 
-// TestProcessorCapExtremes runs with the tightest possible cap (one
-// processor slot) and a cap far above the plan's parallelism: both must
-// produce the reference result. MaxProcs=1 in particular proves the
-// semaphore never holds a slot across a blocking channel operation.
+// TestProcessorCapExtremes runs with the tightest possible cap (a single
+// run-queue dispatcher serializing every operation process) and a cap far
+// above the plan's parallelism: both must produce the reference result.
+// MaxProcs=1 in particular proves no dispatcher ever blocks on a channel
+// operation a worker is responsible for.
 func TestProcessorCapExtremes(t *testing.T) {
 	db := testDB(t, 5, 300)
 	tree, err := jointree.BuildShape(jointree.WideBushy, 5)
@@ -167,6 +168,38 @@ func TestBatchAndDepthExtremes(t *testing.T) {
 	} {
 		for _, kind := range strategy.Kinds {
 			q := core.Query{DB: db, Tree: tree, Strategy: kind, Procs: 8}
+			res, err := core.ExecuteParallel(q, cfg)
+			if err != nil {
+				t.Fatalf("%+v %v: %v", cfg, kind, err)
+			}
+			if diff := relation.DiffMultiset(res.Result, want); diff != "" {
+				t.Fatalf("%+v %v: %s", cfg, kind, diff)
+			}
+		}
+	}
+}
+
+// TestPooledPathEquivalence pins the allocation-free data path — pooled
+// batches, open-addressing hash tables, per-processor run queues — to the
+// sequential reference at the BenchmarkExecAlloc shape (left-linear, 80
+// plan processors), with batch sizes small enough to force heavy pool
+// recycling. The provenance checksums in the multiset comparison prove
+// every tuple was combined exactly once: a batch recycled while still
+// aliased anywhere would corrupt a checksum and fail the diff.
+func TestPooledPathEquivalence(t *testing.T) {
+	db := testDB(t, 6, 400)
+	tree, err := jointree.BuildShape(jointree.LeftLinear, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Reference(db, tree)
+	for _, cfg := range []parallel.Config{
+		{MaxProcs: 1, BatchTuples: 3, ChannelDepth: 1},
+		{MaxProcs: 3, BatchTuples: 16, ChannelDepth: 2},
+		{BatchTuples: 64}, // the plan's own 80 processors, one queue each
+	} {
+		for _, kind := range strategy.Kinds {
+			q := core.Query{DB: db, Tree: tree, Strategy: kind, Procs: 80}
 			res, err := core.ExecuteParallel(q, cfg)
 			if err != nil {
 				t.Fatalf("%+v %v: %v", cfg, kind, err)

@@ -9,12 +9,23 @@ import (
 )
 
 // inst is one operation process: an operator replica bound to one plan
-// processor id, running as one worker goroutine.
+// processor id, running as one worker goroutine. Operator state changes are
+// executed by the processor's dispatcher (see runtimeState.dispatch); the
+// worker goroutine itself only moves batches.
 type inst struct {
 	r    *runtimeState
 	op   *opState
 	idx  int
 	proc int
+
+	// Run-queue side: the processor's queue, the completion signal
+	// (buffered 1 — a worker has at most one task outstanding), and the
+	// scratch buffer the dispatcher leaves join results in. scratch is
+	// handed back and forth through the queue/taskDone synchronization, so
+	// exactly one goroutine touches it at a time.
+	queue    chan task
+	taskDone chan struct{}
+	scratch  []relation.Tuple
 
 	// Input side.
 	mailbox  chan item
@@ -32,8 +43,9 @@ type inst struct {
 	// Scan state.
 	scanTuples []relation.Tuple
 
-	// Output side: one stream and one batch buffer per destination
-	// process (a single destination on local edges).
+	// Output side: one stream and one pooled batch buffer per destination
+	// process (a single destination on local edges). A nil buffer is
+	// replaced from the pool on first use after each flush.
 	outs    []*stream
 	outBufs [][]relation.Tuple
 
@@ -65,13 +77,17 @@ func (w *inst) run() {
 		w.emitScan()
 	}
 	for _, it := range w.stash {
-		w.handle(it)
+		if !w.handle(it) {
+			return
+		}
 	}
 	w.stash = nil
 	for !w.allEOS() {
 		select {
 		case it := <-w.mailbox:
-			w.handle(it)
+			if !w.handle(it) {
+				return
+			}
 		case <-done:
 			return
 		}
@@ -84,14 +100,17 @@ func (w *inst) run() {
 	w.finish()
 }
 
-// initState creates the join algorithm state once processing may begin.
+// initState creates the join algorithm state once processing may begin,
+// with hash tables sized from the operator's estimated per-process operand
+// cardinality so steady-state inserts never rehash.
 func (w *inst) initState() {
 	spec := hashjoin.Spec{BuildIsLower: w.op.op.BuildIsLower}
+	hint := relation.PerFragmentCap(w.op.estCard, len(w.op.instances))
 	switch w.op.op.Kind {
 	case xra.OpSimpleJoin:
-		w.simple = hashjoin.NewSimple(spec)
+		w.simple = hashjoin.NewSimpleSized(spec, hint)
 	case xra.OpPipeJoin:
-		w.pipe = hashjoin.NewPipelining(spec)
+		w.pipe = hashjoin.NewPipeliningSized(spec, hint)
 	}
 }
 
@@ -106,16 +125,21 @@ func (w *inst) allEOS() bool {
 	return true
 }
 
-// handle applies one mailbox item to the operator state, computing under
-// the processor semaphore and emitting any result tuples downstream.
-func (w *inst) handle(it item) {
+// handle applies one mailbox item to the operator state — computing on the
+// process's run-queue dispatcher — emits any result tuples downstream, and
+// returns the exhausted batch to the pool. It reports false when the run
+// was cancelled mid-item; the batch then stays with the dispatcher, which
+// may still be reading it.
+func (w *inst) handle(it item) bool {
 	if it.eos {
 		w.eosGot[it.port]++
 		switch w.op.op.Kind {
 		case xra.OpPipeJoin:
 			if w.eosGot[it.port] == w.eosWant[it.port] {
 				// A closed operand lets the pipelining join stop inserting
-				// the other operand's tuples (no future match can need them).
+				// the other operand's tuples (no future match can need
+				// them). The worker has no task in flight here, so mutating
+				// the join state directly cannot race with its dispatcher.
 				if it.port == portBuild {
 					w.pipe.CloseBuildSide()
 				} else {
@@ -130,59 +154,82 @@ func (w *inst) handle(it item) {
 				pending := w.probeWait
 				w.probeWait = nil
 				for _, p := range pending {
-					w.handle(p)
+					if !w.handle(p) {
+						return false
+					}
 				}
 			}
 		}
-		return
+		return true
 	}
 	switch w.op.op.Kind {
 	case xra.OpSimpleJoin:
-		if it.port == portBuild {
-			w.compute(func() { w.simple.Insert(it.tuples) })
-			return
-		}
-		if !w.buildDone {
+		if it.port == portProbe && !w.buildDone {
 			// The simple hash-join blocks its probe operand until the hash
-			// table is complete.
+			// table is complete; the batch stays queued (and pool-owned by
+			// this process) until then.
 			w.probeWait = append(w.probeWait, it)
-			return
+			return true
 		}
-		var out []relation.Tuple
-		w.compute(func() { out = w.simple.Probe(it.tuples) })
-		w.emit(out)
+		if !w.dispatch(it) {
+			return false
+		}
+		if it.port == portProbe {
+			w.emit(w.scratch)
+		}
 	case xra.OpPipeJoin:
-		var out []relation.Tuple
-		w.compute(func() {
-			if it.port == portBuild {
-				out = w.pipe.FromBuildSide(it.tuples)
-			} else {
-				out = w.pipe.FromProbeSide(it.tuples)
-			}
-		})
-		w.emit(out)
+		if !w.dispatch(it) {
+			return false
+		}
+		w.emit(w.scratch)
 	case xra.OpCollect:
 		w.gathered.Append(it.tuples...)
 	}
+	w.r.pool.Put(it.tuples)
+	return true
 }
 
-// compute runs one batch of operator work holding one of the MaxProcs
-// processor slots. Channel operations never happen under the semaphore: a
-// process blocked on transport has released its processor. A cancelled
-// context skips the work instead of queueing for a slot.
-func (w *inst) compute(f func()) {
+// dispatch hands one item to the processor's run queue and waits for the
+// dispatcher to apply it (results, if any, are left in w.scratch). It
+// reports false when the run was cancelled instead.
+func (w *inst) dispatch(it item) bool {
 	select {
-	case w.r.sem <- struct{}{}:
+	case w.queue <- task{w: w, it: it}:
 	case <-w.r.ctx.Done():
-		return
+		return false
 	}
-	f()
-	<-w.r.sem
+	select {
+	case <-w.taskDone:
+		return true
+	case <-w.r.ctx.Done():
+		return false
+	}
+}
+
+// applyJoin runs on the run-queue dispatcher of w's processor: it applies
+// one input batch to the join state machine, leaving any result tuples in
+// w.scratch. All processes of one plan processor execute here serially —
+// the shared-nothing node model.
+func (w *inst) applyJoin(it item) {
+	switch w.op.op.Kind {
+	case xra.OpSimpleJoin:
+		if it.port == portBuild {
+			w.simple.Insert(it.tuples)
+			return
+		}
+		w.scratch = w.simple.ProbeInto(w.scratch[:0], it.tuples)
+	case xra.OpPipeJoin:
+		if it.port == portBuild {
+			w.scratch = w.pipe.FromBuildSideInto(w.scratch[:0], it.tuples)
+		} else {
+			w.scratch = w.pipe.FromProbeSideInto(w.scratch[:0], it.tuples)
+		}
+	}
 }
 
 // emitScan streams the pre-placed base relation fragment downstream in
-// batches. Scan work is a slice traversal and is not charged against the
-// processor cap (the simulator's near-zero ScanUnits).
+// batches. Scan work is a slice traversal and is not charged to the run
+// queue (the simulator's near-zero ScanUnits).
 func (w *inst) emitScan() {
 	b := w.r.cfg.BatchTuples
 	for lo := 0; lo < len(w.scanTuples); lo += b {
@@ -194,32 +241,54 @@ func (w *inst) emitScan() {
 	}
 }
 
-// emit routes result tuples into per-destination batch buffers — hashing
-// the consumer's routing attribute over its processes exactly like the
-// simulator — and flushes full batches.
+// emit routes result tuples into per-destination pooled batch buffers —
+// hashing the consumer's routing attribute over its processes exactly like
+// the simulator — and flushes batches the moment they are full, so a
+// pooled buffer never regrows past its fixed capacity.
 func (w *inst) emit(results []relation.Tuple) {
 	if len(results) == 0 || w.op.edge == nil {
 		return
 	}
+	bt := w.r.cfg.BatchTuples
 	if len(w.outs) == 1 {
-		w.outBufs[0] = append(w.outBufs[0], results...)
-	} else {
-		m := len(w.outs)
-		route := w.op.edge.route
-		for _, t := range results {
-			d := relation.HashKey(t.Get(route), m)
-			w.outBufs[d] = append(w.outBufs[d], t)
+		buf := w.outBufs[0]
+		for len(results) > 0 {
+			if buf == nil {
+				buf = w.r.pool.Get()
+			}
+			n := bt - len(buf)
+			if n > len(results) {
+				n = len(results)
+			}
+			buf = append(buf, results[:n]...)
+			results = results[n:]
+			w.outBufs[0] = buf
+			if len(buf) == bt {
+				w.flush(0)
+				buf = nil
+			}
 		}
+		return
 	}
-	for d := range w.outBufs {
-		if len(w.outBufs[d]) >= w.r.cfg.BatchTuples {
+	m := len(w.outs)
+	route := w.op.edge.route
+	for _, t := range results {
+		d := relation.HashKey(t.Get(route), m)
+		buf := w.outBufs[d]
+		if buf == nil {
+			buf = w.r.pool.Get()
+		}
+		buf = append(buf, t)
+		w.outBufs[d] = buf
+		if len(buf) == bt {
 			w.flush(d)
 		}
 	}
 }
 
 // flush sends buffer d down its stream, transferring ownership of the
-// batch. The final gather at the collect operator is excluded from the
+// pooled batch to the consumer (which returns it to the pool once
+// exhausted). The final gather at the collect operator is excluded from the
 // transport statistics, as in the simulator.
 func (w *inst) flush(d int) {
 	buf := w.outBufs[d]

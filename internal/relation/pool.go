@@ -1,0 +1,61 @@
+package relation
+
+// BatchPool recycles fixed-capacity tuple batches across the producers and
+// consumers of one execution: scans, redistribution out-buffers and channel
+// items draw batches with Get and the consumer that exhausts a batch
+// returns it with Put, so steady-state execution allocates no per-batch
+// garbage. The free list is a buffered channel — Get and Put are themselves
+// allocation-free (unlike sync.Pool, whose interface boxing costs one
+// header allocation per cycle) and safe for concurrent use. An empty free
+// list falls back to make; a full one drops the batch to the garbage
+// collector, so Put never blocks.
+type BatchPool struct {
+	size int
+	free chan []Tuple
+}
+
+// MaxPoolRetain is the conventional upper bound both runtimes place on a
+// pool's free list: beyond this many idle batches the pool would only
+// hoard memory.
+const MaxPoolRetain = 1 << 14
+
+// NewBatchPool returns a pool of batches with capacity size tuples each,
+// retaining at most retain idle batches. retain should cover the number of
+// batches in flight at once (roughly streams × channel depth, capped at
+// MaxPoolRetain); beyond that the pool only trades memory for nothing.
+func NewBatchPool(size, retain int) *BatchPool {
+	if size < 1 {
+		size = 1
+	}
+	if retain < 1 {
+		retain = 1
+	}
+	return &BatchPool{size: size, free: make(chan []Tuple, retain)}
+}
+
+// BatchSize returns the capacity, in tuples, of the pool's batches.
+func (p *BatchPool) BatchSize() int { return p.size }
+
+// Get returns an empty batch with the pool's capacity.
+func (p *BatchPool) Get() []Tuple {
+	select {
+	case b := <-p.free:
+		return b[:0]
+	default:
+		return make([]Tuple, 0, p.size)
+	}
+}
+
+// Put returns a batch to the pool. Batches that did not come from a pool of
+// the same size (or grew past their capacity) are dropped, so handing a
+// foreign slice to Put is harmless — but note that the pool will reuse
+// accepted batches: never Put a batch that something still aliases.
+func (p *BatchPool) Put(b []Tuple) {
+	if cap(b) != p.size {
+		return
+	}
+	select {
+	case p.free <- b:
+	default:
+	}
+}

@@ -1,0 +1,64 @@
+package relation
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBatchPoolReuse(t *testing.T) {
+	p := NewBatchPool(8, 4)
+	if p.BatchSize() != 8 {
+		t.Fatalf("BatchSize = %d", p.BatchSize())
+	}
+	b := p.Get()
+	if len(b) != 0 || cap(b) != 8 {
+		t.Fatalf("Get: len=%d cap=%d", len(b), cap(b))
+	}
+	b = append(b, Tuple{Unique1: 1})
+	p.Put(b)
+	b2 := p.Get()
+	if len(b2) != 0 || cap(b2) != 8 {
+		t.Fatalf("recycled batch: len=%d cap=%d", len(b2), cap(b2))
+	}
+	if &b[:1][0] != &b2[:1][0] {
+		t.Error("Get after Put did not reuse the batch memory")
+	}
+}
+
+func TestBatchPoolRejectsForeign(t *testing.T) {
+	p := NewBatchPool(8, 4)
+	p.Put(make([]Tuple, 0, 16)) // wrong capacity: dropped
+	b := p.Get()
+	if cap(b) != 8 {
+		t.Errorf("pool handed out a foreign batch with cap %d", cap(b))
+	}
+	// Overfull free list: Put must not block.
+	for i := 0; i < 10; i++ {
+		p.Put(make([]Tuple, 0, 8))
+	}
+}
+
+func TestBatchPoolConcurrent(t *testing.T) {
+	p := NewBatchPool(64, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				b := p.Get()
+				for j := 0; j < 64; j++ {
+					b = append(b, Tuple{Unique1: int64(g), Unique2: int64(j)})
+				}
+				for j := range b {
+					if b[j].Unique1 != int64(g) {
+						t.Errorf("batch mutated by another goroutine")
+						return
+					}
+				}
+				p.Put(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

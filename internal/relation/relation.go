@@ -90,6 +90,17 @@ func New(name string, tupleBytes int) *Relation {
 	return &Relation{Name: name, TupleBytes: tupleBytes}
 }
 
+// NewWithCap returns an empty relation with capacity preallocated for
+// capTuples tuples — for collectors and fragmenters whose cardinality is
+// known up front, so the tuple slice never regrows.
+func NewWithCap(name string, tupleBytes, capTuples int) *Relation {
+	r := &Relation{Name: name, TupleBytes: tupleBytes}
+	if capTuples > 0 {
+		r.Tuples = make([]Tuple, 0, capTuples)
+	}
+	return r
+}
+
 // Card returns the cardinality (number of tuples).
 func (r *Relation) Card() int { return len(r.Tuples) }
 
@@ -146,10 +157,12 @@ func Fragment(r *Relation, a Attr, n int) []*Relation {
 		n = 1
 	}
 	frags := make([]*Relation, n)
+	per := PerFragmentCap(len(r.Tuples), n)
 	for i := range frags {
 		frags[i] = &Relation{
 			Name:       fmt.Sprintf("%s#%d", r.Name, i),
 			TupleBytes: r.TupleBytes,
+			Tuples:     make([]Tuple, 0, per),
 		}
 	}
 	for _, t := range r.Tuples {
@@ -157,6 +170,15 @@ func Fragment(r *Relation, a Attr, n int) []*Relation {
 		frags[i].Tuples = append(frags[i].Tuples, t)
 	}
 	return frags
+}
+
+// PerFragmentCap returns the capacity to preallocate for one of n hash
+// fragments of card tuples: the mean plus a small slack, since hash
+// partitioning balances fragments closely but not perfectly. Both runtimes
+// also size per-process hash tables with it, so the sizing policy cannot
+// drift between them.
+func PerFragmentCap(card, n int) int {
+	return card/n + card/(8*n) + 8
 }
 
 // Merge concatenates fragments back into one relation named name. The tuple

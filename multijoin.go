@@ -181,15 +181,20 @@ func WithRuntime(name string) ExecOption { return core.WithRuntime(name) }
 // Params).
 func WithParams(p Params) ExecOption { return core.WithParams(p) }
 
-// WithMaxProcs caps concurrent computation on wall-clock runtimes. Zero
-// means the plan's own processor count.
+// WithMaxProcs sets the number of modeled processors on wall-clock
+// runtimes: one run-queue dispatcher each, serializing the operation
+// processes bound to it (the paper's shared-nothing nodes). Zero means the
+// plan's own processor count.
 func WithMaxProcs(n int) ExecOption { return core.WithMaxProcs(n) }
 
 // WithBatchTuples sets the transport batch size (pipelining granularity).
 func WithBatchTuples(n int) ExecOption { return core.WithBatchTuples(n) }
 
 // WithChannelDepth sets the per-stream buffer capacity, in batches, on
-// wall-clock runtimes.
+// wall-clock runtimes. The depth is resolved once per run; each process's
+// mailbox is additionally sized to depth × its incoming stream count so
+// that stream forwarders never block producers of a consumer that has not
+// started yet (see parallel.Config.ChannelDepth for the heuristic).
 func WithChannelDepth(n int) ExecOption { return core.WithChannelDepth(n) }
 
 // WithVerify checks the result against the sequential reference execution
