@@ -1,7 +1,7 @@
 # Single source of truth for the commands CI and humans run.
 GO ?= go
 
-.PHONY: all build lint test bench examples clean
+.PHONY: all build lint test bench examples fuzz-smoke pooldebug spill-check clean
 
 all: build lint test
 
@@ -18,6 +18,27 @@ lint:
 
 test:
 	$(GO) test -race ./...
+
+# Spill equivalence under a forcing budget (a subset of `make test`, pinned
+# as its own target so CI shows the out-of-core path exercised on every
+# push): every strategy on the spill runtime with a budget small enough
+# that every join spills at least one partition, plus the Grace join
+# differential tests, all under -race.
+spill-check:
+	$(GO) test -race -run 'TestSpill|TestGrace' ./internal/core ./internal/hashjoin
+
+# Fuzz smoke: 30 seconds of the randomized differential harness — seeded
+# sizes, skewed cardinalities, all strategies and shapes — asserting the
+# sim, parallel and spill runtimes reproduce the sequential reference
+# checksum multiset.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzExecEquivalence -fuzztime 30s ./internal/testutil
+
+# Pool-discipline check: the relation tests with the pooldebug
+# double-Put / use-after-Put detector armed (poisoned batches verified on
+# every Get).
+pooldebug:
+	$(GO) test -tags pooldebug -race ./internal/relation
 
 # Bench smoke: one iteration of every benchmark, with the sim-vs-parallel
 # comparison captured as test2json lines in BENCH_parallel.json and the

@@ -21,8 +21,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -128,6 +130,37 @@ func readResults(path string) (map[string]float64, error) {
 	return got, sc.Err()
 }
 
+// check gates got against base, writing the per-benchmark verdicts to out
+// and diagnostics to errOut. It reports whether any baseline benchmark is
+// missing from the results or regressed past maxRegress. A zero-alloc
+// baseline admits no slack (any fraction of zero is zero): the benchmark
+// must stay at exactly zero allocs/op.
+func check(base, got map[string]float64, maxRegress float64, out, errOut io.Writer) (bad bool) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base[name]
+		have, ok := got[name]
+		if !ok {
+			fmt.Fprintf(errOut, "benchcheck: %s has a baseline but no result\n", name)
+			bad = true
+			continue
+		}
+		limit := want * (1 + maxRegress)
+		status := "ok"
+		if have > limit {
+			status = "REGRESSION"
+			bad = true
+		}
+		fmt.Fprintf(out, "%-28s %12.0f allocs/op  (baseline %.0f, limit %.0f)  %s\n",
+			name, have, want, limit, status)
+	}
+	return bad
+}
+
 func main() {
 	in := flag.String("in", "BENCH_alloc.json", "test2json benchmark output to check")
 	baseline := flag.String("baseline", "bench_alloc_baseline.txt", "checked-in allocs/op baseline")
@@ -145,25 +178,7 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-
-	bad := false
-	for name, want := range base {
-		have, ok := got[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "benchcheck: %s has a baseline but no result in %s\n", name, *in)
-			bad = true
-			continue
-		}
-		limit := want * (1 + *maxRegress)
-		status := "ok"
-		if have > limit {
-			status = "REGRESSION"
-			bad = true
-		}
-		fmt.Printf("%-28s %12.0f allocs/op  (baseline %.0f, limit %.0f)  %s\n",
-			name, have, want, limit, status)
-	}
-	if bad {
+	if check(base, got, *maxRegress, os.Stdout, os.Stderr) {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,236 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFile drops content into a temp file and returns its path.
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReadBaseline covers the baseline parser's edge cases table-driven:
+// comments, blank lines, malformed pairs, unparsable numbers.
+func TestReadBaseline(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		content string
+		want    map[string]float64
+		wantErr string
+	}{
+		{
+			name:    "happy path with comments",
+			content: "# header\nBenchmarkA 100\nBenchmarkB 0 # zero-alloc benchmark\n\n",
+			want:    map[string]float64{"BenchmarkA": 100, "BenchmarkB": 0},
+		},
+		{
+			name:    "comment-only file parses empty",
+			content: "# nothing gated yet\n",
+			want:    map[string]float64{},
+		},
+		{
+			name:    "three fields rejected",
+			content: "BenchmarkA 100 extra\n",
+			wantErr: "want `BenchmarkName allocs/op`",
+		},
+		{
+			name:    "single field rejected",
+			content: "BenchmarkA\n",
+			wantErr: "want `BenchmarkName allocs/op`",
+		},
+		{
+			name:    "non-numeric count rejected",
+			content: "BenchmarkA lots\n",
+			wantErr: "invalid syntax",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := readBaseline(writeFile(t, "baseline.txt", tc.content))
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error = %v, want contains %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("parsed %v, want %v", got, tc.want)
+			}
+			for k, v := range tc.want {
+				if got[k] != v {
+					t.Errorf("%s = %v, want %v", k, got[k], v)
+				}
+			}
+		})
+	}
+}
+
+// TestReadBaselineMissingFile asserts a missing baseline path errors rather
+// than gating nothing.
+func TestReadBaselineMissingFile(t *testing.T) {
+	if _, err := readBaseline(filepath.Join(t.TempDir(), "absent.txt")); err == nil {
+		t.Fatal("reading an absent baseline succeeded")
+	}
+}
+
+// TestReadResults covers the test2json extraction edge cases: split
+// name/metric records, GOMAXPROCS suffixes, malformed JSON noise, files
+// with no benchmark output at all.
+func TestReadResults(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		content string
+		want    map[string]float64
+	}{
+		{
+			name:    "one-record result with suffix",
+			content: `{"Output":"BenchmarkExecAlloc_FP-8 \t       1\t  70179468 ns/op\t 4096 B/op\t    8090 allocs/op\n"}` + "\n",
+			want:    map[string]float64{"BenchmarkExecAlloc_FP": 8090},
+		},
+		{
+			name: "name and metrics split across records",
+			content: `{"Output":"BenchmarkHashTable_Insert-4 \t"}` + "\n" +
+				`{"Output":"       100\t  1234 ns/op\t   12 allocs/op\n"}` + "\n",
+			want: map[string]float64{"BenchmarkHashTable_Insert": 12},
+		},
+		{
+			name: "malformed JSON lines are skipped not fatal",
+			content: "this is not json at all\n{broken\n" +
+				`{"Output":"BenchmarkA-2 \t 1\t 5 allocs/op\n"}` + "\n" +
+				"trailing garbage\n",
+			want: map[string]float64{"BenchmarkA": 5},
+		},
+		{
+			name:    "entirely malformed file yields no results",
+			content: "::::\nnot json\n",
+			want:    map[string]float64{},
+		},
+		{
+			name:    "zero allocs extracted as zero",
+			content: `{"Output":"BenchmarkZero-8 \t 1000\t 99 ns/op\t 0 allocs/op\n"}` + "\n",
+			want:    map[string]float64{"BenchmarkZero": 0},
+		},
+		{
+			name:    "non-benchmark output ignored",
+			content: `{"Output":"ok  \tmultijoin\t0.5s\n"}` + "\n" + `{"Output":"PASS\n"}` + "\n",
+			want:    map[string]float64{},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := readResults(writeFile(t, "BENCH_alloc.json", tc.content))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("parsed %v, want %v", got, tc.want)
+			}
+			for k, v := range tc.want {
+				if got[k] != v {
+					t.Errorf("%s = %v, want %v", k, got[k], v)
+				}
+			}
+		})
+	}
+}
+
+// TestCheck covers the gating decision table-driven: regressions, missing
+// baseline keys, and the zero-alloc baseline whose limit admits no slack.
+func TestCheck(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		base, got  map[string]float64
+		maxRegress float64
+		wantBad    bool
+		wantOut    string
+		wantErrOut string
+	}{
+		{
+			name:    "within slack passes",
+			base:    map[string]float64{"BenchmarkA": 100},
+			got:     map[string]float64{"BenchmarkA": 119},
+			wantOut: "ok",
+		},
+		{
+			name:    "past slack fails",
+			base:    map[string]float64{"BenchmarkA": 100},
+			got:     map[string]float64{"BenchmarkA": 121},
+			wantBad: true,
+			wantOut: "REGRESSION",
+		},
+		{
+			name:       "baseline without result fails",
+			base:       map[string]float64{"BenchmarkGone": 10},
+			got:        map[string]float64{"BenchmarkOther": 10},
+			wantBad:    true,
+			wantErrOut: "BenchmarkGone has a baseline but no result",
+		},
+		{
+			name:    "zero-alloc baseline stays zero",
+			base:    map[string]float64{"BenchmarkZero": 0},
+			got:     map[string]float64{"BenchmarkZero": 0},
+			wantOut: "ok",
+		},
+		{
+			name:    "zero-alloc baseline rejects any alloc",
+			base:    map[string]float64{"BenchmarkZero": 0},
+			got:     map[string]float64{"BenchmarkZero": 1},
+			wantBad: true,
+			wantOut: "REGRESSION",
+		},
+		{
+			name:    "improvement passes",
+			base:    map[string]float64{"BenchmarkA": 100},
+			got:     map[string]float64{"BenchmarkA": 1},
+			wantOut: "ok",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			maxRegress := tc.maxRegress
+			if maxRegress == 0 {
+				maxRegress = 0.20
+			}
+			var out, errOut strings.Builder
+			bad := check(tc.base, tc.got, maxRegress, &out, &errOut)
+			if bad != tc.wantBad {
+				t.Errorf("check() = %v, want %v\nout: %s\nerr: %s", bad, tc.wantBad, out.String(), errOut.String())
+			}
+			if tc.wantOut != "" && !strings.Contains(out.String(), tc.wantOut) {
+				t.Errorf("stdout %q does not contain %q", out.String(), tc.wantOut)
+			}
+			if tc.wantErrOut != "" && !strings.Contains(errOut.String(), tc.wantErrOut) {
+				t.Errorf("stderr %q does not contain %q", errOut.String(), tc.wantErrOut)
+			}
+		})
+	}
+}
+
+// TestCheckEndToEnd runs the reader/gater pipeline over realistic files:
+// a malformed results file against a real baseline must fail as "missing",
+// not crash or pass.
+func TestCheckEndToEnd(t *testing.T) {
+	base, err := readBaseline(writeFile(t, "baseline.txt", "BenchmarkExecAlloc_FP 9200\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := readResults(writeFile(t, "BENCH_alloc.json", "completely malformed\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if !check(base, got, 0.20, &out, &errOut) {
+		t.Fatal("malformed results passed the gate")
+	}
+	if !strings.Contains(errOut.String(), "no result") {
+		t.Errorf("stderr %q does not explain the missing result", errOut.String())
+	}
+}

@@ -10,6 +10,7 @@
 //	mjbench -fig speedup  # Section 2.3.1 single-join speedup experiment
 //	mjbench -fig pipedelay# Section 2.3.3 pipeline delay experiment
 //	mjbench -fig ablation # Section 3.5 overhead ablation
+//	mjbench -fig spillmem # memory-budget sweep on the out-of-core spill runtime
 //	mjbench -fig all      # everything
 //
 // -runtime selects the execution runtime for the response-time figures by
@@ -58,7 +59,7 @@ var figureShapes = map[string]jointree.Shape{
 }
 
 // allFigures lists every valid -fig name in output order.
-var allFigures = []string{"3", "4", "6", "7", "9", "10", "11", "12", "13", "14", "speedup", "pipedelay", "ablation", "memory", "costfn"}
+var allFigures = []string{"3", "4", "6", "7", "9", "10", "11", "12", "13", "14", "speedup", "pipedelay", "ablation", "memory", "costfn", "spillmem"}
 
 // fail reports a usage error (exit 2); die reports a runtime error
 // (exit 1). Both stop an active CPU profile first — os.Exit skips defers,
@@ -201,6 +202,15 @@ func main() {
 			fmt.Print(out)
 		case "costfn":
 			out, err := experiments.CostFunction(40, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+		case "spillmem":
+			// Budget sweep from "everything spills" to "fully resident" on
+			// the out-of-core spill runtime (wall clock, real cores).
+			budgets := []int64{64 << 10, 256 << 10, 1 << 20, 4 << 20, 64 << 20}
+			out, err := experiments.MemoryBounded(*card40k, 16, budgets, *seed)
 			if err != nil {
 				return err
 			}

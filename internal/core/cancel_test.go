@@ -27,11 +27,13 @@ func cancelQuery(t testing.TB) Query {
 	return Query{DB: db, Tree: tree, Strategy: strategy.FP, Procs: 16}
 }
 
-// builtinRuntimes are the two backends under test, named explicitly so
+// builtinRuntimes are the built-in backends under test, named explicitly so
 // that runtimes leaked into the global registry by other tests (which may
 // complete instantly and legitimately beat a cancel) cannot affect the
-// cancellation assertions.
-var builtinRuntimes = []string{"sim", "parallel"}
+// cancellation assertions. The spill runtime runs here with its default
+// budget (no spilling); the spill-specific cancellation audits with a
+// forcing budget live in spill_test.go.
+var builtinRuntimes = []string{"sim", "parallel", "spill"}
 
 // settleGoroutines polls until the goroutine count drops back to at most
 // base+slack or the deadline passes, and returns the final count. The

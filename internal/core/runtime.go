@@ -70,6 +70,17 @@ type Stats struct {
 	Goroutines int
 	// MaxProcs is the effective concurrent-computation cap.
 	MaxProcs int
+
+	// Spill-runtime-only counters (zero on the in-memory runtimes).
+
+	// BytesSpilled is the total bytes of operand tuples serialized to
+	// temp-file spill partitions.
+	BytesSpilled int64
+	// SpillPartitions is the number of spill-partition files created.
+	SpillPartitions int
+	// SpillTime is the total wall time spent on spill-file I/O (writes
+	// plus partition re-reads).
+	SpillTime time.Duration
 }
 
 // Result is the unified outcome of executing a plan on any runtime.
@@ -110,6 +121,11 @@ type Options struct {
 	// ChannelDepth is the per-stream buffer capacity in batches on
 	// wall-clock runtimes. Zero means the runtime's default.
 	ChannelDepth int
+	// MemoryBudget is the per-run live-tuple memory budget in bytes on the
+	// spill runtime; join operands overflowing it are serialized to
+	// temp-file partitions. Zero means spill.DefaultBudgetBytes. The
+	// in-memory runtimes ignore it.
+	MemoryBudget int64
 	// Verify checks the result against the sequential reference execution
 	// after the run (Exec only; runtimes do not see it).
 	Verify bool
@@ -141,6 +157,17 @@ func WithBatchTuples(n int) Option { return func(o *Options) { o.BatchTuples = n
 // whose consumer has not started yet (the deadlock-freedom heuristic —
 // see parallel.Config.ChannelDepth).
 func WithChannelDepth(n int) Option { return func(o *Options) { o.ChannelDepth = n } }
+
+// WithMemoryBudget caps the spill runtime's live tuple memory at bytes:
+// when pooled batches in flight plus buffered join operands exceed the
+// budget, operand partitions overflow to temp files and the joins run
+// Grace-style, partition-at-a-time. Zero (the default) means
+// spill.DefaultBudgetBytes. The budget bounds tuple buffering during the
+// partitioning phase, not total process RSS: the per-partition drain
+// (re-reading one spilled partition into a hash table) is bounded
+// structurally rather than metered. The in-memory runtimes ignore the
+// option.
+func WithMemoryBudget(bytes int64) Option { return func(o *Options) { o.MemoryBudget = bytes } }
 
 // WithVerify checks the result against the sequential reference execution.
 func WithVerify() Option { return func(o *Options) { o.Verify = true } }

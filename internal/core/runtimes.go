@@ -7,15 +7,17 @@ import (
 	"multijoin/internal/engine"
 	"multijoin/internal/parallel"
 	"multijoin/internal/sim"
+	"multijoin/internal/spill"
 	"multijoin/internal/xra"
 )
 
-// The two built-in backends register themselves like database/sql drivers;
-// future runtimes (affinity queues, calibrated wall-clock, spill-to-disk)
-// do the same from their own packages.
+// The built-in backends register themselves like database/sql drivers;
+// future runtimes (affinity queues, calibrated wall-clock) do the same from
+// their own packages.
 func init() {
 	RegisterRuntime("sim", simRuntime{})
 	RegisterRuntime("parallel", parallelRuntime{})
+	RegisterRuntime("spill", spillRuntime{})
 }
 
 // simRuntime executes plans on the discrete-event-simulated PRISMA/DB
@@ -81,8 +83,43 @@ func (parallelRuntime) Execute(ctx context.Context, plan *xra.Plan, base BaseFun
 	if err != nil {
 		return nil, err
 	}
+	return wallResult("parallel", res), nil
+}
+
+// spillRuntime executes plans out-of-core: the goroutine runtime in
+// memory-budgeted mode, where join operands are hash-partitioned against a
+// per-run budget (Options.MemoryBudget, default spill.DefaultBudgetBytes),
+// overflow partitions are serialized to temp files, and every join runs
+// Grace-style, partition-at-a-time. It opens the memory-constrained
+// scenario class the in-memory runtimes cannot run: the result multiset is
+// identical, but peak tuple residency is bounded by the budget instead of
+// the operand sizes.
+type spillRuntime struct{}
+
+func (spillRuntime) Name() string { return "spill" }
+
+func (spillRuntime) Execute(ctx context.Context, plan *xra.Plan, base BaseFunc, opts Options) (*Result, error) {
+	budget := opts.MemoryBudget
+	if budget < 1 {
+		budget = spill.DefaultBudgetBytes
+	}
+	cfg := parallel.Config{
+		MaxProcs:     opts.MaxProcs,
+		BatchTuples:  opts.BatchTuples,
+		ChannelDepth: opts.ChannelDepth,
+		MemoryBudget: budget,
+	}
+	res, err := parallel.RunContext(ctx, plan, base, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return wallResult("spill", res), nil
+}
+
+// wallResult maps a goroutine-runtime result onto the unified Result.
+func wallResult(name string, res *parallel.RunResult) *Result {
 	return &Result{
-		Runtime: "parallel",
+		Runtime: name,
 		Virtual: false,
 		Time:    res.WallTime,
 		Result:  res.Result,
@@ -96,6 +133,9 @@ func (parallelRuntime) Execute(ctx context.Context, plan *xra.Plan, base BaseFun
 			OpDone:            res.Stats.OpWall,
 			Goroutines:        res.Stats.Goroutines,
 			MaxProcs:          res.Stats.MaxProcs,
+			BytesSpilled:      res.Stats.BytesSpilled,
+			SpillPartitions:   res.Stats.SpillPartitions,
+			SpillTime:         res.Stats.SpillTime,
 		},
-	}, nil
+	}
 }

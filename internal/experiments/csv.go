@@ -10,11 +10,13 @@ import (
 )
 
 // WriteCSV emits sweep points as CSV with the columns
-// shape,strategy,card,procs,runtime,seconds,processes,streams — one row per
-// measurement — so the figures can be re-plotted with external tools.
-// Rows are ordered by (shape, card, procs, strategy) for stable diffs.
+// shape,strategy,card,procs,runtime,seconds,processes,streams,
+// bytes_spilled,spill_partitions,spill_seconds — one row per measurement —
+// so the figures can be re-plotted with external tools. The three spill
+// columns are zero on the in-memory runtimes. Rows are ordered by
+// (shape, card, procs, strategy) for stable diffs.
 func WriteCSV(w io.Writer, points []Point) error {
-	if _, err := io.WriteString(w, "shape,strategy,card,procs,runtime,seconds,processes,streams\n"); err != nil {
+	if _, err := io.WriteString(w, "shape,strategy,card,procs,runtime,seconds,processes,streams,bytes_spilled,spill_partitions,spill_seconds\n"); err != nil {
 		return err
 	}
 	ordered := append([]Point(nil), points...)
@@ -32,10 +34,12 @@ func WriteCSV(w io.Writer, points []Point) error {
 		return a.Strategy < b.Strategy
 	})
 	for _, p := range ordered {
-		_, err := fmt.Fprintf(w, "%s,%s,%d,%d,%s,%s,%d,%d\n",
+		_, err := fmt.Fprintf(w, "%s,%s,%d,%d,%s,%s,%d,%d,%d,%d,%s\n",
 			p.Shape, p.Strategy, p.Card, p.Procs, p.Runtime,
 			strconv.FormatFloat(p.Seconds, 'f', 4, 64),
-			p.Stats.Processes, p.Stats.Streams)
+			p.Stats.Processes, p.Stats.Streams,
+			p.Stats.BytesSpilled, p.Stats.SpillPartitions,
+			strconv.FormatFloat(p.Stats.SpillTime.Seconds(), 'f', 4, 64))
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"multijoin/internal/costmodel"
 	"multijoin/internal/diagram"
 	"multijoin/internal/jointree"
+	"multijoin/internal/parallel"
 	"multijoin/internal/sim"
 	"multijoin/internal/strategy"
 	"multijoin/internal/wisconsin"
@@ -184,6 +186,60 @@ func Memory(card, procs int, seed int64) (string, error) {
 	}
 	b.WriteString("\n")
 	return b.String(), nil
+}
+
+// MemoryBounded measures the out-of-core scenario class the in-memory
+// runtimes cannot run: the wide-bushy query on the spill runtime under a
+// sweep of per-run memory budgets, one row per budget × strategy, reporting
+// wall-clock seconds against bytes spilled, partition files created, and
+// time spent on spill I/O. As the budget shrinks below the working set,
+// every strategy degrades toward the same Grace-join profile: the paper's
+// pipelining distinctions only exist when operands stay resident.
+func MemoryBounded(card, procs int, budgets []int64, seed int64) (string, error) {
+	db, err := wisconsin.Chain(wisconsin.Config{Relations: 6, Cardinality: card, Seed: seed})
+	if err != nil {
+		return "", err
+	}
+	tree, err := jointree.BuildShape(jointree.WideBushy, db.NumRelations())
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Memory-bounded execution: wide-bushy chain of 6x%d tuples, %d processors, spill runtime\n", card, procs)
+	fmt.Fprintf(&b, "%-12s%-10s%12s%14s%12s%12s\n",
+		"budget", "strategy", "seconds", "spilled (MB)", "partitions", "io (s)")
+	for _, budget := range budgets {
+		for _, kind := range strategy.Kinds {
+			q := core.Query{DB: db, Tree: tree, Strategy: kind, Procs: procs, Params: costmodel.Default()}
+			res, err := core.Exec(context.Background(), q,
+				core.WithRuntime("spill"),
+				core.WithMaxProcs(parallel.HostCap(procs)),
+				core.WithMemoryBudget(budget))
+			if err != nil {
+				return "", fmt.Errorf("budget %d %v: %w", budget, kind, err)
+			}
+			fmt.Fprintf(&b, "%-12s%-10v%12.3f%14.2f%12d%12.3f\n",
+				formatBytes(budget), kind, res.Time.Seconds(),
+				float64(res.Stats.BytesSpilled)/(1<<20),
+				res.Stats.SpillPartitions, res.Stats.SpillTime.Seconds())
+		}
+	}
+	b.WriteString("\n")
+	return b.String(), nil
+}
+
+// formatBytes renders a byte count with a binary unit suffix.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGiB", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 // CostFunction reproduces the Section 5 observation that "FP, SE, and RD

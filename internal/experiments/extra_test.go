@@ -74,12 +74,29 @@ func TestWriteCSV(t *testing.T) {
 	if len(lines) != 1+len(pts) {
 		t.Fatalf("CSV has %d lines, want %d", len(lines), 1+len(pts))
 	}
-	if lines[0] != "shape,strategy,card,procs,runtime,seconds,processes,streams" {
+	if lines[0] != "shape,strategy,card,procs,runtime,seconds,processes,streams,bytes_spilled,spill_partitions,spill_seconds" {
 		t.Errorf("CSV header = %q", lines[0])
 	}
 	for _, l := range lines[1:] {
-		if cols := strings.Split(l, ","); len(cols) != 8 {
+		if cols := strings.Split(l, ","); len(cols) != 11 {
 			t.Errorf("CSV row %q has %d columns", l, len(cols))
 		}
+	}
+}
+
+func TestMemoryBoundedOutput(t *testing.T) {
+	out, err := MemoryBounded(1500, 8, []int64{1 << 12, 1 << 30}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"budget", "SP", "FP", "spilled"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("memory-bounded table missing %q:\n%s", want, out)
+		}
+	}
+	// 2 budgets x 4 strategies data rows after the two header lines.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2+2*4 {
+		t.Errorf("memory-bounded table has %d lines:\n%s", len(lines), out)
 	}
 }

@@ -1,0 +1,268 @@
+package hashjoin
+
+import (
+	"time"
+
+	"multijoin/internal/relation"
+	"multijoin/internal/spill"
+)
+
+// GraceFanout is the number of hash partitions a Grace join splits each
+// operand into. Matching build and probe tuples land in the same partition
+// index because both sides hash their own join attribute with the same
+// function, so partition i of the build side joins exactly partition i of
+// the probe side.
+const GraceFanout = 8
+
+// gracePartition maps a join-attribute value to its partition index. It
+// must NOT be relation.HashKey: redistribution already routed tuples to
+// this process by HashKey(v, m) over the consumer's m instances, so every
+// value arriving here agrees on HashKey modulo gcd(m, GraceFanout) — with
+// m = 8 instances all tuples would land in a single partition and Drain
+// would rebuild the whole operand fragment in one table, defeating the
+// partition-at-a-time memory bound. A differently-mixed (salted) hash keeps
+// the partition index independent of the routing decision.
+func gracePartition(v int64) int {
+	h := (uint64(v) + 0x9e3779b97f4a7c15) * 0xc2b2ae3d27d4eb4f
+	h ^= h >> 29
+	return int(h % GraceFanout)
+}
+
+// graceFlushTuples is how many tuples a spilled partition buffers in memory
+// before appending them to its file — large enough to amortize the write
+// syscall, small enough to keep a spilled partition's residency negligible.
+const graceFlushTuples = 256
+
+// gracePart is one hash partition of one operand: an in-memory tuple buffer
+// and, once the partition has spilled, the overflow file. memBytes is the
+// buffer's contribution to the run's memory meter.
+type gracePart struct {
+	mem      []relation.Tuple
+	memBytes int64
+	file     *spill.File
+	tuples   int // total tuples in the partition (mem + file)
+}
+
+// Grace is the out-of-core join of the spill runtime: a Grace-style
+// partitioned hash join [DeWitt et al.] over the chain-join semantics of
+// Spec. Both operands are hash-partitioned on their join attribute as they
+// arrive; while the run's memory meter is over budget the largest resident
+// partition is serialized to a temp file. Once both operands have ended,
+// Drain processes the partitions one at a time — build a hash table over
+// partition i's build tuples (re-read from disk if spilled), stream
+// partition i's probe tuples through it — so peak memory is one partition
+// pair instead of two whole operands.
+//
+// Grace produces the same result multiset as Simple and Pipelining for the
+// same operands; it trades their pipelining for a memory bound, which is
+// why the spill runtime uses it for *both* plan join kinds. It is not safe
+// for concurrent use: the runtime drives each instance from one process.
+type Grace struct {
+	spec  Spec
+	meter *spill.Meter
+	dir   string
+	pool  *relation.BatchPool
+	build [GraceFanout]gracePart
+	probe [GraceFanout]gracePart
+}
+
+// NewGrace returns a fresh Grace join writing overflow partitions into dir
+// and accounting resident operand tuples against meter.
+func NewGrace(spec Spec, meter *spill.Meter, dir string, pool *relation.BatchPool) *Grace {
+	return &Grace{spec: spec, meter: meter, dir: dir, pool: pool}
+}
+
+// AddBuild partitions a batch of build-operand tuples.
+func (g *Grace) AddBuild(batch []relation.Tuple) error {
+	return g.add(&g.build, g.spec.BuildAttr(), batch)
+}
+
+// AddProbe partitions a batch of probe-operand tuples.
+func (g *Grace) AddProbe(batch []relation.Tuple) error {
+	return g.add(&g.probe, g.spec.ProbeAttr(), batch)
+}
+
+func (g *Grace) add(side *[GraceFanout]gracePart, attr relation.Attr, batch []relation.Tuple) error {
+	for _, tp := range batch {
+		p := &side[gracePartition(tp.Get(attr))]
+		p.mem = append(p.mem, tp)
+		p.memBytes += relation.TupleWireBytes
+		p.tuples++
+		g.meter.Add(relation.TupleWireBytes)
+		if p.file != nil && len(p.mem) >= graceFlushTuples {
+			// The partition already lives on disk: keep its resident tail
+			// bounded by flushing eagerly.
+			if err := g.flush(p); err != nil {
+				return err
+			}
+		}
+	}
+	for g.meter.Over() {
+		spilled, err := g.spillLargest()
+		if err != nil {
+			return err
+		}
+		if !spilled {
+			// Nothing spillable here: either every partition is empty, or
+			// the only residents are the bounded tails of already-spilled
+			// partitions (flushed by the threshold above). The meter may
+			// stay over — e.g. pooled batches in flight alone can exceed a
+			// forcing test budget — and flushing those tails anyway would
+			// degenerate into one tiny write per input batch without ever
+			// getting under budget.
+			break
+		}
+	}
+	return nil
+}
+
+// spillLargest serializes the largest spill-worthy resident partition of
+// either side to its file, creating the file on first spill, and reports
+// whether anything was written. A partition is spill-worthy when it has no
+// file yet (first spill releases its whole backlog) or its resident tail
+// reached the flush threshold; smaller tails of already-spilled partitions
+// are left to the eager flush in add, so a permanently-over-budget run
+// still writes in amortized graceFlushTuples-sized appends.
+func (g *Grace) spillLargest() (bool, error) {
+	var victim *gracePart
+	for i := range g.build {
+		for _, p := range [2]*gracePart{&g.build[i], &g.probe[i]} {
+			if len(p.mem) == 0 || (p.file != nil && len(p.mem) < graceFlushTuples) {
+				continue
+			}
+			if victim == nil || len(p.mem) > len(victim.mem) {
+				victim = p
+			}
+		}
+	}
+	if victim == nil {
+		return false, nil
+	}
+	return true, g.flush(victim)
+}
+
+// flush appends a partition's resident tuples to its file (created on first
+// use) and releases their meter reservation.
+func (g *Grace) flush(p *gracePart) error {
+	if len(p.mem) == 0 {
+		return nil
+	}
+	start := time.Now()
+	if p.file == nil {
+		f, err := spill.Create(g.dir)
+		if err != nil {
+			return err
+		}
+		p.file = f
+		g.meter.NotePartition()
+	}
+	n, err := p.file.Append(p.mem)
+	g.meter.NoteIO(time.Since(start))
+	if err != nil {
+		return err
+	}
+	g.meter.NoteSpill(n)
+	g.meter.Add(-p.memBytes)
+	p.memBytes = 0
+	p.mem = p.mem[:0]
+	return nil
+}
+
+// Drain joins the buffered operands partition-at-a-time and hands result
+// chunks to emit. emit owns nothing: the chunk slice is reused between
+// calls, so it must forward (copy) the tuples before returning. Returning a
+// non-nil error (e.g. on cancellation) aborts the drain. Partition files
+// are closed and removed as they are consumed.
+//
+// The drain phase's own memory — the hash table rebuilt from one build
+// partition and the re-read batches — is not accounted against the meter:
+// the budget bounds the partitioning phase, and the drain's residency is
+// bounded structurally, by the largest single partition (~1/GraceFanout of
+// one operand per process). Recursive partitioning of oversized partitions
+// is the ROADMAP follow-up.
+func (g *Grace) Drain(emit func(results []relation.Tuple) error) error {
+	var scratch []relation.Tuple
+	for i := range g.build {
+		bp, pp := &g.build[i], &g.probe[i]
+		table := NewTableSized(g.spec.BuildAttr(), bp.tuples)
+		if bp.file != nil {
+			start := time.Now()
+			err := bp.file.ReadBatches(g.pool, func(batch []relation.Tuple) error {
+				for _, tp := range batch {
+					table.Insert(tp)
+				}
+				return nil
+			})
+			g.meter.NoteIO(time.Since(start))
+			if err != nil {
+				return err
+			}
+		}
+		for _, tp := range bp.mem {
+			table.Insert(tp)
+		}
+		probeChunk := func(batch []relation.Tuple) error {
+			scratch = scratch[:0]
+			pa := g.spec.ProbeAttr()
+			for _, tp := range batch {
+				for e := table.First(tp.Get(pa)); e >= 0; e = table.Next(e) {
+					scratch = append(scratch, g.spec.Result(table.At(e), tp))
+				}
+			}
+			if len(scratch) == 0 {
+				return nil
+			}
+			return emit(scratch)
+		}
+		if pp.file != nil {
+			start := time.Now()
+			err := pp.file.ReadBatches(g.pool, probeChunk)
+			g.meter.NoteIO(time.Since(start))
+			if err != nil {
+				return err
+			}
+		}
+		if err := probeChunk(pp.mem); err != nil {
+			return err
+		}
+		g.releasePart(bp)
+		g.releasePart(pp)
+	}
+	return nil
+}
+
+// releasePart returns a consumed partition's memory reservation and closes
+// its file.
+func (g *Grace) releasePart(p *gracePart) {
+	g.meter.Add(-p.memBytes)
+	p.memBytes = 0
+	p.mem = nil
+	if p.file != nil {
+		p.file.Close()
+		p.file = nil
+	}
+}
+
+// Close releases every partition (idempotent): the runtime calls it after
+// all goroutines exited, so a cancelled run leaks neither file descriptors
+// nor meter reservations.
+func (g *Grace) Close() {
+	for i := range g.build {
+		g.releasePart(&g.build[i])
+		g.releasePart(&g.probe[i])
+	}
+}
+
+// SpilledSides reports how many partitions of each side currently live on
+// disk — a test hook for asserting that a budget actually forced spilling.
+func (g *Grace) SpilledSides() (build, probe int) {
+	for i := range g.build {
+		if g.build[i].file != nil {
+			build++
+		}
+		if g.probe[i].file != nil {
+			probe++
+		}
+	}
+	return
+}

@@ -39,12 +39,15 @@ package parallel
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"multijoin/internal/hashjoin"
 	"multijoin/internal/relation"
+	"multijoin/internal/spill"
 	"multijoin/internal/xra"
 )
 
@@ -79,6 +82,25 @@ type Config struct {
 	// full channel's worth of batches without blocking a producer whose
 	// consumer has not been scheduled yet. Zero means DefaultChannelDepth.
 	ChannelDepth int
+	// MemoryBudget, when positive, switches the run to out-of-core mode
+	// (the "spill" runtime): live pooled batches and buffered join
+	// operands are accounted against the budget in bytes, join processes
+	// use Grace-style partitioned joins (hashjoin.Grace), and operand
+	// tuples overflowing the budget are serialized to temp-file partitions
+	// that are re-read partition-at-a-time once both operands ended. Zero
+	// keeps the in-memory pipelining execution.
+	//
+	// Out-of-core mode trades the paper's pipelining for the memory
+	// bound: every join materializes (partitioned, possibly on disk)
+	// before producing output, and join work runs on the worker goroutine
+	// rather than the processor dispatcher, since it may block on file
+	// I/O. The result multiset is identical to the in-memory runtimes.
+	//
+	// The budget bounds the partitioning phase (buffered operands plus
+	// pooled batches in flight). The drain phase rebuilds one partition's
+	// hash table at a time without metering it: its residency is bounded
+	// structurally at ~1/hashjoin.GraceFanout of one operand per process.
+	MemoryBudget int64
 }
 
 // Defaults for Config zero values.
@@ -131,6 +153,15 @@ type Stats struct {
 	// OpWall maps operator ids to their wall-clock completion offset from
 	// query start.
 	OpWall map[string]time.Duration
+
+	// Out-of-core counters (zero unless Config.MemoryBudget was set).
+
+	// BytesSpilled is the total bytes written to spill-partition files.
+	BytesSpilled int64
+	// SpillPartitions is the number of spill-partition files created.
+	SpillPartitions int
+	// SpillTime is the total wall time spent on spill-file I/O.
+	SpillTime time.Duration
 }
 
 // RunResult is the outcome of one parallel execution.
@@ -206,6 +237,25 @@ type opState struct {
 	wallDone  time.Duration // written by the closing instance before close(done)
 }
 
+// spillState carries the out-of-core machinery of one budgeted run: the
+// memory meter, the per-run temp directory every partition file lives in,
+// and the Grace joins to close during cleanup.
+type spillState struct {
+	meter  *spill.Meter
+	dir    string
+	graces []*hashjoin.Grace
+}
+
+// cleanup closes every Grace join (releasing file descriptors and meter
+// reservations) and removes the run's temp directory wholesale. It must run
+// after every goroutine of the run has exited.
+func (s *spillState) cleanup() {
+	for _, g := range s.graces {
+		g.Close()
+	}
+	os.RemoveAll(s.dir)
+}
+
 // runtimeState carries one execution.
 type runtimeState struct {
 	plan  *xra.Plan
@@ -214,6 +264,14 @@ type runtimeState struct {
 	pool  *relation.BatchPool
 	ops   map[string]*opState
 	order []*opState
+	spill *spillState // nil unless Config.MemoryBudget is set
+
+	// failOnce/failErr record the first internal failure (spill I/O); the
+	// recording goroutine cancels the run context so every other goroutine
+	// unwinds as if the caller had cancelled.
+	failOnce  sync.Once
+	failErr   error
+	cancelRun context.CancelFunc
 
 	// queues are the per-processor run queues, one dispatcher goroutine
 	// each; plan processor id p is served by queues[p mod len(queues)].
@@ -250,18 +308,33 @@ func RunContext(ctx context.Context, plan *xra.Plan, base func(leaf int) *relati
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("parallel: %w", err)
 	}
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
 	r := &runtimeState{
-		plan: plan,
-		cfg:  cfg.withDefaults(plan),
-		ctx:  ctx,
-		ops:  make(map[string]*opState, len(plan.Ops)),
+		plan:      plan,
+		cfg:       cfg.withDefaults(plan),
+		ctx:       runCtx,
+		cancelRun: cancelRun,
+		ops:       make(map[string]*opState, len(plan.Ops)),
 	}
 	retain := plan.NumStreams() * (r.cfg.ChannelDepth + 1)
 	if retain > relation.MaxPoolRetain {
 		retain = relation.MaxPoolRetain
 	}
-	r.pool = relation.NewBatchPool(r.cfg.BatchTuples, retain)
+	if r.cfg.MemoryBudget > 0 {
+		dir, err := os.MkdirTemp("", "mjspill-")
+		if err != nil {
+			return nil, fmt.Errorf("parallel: spill dir: %w", err)
+		}
+		r.spill = &spillState{meter: spill.NewMeter(r.cfg.MemoryBudget), dir: dir}
+		r.pool = relation.NewBatchPoolAccounted(r.cfg.BatchTuples, retain, r.spill.meter.Add)
+	} else {
+		r.pool = relation.NewBatchPool(r.cfg.BatchTuples, retain)
+	}
 	if err := r.setup(base); err != nil {
+		if r.spill != nil {
+			r.spill.cleanup()
+		}
 		return nil, err
 	}
 	r.start = time.Now()
@@ -269,10 +342,25 @@ func RunContext(ctx context.Context, plan *xra.Plan, base func(leaf int) *relati
 	r.wg.Wait()
 	close(r.queueStop)
 	r.dwg.Wait()
+	if r.spill != nil {
+		r.spill.cleanup()
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("parallel: %w", err)
 	}
+	if r.failErr != nil {
+		return nil, fmt.Errorf("parallel: %w", r.failErr)
+	}
 	return r.finish(), nil
+}
+
+// fail records the first internal failure and cancels the run so every
+// goroutine unwinds; RunContext returns the recorded error.
+func (r *runtimeState) fail(err error) {
+	r.failOnce.Do(func() {
+		r.failErr = err
+		r.cancelRun()
+	})
 }
 
 // setup builds operator and process state, wires dependency edges, creates
@@ -309,7 +397,9 @@ func (r *runtimeState) setup(base func(leaf int) *relation.Relation) error {
 		}
 	}
 	// Create one process (worker) per operator replica, bound to its
-	// processor's run queue.
+	// processor's run queue. In out-of-core mode every join process gets a
+	// Grace join up front (single-threaded here, so registration for
+	// cleanup needs no lock).
 	for _, os := range r.order {
 		for i, procID := range os.op.Procs {
 			w := &inst{
@@ -320,6 +410,11 @@ func (r *runtimeState) setup(base func(leaf int) *relation.Relation) error {
 				queue:    r.queues[queueIndex(procID, len(r.queues))],
 				taskDone: make(chan struct{}, 1),
 				eosGot:   make(map[port]int),
+			}
+			if r.spill != nil && (os.op.Kind == xra.OpSimpleJoin || os.op.Kind == xra.OpPipeJoin) {
+				spec := hashjoin.Spec{BuildIsLower: os.op.BuildIsLower}
+				w.grace = hashjoin.NewGrace(spec, r.spill.meter, r.spill.dir, r.pool)
+				r.spill.graces = append(r.spill.graces, w.grace)
 			}
 			os.instances = append(os.instances, w)
 		}
@@ -537,7 +632,7 @@ func (r *runtimeState) finish() *RunResult {
 			last = os.wallDone
 		}
 	}
-	return &RunResult{
+	res := &RunResult{
 		Result:   r.collect.gathered,
 		WallTime: last,
 		Stats: Stats{
@@ -552,4 +647,10 @@ func (r *runtimeState) finish() *RunResult {
 			OpWall:            opWall,
 		},
 	}
+	if r.spill != nil {
+		res.Stats.BytesSpilled = r.spill.meter.SpilledBytes()
+		res.Stats.SpillPartitions = r.spill.meter.Partitions()
+		res.Stats.SpillTime = r.spill.meter.IOTime()
+	}
+	return res
 }

@@ -35,8 +35,12 @@ type inst struct {
 	stash    []item // input buffered while After dependencies are pending
 
 	// Join algorithm state (exactly one is non-nil for join operators).
+	// grace replaces both in-memory algorithms when the run has a memory
+	// budget (Config.MemoryBudget): the operands are partitioned — to disk
+	// when over budget — and joined partition-at-a-time after both ended.
 	simple    *hashjoin.Simple
 	pipe      *hashjoin.Pipelining
+	grace     *hashjoin.Grace
 	buildDone bool
 	probeWait []item // probe batches buffered during the simple join's build phase
 
@@ -97,6 +101,23 @@ func (w *inst) run() {
 		// reported as a completed operator.
 		return
 	}
+	if w.grace != nil {
+		// Out-of-core join: both operands have ended; join the partitions
+		// one at a time, emitting result chunks downstream. This runs on
+		// the worker goroutine, not the processor dispatcher — it may
+		// block on file I/O and on downstream channel sends, and blocked
+		// processes must not occupy a processor.
+		err := w.grace.Drain(func(results []relation.Tuple) error {
+			w.emit(results)
+			return w.r.ctx.Err()
+		})
+		if err != nil {
+			if w.r.ctx.Err() == nil {
+				w.r.fail(err)
+			}
+			return
+		}
+	}
 	w.finish()
 }
 
@@ -104,6 +125,9 @@ func (w *inst) run() {
 // with hash tables sized from the operator's estimated per-process operand
 // cardinality so steady-state inserts never rehash.
 func (w *inst) initState() {
+	if w.grace != nil {
+		return // out-of-core: the Grace join was created in setup
+	}
 	spec := hashjoin.Spec{BuildIsLower: w.op.op.BuildIsLower}
 	hint := relation.PerFragmentCap(w.op.estCard, len(w.op.instances))
 	switch w.op.op.Kind {
@@ -131,6 +155,9 @@ func (w *inst) allEOS() bool {
 // was cancelled mid-item; the batch then stays with the dispatcher, which
 // may still be reading it.
 func (w *inst) handle(it item) bool {
+	if w.grace != nil {
+		return w.handleGrace(it)
+	}
 	if it.eos {
 		w.eosGot[it.port]++
 		switch w.op.op.Kind {
@@ -184,6 +211,32 @@ func (w *inst) handle(it item) bool {
 		w.emit(w.scratch)
 	case xra.OpCollect:
 		w.gathered.Append(it.tuples...)
+	}
+	w.r.pool.Put(it.tuples)
+	return true
+}
+
+// handleGrace applies one mailbox item to an out-of-core join: data batches
+// are hash-partitioned (and spilled to disk while the run is over budget)
+// on the worker goroutine itself — partitioning may block on file I/O,
+// which must not occupy a modeled processor — and end-of-stream markers
+// only count toward allEOS; the join produces all output in the drain after
+// both operands ended. It reports false when partitioning failed (the run
+// is torn down via runtimeState.fail).
+func (w *inst) handleGrace(it item) bool {
+	if it.eos {
+		w.eosGot[it.port]++
+		return true
+	}
+	var err error
+	if it.port == portBuild {
+		err = w.grace.AddBuild(it.tuples)
+	} else {
+		err = w.grace.AddProbe(it.tuples)
+	}
+	if err != nil {
+		w.r.fail(err)
+		return false
 	}
 	w.r.pool.Put(it.tuples)
 	return true

@@ -1,0 +1,43 @@
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TupleWireBytes is the size of one tuple in the binary spill format (and,
+// not coincidentally, its in-memory size): Unique1, Unique2 and Check as
+// three 8-byte little-endian words. Memory budgets and spill-file sizes are
+// both expressed in these bytes, so "bytes spilled" and "bytes resident"
+// are directly comparable.
+const TupleWireBytes = 24
+
+// AppendTupleBytes encodes a batch of tuples in the binary spill format and
+// appends it to dst, returning the extended slice. The encoding is
+// fixed-width, so a file of encoded batches needs no framing: any multiple
+// of TupleWireBytes decodes back.
+func AppendTupleBytes(dst []byte, ts []Tuple) []byte {
+	for _, t := range ts {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(t.Unique1))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(t.Unique2))
+		dst = binary.LittleEndian.AppendUint64(dst, t.Check)
+	}
+	return dst
+}
+
+// TuplesFromBytes decodes src (a whole number of wire tuples) and appends
+// the tuples to dst, returning the extended slice. Decoding into a pooled
+// batch is the intended use: the caller owns sizing.
+func TuplesFromBytes(dst []Tuple, src []byte) ([]Tuple, error) {
+	if len(src)%TupleWireBytes != 0 {
+		return dst, fmt.Errorf("relation: %d bytes is not a whole number of %d-byte tuples", len(src), TupleWireBytes)
+	}
+	for off := 0; off < len(src); off += TupleWireBytes {
+		dst = append(dst, Tuple{
+			Unique1: int64(binary.LittleEndian.Uint64(src[off:])),
+			Unique2: int64(binary.LittleEndian.Uint64(src[off+8:])),
+			Check:   binary.LittleEndian.Uint64(src[off+16:]),
+		})
+	}
+	return dst, nil
+}

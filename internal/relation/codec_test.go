@@ -1,0 +1,84 @@
+package relation
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTupleCodecRoundTrip encodes and decodes batches, including negative
+// attributes and extreme checksums, and asserts exact round-tripping.
+func TestTupleCodecRoundTrip(t *testing.T) {
+	batches := [][]Tuple{
+		nil,
+		{},
+		{{Unique1: 0, Unique2: 0, Check: 0}},
+		{
+			{Unique1: 1, Unique2: 2, Check: 3},
+			{Unique1: -1, Unique2: math.MinInt64, Check: math.MaxUint64},
+			{Unique1: math.MaxInt64, Unique2: -42, Check: 0xdeadbeef},
+		},
+	}
+	for _, ts := range batches {
+		enc := AppendTupleBytes(nil, ts)
+		if got, want := len(enc), len(ts)*TupleWireBytes; got != want {
+			t.Fatalf("encoded %d tuples into %d bytes, want %d", len(ts), got, want)
+		}
+		dec, err := TuplesFromBytes(nil, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dec) != len(ts) {
+			t.Fatalf("decoded %d tuples, want %d", len(dec), len(ts))
+		}
+		for i := range ts {
+			if dec[i] != ts[i] {
+				t.Errorf("tuple %d: got %+v want %+v", i, dec[i], ts[i])
+			}
+		}
+	}
+}
+
+// TestTupleCodecAppendsToDst asserts both directions append rather than
+// overwrite, the contract pooled-buffer reuse relies on.
+func TestTupleCodecAppendsToDst(t *testing.T) {
+	a := []Tuple{{Unique1: 1}}
+	b := []Tuple{{Unique1: 2}}
+	enc := AppendTupleBytes(AppendTupleBytes(nil, a), b)
+	dec, err := TuplesFromBytes([]Tuple{{Unique1: 99}}, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 3 || dec[0].Unique1 != 99 || dec[1].Unique1 != 1 || dec[2].Unique1 != 2 {
+		t.Fatalf("append contract broken: %+v", dec)
+	}
+}
+
+// TestTupleCodecRejectsPartialTuple asserts truncated input errors instead
+// of decoding garbage.
+func TestTupleCodecRejectsPartialTuple(t *testing.T) {
+	enc := AppendTupleBytes(nil, []Tuple{{Unique1: 1}})
+	if _, err := TuplesFromBytes(nil, enc[:TupleWireBytes-1]); err == nil {
+		t.Fatal("decoding a partial tuple succeeded, want error")
+	}
+}
+
+// TestBatchPoolAccounting asserts the accounting hook sees +cap bytes per
+// Get and the matching negative delta per Put, and nothing for foreign
+// batches.
+func TestBatchPoolAccounting(t *testing.T) {
+	var live int64
+	p := NewBatchPoolAccounted(16, 4, func(d int64) { live += d })
+	b1, b2 := p.Get(), p.Get()
+	if want := int64(2 * 16 * TupleWireBytes); live != want {
+		t.Fatalf("after 2 Gets live=%d, want %d", live, want)
+	}
+	p.Put(b1)
+	p.Put(b2)
+	if live != 0 {
+		t.Fatalf("after matching Puts live=%d, want 0", live)
+	}
+	p.Put(make([]Tuple, 0, 7)) // foreign capacity: dropped, not accounted
+	if live != 0 {
+		t.Fatalf("foreign Put changed live to %d", live)
+	}
+}

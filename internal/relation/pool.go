@@ -12,6 +12,11 @@ package relation
 type BatchPool struct {
 	size int
 	free chan []Tuple
+	// acct, when set, observes the live-batch byte balance: +batch bytes on
+	// every Get, -batch bytes on every Put of a pool-shaped batch. A memory
+	// budget (spill runtime) hangs off this hook.
+	acct func(deltaBytes int64)
+	dbg  poolDebug
 }
 
 // MaxPoolRetain is the conventional upper bound both runtimes place on a
@@ -33,16 +38,37 @@ func NewBatchPool(size, retain int) *BatchPool {
 	return &BatchPool{size: size, free: make(chan []Tuple, retain)}
 }
 
+// NewBatchPoolAccounted is NewBatchPool with a live-byte accounting hook:
+// acct observes +size×TupleWireBytes on every Get and the matching negative
+// delta on every Put of a pool-shaped batch, so the caller always knows how
+// many bytes of pooled batches are checked out. The hook must be safe for
+// concurrent use (Get and Put are called from many goroutines).
+func NewBatchPoolAccounted(size, retain int, acct func(deltaBytes int64)) *BatchPool {
+	p := NewBatchPool(size, retain)
+	p.acct = acct
+	return p
+}
+
+// batchBytes is the accounted size of one pooled batch: full capacity, since
+// the capacity is reserved whether or not the batch is full.
+func (p *BatchPool) batchBytes() int64 { return int64(p.size) * TupleWireBytes }
+
 // BatchSize returns the capacity, in tuples, of the pool's batches.
 func (p *BatchPool) BatchSize() int { return p.size }
 
 // Get returns an empty batch with the pool's capacity.
 func (p *BatchPool) Get() []Tuple {
+	if p.acct != nil {
+		p.acct(p.batchBytes())
+	}
 	select {
 	case b := <-p.free:
+		p.dbg.get(b, true)
 		return b[:0]
 	default:
-		return make([]Tuple, 0, p.size)
+		b := make([]Tuple, 0, p.size)
+		p.dbg.get(b, false)
+		return b
 	}
 }
 
@@ -54,8 +80,13 @@ func (p *BatchPool) Put(b []Tuple) {
 	if cap(b) != p.size {
 		return
 	}
+	p.dbg.put(b)
+	if p.acct != nil {
+		p.acct(-p.batchBytes())
+	}
 	select {
 	case p.free <- b:
 	default:
+		p.dbg.drop(b)
 	}
 }

@@ -1,0 +1,12 @@
+//go:build !pooldebug
+
+package relation
+
+// poolDebug is a no-op unless the binary is built with -tags pooldebug, in
+// which case pool_pooldebug.go swaps in a double-Put / use-after-Put
+// detector. The zero value is ready to use and adds no per-call cost here.
+type poolDebug struct{}
+
+func (poolDebug) get([]Tuple, bool) {}
+func (poolDebug) put([]Tuple)       {}
+func (poolDebug) drop([]Tuple)      {}

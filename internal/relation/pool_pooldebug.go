@@ -1,0 +1,78 @@
+//go:build pooldebug
+
+package relation
+
+import (
+	"fmt"
+	"sync"
+	"unsafe"
+)
+
+// poolDebug (built with -tags pooldebug) enforces the pool's ownership
+// discipline at run time instead of assuming it:
+//
+//   - double Put: returning a batch that is already in the pool panics;
+//   - use after Put: Put poisons the batch's full capacity with sentinel
+//     tuples, and Get verifies the poison is intact before handing the batch
+//     out — any write through a stale alias between Put and the next Get
+//     panics at the Get that would have exposed the corruption.
+//
+// The spill path's release-after-serialize discipline (serialize a batch to
+// disk, then Put it) is exactly what this checks: a Put before the write
+// completed, or a second Put of the same batch, is caught deterministically
+// rather than surfacing as a corrupted join result.
+//
+// Batches are identified by their backing-array pointer; the tracking map is
+// global per pool and mutex-guarded, so pooldebug builds are for tests, not
+// benchmarks.
+type poolDebug struct {
+	mu     sync.Mutex
+	pooled map[unsafe.Pointer]bool // batch data pointer -> currently in the free list
+}
+
+// poisonTuple is the sentinel Put fills returned batches with. The values
+// are implausible for real data (join attributes are non-negative).
+var poisonTuple = Tuple{Unique1: -0x6b6f6c626f6f70, Unique2: -0x6465616462656566, Check: 0xdeadbeefdeadbeef}
+
+func batchPtr(b []Tuple) unsafe.Pointer { return unsafe.Pointer(unsafe.SliceData(b)) }
+
+func (d *poolDebug) get(b []Tuple, fromFreeList bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if fromFreeList {
+		for i, t := range b[:cap(b)] {
+			if t != poisonTuple {
+				panic(fmt.Sprintf("relation: pooldebug: use after Put: batch %p slot %d was modified while in the pool", batchPtr(b), i))
+			}
+		}
+	}
+	if d.pooled == nil {
+		d.pooled = make(map[unsafe.Pointer]bool)
+	}
+	d.pooled[batchPtr(b)] = false
+}
+
+func (d *poolDebug) put(b []Tuple) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pooled[batchPtr(b)] {
+		panic(fmt.Sprintf("relation: pooldebug: double Put of batch %p", batchPtr(b)))
+	}
+	full := b[:cap(b)]
+	for i := range full {
+		full[i] = poisonTuple
+	}
+	if d.pooled == nil {
+		d.pooled = make(map[unsafe.Pointer]bool)
+	}
+	d.pooled[batchPtr(b)] = true
+}
+
+// drop forgets a batch the full free list rejected: it is garbage now, and a
+// later identical allocation at the same address must not look like a
+// double Put.
+func (d *poolDebug) drop(b []Tuple) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.pooled, batchPtr(b))
+}

@@ -1,0 +1,67 @@
+//go:build pooldebug
+
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustPanic runs fn and returns the recovered panic message, failing the
+// test if fn returns normally.
+func mustPanic(t *testing.T, fn func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = r.(string)
+			}
+		}()
+		fn()
+		t.Fatal("expected a pooldebug panic, got none")
+	}()
+	return msg
+}
+
+// TestPoolDebugDoublePut asserts that returning the same batch twice panics
+// with a double-Put diagnostic.
+func TestPoolDebugDoublePut(t *testing.T) {
+	p := NewBatchPool(8, 4)
+	b := p.Get()
+	b = append(b, Tuple{Unique1: 1})
+	p.Put(b)
+	msg := mustPanic(t, func() { p.Put(b) })
+	if !strings.Contains(msg, "double Put") {
+		t.Errorf("double Put panic message %q does not mention double Put", msg)
+	}
+}
+
+// TestPoolDebugUseAfterPut asserts that writing through a stale alias after
+// Put is caught at the Get that would have handed out the corrupted batch.
+func TestPoolDebugUseAfterPut(t *testing.T) {
+	p := NewBatchPool(8, 1)
+	b := p.Get()
+	b = append(b, Tuple{Unique1: 7})
+	p.Put(b)
+	// A retained alias mutates the batch while it sits in the pool — the
+	// spill bug this detector exists for (Put before the serialize finished).
+	b[0] = Tuple{Unique1: 42}
+	msg := mustPanic(t, func() { p.Get() })
+	if !strings.Contains(msg, "use after Put") {
+		t.Errorf("use-after-Put panic message %q does not mention use after Put", msg)
+	}
+}
+
+// TestPoolDebugCleanCycleDoesNotPanic asserts the detector stays silent for
+// the disciplined Get/append/Put cycle both runtimes perform.
+func TestPoolDebugCleanCycleDoesNotPanic(t *testing.T) {
+	p := NewBatchPool(4, 2)
+	for i := 0; i < 16; i++ {
+		b := p.Get()
+		for j := 0; j < 4; j++ {
+			b = append(b, Tuple{Unique1: int64(i), Unique2: int64(j)})
+		}
+		p.Put(b)
+	}
+}

@@ -1,0 +1,171 @@
+// Package spill provides the out-of-core substrate of the "spill" runtime:
+// a per-run memory meter that decides *when* to spill, and temp-file
+// partitions that hold the overflow in the fixed-width binary tuple format
+// of relation.AppendTupleBytes.
+//
+// The paper's machine is main-memory (PRISMA/DB keeps every fragment and
+// hash table resident); its Section 5 discussion of disk-based machines is
+// where this package picks up: when the tuples buffered by a run exceed a
+// budget, join operands overflow to disk and the joins switch to Grace-style
+// partition-at-a-time processing (hashjoin.Grace). The meter is deliberately
+// a soft budget — an accounting of pooled batches and buffered operand
+// tuples that triggers spilling, not an allocator that can fail — which is
+// how real systems bound join memory too.
+package spill
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"multijoin/internal/relation"
+)
+
+// DefaultBudgetBytes is the per-run memory budget the spill runtime applies
+// when the caller sets none: 64 MiB, a few PRISMA-node memories' worth —
+// small enough that genuinely large runs spill, large enough that the
+// paper-sized experiments mostly stay in memory.
+const DefaultBudgetBytes = 64 << 20
+
+// Meter tracks one run's live tuple bytes against its budget and aggregates
+// the run's spill statistics. All methods are safe for concurrent use; the
+// accounting is advisory (Add never fails), Over is the signal consumers
+// act on by spilling.
+type Meter struct {
+	budget       int64
+	live         atomic.Int64
+	spilledBytes atomic.Int64
+	partitions   atomic.Int64
+	ioNanos      atomic.Int64
+}
+
+// NewMeter returns a meter enforcing the given budget in bytes.
+func NewMeter(budget int64) *Meter {
+	if budget < 1 {
+		budget = DefaultBudgetBytes
+	}
+	return &Meter{budget: budget}
+}
+
+// Budget returns the configured budget in bytes.
+func (m *Meter) Budget() int64 { return m.budget }
+
+// Add adjusts the live-byte balance (positive when tuples are buffered,
+// negative when they are released or written out). It is the hook shape
+// relation.NewBatchPoolAccounted expects.
+func (m *Meter) Add(deltaBytes int64) { m.live.Add(deltaBytes) }
+
+// Live returns the current live-byte balance.
+func (m *Meter) Live() int64 { return m.live.Load() }
+
+// Over reports whether the live balance exceeds the budget — the signal to
+// spill.
+func (m *Meter) Over() bool { return m.live.Load() > m.budget }
+
+// NoteSpill records bytes written to a spill file.
+func (m *Meter) NoteSpill(bytes int64) { m.spilledBytes.Add(bytes) }
+
+// NotePartition records one newly created spill-partition file.
+func (m *Meter) NotePartition() { m.partitions.Add(1) }
+
+// NoteIO records wall time spent on spill-file I/O (writes and re-reads).
+func (m *Meter) NoteIO(d time.Duration) { m.ioNanos.Add(int64(d)) }
+
+// SpilledBytes returns the total bytes written to spill files.
+func (m *Meter) SpilledBytes() int64 { return m.spilledBytes.Load() }
+
+// Partitions returns the number of spill-partition files created.
+func (m *Meter) Partitions() int { return int(m.partitions.Load()) }
+
+// IOTime returns the total wall time spent on spill-file I/O.
+func (m *Meter) IOTime() time.Duration { return time.Duration(m.ioNanos.Load()) }
+
+// File is one spill partition: an append-only temp file of wire-format
+// tuples, re-read sequentially exactly once (partition-at-a-time
+// processing). It is owned by one goroutine at a time — first the operator
+// buffering into it, then the drain reading it back — and needs no lock.
+type File struct {
+	f      *os.File
+	tuples int
+	enc    []byte // reusable encode/read staging buffer
+}
+
+// Create opens a new spill partition file in dir. The file is created with
+// O_EXCL semantics by os.CreateTemp, so concurrent processes cannot
+// collide.
+func Create(dir string) (*File, error) {
+	f, err := os.CreateTemp(dir, "part-*.spill")
+	if err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	return &File{f: f}, nil
+}
+
+// Append serializes a batch to the end of the file and returns the number
+// of bytes written. The staging buffer is reused across calls, so a
+// steady-state Append allocates nothing.
+func (s *File) Append(batch []relation.Tuple) (int64, error) {
+	s.enc = relation.AppendTupleBytes(s.enc[:0], batch)
+	if _, err := s.f.Write(s.enc); err != nil {
+		return 0, fmt.Errorf("spill: append to %s: %w", s.f.Name(), err)
+	}
+	s.tuples += len(batch)
+	return int64(len(s.enc)), nil
+}
+
+// Tuples returns the number of tuples written so far.
+func (s *File) Tuples() int { return s.tuples }
+
+// ReadBatches rewinds the file and streams its tuples back in batches drawn
+// from pool, invoking fn for each. The batch is valid only during the call:
+// ReadBatches returns it to the pool afterwards (fn must copy what it
+// keeps — inserting into a hash table or emitting downstream both copy).
+func (s *File) ReadBatches(pool *relation.BatchPool, fn func(batch []relation.Tuple) error) error {
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("spill: rewind %s: %w", s.f.Name(), err)
+	}
+	chunk := pool.BatchSize() * relation.TupleWireBytes
+	if cap(s.enc) < chunk {
+		s.enc = make([]byte, chunk)
+	}
+	buf := s.enc[:chunk]
+	for {
+		n, err := io.ReadFull(s.f, buf)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil && err != io.ErrUnexpectedEOF {
+			return fmt.Errorf("spill: read %s: %w", s.f.Name(), err)
+		}
+		batch := pool.Get()
+		batch, derr := relation.TuplesFromBytes(batch, buf[:n])
+		if derr == nil {
+			derr = fn(batch)
+		}
+		pool.Put(batch)
+		if derr != nil {
+			return derr
+		}
+		if err == io.ErrUnexpectedEOF {
+			return nil
+		}
+	}
+}
+
+// Close closes and removes the file. It is idempotent; the containing
+// directory is removed wholesale at the end of the run as a backstop, so
+// Close only needs to release the descriptor promptly.
+func (s *File) Close() error {
+	if s.f == nil {
+		return nil
+	}
+	name := s.f.Name()
+	err := s.f.Close()
+	s.f = nil
+	if rmErr := os.Remove(name); err == nil {
+		err = rmErr
+	}
+	return err
+}

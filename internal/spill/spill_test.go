@@ -1,0 +1,154 @@
+package spill
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"multijoin/internal/relation"
+)
+
+// TestFileRoundTrip writes batches of varying sizes and reads them back in
+// pool-sized batches, asserting the tuple sequence survives.
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var want []relation.Tuple
+	for i := 0; i < 10; i++ {
+		batch := make([]relation.Tuple, 0, 37)
+		for j := 0; j <= i*7; j++ {
+			tp := relation.Tuple{Unique1: int64(i), Unique2: int64(j), Check: uint64(i*1000 + j)}
+			batch = append(batch, tp)
+			want = append(want, tp)
+		}
+		if _, err := f.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Tuples() != len(want) {
+		t.Fatalf("Tuples() = %d, want %d", f.Tuples(), len(want))
+	}
+	pool := relation.NewBatchPool(16, 4)
+	var got []relation.Tuple
+	err = f.ReadBatches(pool, func(batch []relation.Tuple) error {
+		if len(batch) > 16 {
+			t.Errorf("read batch of %d tuples exceeds pool size 16", len(batch))
+		}
+		got = append(got, batch...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d tuples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tuple %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFileCloseRemoves asserts Close removes the temp file and is
+// idempotent.
+func TestFileCloseRemoves(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append([]relation.Tuple{{Unique1: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("Close left files behind: %v", left)
+	}
+}
+
+// TestFileReadEmpty asserts an empty partition streams zero batches.
+func TestFileReadEmpty(t *testing.T) {
+	f, err := Create(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pool := relation.NewBatchPool(8, 2)
+	calls := 0
+	if err := f.ReadBatches(pool, func([]relation.Tuple) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("empty file delivered %d batches", calls)
+	}
+}
+
+// TestMeter exercises the budget signal and the statistics counters.
+func TestMeter(t *testing.T) {
+	m := NewMeter(100)
+	if m.Over() {
+		t.Fatal("fresh meter is over budget")
+	}
+	m.Add(80)
+	if m.Over() {
+		t.Fatal("80/100 reported over budget")
+	}
+	m.Add(40)
+	if !m.Over() {
+		t.Fatal("120/100 not reported over budget")
+	}
+	m.Add(-60)
+	if m.Over() {
+		t.Fatal("60/100 still over budget after release")
+	}
+	m.NoteSpill(24)
+	m.NotePartition()
+	m.NoteIO(time.Millisecond)
+	if m.SpilledBytes() != 24 || m.Partitions() != 1 || m.IOTime() != time.Millisecond {
+		t.Fatalf("stats = (%d, %d, %v), want (24, 1, 1ms)", m.SpilledBytes(), m.Partitions(), m.IOTime())
+	}
+	if m.Live() != 60 {
+		t.Fatalf("Live() = %d, want 60", m.Live())
+	}
+}
+
+// TestMeterDefaultBudget asserts a non-positive budget falls back to the
+// documented default.
+func TestMeterDefaultBudget(t *testing.T) {
+	if got := NewMeter(0).Budget(); got != DefaultBudgetBytes {
+		t.Fatalf("NewMeter(0).Budget() = %d, want %d", got, DefaultBudgetBytes)
+	}
+}
+
+// TestCreateUsesDir asserts partitions land in the given directory (the
+// per-run temp dir the runtime removes wholesale).
+func TestCreateUsesDir(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("Create made %d entries in dir, want 1", len(entries))
+	}
+}

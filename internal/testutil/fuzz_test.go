@@ -1,0 +1,103 @@
+package testutil
+
+import (
+	"context"
+	"testing"
+
+	"multijoin/internal/core"
+	"multijoin/internal/relation"
+)
+
+// runtimesUnderTest are the three built-in runtimes the differential
+// harness compares, named explicitly so runtimes registered by other tests
+// cannot change what the fuzz target asserts.
+var runtimesUnderTest = []string{"sim", "parallel", "spill"}
+
+// execScenario runs a scenario on one runtime and returns the result
+// relation. The spill runtime gets the scenario's forcing memory budget so
+// the out-of-core path is exercised, not just registered.
+func execScenario(t testing.TB, s *Scenario, rt string) *relation.Relation {
+	t.Helper()
+	opts := []core.Option{core.WithRuntime(rt), core.WithBatchTuples(s.BatchTuples)}
+	if rt == "spill" {
+		opts = append(opts, core.WithMemoryBudget(s.MemoryBudget))
+	}
+	res, err := core.Exec(context.Background(), s.Query, opts...)
+	if err != nil {
+		t.Fatalf("%s: %s: %v", s.Desc, rt, err)
+	}
+	return res.Result
+}
+
+// FuzzExecEquivalence is the randomized differential harness: for any
+// generated scenario — seeded sizes, skewed cardinalities, all four
+// strategies, bushy and linear tree shapes — the simulator, the goroutine
+// runtime and the out-of-core spill runtime must each produce exactly the
+// checksum multiset of the sequential reference execution. The provenance
+// checksums make the assertion total: a lost, duplicated, or wrongly
+// combined tuple anywhere in any runtime changes the multiset.
+func FuzzExecEquivalence(f *testing.F) {
+	// Seed corpus: every strategy × size class, across shapes (the
+	// selectors are reduced modulo their domain, so 0..4 name the shapes
+	// in paper order and 0..3 the strategies SP, SE, RD, FP).
+	for strat := int64(0); strat < 4; strat++ {
+		for size := int64(0); size < 3; size++ {
+			f.Add(int64(1995)+strat*31+size, strat+size, strat, size)
+		}
+	}
+	f.Add(int64(7), int64(3), int64(3), int64(2)) // right-bushy FP skewed
+	f.Add(int64(-1), int64(-2), int64(-3), int64(-4))
+	f.Fuzz(func(t *testing.T, seed, shapeSel, stratSel, sizeSel int64) {
+		s, err := Generate(seed, shapeSel, stratSel, sizeSel)
+		if err != nil {
+			t.Fatalf("generator rejected (%d,%d,%d,%d): %v", seed, shapeSel, stratSel, sizeSel, err)
+		}
+		want := core.Reference(s.Query.DB, s.Query.Tree)
+		for _, rt := range runtimesUnderTest {
+			got := execScenario(t, s, rt)
+			if diff := relation.DiffMultiset(got, want); diff != "" {
+				t.Errorf("%s: %s result differs from sequential reference: %s", s.Desc, rt, diff)
+			}
+		}
+	})
+}
+
+// TestGenerateDeterministic asserts the generator is a pure function of its
+// selectors — the property that makes fuzz failures reproducible.
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(42, 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(42, 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Desc != b.Desc {
+		t.Fatalf("same selectors, different scenarios:\n%s\n%s", a.Desc, b.Desc)
+	}
+	if !relation.EqualMultiset(a.Query.DB.Relation(0), b.Query.DB.Relation(0)) {
+		t.Fatal("same selectors generated different databases")
+	}
+}
+
+// TestGenerateCoversDomains asserts selector reduction reaches every shape
+// and strategy, including from negative fuzzer inputs.
+func TestGenerateCoversDomains(t *testing.T) {
+	shapes := map[string]bool{}
+	strategies := map[string]bool{}
+	for sel := int64(-5); sel < 5; sel++ {
+		s, err := Generate(1, sel, sel, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shapes[s.Query.Tree.String()] = true
+		strategies[s.Query.Strategy.String()] = true
+	}
+	if len(strategies) != 4 {
+		t.Errorf("selector sweep hit %d strategies, want 4", len(strategies))
+	}
+	if len(shapes) < 2 {
+		t.Errorf("selector sweep hit %d tree shapes, want several", len(shapes))
+	}
+}

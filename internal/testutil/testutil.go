@@ -1,0 +1,116 @@
+// Package testutil generates randomized multi-join scenarios for
+// differential testing: seeded chain databases (equal or skewed relation
+// sizes), all five query-tree shapes, all four parallelization strategies,
+// and processor/batch configurations. The fuzz harness built on it
+// (FuzzExecEquivalence) asserts that every registered runtime — the
+// discrete-event simulator, the goroutine runtime, and the out-of-core
+// spill runtime — produces the identical checksum multiset as the
+// sequential reference for the same generated query.
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+
+	"multijoin/internal/core"
+	"multijoin/internal/costmodel"
+	"multijoin/internal/jointree"
+	"multijoin/internal/strategy"
+	"multijoin/internal/wisconsin"
+)
+
+// Scenario is one generated differential-test case: a query plus the
+// execution knobs a run needs. The generator is deterministic in its
+// inputs, so a failing scenario reproduces from its parameters alone.
+type Scenario struct {
+	Query core.Query
+	// BatchTuples is the transport batch size to execute with (small
+	// values exercise batching edges: partial batches, many flushes).
+	BatchTuples int
+	// MemoryBudget is the spill-runtime budget chosen so that at least
+	// part of the run overflows to disk.
+	MemoryBudget int64
+	// Desc summarizes the scenario for failure messages.
+	Desc string
+}
+
+// Generate derives a scenario from fuzz-shaped inputs. Every int64 is
+// reduced modulo its domain, so arbitrary fuzzer values map onto valid
+// scenarios instead of being rejected:
+//
+//   - seed drives the database RNG (tuple permutations and, for skewed
+//     scenarios, the per-relation cardinalities);
+//   - shapeSel picks one of the five paper tree shapes (bushy and linear);
+//   - stratSel picks one of the four strategies;
+//   - sizeSel picks the size class: 0 = small uniform, 1 = medium uniform,
+//     2 = skewed (log-uniform per-relation cardinalities spanning ~2
+//     decades, the non-regular workload where fragment sizes diverge).
+func Generate(seed, shapeSel, stratSel, sizeSel int64) (*Scenario, error) {
+	rng := rand.New(rand.NewSource(seed))
+	shape := jointree.Shapes[mod(shapeSel, len(jointree.Shapes))]
+	kind := strategy.Kinds[mod(stratSel, len(strategy.Kinds))]
+	relations := 2 + rng.Intn(5) // 2..6 relations: 1..5 joins
+	cfg := wisconsin.Config{Seed: seed}
+	switch mod(sizeSel, 3) {
+	case 0:
+		cfg.Relations = relations
+		cfg.Cardinality = 1 + rng.Intn(60)
+	case 1:
+		cfg.Relations = relations
+		cfg.Cardinality = 200 + rng.Intn(400)
+	default:
+		cards := make([]int, relations)
+		for i := range cards {
+			// Log-uniform in [4, ~400): heavily skewed operand sizes, so
+			// hash fragments and join partitions are unbalanced.
+			cards[i] = 4 << rng.Intn(7)
+		}
+		cfg.Cards = cards
+	}
+	db, err := wisconsin.Chain(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := jointree.BuildShape(shape, relations)
+	if err != nil {
+		return nil, err
+	}
+	// FP (and RD on deep trees) needs one processor per concurrently
+	// executing join, so the floor is the join count; the headroom above
+	// it varies the per-join processor allocation.
+	procs := relations - 1 + rng.Intn(10)
+	batch := 1 + rng.Intn(64)
+	return &Scenario{
+		Query: core.Query{
+			DB:       db,
+			Tree:     tree,
+			Strategy: kind,
+			Procs:    procs,
+			Params:   costmodel.Default(),
+		},
+		BatchTuples: batch,
+		// A few hundred bytes: essentially everything spills, including
+		// on the one-tuple relations.
+		MemoryBudget: 512,
+		Desc: fmt.Sprintf("seed=%d shape=%v strategy=%v relations=%d cards=%v procs=%d batch=%d",
+			seed, shape, kind, relations, cardsOf(db), procs, batch),
+	}, nil
+}
+
+// cardsOf lists the per-relation cardinalities for failure messages.
+func cardsOf(db *wisconsin.Database) []int {
+	out := make([]int, db.NumRelations())
+	for i := range out {
+		out[i] = db.Card(i)
+	}
+	return out
+}
+
+// mod reduces an arbitrary (possibly negative) selector into [0, n).
+func mod(v int64, n int) int {
+	m := int(v % int64(n))
+	if m < 0 {
+		m += n
+	}
+	return m
+}

@@ -197,6 +197,19 @@ func WithBatchTuples(n int) ExecOption { return core.WithBatchTuples(n) }
 // started yet (see parallel.Config.ChannelDepth for the heuristic).
 func WithChannelDepth(n int) ExecOption { return core.WithChannelDepth(n) }
 
+// WithMemoryBudget caps the spill runtime's live tuple memory at bytes:
+// when pooled batches in flight plus buffered join operands exceed the
+// budget, join operands overflow to temp-file partitions and the joins run
+// Grace-style, partition-at-a-time:
+//
+//	res, err := multijoin.Exec(ctx, q,
+//	        multijoin.WithRuntime("spill"),
+//	        multijoin.WithMemoryBudget(16<<20)) // 16 MiB of live tuples
+//
+// Zero (the default) applies the spill runtime's 64 MiB default budget. The
+// in-memory runtimes ignore the option.
+func WithMemoryBudget(bytes int64) ExecOption { return core.WithMemoryBudget(bytes) }
+
 // WithVerify checks the result against the sequential reference execution
 // and fails the Exec call on the first discrepancy.
 func WithVerify() ExecOption { return core.WithVerify() }
