@@ -1,7 +1,7 @@
 # Single source of truth for the commands CI and humans run.
 GO ?= go
 
-.PHONY: all build lint test bench examples fuzz-smoke pooldebug spill-check clean
+.PHONY: all build lint test bench examples fuzz-smoke pooldebug spill-check throughput-smoke clean
 
 all: build lint test
 
@@ -40,6 +40,13 @@ fuzz-smoke:
 pooldebug:
 	$(GO) test -tags pooldebug -race ./internal/relation
 
+# Throughput smoke: one shared Engine serving concurrent mixed-strategy
+# queries across the parallel and spill runtimes, results drained through
+# streaming Rows cursors and checked against the sequential reference —
+# the session layer exercised end to end on a small workload.
+throughput-smoke:
+	$(GO) run ./cmd/mjbench -fig throughput -concurrency 4 -card5k 500
+
 # Bench smoke: one iteration of every benchmark, with the sim-vs-parallel
 # comparison captured as test2json lines in BENCH_parallel.json and the
 # allocation benchmarks in BENCH_alloc.json, gated against the checked-in
@@ -48,7 +55,7 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -json . > BENCH_parallel.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_parallel.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 	@echo "wrote BENCH_parallel.json"
-	$(GO) test -run '^$$' -bench 'BenchmarkExecAlloc|BenchmarkHashTable' -benchtime 1x -benchmem -json . ./internal/hashjoin > BENCH_alloc.json
+	$(GO) test -run '^$$' -bench 'BenchmarkExecAlloc|BenchmarkExecStreamAlloc|BenchmarkHashTable' -benchtime 1x -benchmem -json . ./internal/hashjoin > BENCH_alloc.json
 	@echo "wrote BENCH_alloc.json"
 	$(GO) run ./cmd/benchcheck -in BENCH_alloc.json -baseline bench_alloc_baseline.txt
 

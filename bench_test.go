@@ -245,6 +245,52 @@ func benchExecAlloc(b *testing.B, kind strategy.Kind) {
 func BenchmarkExecAlloc_FP(b *testing.B) { benchExecAlloc(b, strategy.FP) }
 func BenchmarkExecAlloc_RD(b *testing.B) { benchExecAlloc(b, strategy.RD) }
 
+// BenchmarkExecStreamAlloc_FP measures the allocation profile of the
+// streaming collect path on the same workload as BenchmarkExecAlloc_FP:
+// one long-lived Engine, results consumed tuple-by-tuple through a Rows
+// cursor instead of materialized. The cursor hands pooled batches back on
+// Next, so allocs/op must stay in the same regime as the materialized path
+// (minus the result relation itself); cmd/benchcheck gates it in CI.
+func BenchmarkExecStreamAlloc_FP(b *testing.B) {
+	db, err := multijoin.NewDatabase(10, 40000, 1995)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := multijoin.BuildTree(multijoin.LeftLinear, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const procs = 80
+	eng, err := multijoin.Open(db,
+		multijoin.WithEngineRuntime("parallel"),
+		multijoin.WithEngineProcs(multijoin.HostCap(procs)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	q := multijoin.Query{DB: db, Tree: tree, Strategy: strategy.FP, Procs: procs, Params: multijoin.DefaultParams()}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := eng.Query(ctx, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for rows.Next() {
+			_ = rows.Tuple()
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if n != 40000 {
+			b.Fatalf("streamed %d tuples, want 40000", n)
+		}
+	}
+}
+
 func BenchmarkParallelVsSim_SP(b *testing.B) { benchParallelVsSim(b, strategy.SP) }
 func BenchmarkParallelVsSim_SE(b *testing.B) { benchParallelVsSim(b, strategy.SE) }
 func BenchmarkParallelVsSim_RD(b *testing.B) { benchParallelVsSim(b, strategy.RD) }

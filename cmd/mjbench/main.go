@@ -11,6 +11,7 @@
 //	mjbench -fig pipedelay# Section 2.3.3 pipeline delay experiment
 //	mjbench -fig ablation # Section 3.5 overhead ablation
 //	mjbench -fig spillmem # memory-budget sweep on the out-of-core spill runtime
+//	mjbench -fig throughput -concurrency N # one shared Engine, N in-flight queries
 //	mjbench -fig all      # everything
 //
 // -runtime selects the execution runtime for the response-time figures by
@@ -59,7 +60,7 @@ var figureShapes = map[string]jointree.Shape{
 }
 
 // allFigures lists every valid -fig name in output order.
-var allFigures = []string{"3", "4", "6", "7", "9", "10", "11", "12", "13", "14", "speedup", "pipedelay", "ablation", "memory", "costfn", "spillmem"}
+var allFigures = []string{"3", "4", "6", "7", "9", "10", "11", "12", "13", "14", "speedup", "pipedelay", "ablation", "memory", "costfn", "spillmem", "throughput"}
 
 // fail reports a usage error (exit 2); die reports a runtime error
 // (exit 1). Both stop an active CPU profile first — os.Exit skips defers,
@@ -105,6 +106,7 @@ func main() {
 	seed := flag.Int64("seed", 1995, "database generator seed")
 	csvPath := flag.String("csv", "", "write the response-time sweeps run for figures 9-13 to this CSV file")
 	rt := flag.String("runtime", multijoin.DefaultRuntime, "execution runtime for figures 9-13, by registry name: "+strings.Join(multijoin.RuntimeNames(), ", "))
+	concurrency := flag.Int("concurrency", 8, "peak in-flight query count for -fig throughput (the sweep runs 1,2,4,...,N)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after the last experiment) to this file")
 	flag.Parse()
@@ -113,6 +115,13 @@ func main() {
 	names := parseFigures(*fig)
 	if _, err := multijoin.LookupRuntime(*rt); err != nil {
 		fail("invalid -runtime: %v", err)
+	}
+	if *concurrency < 1 {
+		for _, name := range names {
+			if name == "throughput" {
+				fail("-concurrency must be >= 1 for -fig throughput; got %d", *concurrency)
+			}
+		}
 	}
 	if *csvPath != "" {
 		sweeps := 0
@@ -211,6 +220,20 @@ func main() {
 			// the out-of-core spill runtime (wall clock, real cores).
 			budgets := []int64{64 << 10, 256 << 10, 1 << 20, 4 << 20, 64 << 20}
 			out, err := experiments.MemoryBounded(*card40k, 16, budgets, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+		case "throughput":
+			// Concurrency sweep on one shared Engine: doubling in-flight
+			// query counts up to -concurrency, mixed strategies and
+			// runtimes, queries/sec plus admission queue waits.
+			var levels []int
+			for c := 1; c < *concurrency; c *= 2 {
+				levels = append(levels, c)
+			}
+			levels = append(levels, *concurrency)
+			out, err := experiments.Throughput(*card5k, 16, levels, 4**concurrency, *seed)
 			if err != nil {
 				return err
 			}

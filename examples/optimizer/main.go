@@ -67,16 +67,20 @@ func main() {
 	fmt.Printf("  FP on 40 processors: %.2fs response time, %d result tuples\n",
 		res.ResponseTime.Seconds(), res.Stats.ResultTuples)
 
-	// The same optimized tree through the unified execution API, this time
-	// on the goroutine runtime: real wall-clock time on the host's cores,
-	// verified against the sequential reference.
-	par, err := multijoin.Exec(context.Background(), multijoin.Query{
-		DB: db, Tree: tree, Strategy: multijoin.FP, Procs: 16,
-		Params: multijoin.DefaultParams(),
-	},
-		multijoin.WithRuntime("parallel"),
-		multijoin.WithMaxProcs(multijoin.HostCap(16)),
-		multijoin.WithVerify())
+	// The same optimized tree through a session, this time on the goroutine
+	// runtime: the Engine's shared processor pool takes the place of a
+	// per-run WithMaxProcs, wall-clock time on the host's cores, verified
+	// against the sequential reference.
+	eng, err := multijoin.Open(db,
+		multijoin.WithEngineRuntime("parallel"),
+		multijoin.WithEngineProcs(multijoin.HostCap(16)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	par, err := eng.Exec(context.Background(), multijoin.Query{
+		Tree: tree, Strategy: multijoin.FP, Procs: 16,
+	}, multijoin.WithVerify())
 	if err != nil {
 		log.Fatal(err)
 	}

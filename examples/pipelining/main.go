@@ -62,15 +62,22 @@ func main() {
 	b := hashjoin.Join(lower, higher, spec, true)
 	fmt.Printf("results identical: %v (%d tuples)\n\n", relation.EqualMultiset(a, b), a.Card())
 
-	// System-level effect on a 10-relation right-linear pipeline.
+	// System-level effect on a 10-relation right-linear pipeline, through a
+	// session: the Engine supplies default runtime and params, Engine.Exec
+	// materializes the streamed result.
 	big, err := multijoin.NewDatabase(10, 5000, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
+	eng, err := multijoin.Open(big)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
 	tree, _ := multijoin.BuildTree(multijoin.RightLinear, 10)
 	for _, s := range []multijoin.Strategy{multijoin.SP, multijoin.FP} {
-		res, err := multijoin.Exec(context.Background(), multijoin.Query{
-			DB: big, Tree: tree, Strategy: s, Procs: 60, Params: multijoin.DefaultParams(),
+		res, err := eng.Exec(context.Background(), multijoin.Query{
+			Tree: tree, Strategy: s, Procs: 60,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -1,8 +1,10 @@
-// Quickstart: generate the paper's test database, parallelize one join tree
-// with each of the four strategies, and execute through the unified Exec
-// API — first on the simulated 80-processor PRISMA/DB machine, then the
-// same plans on the goroutine runtime with real concurrency. Every run is
-// verified against a sequential reference execution via WithVerify.
+// Quickstart: generate the paper's test database, open a long-lived Engine
+// session over it, and execute the four strategies through the session API —
+// first streaming one query's result through a Rows cursor tuple by tuple,
+// then running the full strategy table on both the simulated 80-processor
+// PRISMA/DB machine and the goroutine runtime with real concurrency. Every
+// materialized run is verified against a sequential reference execution via
+// WithVerify.
 package main
 
 import (
@@ -31,11 +33,43 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// One session serves every query below: the Engine owns the shared
+	// processor pool, the shared memory budget and the admission queue, the
+	// way PRISMA/DB owns its machine across queries.
+	eng, err := multijoin.Open(db, multijoin.WithMaxConcurrent(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Streaming consumption: Engine.Query returns a cursor, not a
+	// relation. Tuples arrive while the join pipeline is still running —
+	// here we stop after a handful, and closing the cursor tears the
+	// query's workers down without waiting for the rest.
+	q := multijoin.Query{DB: db, Tree: tree, Strategy: multijoin.FP, Procs: 80}
+	rows, err := eng.Query(ctx, q, multijoin.WithRuntime("parallel"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("first 5 result tuples, streamed from the FP pipeline:")
+	n := 0
+	for t := range rows.Iter() {
+		fmt.Printf("  unique1=%-8d unique2=%-8d check=%016x\n", t.Unique1, t.Unique2, t.Check)
+		if n++; n == 5 {
+			break
+		}
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
 	// Phase 2: parallelize with each strategy and execute on every
-	// registered runtime through the same call. The simulator measures
-	// virtual seconds on 80 simulated processors; the goroutine runtime
-	// runs the identical plans on the host's real cores. WithVerify checks
-	// each result against the sequential reference.
+	// registered runtime through the same session. The simulator measures
+	// virtual seconds on 80 simulated processors; the wall-clock runtimes
+	// run the identical plans on the host's real cores. Engine.Exec
+	// materializes (Rows.All under the hood) and WithVerify checks each
+	// result against the sequential reference.
 	for _, rt := range multijoin.RuntimeNames() {
 		fmt.Printf("wide bushy tree, 50000 tuples, runtime=%s:\n", rt)
 		fmt.Printf("%-10s%14s%12s%12s%10s\n", "strategy", "time (s)", "processes", "streams", "virtual")
@@ -44,9 +78,8 @@ func main() {
 				DB: db, Tree: tree, Strategy: s, Procs: 80,
 				Params: multijoin.DefaultParams(),
 			}
-			res, err := multijoin.Exec(ctx, q,
+			res, err := eng.Exec(ctx, q,
 				multijoin.WithRuntime(rt),
-				multijoin.WithMaxProcs(multijoin.HostCap(80)),
 				multijoin.WithVerify())
 			if err != nil {
 				log.Fatal(err)

@@ -21,6 +21,17 @@ func main() {
 	}
 	params := multijoin.DefaultParams()
 
+	// One session serves the whole decision matrix; the simulator section
+	// uses it with the default "sim" runtime, the wall-clock section below
+	// switches per query.
+	eng, err := multijoin.Open(db,
+		multijoin.WithEngineParams(params),
+		multijoin.WithEngineProcs(multijoin.HostCap(16)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
 	for _, procs := range []int{20, 80} {
 		fmt.Printf("===== %d processors =====\n", procs)
 		fmt.Printf("%-22s", "shape")
@@ -36,8 +47,8 @@ func main() {
 			fmt.Printf("%-22v", shape)
 			bestSec, bestStrat := -1.0, multijoin.SP
 			for _, s := range multijoin.Strategies {
-				res, err := multijoin.Exec(ctx, multijoin.Query{
-					DB: db, Tree: tree, Strategy: s, Procs: procs, Params: params,
+				res, err := eng.Exec(ctx, multijoin.Query{
+					Tree: tree, Strategy: s, Procs: procs,
 				})
 				if err != nil {
 					log.Fatal(err)
@@ -56,12 +67,12 @@ func main() {
 	// Mirroring (Section 5): RD on a left-linear tree degenerates to SP,
 	// but mirroring the tree is free and makes it right-linear.
 	tree, _ := multijoin.BuildTree(multijoin.LeftLinear, 10)
-	left, err := multijoin.Exec(ctx, multijoin.Query{DB: db, Tree: tree, Strategy: multijoin.RD, Procs: 80, Params: params})
+	left, err := eng.Exec(ctx, multijoin.Query{Tree: tree, Strategy: multijoin.RD, Procs: 80})
 	if err != nil {
 		log.Fatal(err)
 	}
 	mirrored, _ := multijoin.BuildTree(multijoin.RightLinear, 10)
-	right, err := multijoin.Exec(ctx, multijoin.Query{DB: db, Tree: mirrored, Strategy: multijoin.RD, Procs: 80, Params: params})
+	right, err := eng.Exec(ctx, multijoin.Query{Tree: mirrored, Strategy: multijoin.RD, Procs: 80})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,8 +84,9 @@ func main() {
 	// reports wall-clock time. Results are verified against the sequential
 	// reference on every run.
 	// Plans are generated for 16 processors (RD and FP need one processor
-	// per concurrently executing join); the semaphore then caps actual
-	// concurrency at the host's real core count.
+	// per concurrently executing join); the engine's shared processor pool
+	// (WithEngineProcs above) caps actual concurrency at the host's real
+	// core count.
 	procs := 16
 	maxProcs := multijoin.HostCap(procs)
 	fmt.Printf("\n===== goroutine runtime: %d-processor plans on %d cores, wall-clock ms =====\n", procs, maxProcs)
@@ -91,9 +103,9 @@ func main() {
 		fmt.Printf("%-22v", shape)
 		bestMS, bestStrat := -1.0, multijoin.SP
 		for _, s := range multijoin.Strategies {
-			res, err := multijoin.Exec(ctx, multijoin.Query{
-				DB: db, Tree: tree, Strategy: s, Procs: procs, Params: params,
-			}, multijoin.WithRuntime("parallel"), multijoin.WithMaxProcs(maxProcs), multijoin.WithVerify())
+			res, err := eng.Exec(ctx, multijoin.Query{
+				Tree: tree, Strategy: s, Procs: procs,
+			}, multijoin.WithRuntime("parallel"), multijoin.WithVerify())
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -71,6 +71,32 @@ func (q Query) baseRelation(leaf int) *relation.Relation {
 	return q.DB.Relation(leaf)
 }
 
+// tupleBytes is the declared tuple width for the query's result relation
+// (the base relations all share one width).
+func (q Query) tupleBytes() int {
+	if q.DB == nil || q.DB.NumRelations() == 0 {
+		return 0
+	}
+	return q.DB.Relation(0).TupleBytes
+}
+
+// estResultCard is the upper-bound result cardinality used to presize
+// materialized results (gatherSink, Rows.All): the chain query's joins are
+// 1:1, so the largest base relation bounds the output — the same estimate
+// the runtimes use to size hash tables and collect buffers.
+func (q Query) estResultCard() int {
+	if q.DB == nil {
+		return 0
+	}
+	est := 0
+	for i := 0; i < q.DB.NumRelations(); i++ {
+		if c := q.DB.Card(i); c > est {
+			est = c
+		}
+	}
+	return est
+}
+
 // ExecuteParallel plans the query and executes the plan with real
 // goroutine concurrency (package parallel) instead of the simulator: one
 // worker goroutine per operation process, buffered channels as tuple

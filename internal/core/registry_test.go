@@ -49,7 +49,7 @@ func TestLookupRuntimeUnknownListsNames(t *testing.T) {
 type fakeRuntime struct{}
 
 func (fakeRuntime) Name() string { return "fake" }
-func (fakeRuntime) Execute(ctx context.Context, _ *xra.Plan, _ BaseFunc, _ Options) (*Result, error) {
+func (fakeRuntime) Execute(ctx context.Context, _ *xra.Plan, _ BaseFunc, _ Sink, _ Options) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -46,6 +46,10 @@ type Stats struct {
 	// OpDone maps operator ids to their completion offset from query
 	// start (virtual time on the simulator, wall time on real runtimes).
 	OpDone map[string]time.Duration
+	// QueueWait is how long the query waited in an Engine's admission
+	// queue before it began executing (zero outside an Engine session or
+	// when a slot was free immediately).
+	QueueWait time.Duration
 
 	// Simulator-only counters (zero on wall-clock runtimes).
 
@@ -94,11 +98,40 @@ type Result struct {
 	// Time is the response time: virtual time on the simulator (the
 	// paper's metric, Figures 9-13), elapsed wall time on real runtimes.
 	Time time.Duration
-	// Result is the collected final relation — the same multiset on every
-	// runtime, verified against the sequential reference in tests.
+	// Result is the materialized final relation — the same multiset on
+	// every runtime, verified against the sequential reference in tests.
+	// Runtimes stream their result into a Sink and leave it nil; Exec (the
+	// materializing adapter) fills it from a draining sink, while
+	// Engine.Query hands the stream to a Rows cursor instead.
 	Result *relation.Relation
 	// Stats holds the unified structural counters.
 	Stats Stats
+}
+
+// Sink consumes the result stream of one execution — the push half of the
+// streaming Runtime contract. A runtime calls Push once per final result
+// batch, in result order, transferring batch ownership: release (which may
+// be nil) returns the batch to the runtime's pool and must be invoked
+// exactly once, when the consumer is done with the tuples. Push blocks
+// until the consumer accepts the batch (streaming backpressure, which
+// propagates through the runtime's channels up the whole plan) or ctx is
+// cancelled, in which case it returns the context's error and the runtime
+// keeps ownership. Implementations must be safe for use from the single
+// goroutine the runtime pushes from; they need not be concurrency-safe.
+type Sink interface {
+	Push(ctx context.Context, batch []relation.Tuple, release func()) error
+}
+
+// gatherSink materializes a result stream into one relation — the draining
+// sink behind the classic Exec API.
+type gatherSink struct{ rel *relation.Relation }
+
+func (g *gatherSink) Push(_ context.Context, batch []relation.Tuple, release func()) error {
+	g.rel.Append(batch...)
+	if release != nil {
+		release()
+	}
+	return nil
 }
 
 // Options parameterizes one execution, runtime-independently. Runtimes
@@ -124,11 +157,19 @@ type Options struct {
 	// MemoryBudget is the per-run live-tuple memory budget in bytes on the
 	// spill runtime; join operands overflowing it are serialized to
 	// temp-file partitions. Zero means spill.DefaultBudgetBytes. The
-	// in-memory runtimes ignore it.
+	// in-memory runtimes ignore it, and under an Engine session the
+	// engine's shared budget (WithEngineMemoryBudget) takes its place.
 	MemoryBudget int64
 	// Verify checks the result against the sequential reference execution
-	// after the run (Exec only; runtimes do not see it).
+	// wherever it is materialized (Exec, Engine.Exec, Rows.All; runtimes
+	// do not see the option). Cursor-style iteration over a Rows never
+	// materializes and therefore never verifies.
 	Verify bool
+
+	// shared carries the engine-owned resources a session query executes
+	// against (processor pool, memory-budget meter); nil outside an Engine
+	// session. Set by Engine.Query only.
+	shared *sharedRes
 }
 
 // Option mutates Options — the functional options accepted by Exec.
@@ -173,19 +214,25 @@ func WithMemoryBudget(bytes int64) Option { return func(o *Options) { o.MemoryBu
 func WithVerify() Option { return func(o *Options) { o.Verify = true } }
 
 // Runtime is one execution backend for xra plans. Execute runs the plan
-// against the base relations and returns the unified result; it must honor
-// ctx cancellation by returning promptly with the context's error and
-// without leaking goroutines.
+// against the base relations, streams the final result into sink (batch
+// ownership transfers per Sink.Push), and returns the unified result with
+// Result.Result nil — materialization, when wanted, is the sink's job (see
+// Exec). It must honor ctx cancellation by returning promptly with the
+// context's error and without leaking goroutines, even when the sink stops
+// accepting batches mid-stream (a closed cursor).
 type Runtime interface {
 	// Name is the registry name the runtime is addressed by.
 	Name() string
-	// Execute runs one plan to completion or cancellation.
-	Execute(ctx context.Context, plan *xra.Plan, base BaseFunc, opts Options) (*Result, error)
+	// Execute runs one plan to completion or cancellation, pushing the
+	// result stream into sink.
+	Execute(ctx context.Context, plan *xra.Plan, base BaseFunc, sink Sink, opts Options) (*Result, error)
 }
 
 // Exec plans the query and executes it on the runtime selected by the
-// options (default: the simulator). It is the single execution entry point
-// over every registered backend:
+// options (default: the simulator), materializing the full result — the
+// classic one-shot entry point, now a thin adapter that drains the
+// runtime's result stream into a relation. Long-lived sessions with
+// streaming cursors and shared admission control are Open/Engine.Query:
 //
 //	res, err := core.Exec(ctx, q)                              // simulator
 //	res, err := core.Exec(ctx, q, core.WithRuntime("parallel"),
@@ -212,9 +259,13 @@ func Exec(ctx context.Context, q Query, opts ...Option) (*Result, error) {
 	if o.BatchTuples < 1 {
 		o.BatchTuples = o.Params.BatchTuples
 	}
-	res, err := rt.Execute(ctx, plan, q.baseRelation, o)
+	sink := &gatherSink{rel: relation.NewWithCap("result", q.tupleBytes(), q.estResultCard())}
+	res, err := rt.Execute(ctx, plan, q.baseRelation, sink, o)
 	if err != nil {
 		return nil, err
+	}
+	if res.Result == nil {
+		res.Result = sink.rel
 	}
 	if o.Verify {
 		want := Reference(q.DB, q.Tree)

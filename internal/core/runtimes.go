@@ -27,8 +27,8 @@ type simRuntime struct{}
 
 func (simRuntime) Name() string { return "sim" }
 
-func (simRuntime) Execute(ctx context.Context, plan *xra.Plan, base BaseFunc, opts Options) (*Result, error) {
-	res, err := engine.RunContext(ctx, plan, base, opts.Params)
+func (simRuntime) Execute(ctx context.Context, plan *xra.Plan, base BaseFunc, sink Sink, opts Options) (*Result, error) {
+	res, err := engine.RunStream(ctx, plan, base, opts.Params, sink)
 	if err != nil {
 		return nil, err
 	}
@@ -36,7 +36,6 @@ func (simRuntime) Execute(ctx context.Context, plan *xra.Plan, base BaseFunc, op
 		Runtime: "sim",
 		Virtual: true,
 		Time:    simToWall(res.ResponseTime),
-		Result:  res.Result,
 		Stats: Stats{
 			Processes:              res.Stats.Processes,
 			Streams:                res.Stats.Streams,
@@ -73,13 +72,16 @@ type parallelRuntime struct{}
 
 func (parallelRuntime) Name() string { return "parallel" }
 
-func (parallelRuntime) Execute(ctx context.Context, plan *xra.Plan, base BaseFunc, opts Options) (*Result, error) {
+func (parallelRuntime) Execute(ctx context.Context, plan *xra.Plan, base BaseFunc, sink Sink, opts Options) (*Result, error) {
 	cfg := parallel.Config{
 		MaxProcs:     opts.MaxProcs,
 		BatchTuples:  opts.BatchTuples,
 		ChannelDepth: opts.ChannelDepth,
 	}
-	res, err := parallel.RunContext(ctx, plan, base, cfg)
+	if s := opts.shared; s != nil {
+		cfg.Pool = s.procs
+	}
+	res, err := parallel.RunStream(ctx, plan, base, cfg, sink)
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +100,7 @@ type spillRuntime struct{}
 
 func (spillRuntime) Name() string { return "spill" }
 
-func (spillRuntime) Execute(ctx context.Context, plan *xra.Plan, base BaseFunc, opts Options) (*Result, error) {
+func (spillRuntime) Execute(ctx context.Context, plan *xra.Plan, base BaseFunc, sink Sink, opts Options) (*Result, error) {
 	budget := opts.MemoryBudget
 	if budget < 1 {
 		budget = spill.DefaultBudgetBytes
@@ -109,7 +111,15 @@ func (spillRuntime) Execute(ctx context.Context, plan *xra.Plan, base BaseFunc, 
 		ChannelDepth: opts.ChannelDepth,
 		MemoryBudget: budget,
 	}
-	res, err := parallel.RunContext(ctx, plan, base, cfg)
+	if s := opts.shared; s != nil {
+		// Engine session: shared dispatchers, and the engine's shared
+		// memory budget (a per-query child meter) replaces the private
+		// per-run budget, so concurrent queries spill against their
+		// combined residency.
+		cfg.Pool = s.procs
+		cfg.Meter = s.meter
+	}
+	res, err := parallel.RunStream(ctx, plan, base, cfg, sink)
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +132,6 @@ func wallResult(name string, res *parallel.RunResult) *Result {
 		Runtime: name,
 		Virtual: false,
 		Time:    res.WallTime,
-		Result:  res.Result,
 		Stats: Stats{
 			Processes:         res.Stats.Processes,
 			Streams:           res.Stats.Streams,

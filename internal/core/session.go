@@ -1,0 +1,592 @@
+// Session layer: a long-lived Engine that admits many concurrent queries
+// against one resident database and streams their results through cursors.
+//
+// The paper's PRISMA/DB is a long-running parallel DBMS: the machine, its
+// processors and its memory are owned by the system, not by any single
+// query. Exec's one-shot shape (private runtime, materialized result, full
+// teardown) cannot express that — two concurrent queries would each claim
+// the whole machine. Open returns an Engine that owns the shared resources
+// instead: one processor pool (parallel.ProcPool) capping concurrent
+// computation across every in-flight query, one spill.Meter memory budget
+// that concurrent spill queries draw down together, default runtime and
+// machine parameters, and an admission semaphore whose queue wait is
+// reported per query in Stats.QueueWait. Engine.Query returns a Rows
+// cursor over the runtime's result stream — Volcano-style consumption
+// (Next/Tuple) instead of materialization — with mid-iteration Close
+// tearing the query's workers down without leaking goroutines, pooled
+// batches, or spill temp files.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"runtime"
+	"sync"
+	"time"
+
+	"multijoin/internal/costmodel"
+	"multijoin/internal/parallel"
+	"multijoin/internal/relation"
+	"multijoin/internal/spill"
+	"multijoin/internal/wisconsin"
+)
+
+// ErrEngineClosed is returned by Engine.Query and Engine.Exec after Close.
+var ErrEngineClosed = errors.New("core: engine is closed")
+
+// sharedRes carries the engine-owned resources one session query executes
+// against. procs is the engine's processor pool; meter is the per-query
+// child of the engine's shared memory budget (nil for runtimes that do not
+// account memory).
+type sharedRes struct {
+	procs *parallel.ProcPool
+	meter *spill.Meter
+}
+
+// Engine is a long-lived session over one database: it admits concurrent
+// queries, shares processors and memory among them, and streams results.
+// All methods are safe for concurrent use. Close after the last query.
+type Engine struct {
+	db       *wisconsin.Database
+	defaults Options
+	maxConc  int
+	poolSize int
+	budget   int64
+
+	sem   chan struct{}      // admission slots; nil means unlimited
+	procs *parallel.ProcPool // shared modeled processors (wall-clock runtimes)
+	meter *spill.Meter       // shared memory budget (root; queries get children)
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+}
+
+// EngineOption configures an Engine at Open time.
+type EngineOption func(*Engine)
+
+// WithEngineRuntime sets the default runtime for the engine's queries, by
+// registry name (default: DefaultRuntime). Individual queries may still
+// override it with WithRuntime.
+func WithEngineRuntime(name string) EngineOption {
+	return func(e *Engine) { e.defaults.Runtime = name }
+}
+
+// WithEngineParams sets the default machine parameters applied to queries
+// whose own Params are zero (default: costmodel.Default()).
+func WithEngineParams(p costmodel.Params) EngineOption {
+	return func(e *Engine) { e.defaults.Params = p }
+}
+
+// WithMaxConcurrent caps how many queries may execute at once; further
+// Engine.Query calls wait in the admission queue (the wait is reported in
+// the query's Stats.QueueWait) or fail when their context is cancelled
+// first. Zero (the default) means 2×GOMAXPROCS; negative means unlimited.
+func WithMaxConcurrent(n int) EngineOption {
+	return func(e *Engine) { e.maxConc = n }
+}
+
+// WithEngineProcs sets the size of the engine's shared processor pool: the
+// number of modeled processors (run-queue dispatchers) that serialize the
+// operator work of *all* in-flight queries on the wall-clock runtimes, the
+// session counterpart of WithMaxProcs. Zero (the default) means GOMAXPROCS.
+// Under an engine, a per-query WithMaxProcs is ignored — the pool is the
+// machine.
+func WithEngineProcs(n int) EngineOption {
+	return func(e *Engine) { e.poolSize = n }
+}
+
+// WithEngineMemoryBudget sets the engine's shared live-tuple memory budget
+// in bytes for spill-runtime queries: all in-flight spill queries account
+// against one meter, so spilling starts when their *combined* residency
+// exceeds the budget — a per-query budget cannot protect a machine that
+// runs many queries. Zero means spill.DefaultBudgetBytes. Under an engine,
+// a per-query WithMemoryBudget is ignored.
+func WithEngineMemoryBudget(bytes int64) EngineOption {
+	return func(e *Engine) { e.budget = bytes }
+}
+
+// Open starts a session over db: a long-lived Engine owning the shared
+// processor pool, the shared memory budget, and the admission queue that
+// every Engine.Query draws on.
+//
+//	eng, err := core.Open(db, core.WithMaxConcurrent(16))
+//	defer eng.Close()
+//	rows, err := eng.Query(ctx, q, core.WithRuntime("parallel"))
+//	defer rows.Close()
+//	for rows.Next() { use(rows.Tuple()) }
+//	err = rows.Err()
+func Open(db *wisconsin.Database, opts ...EngineOption) (*Engine, error) {
+	if db == nil {
+		return nil, fmt.Errorf("core: Open needs a database")
+	}
+	e := &Engine{
+		db:       db,
+		defaults: Options{Runtime: DefaultRuntime, Params: costmodel.Default()},
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if _, err := LookupRuntime(e.defaults.Runtime); err != nil {
+		return nil, err
+	}
+	if e.maxConc == 0 {
+		e.maxConc = 2 * runtime.GOMAXPROCS(0)
+	}
+	if e.maxConc > 0 {
+		e.sem = make(chan struct{}, e.maxConc)
+	}
+	e.procs = parallel.NewProcPool(e.poolSize)
+	e.meter = spill.NewMeter(e.budget)
+	return e, nil
+}
+
+// Query plans q and starts executing it under the engine's shared
+// resources, returning a streaming cursor over the result. The query's
+// workers run concurrently with the caller; backpressure through the
+// cursor paces them. q.DB defaults to the engine's database and a zero
+// q.Params to the engine's default parameters. ctx bounds the whole query:
+// cancelling it (or calling Rows.Close) tears the execution down.
+func (e *Engine) Query(ctx context.Context, q Query, opts ...Option) (*Rows, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrEngineClosed
+	}
+	e.inflight.Add(1)
+	e.mu.Unlock()
+	rows, err := e.query(ctx, q, opts)
+	if err != nil {
+		e.inflight.Done()
+		return nil, err
+	}
+	return rows, nil
+}
+
+func (e *Engine) query(ctx context.Context, q Query, opts []Option) (*Rows, error) {
+	if q.DB == nil {
+		q.DB = e.db
+	}
+	if q.Params == (costmodel.Params{}) {
+		q.Params = e.defaults.Params
+	}
+	o := e.defaults
+	o.Params = q.Params
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.Runtime == "" {
+		o.Runtime = DefaultRuntime
+	}
+	rt, err := LookupRuntime(o.Runtime)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := q.Plan()
+	if err != nil {
+		return nil, err
+	}
+	if o.BatchTuples < 1 {
+		o.BatchTuples = o.Params.BatchTuples
+	}
+	child := e.meter.Child()
+	o.shared = &sharedRes{procs: e.procs, meter: child}
+
+	// Admission: one slot per executing query. The wait is the queue-wait
+	// the throughput experiment reports; a context cancelled while queued
+	// abandons the query before it consumed anything.
+	var queueWait time.Duration
+	if e.sem != nil {
+		start := time.Now()
+		select {
+		case e.sem <- struct{}{}:
+			queueWait = time.Since(start)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	qctx, cancel := context.WithCancel(ctx)
+	r := &Rows{
+		cancel:     cancel,
+		ch:         make(chan pushed, 1),
+		done:       make(chan struct{}),
+		queueWait:  queueWait,
+		meter:      child,
+		tupleBytes: q.tupleBytes(),
+		estCard:    q.estResultCard(),
+		verify:     o.Verify,
+		query:      q,
+	}
+	go func() {
+		res, err := rt.Execute(qctx, plan, q.baseRelation, (*querySink)(r), o)
+		r.res, r.err = res, err
+		close(r.ch) // no pushes after Execute returns; readers observe res/err
+		if e.sem != nil {
+			<-e.sem
+		}
+		e.inflight.Done()
+		cancel()
+		close(r.done)
+	}()
+	return r, nil
+}
+
+// Exec runs the query to completion under the engine's shared resources
+// and returns the materialized result — Engine.Query plus Rows.All, for
+// callers that want the classic Exec shape with session semantics
+// (admission, shared processors and memory, QueueWait in the stats).
+// WithVerify is honored here.
+func (e *Engine) Exec(ctx context.Context, q Query, opts ...Option) (*Result, error) {
+	rows, err := e.Query(ctx, q, opts...)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := rows.All()
+	if err != nil {
+		return nil, err
+	}
+	res, _ := rows.Result()
+	res.Result = rel
+	return res, nil
+}
+
+// DB returns the engine's resident database.
+func (e *Engine) DB() *wisconsin.Database { return e.db }
+
+// MemoryLive returns the current live-byte balance of the engine's shared
+// memory budget — pooled batches and buffered join operands of every
+// in-flight spill query. It settles back to zero once all queries have
+// completed or been closed.
+func (e *Engine) MemoryLive() int64 { return e.meter.Live() }
+
+// SpilledBytes returns the total bytes all of the engine's queries have
+// written to spill partitions so far.
+func (e *Engine) SpilledBytes() int64 { return e.meter.SpilledBytes() }
+
+// Close waits for in-flight queries to finish, then releases the engine's
+// shared resources. Callers must drain or Close outstanding Rows first — a
+// cursor nobody reads keeps its query in flight. Close is idempotent;
+// queries after Close fail with ErrEngineClosed.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.inflight.Wait()
+	e.procs.Close()
+	return nil
+}
+
+// pushed is one result batch handed from the runtime to the cursor,
+// together with the release that returns it to the runtime's pool.
+type pushed struct {
+	tuples  []relation.Tuple
+	release func()
+}
+
+// querySink adapts a Rows into the Sink the runtime pushes into. (A
+// separate type keeps Push off the cursor's public API.)
+type querySink Rows
+
+func (s *querySink) Push(ctx context.Context, batch []relation.Tuple, release func()) error {
+	select {
+	case s.ch <- pushed{tuples: batch, release: release}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Rows is a streaming cursor over one query's result — the database/sql
+// shape over the runtime's push stream:
+//
+//	rows, err := eng.Query(ctx, q)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//	        t := rows.Tuple()
+//	        ...
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// Batches are pooled: the cursor holds one batch at a time and releases it
+// back to the runtime's pool when Next advances past it. Next/Tuple/Err/
+// All/Iter are for one goroutine; Close may be called from any goroutine
+// (and concurrently with Next) to abandon the query mid-iteration — it
+// cancels the execution, drains and releases pending batches, and returns
+// only after every worker goroutine has exited.
+type Rows struct {
+	cancel     context.CancelFunc
+	ch         chan pushed
+	done       chan struct{} // closed when the runtime goroutine has exited
+	queueWait  time.Duration
+	meter      *spill.Meter // per-query child of the engine budget
+	tupleBytes int
+	estCard    int // upper-bound result cardinality, presizes All
+	verify     bool
+	query      Query
+
+	// res and err are written by the runtime goroutine before ch closes.
+	res *Result
+	err error
+
+	mu        sync.Mutex
+	closed    bool
+	finished  bool
+	delivered bool // at least one tuple was handed out through Next/Tuple
+	// userCancelled records that Close tore down a still-running query —
+	// the one case where a context.Canceled outcome is the caller's own
+	// doing and Err reports nil. A run that already ended (external ctx
+	// cancel, runtime failure) before Close keeps its error.
+	userCancelled bool
+	cur           pushed
+	idx           int
+	curTuple      relation.Tuple // copy of cur.tuples[idx]; survives a concurrent Close
+	runErr        error          // final error exposed by Err
+
+	closeOnce  sync.Once
+	settleOnce sync.Once
+}
+
+// Next advances the cursor to the next result tuple, blocking until one is
+// available, and reports whether there is one. It returns false when the
+// stream ends (then Err reports how) and after Close.
+func (r *Rows) Next() bool {
+	r.mu.Lock()
+	if r.closed || r.finished {
+		r.mu.Unlock()
+		return false
+	}
+	if r.cur.tuples != nil {
+		if r.idx+1 < len(r.cur.tuples) {
+			r.idx++
+			r.curTuple = r.cur.tuples[r.idx]
+			r.delivered = true
+			r.mu.Unlock()
+			return true
+		}
+		rel := r.cur.release
+		r.cur = pushed{}
+		r.mu.Unlock()
+		if rel != nil {
+			rel() // consumed: pooled batch goes back to the runtime
+		}
+	} else {
+		r.mu.Unlock()
+	}
+	for {
+		p, ok := <-r.ch
+		if !ok {
+			r.finish()
+			return false
+		}
+		if len(p.tuples) == 0 {
+			if p.release != nil {
+				p.release()
+			}
+			continue
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			if p.release != nil {
+				p.release()
+			}
+			return false
+		}
+		r.cur, r.idx = p, 0
+		r.curTuple = p.tuples[0]
+		r.delivered = true
+		r.mu.Unlock()
+		return true
+	}
+}
+
+// Tuple returns the tuple the cursor is positioned on: the one the last
+// Next that returned true advanced to. A concurrent Close only stops
+// further iteration — the copy returned here stays valid.
+func (r *Rows) Tuple() relation.Tuple {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.curTuple
+}
+
+// finish records the execution outcome once the stream has been fully
+// consumed.
+func (r *Rows) finish() {
+	<-r.done // res/err are now written; workers have exited
+	r.mu.Lock()
+	if !r.finished {
+		r.finished = true
+		r.runErr = r.err
+		if r.res != nil {
+			r.res.Stats.QueueWait = r.queueWait
+		}
+	}
+	r.mu.Unlock()
+	r.settle()
+}
+
+// settle releases the query's outstanding shared-budget reservation (a
+// cancelled run can strand pooled-batch accounting); it must run after the
+// workers exited and the cursor released every batch it held.
+func (r *Rows) settle() {
+	r.settleOnce.Do(func() {
+		if r.meter != nil {
+			r.meter.Settle()
+		}
+	})
+}
+
+// Err returns the error that ended iteration, if any. It is nil while
+// iterating, after a complete drain, and after a Close that abandoned a
+// still-running query (that cancellation is the caller's own doing, not an
+// error). A query whose context was cancelled externally reports
+// context.Canceled even if the cursor is closed afterwards — a truncated
+// stream must not read as a complete one.
+func (r *Rows) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.userCancelled && errors.Is(r.runErr, context.Canceled) {
+		return nil
+	}
+	return r.runErr
+}
+
+// Result returns the unified execution result (runtime name, response
+// time, stats including QueueWait) once the cursor is exhausted or closed;
+// ok is false while the query is still streaming. Result.Result is nil —
+// the tuples went through the cursor.
+func (r *Rows) Result() (*Result, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.finished {
+		return nil, false
+	}
+	return r.res, r.res != nil
+}
+
+// Close abandons the query: it cancels the execution, releases every
+// pending pooled batch, and returns once all of the query's goroutines
+// have exited and its shared-budget reservation is settled. Closing a
+// fully consumed or already closed cursor is a no-op. Close always returns
+// nil; consumption errors are Err's.
+func (r *Rows) Close() error {
+	r.closeOnce.Do(func() {
+		r.mu.Lock()
+		alreadyDone := r.finished
+		r.closed = true
+		if !alreadyDone {
+			r.userCancelled = true
+		}
+		cur := r.cur
+		r.cur = pushed{}
+		r.mu.Unlock()
+		r.cancel()
+		if cur.release != nil {
+			cur.release()
+		}
+		for p := range r.ch {
+			if p.release != nil {
+				p.release()
+			}
+		}
+		<-r.done
+		r.mu.Lock()
+		if !r.finished {
+			r.finished = true
+			if !alreadyDone {
+				r.runErr = r.err
+			}
+			if r.res != nil {
+				r.res.Stats.QueueWait = r.queueWait
+			}
+		}
+		r.mu.Unlock()
+		r.settle()
+	})
+	return nil
+}
+
+// All drains the cursor into a materialized relation and closes it — the
+// bridge from the streaming API back to Exec's shape. If the query was
+// started with WithVerify, the materialized result is checked against the
+// sequential reference here; that check needs the *whole* result, so a
+// verifying All on a cursor that already handed out tuples through Next
+// fails rather than reporting a spurious mismatch on the remainder.
+func (r *Rows) All() (*relation.Relation, error) {
+	r.mu.Lock()
+	if r.verify && r.delivered {
+		r.mu.Unlock()
+		r.Close()
+		return nil, errors.New("core: Rows.All with WithVerify needs the full stream; tuples were already consumed through Next")
+	}
+	r.mu.Unlock()
+	rel := relation.NewWithCap("result", r.tupleBytes, r.estCard)
+	for {
+		r.mu.Lock()
+		closed, finished := r.closed, r.finished
+		if r.cur.tuples != nil {
+			// Drain the rest of the current batch wholesale, starting
+			// after the tuple the cursor already delivered through
+			// Next/Tuple.
+			rel.Append(r.cur.tuples[r.idx+1:]...)
+			release := r.cur.release
+			r.cur = pushed{}
+			r.mu.Unlock()
+			if release != nil {
+				release()
+			}
+			continue
+		}
+		r.mu.Unlock()
+		if closed || finished {
+			break
+		}
+		p, ok := <-r.ch
+		if !ok {
+			r.finish()
+			break
+		}
+		rel.Append(p.tuples...)
+		if p.release != nil {
+			p.release()
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	r.Close()
+	if r.verify {
+		want := Reference(r.query.DB, r.query.Tree)
+		if diff := relation.DiffMultiset(rel, want); diff != "" {
+			return nil, fmt.Errorf("core: %v result differs from reference: %s", r.query.Strategy, diff)
+		}
+	}
+	return rel, nil
+}
+
+// Iter returns a Go 1.23 range-over-func iterator over the remaining
+// tuples; the cursor is closed when iteration stops (including early
+// break). Check Err afterwards for how the stream ended:
+//
+//	for t := range rows.Iter() {
+//	        use(t)
+//	}
+//	if err := rows.Err(); err != nil { ... }
+func (r *Rows) Iter() iter.Seq[relation.Tuple] {
+	return func(yield func(relation.Tuple) bool) {
+		defer r.Close()
+		for r.Next() {
+			if !yield(r.Tuple()) {
+				return
+			}
+		}
+	}
+}

@@ -65,9 +65,21 @@ type Stats struct {
 	PeakTableTuplesTotal int
 }
 
+// Sink consumes the final result stream of one run (RunStream). The engine
+// transfers batch ownership with every Push: release (which may be nil)
+// returns the batch to the engine's pool and must be called exactly once,
+// when the consumer is done with the tuples. Push blocks until the consumer
+// accepts the batch — which pauses the virtual clock, streaming
+// backpressure — or ctx is cancelled, in which case it returns the
+// context's error and keeps ownership of the batch.
+type Sink interface {
+	Push(ctx context.Context, batch []relation.Tuple, release func()) error
+}
+
 // RunResult is the outcome of executing one plan.
 type RunResult struct {
-	// Result is the collected final relation (real tuples).
+	// Result is the collected final relation (real tuples); nil when the
+	// run streamed into a Sink (RunStream).
 	Result *relation.Relation
 	// ResponseTime is the paper's response-time metric: elapsed virtual
 	// time from the moment the scheduler starts scheduling until the last
@@ -91,6 +103,23 @@ func Run(plan *xra.Plan, base func(leaf int) *relation.Relation, params costmode
 // between events, so a cancelled context aborts the virtual execution at the
 // next event boundary and returns the context's error.
 func RunContext(ctx context.Context, plan *xra.Plan, base func(leaf int) *relation.Relation, params costmodel.Params) (*RunResult, error) {
+	return execute(ctx, plan, base, params, nil)
+}
+
+// RunStream executes the plan in streaming mode: each batch reaching the
+// collect process is pushed into sink (transferring ownership of the pooled
+// batch) in virtual-time order instead of being materialized, and
+// RunResult.Result is nil. A Push that blocks pauses the simulation — the
+// virtual clock advances only as fast as the consumer drains — and
+// cancelling ctx aborts the run at the next opportunity.
+func RunStream(ctx context.Context, plan *xra.Plan, base func(leaf int) *relation.Relation, params costmodel.Params, sink Sink) (*RunResult, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("engine: RunStream needs a sink")
+	}
+	return execute(ctx, plan, base, params, sink)
+}
+
+func execute(ctx context.Context, plan *xra.Plan, base func(leaf int) *relation.Relation, params costmodel.Params, sink Sink) (*RunResult, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
@@ -102,6 +131,8 @@ func RunContext(ctx context.Context, plan *xra.Plan, base func(leaf int) *relati
 		machine: sim.NewMachine(params.RecordUtilization),
 		params:  params,
 		plan:    plan,
+		ctx:     ctx,
+		sink:    sink,
 		ops:     make(map[string]*opState, len(plan.Ops)),
 	}
 	if params.EventLimit > 0 {
@@ -118,6 +149,9 @@ func RunContext(ctx context.Context, plan *xra.Plan, base func(leaf int) *relati
 	}
 	if _, err := e.sim.RunContext(ctx); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
+	}
+	if e.sinkErr != nil {
+		return nil, fmt.Errorf("engine: %w", e.sinkErr)
 	}
 	return e.finish()
 }
@@ -175,6 +209,15 @@ type engineState struct {
 	order   []*opState // plan order
 	stats   Stats
 	collect *instance
+
+	// Streaming mode (RunStream): collect pushes batches into sink instead
+	// of gathering; ctx backs the pushes, pushed counts delivered tuples,
+	// and sinkErr records the first failed push (the run is then aborted
+	// at the next event boundary and further pushes are skipped).
+	ctx     context.Context
+	sink    Sink
+	sinkErr error
+	pushed  int
 
 	// pool recycles transport batches: every batch delivered between
 	// instances is drawn here by the producer's emit and returned by the
@@ -256,7 +299,9 @@ func (e *engineState) setup(base func(leaf int) *relation.Relation) error {
 		}
 		if os.op.Kind == xra.OpCollect {
 			e.collect = os.instances[0]
-			e.collect.gathered = relation.New("result", 0)
+			if e.sink == nil {
+				e.collect.gathered = relation.New("result", 0)
+			}
 		}
 	}
 	// Pre-place base relation fragments (ideal initial fragmentation:
@@ -270,7 +315,7 @@ func (e *engineState) setup(base func(leaf int) *relation.Relation) error {
 		if rel == nil {
 			return fmt.Errorf("engine: no base relation for leaf %d", os.op.Leaf)
 		}
-		if e.collect.gathered.TupleBytes == 0 {
+		if e.collect.gathered != nil && e.collect.gathered.TupleBytes == 0 {
 			e.collect.gathered.TupleBytes = rel.TupleBytes
 		}
 		os.estCard = rel.Card()
@@ -292,7 +337,7 @@ func (e *engineState) setup(base func(leaf int) *relation.Relation) error {
 				os.estCard = from.estCard
 			}
 		}
-		if os.op.Kind == xra.OpCollect && os.estCard > 0 {
+		if os.op.Kind == xra.OpCollect && os.estCard > 0 && e.collect.gathered != nil {
 			e.collect.gathered.Tuples = make([]relation.Tuple, 0, os.estCard)
 		}
 	}
@@ -385,9 +430,13 @@ func (e *engineState) finish() (*RunResult, error) {
 		}
 	}
 	e.stats.SimEvents = e.sim.Processed()
-	e.stats.ResultTuples = e.collect.gathered.Card()
+	if e.sink != nil {
+		e.stats.ResultTuples = e.pushed
+	} else {
+		e.stats.ResultTuples = e.collect.gathered.Card()
+	}
 	res := &RunResult{
-		Result:       e.collect.gathered,
+		Result:       e.collect.gathered, // nil in streaming mode
 		ResponseTime: sim.Duration(last),
 		Stats:        e.stats,
 		Procs:        e.machine.Procs(),

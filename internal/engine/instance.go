@@ -278,6 +278,24 @@ func (in *instance) apply(it item) (units float64, results []relation.Tuple) {
 	case in.op.op.Kind == xra.OpCollect:
 		// Gathering at the scheduler host is free and identical for every
 		// strategy; the paper's response time excludes it.
+		if in.e.sink != nil {
+			// Streaming: hand the pooled batch to the sink in virtual-time
+			// order. Ownership transfers with the Push (the consumer's
+			// release returns it to the pool); a blocked Push pauses the
+			// simulation, and a failed one (cancellation) is recorded so
+			// the event loop aborts at its next ctx check without further
+			// pushes.
+			if in.e.sinkErr == nil {
+				batch := it.tuples
+				err := in.e.sink.Push(in.e.ctx, batch, func() { in.e.pool.Put(batch) })
+				if err != nil {
+					in.e.sinkErr = err
+				} else {
+					in.e.pushed += len(batch)
+				}
+			}
+			break
+		}
 		in.gathered.Append(it.tuples...)
 		in.e.pool.Put(it.tuples)
 	}

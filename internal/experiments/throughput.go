@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"multijoin/internal/core"
+	"multijoin/internal/jointree"
+	"multijoin/internal/parallel"
+	"multijoin/internal/relation"
+	"multijoin/internal/strategy"
+	"multijoin/internal/wisconsin"
+)
+
+// throughputBudget is the shared engine memory budget of the throughput
+// experiment: sized so a single spill query stays resident but several
+// concurrent ones cross it together — the spilled column then directly
+// shows the budget being shared, not per-query.
+const throughputBudget = 1 << 20
+
+// Throughput measures the session layer under concurrent load — the
+// workload the paper's PRISMA/DB actually serves but the one-shot figures
+// never show. One shared Engine (shared processor pool, shared 1 MiB
+// memory budget, admission capped at the sweep's concurrency level) serves
+// a batch of mixed queries: strategies cycle through SP/SE/RD/FP and
+// runtimes alternate parallel/spill, every result is drained through a
+// streaming Rows cursor and checked against the sequential reference. Each
+// row of the table is one concurrency level: queries/sec over the batch,
+// the mean and max admission queue wait the queries observed, and how much
+// the spill queries overflowed the shared budget.
+func Throughput(card, procs int, concurrencies []int, queries int, seed int64) (string, error) {
+	db, err := wisconsin.Chain(wisconsin.Config{Relations: 6, Cardinality: card, Seed: seed})
+	if err != nil {
+		return "", err
+	}
+	tree, err := jointree.BuildShape(jointree.WideBushy, db.NumRelations())
+	if err != nil {
+		return "", err
+	}
+	want := core.Reference(db, tree)
+	runtimes := []string{"parallel", "spill"}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Engine throughput: %d mixed queries (SP/SE/RD/FP x parallel/spill) per level,\n", queries)
+	fmt.Fprintf(&b, "wide-bushy chain of 6x%d tuples, one shared Engine, %d-processor pool, shared %s budget\n",
+		card, parallel.HostCap(procs), formatBytes(throughputBudget))
+	fmt.Fprintf(&b, "%-14s%12s%12s%16s%16s%14s\n",
+		"concurrency", "wall (s)", "queries/s", "avg wait (ms)", "max wait (ms)", "spilled (MB)")
+	for _, conc := range concurrencies {
+		eng, err := core.Open(db,
+			core.WithMaxConcurrent(conc),
+			core.WithEngineProcs(parallel.HostCap(procs)),
+			core.WithEngineMemoryBudget(throughputBudget))
+		if err != nil {
+			return "", err
+		}
+		var (
+			wg      sync.WaitGroup
+			mu      sync.Mutex
+			waitSum time.Duration
+			waitMax time.Duration
+			firstE  error
+		)
+		start := time.Now()
+		for i := 0; i < queries; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				q := core.Query{
+					DB: db, Tree: tree,
+					Strategy: strategy.Kinds[i%len(strategy.Kinds)],
+					Procs:    procs,
+				}
+				rows, err := eng.Query(context.Background(), q,
+					core.WithRuntime(runtimes[i%len(runtimes)]))
+				if err == nil {
+					var got *relation.Relation
+					if got, err = rows.All(); err == nil {
+						if diff := relation.DiffMultiset(got, want); diff != "" {
+							err = fmt.Errorf("query %d differs from reference: %s", i, diff)
+						}
+					}
+					if res, ok := rows.Result(); ok {
+						mu.Lock()
+						waitSum += res.Stats.QueueWait
+						if res.Stats.QueueWait > waitMax {
+							waitMax = res.Stats.QueueWait
+						}
+						mu.Unlock()
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					if firstE == nil {
+						firstE = err
+					}
+					mu.Unlock()
+				}
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		spilled := eng.SpilledBytes()
+		eng.Close()
+		if firstE != nil {
+			return "", fmt.Errorf("concurrency %d: %w", conc, firstE)
+		}
+		fmt.Fprintf(&b, "%-14d%12.3f%12.1f%16.2f%16.2f%14.2f\n",
+			conc, elapsed.Seconds(), float64(queries)/elapsed.Seconds(),
+			float64(waitSum.Milliseconds())/float64(queries),
+			float64(waitMax.Milliseconds()),
+			float64(spilled)/(1<<20))
+	}
+	b.WriteString("\n")
+	return b.String(), nil
+}

@@ -64,6 +64,11 @@ type Grace struct {
 	pool  *relation.BatchPool
 	build [GraceFanout]gracePart
 	probe [GraceFanout]gracePart
+
+	// drainBytes is the meter reservation of the drain phase's rebuilt
+	// hash table (the spilled portion of the partition being re-read);
+	// held only while one partition pair is being joined.
+	drainBytes int64
 }
 
 // NewGrace returns a fresh Grace join writing overflow partitions into dir
@@ -174,16 +179,24 @@ func (g *Grace) flush(p *gracePart) error {
 // non-nil error (e.g. on cancellation) aborts the drain. Partition files
 // are closed and removed as they are consumed.
 //
-// The drain phase's own memory — the hash table rebuilt from one build
-// partition and the re-read batches — is not accounted against the meter:
-// the budget bounds the partitioning phase, and the drain's residency is
-// bounded structurally, by the largest single partition (~1/GraceFanout of
-// one operand per process). Recursive partitioning of oversized partitions
-// is the ROADMAP follow-up.
+// The drain phase's rebuilt hash table is accounted against the meter: the
+// spilled portion of the build partition being re-read is reserved while
+// its partition pair is joined, so a shared (multi-query) meter sees drain
+// residency and other runs spill accordingly. The drain itself still cannot
+// shed that memory — its residency is bounded structurally, by the largest
+// single partition (~1/GraceFanout of one operand per process); recursive
+// partitioning of oversized partitions remains the ROADMAP follow-up.
 func (g *Grace) Drain(emit func(results []relation.Tuple) error) error {
 	var scratch []relation.Tuple
 	for i := range g.build {
 		bp, pp := &g.build[i], &g.probe[i]
+		// Reserve the file-resident part of the build partition: rebuilding
+		// its hash table makes those tuples memory-resident again. The
+		// in-memory tail (bp.memBytes) is already on the meter.
+		if fileBytes := int64(bp.tuples)*relation.TupleWireBytes - bp.memBytes; fileBytes > 0 {
+			g.meter.Add(fileBytes)
+			g.drainBytes = fileBytes
+		}
 		table := NewTableSized(g.spec.BuildAttr(), bp.tuples)
 		if bp.file != nil {
 			start := time.Now()
@@ -225,10 +238,19 @@ func (g *Grace) Drain(emit func(results []relation.Tuple) error) error {
 		if err := probeChunk(pp.mem); err != nil {
 			return err
 		}
+		g.releaseDrain()
 		g.releasePart(bp)
 		g.releasePart(pp)
 	}
 	return nil
+}
+
+// releaseDrain returns the drain phase's hash-table reservation.
+func (g *Grace) releaseDrain() {
+	if g.drainBytes != 0 {
+		g.meter.Add(-g.drainBytes)
+		g.drainBytes = 0
+	}
 }
 
 // releasePart returns a consumed partition's memory reservation and closes
@@ -247,6 +269,7 @@ func (g *Grace) releasePart(p *gracePart) {
 // all goroutines exited, so a cancelled run leaks neither file descriptors
 // nor meter reservations.
 func (g *Grace) Close() {
+	g.releaseDrain()
 	for i := range g.build {
 		g.releasePart(&g.build[i])
 		g.releasePart(&g.probe[i])

@@ -62,6 +62,78 @@ func HostCap(procs int) int {
 	return procs
 }
 
+// Sink consumes the final result stream of one run. The runtime transfers
+// batch ownership with every Push: release (which may be nil) returns the
+// batch to its pool and must be called exactly once, when the consumer has
+// finished with the tuples. Push blocks until the consumer accepts the
+// batch — streaming backpressure — or ctx is cancelled, in which case it
+// returns the context's error and keeps ownership of the batch.
+type Sink interface {
+	Push(ctx context.Context, batch []relation.Tuple, release func()) error
+}
+
+// sharedQueueDepth is the buffered capacity of each shared run queue. A
+// worker has at most one task outstanding, so queued tasks never exceed the
+// live worker count; the buffer only smooths bursts — a full queue simply
+// blocks the producing worker (which selects on its run's cancellation).
+const sharedQueueDepth = 256
+
+// ProcPool is a shared set of modeled processors: one run-queue dispatcher
+// goroutine each, serving the operation processes of *every* run configured
+// with the pool (Config.Pool). It is the session-level resource that caps
+// concurrent computation across in-flight queries — the engine's
+// counterpart of a per-run dispatcher set. Close stops the dispatchers; it
+// must not be called while runs still use the pool.
+type ProcPool struct {
+	queues []chan task
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewProcPool starts a pool of n modeled processors (n < 1 means
+// GOMAXPROCS). Plan processor id p is served by dispatcher p mod n.
+func NewProcPool(n int) *ProcPool {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &ProcPool{queues: make([]chan task, n), stop: make(chan struct{})}
+	for i := range p.queues {
+		q := make(chan task, sharedQueueDepth)
+		p.queues[i] = q
+		p.wg.Add(1)
+		go p.dispatch(q)
+	}
+	return p
+}
+
+// Size returns the number of modeled processors (dispatchers).
+func (p *ProcPool) Size() int { return len(p.queues) }
+
+// Close stops every dispatcher and waits for them to exit. Tasks of
+// cancelled runs that are still queued are drained (their workers have
+// already unwound; completing the task is harmless and never blocks).
+func (p *ProcPool) Close() {
+	close(p.stop)
+	p.wg.Wait()
+}
+
+// dispatch is one shared modeled processor. Unlike a per-run dispatcher it
+// must not exit on any single run's cancellation: a cancelled run's workers
+// unwind on their own, and a stale queued task is completed harmlessly (the
+// taskDone send is buffered for the one task its worker had outstanding).
+func (p *ProcPool) dispatch(q chan task) {
+	defer p.wg.Done()
+	for {
+		select {
+		case t := <-q:
+			t.w.applyJoin(t.it)
+			t.w.taskDone <- struct{}{}
+		case <-p.stop:
+			return
+		}
+	}
+}
+
 // Config parameterizes one parallel execution.
 type Config struct {
 	// MaxProcs is the number of modeled processors: one run-queue
@@ -97,10 +169,26 @@ type Config struct {
 	// I/O. The result multiset is identical to the in-memory runtimes.
 	//
 	// The budget bounds the partitioning phase (buffered operands plus
-	// pooled batches in flight). The drain phase rebuilds one partition's
-	// hash table at a time without metering it: its residency is bounded
-	// structurally at ~1/hashjoin.GraceFanout of one operand per process.
+	// pooled batches in flight); the drain phase additionally meters the
+	// one hash table it rebuilds at a time (its residency stays bounded
+	// structurally at ~1/hashjoin.GraceFanout of one operand per process,
+	// but the reservation is visible, so concurrent runs on a shared meter
+	// spill in response).
 	MemoryBudget int64
+
+	// Pool, when set, executes this run's operator work on a shared,
+	// long-lived ProcPool instead of launching per-run dispatchers — the
+	// engine session mode, where one set of modeled processors caps
+	// concurrent computation across every in-flight query. MaxProcs is
+	// ignored; the pool's size takes its place.
+	Pool *ProcPool
+
+	// Meter, when set, accounts this run against a shared memory budget
+	// (an engine session's spill.Meter child) instead of a private
+	// NewMeter(MemoryBudget). It implies out-of-core mode like a positive
+	// MemoryBudget, whose value is then ignored: the shared meter carries
+	// its own budget. The caller owns the meter's lifecycle (Settle).
+	Meter *spill.Meter
 }
 
 // Defaults for Config zero values.
@@ -110,7 +198,9 @@ const (
 )
 
 func (c Config) withDefaults(plan *xra.Plan) Config {
-	if c.MaxProcs < 1 {
+	if c.Pool != nil {
+		c.MaxProcs = c.Pool.Size()
+	} else if c.MaxProcs < 1 {
 		c.MaxProcs = plan.MaxProc() + 1
 		if c.MaxProcs < 1 {
 			c.MaxProcs = 1
@@ -264,7 +354,13 @@ type runtimeState struct {
 	pool  *relation.BatchPool
 	ops   map[string]*opState
 	order []*opState
-	spill *spillState // nil unless Config.MemoryBudget is set
+	spill *spillState // nil unless the run is budgeted (MemoryBudget/Meter)
+
+	// sink, when set, receives the final result stream (collect pushes
+	// pooled batches instead of materializing); resultTuples counts what
+	// was pushed. When nil, collect gathers into a Relation as before.
+	sink         Sink
+	resultTuples atomic.Int64
 
 	// failOnce/failErr record the first internal failure (spill I/O); the
 	// recording goroutine cancels the run context so every other goroutine
@@ -302,6 +398,23 @@ func Run(plan *xra.Plan, base func(leaf int) *relation.Relation, cfg Config) (*R
 // no goroutine outlives the call — and the context's error is returned
 // instead of a partial result.
 func RunContext(ctx context.Context, plan *xra.Plan, base func(leaf int) *relation.Relation, cfg Config) (*RunResult, error) {
+	return run(ctx, plan, base, cfg, nil)
+}
+
+// RunStream executes the plan in streaming mode: instead of materializing
+// the final relation, the collect process pushes each pooled result batch
+// into sink (transferring ownership; the consumer's release returns it to
+// the run's pool) and RunResult.Result is nil. Push backpressure propagates
+// upstream through the plan's channels, and cancelling ctx mid-stream tears
+// every worker down exactly like RunContext.
+func RunStream(ctx context.Context, plan *xra.Plan, base func(leaf int) *relation.Relation, cfg Config, sink Sink) (*RunResult, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("parallel: RunStream needs a sink")
+	}
+	return run(ctx, plan, base, cfg, sink)
+}
+
+func run(ctx context.Context, plan *xra.Plan, base func(leaf int) *relation.Relation, cfg Config, sink Sink) (*RunResult, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, fmt.Errorf("parallel: %w", err)
 	}
@@ -315,19 +428,24 @@ func RunContext(ctx context.Context, plan *xra.Plan, base func(leaf int) *relati
 		cfg:       cfg.withDefaults(plan),
 		ctx:       runCtx,
 		cancelRun: cancelRun,
+		sink:      sink,
 		ops:       make(map[string]*opState, len(plan.Ops)),
 	}
 	retain := plan.NumStreams() * (r.cfg.ChannelDepth + 1)
 	if retain > relation.MaxPoolRetain {
 		retain = relation.MaxPoolRetain
 	}
-	if r.cfg.MemoryBudget > 0 {
+	if r.cfg.MemoryBudget > 0 || r.cfg.Meter != nil {
 		dir, err := os.MkdirTemp("", "mjspill-")
 		if err != nil {
 			return nil, fmt.Errorf("parallel: spill dir: %w", err)
 		}
-		r.spill = &spillState{meter: spill.NewMeter(r.cfg.MemoryBudget), dir: dir}
-		r.pool = relation.NewBatchPoolAccounted(r.cfg.BatchTuples, retain, r.spill.meter.Add)
+		meter := r.cfg.Meter
+		if meter == nil {
+			meter = spill.NewMeter(r.cfg.MemoryBudget)
+		}
+		r.spill = &spillState{meter: meter, dir: dir}
+		r.pool = relation.NewBatchPoolAccounted(r.cfg.BatchTuples, retain, meter.Add)
 	} else {
 		r.pool = relation.NewBatchPool(r.cfg.BatchTuples, retain)
 	}
@@ -340,8 +458,10 @@ func RunContext(ctx context.Context, plan *xra.Plan, base func(leaf int) *relati
 	r.start = time.Now()
 	r.launch()
 	r.wg.Wait()
-	close(r.queueStop)
-	r.dwg.Wait()
+	if r.cfg.Pool == nil {
+		close(r.queueStop)
+		r.dwg.Wait()
+	}
 	if r.spill != nil {
 		r.spill.cleanup()
 	}
@@ -374,13 +494,19 @@ func (r *runtimeState) setup(base func(leaf int) *relation.Relation) error {
 		r.order = append(r.order, os)
 	}
 	// Per-processor run queues: plan processor id p maps to queue
-	// p mod MaxProcs. Buffered for every process, so a send can only block
-	// while the queue is genuinely backed up.
-	r.queues = make([]chan task, r.cfg.MaxProcs)
-	for i := range r.queues {
-		r.queues[i] = make(chan task, r.plan.NumProcesses()+1)
+	// p mod MaxProcs. A shared pool (engine session) brings its own queues
+	// and long-lived dispatchers; otherwise the run creates private queues,
+	// buffered for every process so a send can only block while the queue
+	// is genuinely backed up.
+	if r.cfg.Pool != nil {
+		r.queues = r.cfg.Pool.queues
+	} else {
+		r.queues = make([]chan task, r.cfg.MaxProcs)
+		for i := range r.queues {
+			r.queues[i] = make(chan task, r.plan.NumProcesses()+1)
+		}
+		r.queueStop = make(chan struct{})
 	}
-	r.queueStop = make(chan struct{})
 	// Wire consumer edges and After dependencies.
 	for _, os := range r.order {
 		for _, in := range os.op.Inputs() {
@@ -456,7 +582,9 @@ func (r *runtimeState) setup(base func(leaf int) *relation.Relation) error {
 		if os.op.Kind == xra.OpCollect {
 			w := os.instances[0]
 			r.collect = w
-			w.gathered = relation.NewWithCap("result", tupleBytes, os.estCard)
+			if r.sink == nil {
+				w.gathered = relation.NewWithCap("result", tupleBytes, os.estCard)
+			}
 		}
 	}
 	// Open the tuple streams: on a local edge, producer process i feeds
@@ -540,11 +668,13 @@ func portOf(op *xra.Op, in *xra.Input) port {
 // cancellation unwinds the whole goroutine tree.
 func (r *runtimeState) launch() {
 	done := r.ctx.Done()
-	for _, q := range r.queues {
-		q := q
-		r.dwg.Add(1)
-		r.goroutines++
-		go r.dispatch(q)
+	if r.cfg.Pool == nil {
+		for _, q := range r.queues {
+			q := q
+			r.dwg.Add(1)
+			r.goroutines++
+			go r.dispatch(q)
+		}
 	}
 	for _, os := range r.order {
 		os := os
@@ -632,8 +762,12 @@ func (r *runtimeState) finish() *RunResult {
 			last = os.wallDone
 		}
 	}
+	resultTuples := int(r.resultTuples.Load())
+	if r.sink == nil {
+		resultTuples = r.collect.gathered.Card()
+	}
 	res := &RunResult{
-		Result:   r.collect.gathered,
+		Result:   r.collect.gathered, // nil in streaming mode (the sink consumed the tuples)
 		WallTime: last,
 		Stats: Stats{
 			Processes:         r.plan.NumProcesses(),
@@ -643,7 +777,7 @@ func (r *runtimeState) finish() *RunResult {
 			TuplesMovedRemote: r.remoteTuples.Load(),
 			TuplesLocal:       r.localTuples.Load(),
 			Batches:           r.batches.Load(),
-			ResultTuples:      r.collect.gathered.Card(),
+			ResultTuples:      resultTuples,
 			OpWall:            opWall,
 		},
 	}

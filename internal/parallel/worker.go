@@ -210,6 +210,20 @@ func (w *inst) handle(it item) bool {
 		}
 		w.emit(w.scratch)
 	case xra.OpCollect:
+		if w.r.sink != nil {
+			// Streaming: hand the pooled batch to the cursor. Ownership
+			// transfers with the Push; the consumer's release (invoked on
+			// its Next past the batch, or during Close-drain) returns it to
+			// the run's pool. Push blocks until the consumer accepts the
+			// batch — the backpressure that makes the whole plan stream —
+			// and fails only when the run is cancelled.
+			batch := it.tuples
+			if err := w.r.sink.Push(w.r.ctx, batch, func() { w.r.pool.Put(batch) }); err != nil {
+				return false
+			}
+			w.r.resultTuples.Add(int64(len(batch)))
+			return true
+		}
 		w.gathered.Append(it.tuples...)
 	}
 	w.r.pool.Put(it.tuples)

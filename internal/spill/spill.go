@@ -29,24 +29,41 @@ import (
 // paper-sized experiments mostly stay in memory.
 const DefaultBudgetBytes = 64 << 20
 
-// Meter tracks one run's live tuple bytes against its budget and aggregates
-// the run's spill statistics. All methods are safe for concurrent use; the
-// accounting is advisory (Add never fails), Over is the signal consumers
-// act on by spilling.
+// Meter tracks live tuple bytes against a budget and aggregates spill
+// statistics. All methods are safe for concurrent use; the accounting is
+// advisory (Add never fails), Over is the signal consumers act on by
+// spilling.
+//
+// A meter is either a root (NewMeter) or a child (Child). Children share
+// the root's live-byte balance and budget — every child's Add moves the
+// same balance, so concurrent runs drawing on one root spill as soon as
+// their *combined* residency exceeds the budget — while keeping their own
+// spill statistics (which also roll up into the root). This is how an
+// engine session shares one memory budget across in-flight queries yet
+// still reports per-query spill stats.
 type Meter struct {
 	budget       int64
-	live         atomic.Int64
+	live         *atomic.Int64 // shared with the root and all siblings
+	net          atomic.Int64  // this meter's own net contribution to live
+	parent       *Meter        // nil on a root meter
 	spilledBytes atomic.Int64
 	partitions   atomic.Int64
 	ioNanos      atomic.Int64
 }
 
-// NewMeter returns a meter enforcing the given budget in bytes.
+// NewMeter returns a root meter enforcing the given budget in bytes.
 func NewMeter(budget int64) *Meter {
 	if budget < 1 {
 		budget = DefaultBudgetBytes
 	}
-	return &Meter{budget: budget}
+	return &Meter{budget: budget, live: new(atomic.Int64)}
+}
+
+// Child returns a meter that shares this meter's budget and live-byte
+// balance but keeps its own spill statistics (also propagated to the
+// parent). Settle releases whatever balance the child still holds.
+func (m *Meter) Child() *Meter {
+	return &Meter{budget: m.budget, live: m.live, parent: m}
 }
 
 // Budget returns the configured budget in bytes.
@@ -55,23 +72,48 @@ func (m *Meter) Budget() int64 { return m.budget }
 // Add adjusts the live-byte balance (positive when tuples are buffered,
 // negative when they are released or written out). It is the hook shape
 // relation.NewBatchPoolAccounted expects.
-func (m *Meter) Add(deltaBytes int64) { m.live.Add(deltaBytes) }
+func (m *Meter) Add(deltaBytes int64) { m.net.Add(deltaBytes); m.live.Add(deltaBytes) }
 
-// Live returns the current live-byte balance.
+// Live returns the current live-byte balance (shared across a root and all
+// its children).
 func (m *Meter) Live() int64 { return m.live.Load() }
 
 // Over reports whether the live balance exceeds the budget — the signal to
 // spill.
 func (m *Meter) Over() bool { return m.live.Load() > m.budget }
 
+// Settle releases this meter's outstanding net contribution from the shared
+// balance. A cancelled run can strand reservations — pooled batches handed
+// to goroutines that unwound without a Put — and on a shared (engine)
+// budget those would otherwise shrink every later query's headroom forever.
+// Call it once per child after the run's goroutines have exited and its
+// consumer released every batch; it must not be called while the run can
+// still Add.
+func (m *Meter) Settle() { m.live.Add(-m.net.Swap(0)) }
+
 // NoteSpill records bytes written to a spill file.
-func (m *Meter) NoteSpill(bytes int64) { m.spilledBytes.Add(bytes) }
+func (m *Meter) NoteSpill(bytes int64) {
+	m.spilledBytes.Add(bytes)
+	if m.parent != nil {
+		m.parent.NoteSpill(bytes)
+	}
+}
 
 // NotePartition records one newly created spill-partition file.
-func (m *Meter) NotePartition() { m.partitions.Add(1) }
+func (m *Meter) NotePartition() {
+	m.partitions.Add(1)
+	if m.parent != nil {
+		m.parent.NotePartition()
+	}
+}
 
 // NoteIO records wall time spent on spill-file I/O (writes and re-reads).
-func (m *Meter) NoteIO(d time.Duration) { m.ioNanos.Add(int64(d)) }
+func (m *Meter) NoteIO(d time.Duration) {
+	m.ioNanos.Add(int64(d))
+	if m.parent != nil {
+		m.parent.NoteIO(d)
+	}
+}
 
 // SpilledBytes returns the total bytes written to spill files.
 func (m *Meter) SpilledBytes() int64 { return m.spilledBytes.Load() }

@@ -15,10 +15,33 @@ var runtimesUnderTest = []string{"sim", "parallel", "spill"}
 
 // execScenario runs a scenario on one runtime and returns the result
 // relation. The spill runtime gets the scenario's forcing memory budget so
-// the out-of-core path is exercised, not just registered.
+// the out-of-core path is exercised, not just registered. The parallel
+// runtime is consumed through the session API — an Engine and a streaming
+// Rows cursor — so the fuzz harness also differential-tests the cursor
+// hand-off (pooled batch ownership, release on Next) against the other
+// backends' materialized paths.
 func execScenario(t testing.TB, s *Scenario, rt string) *relation.Relation {
 	t.Helper()
 	opts := []core.Option{core.WithRuntime(rt), core.WithBatchTuples(s.BatchTuples)}
+	if rt == "parallel" {
+		eng, err := core.Open(s.Query.DB)
+		if err != nil {
+			t.Fatalf("%s: %s: Open: %v", s.Desc, rt, err)
+		}
+		defer eng.Close()
+		rows, err := eng.Query(context.Background(), s.Query, opts...)
+		if err != nil {
+			t.Fatalf("%s: %s: Query: %v", s.Desc, rt, err)
+		}
+		got := relation.New("result", 0)
+		for tp := range rows.Iter() {
+			got.Append(tp)
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatalf("%s: %s: Rows: %v", s.Desc, rt, err)
+		}
+		return got
+	}
 	if rt == "spill" {
 		opts = append(opts, core.WithMemoryBudget(s.MemoryBudget))
 	}

@@ -21,7 +21,7 @@
 // regenerates every figure of the paper's evaluation. See README.md for a
 // tour and EXPERIMENTS.md for measured results.
 //
-// A minimal session:
+// A minimal one-shot execution:
 //
 //	db, _ := multijoin.NewDatabase(10, 5000, 1995)
 //	tree, _ := multijoin.BuildTree(multijoin.WideBushy, 10)
@@ -32,13 +32,20 @@
 //	res, _ := multijoin.Exec(ctx, q) // simulated PRISMA/DB machine
 //	fmt.Printf("response time %.2fs\n", res.Time.Seconds())
 //
-// The same query on the goroutine runtime, on 8 real cores, verified
-// against the sequential reference:
+// A long-lived session serving concurrent queries against the resident
+// database, with results streamed through a cursor instead of
+// materialized — the PRISMA/DB shape, where the machine belongs to the
+// system and queries share its processors and memory:
 //
-//	res, _ = multijoin.Exec(ctx, q,
-//		multijoin.WithRuntime("parallel"),
-//		multijoin.WithMaxProcs(8),
-//		multijoin.WithVerify())
+//	eng, _ := multijoin.Open(db,
+//		multijoin.WithMaxConcurrent(16),
+//		multijoin.WithEngineMemoryBudget(256<<20))
+//	defer eng.Close()
+//	rows, _ := eng.Query(ctx, q, multijoin.WithRuntime("parallel"))
+//	for t := range rows.Iter() {
+//		use(t)
+//	}
+//	if err := rows.Err(); err != nil { ... }
 package multijoin
 
 import (
@@ -72,8 +79,22 @@ type (
 	ExecOptions = core.Options
 	// Runtime is one pluggable execution backend for plans. Register
 	// implementations with RegisterRuntime and select them per query with
-	// WithRuntime.
+	// WithRuntime. Runtimes stream their result into a Sink; Exec
+	// materializes the stream, Engine.Query hands it to a Rows cursor.
 	Runtime = core.Runtime
+	// Sink is the push half of the streaming Runtime contract: runtimes
+	// deliver result batches (with ownership transfer) to a Sink.
+	Sink = core.Sink
+	// Engine is a long-lived session over one database: it admits
+	// concurrent queries, shares processors and one memory budget among
+	// them, and streams results through Rows cursors. Create one with
+	// Open.
+	Engine = core.Engine
+	// EngineOption configures an Engine at Open time.
+	EngineOption = core.EngineOption
+	// Rows is a streaming cursor over one query's result
+	// (Next/Tuple/Err/Close, plus All and a range-over-func Iter).
+	Rows = core.Rows
 	// BaseFunc resolves a plan leaf index to its base relation.
 	BaseFunc = core.BaseFunc
 	// RunResult is the outcome of executing a query on the simulator via
@@ -211,8 +232,53 @@ func WithChannelDepth(n int) ExecOption { return core.WithChannelDepth(n) }
 func WithMemoryBudget(bytes int64) ExecOption { return core.WithMemoryBudget(bytes) }
 
 // WithVerify checks the result against the sequential reference execution
-// and fails the Exec call on the first discrepancy.
+// and fails on the first discrepancy, wherever the result is materialized:
+// Exec, Engine.Exec, or Rows.All. Streaming iteration over a Rows never
+// materializes the result and therefore never verifies.
 func WithVerify() ExecOption { return core.WithVerify() }
+
+// Open starts a long-lived session over db: an Engine that owns the shared
+// resources every query it serves draws on — a processor pool capping
+// concurrent computation across all in-flight queries (WithEngineProcs),
+// one shared live-tuple memory budget that drives spilling when concurrent
+// queries exceed it together (WithEngineMemoryBudget), default runtime and
+// machine parameters, and an admission queue (WithMaxConcurrent) whose
+// per-query wait is reported in ExecStats.QueueWait.
+//
+//	eng, err := multijoin.Open(db, multijoin.WithMaxConcurrent(16))
+//	defer eng.Close()
+//	rows, err := eng.Query(ctx, q, multijoin.WithRuntime("parallel"))
+//	defer rows.Close()
+//	for rows.Next() {
+//		t := rows.Tuple()
+//		...
+//	}
+//	if err := rows.Err(); err != nil { ... }
+func Open(db *Database, opts ...EngineOption) (*Engine, error) { return core.Open(db, opts...) }
+
+// WithEngineRuntime sets the engine's default runtime by registry name;
+// individual queries may still override it with WithRuntime.
+func WithEngineRuntime(name string) EngineOption { return core.WithEngineRuntime(name) }
+
+// WithEngineParams sets the machine parameters applied to queries whose own
+// Params are zero.
+func WithEngineParams(p Params) EngineOption { return core.WithEngineParams(p) }
+
+// WithMaxConcurrent caps how many of the engine's queries may execute at
+// once; the rest wait in the admission queue. Zero means 2×GOMAXPROCS,
+// negative means unlimited.
+func WithMaxConcurrent(n int) EngineOption { return core.WithMaxConcurrent(n) }
+
+// WithEngineProcs sets the size of the engine's shared processor pool — the
+// modeled processors that serialize operator work across every in-flight
+// query on the wall-clock runtimes. Zero means GOMAXPROCS.
+func WithEngineProcs(n int) EngineOption { return core.WithEngineProcs(n) }
+
+// WithEngineMemoryBudget sets the engine's shared live-tuple memory budget
+// for spill-runtime queries: concurrent queries account against one meter
+// and spill when their combined residency exceeds it. Zero means the spill
+// default (64 MiB).
+func WithEngineMemoryBudget(bytes int64) EngineOption { return core.WithEngineMemoryBudget(bytes) }
 
 // RegisterRuntime adds an execution backend to the by-name registry used by
 // Exec's WithRuntime option. Like database/sql driver registration it is
@@ -249,7 +315,8 @@ type (
 // Run plans and executes the query on the simulated PRISMA/DB machine.
 //
 // Deprecated: use Exec, which adds context cancellation and runtime
-// selection; Run is equivalent to Exec(context.Background(), q) with the
+// selection, or Engine.Query for long-lived sessions with streaming
+// results; Run is equivalent to Exec(context.Background(), q) with the
 // engine-specific result type.
 func Run(q Query) (*RunResult, error) { return q.Run() }
 
@@ -260,7 +327,8 @@ func Run(q Query) (*RunResult, error) { return q.Run() }
 // produces the same result multiset as Run and Reference, measured in wall
 // time instead of virtual time.
 //
-// Deprecated: use Exec with WithRuntime("parallel").
+// Deprecated: use Exec with WithRuntime("parallel"), or Engine.Query for
+// sessions that share processors and memory across concurrent queries.
 func ExecuteParallel(q Query, cfg ParallelConfig) (*ParallelResult, error) {
 	return core.ExecuteParallel(q, cfg)
 }
@@ -282,7 +350,8 @@ func HostCap(procs int) int { return parallel.HostCap(procs) }
 // Verify runs the query and checks the result against the sequential
 // reference execution.
 //
-// Deprecated: use Exec with WithVerify.
+// Deprecated: use Exec with WithVerify (or Engine.Exec with WithVerify
+// under a session).
 func Verify(q Query) (*RunResult, error) { return core.Verify(q) }
 
 // Reference evaluates the tree sequentially — the correctness oracle.
