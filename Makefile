@@ -1,7 +1,7 @@
 # Single source of truth for the commands CI and humans run.
 GO ?= go
 
-.PHONY: all build lint test bench examples fuzz-smoke pooldebug spill-check throughput-smoke clean
+.PHONY: all build lint test bench bench-baseline examples fuzz-smoke pooldebug spill-check throughput-smoke clean
 
 all: build lint test
 
@@ -34,11 +34,12 @@ spill-check:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzExecEquivalence -fuzztime 30s ./internal/testutil
 
-# Pool-discipline check: the relation tests with the pooldebug
-# double-Put / use-after-Put detector armed (poisoned batches verified on
-# every Get).
+# Pool-discipline check: the relation and hashjoin tests (the columnar
+# codec round-trip property and the ProbeBatchInto differential among
+# them) with the pooldebug double-Put / use-after-Put detector armed
+# (poisoned batches verified on every Get).
 pooldebug:
-	$(GO) test -tags pooldebug -race ./internal/relation
+	$(GO) test -tags pooldebug -race ./internal/relation ./internal/hashjoin
 
 # Throughput smoke: one shared Engine serving concurrent mixed-strategy
 # queries across the parallel and spill runtimes, results drained through
@@ -50,7 +51,10 @@ throughput-smoke:
 # Bench smoke: one iteration of every benchmark, with the sim-vs-parallel
 # comparison captured as test2json lines in BENCH_parallel.json and the
 # allocation benchmarks in BENCH_alloc.json, gated against the checked-in
-# allocs/op baseline (fails on >20% regression).
+# baseline (fails on a >20% allocs/op regression or an ns/op regression
+# past each benchmark's recorded tolerance). Under GitHub Actions,
+# benchcheck also appends a baseline-vs-run diff table of allocs/op, ns/op
+# and B/op to $GITHUB_STEP_SUMMARY.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -json . > BENCH_parallel.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_parallel.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
@@ -58,6 +62,15 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkExecAlloc|BenchmarkExecStreamAlloc|BenchmarkHashTable' -benchtime 1x -benchmem -json . ./internal/hashjoin > BENCH_alloc.json
 	@echo "wrote BENCH_alloc.json"
 	$(GO) run ./cmd/benchcheck -in BENCH_alloc.json -baseline bench_alloc_baseline.txt
+
+# Re-record the checked-in performance baseline after an intentional
+# change: runs the gated benchmarks under the same conditions CI measures
+# (-benchtime 1x, the first iteration paying pool warm-up) and rewrites
+# bench_alloc_baseline.txt in place, preserving each benchmark's ns/op
+# tolerance column.
+bench-baseline:
+	$(GO) test -run '^$$' -bench 'BenchmarkExecAlloc|BenchmarkExecStreamAlloc' -benchtime 1x -benchmem -json . > BENCH_alloc.json
+	$(GO) run ./cmd/benchcheck -in BENCH_alloc.json -record bench_alloc_baseline.txt
 
 # Examples smoke: build every example binary, then run each one to
 # completion (their output doubles as an end-to-end check of the facade).

@@ -1,19 +1,38 @@
-// Command benchcheck gates allocation regressions in CI: it reads the
+// Command benchcheck gates performance regressions in CI: it reads the
 // test2json stream `make bench` writes to BENCH_alloc.json, extracts the
-// allocs/op of selected benchmarks, and fails (exit 1) when a benchmark
-// regresses by more than the allowed fraction against the checked-in
+// allocs/op, ns/op and B/op of selected benchmarks, and fails (exit 1) when
+// a benchmark regresses past the allowed fraction against the checked-in
 // baseline.
 //
 // Usage:
 //
-//	benchcheck -in BENCH_alloc.json -baseline bench_alloc_baseline.txt [-max-regress 0.20]
+//	benchcheck -in BENCH_alloc.json -baseline bench_alloc_baseline.txt \
+//	    [-max-regress 0.20] [-max-ns-regress 0.50] \
+//	    [-summary "$GITHUB_STEP_SUMMARY"] [-record bench_alloc_baseline.txt]
 //
-// The baseline file holds one `BenchmarkName allocs/op` pair per line
-// (# starts a comment); only benchmarks listed there are gated, so adding a
-// benchmark to the suite does not break CI until a baseline is recorded
-// for it. Allocation counts, unlike ns/op, are stable enough on shared CI
-// runners for a hard gate; the slack absorbs scheduling-dependent pool
-// misses of the parallel runtime.
+// The baseline file holds one benchmark per line (# starts a comment):
+//
+//	BenchmarkName allocs/op [ns/op B/op [ns-tolerance]]
+//
+// Only benchmarks listed there are gated, so adding a benchmark to the
+// suite does not break CI until a baseline is recorded for it. Two gates
+// apply per benchmark:
+//
+//   - allocs/op, against -max-regress: allocation counts are stable enough
+//     on shared CI runners for a uniform hard gate;
+//   - ns/op (when the baseline records it), against the per-benchmark
+//     tolerance column — wall time is noisy and each benchmark's noise
+//     floor differs, so the slack is recorded next to the number it
+//     guards — falling back to -max-ns-regress when the column is absent.
+//
+// B/op is recorded for the diff table (-summary) but not gated: byte
+// volume moves with pool capacity choices that the allocs and wall gates
+// already bound.
+//
+// -record rewrites the baseline from the measured results (the `make
+// bench-baseline` target), preserving each benchmark's tolerance column.
+// -summary appends a GitHub-flavored markdown diff table (baseline vs run
+// for all three metrics) to the given file, the CI job summary.
 package main
 
 import (
@@ -29,8 +48,23 @@ import (
 	"strings"
 )
 
-// allocCount extracts the allocs/op figure of a -benchmem result line.
-var allocCount = regexp.MustCompile(`(\d+)\s+allocs/op`)
+// Metric extraction from -benchmem result lines.
+var (
+	allocCount = regexp.MustCompile(`(\d+)\s+allocs/op`)
+	nsPerOp    = regexp.MustCompile(`([\d.]+)\s+ns/op`)
+	bytesPerOp = regexp.MustCompile(`(\d+)\s+B/op`)
+)
+
+// metrics is one benchmark's measured (or baselined) figures. A negative
+// value means "not present".
+type metrics struct {
+	Allocs float64
+	Ns     float64
+	Bytes  float64
+	// Tol is the per-benchmark fractional ns/op tolerance (baseline only);
+	// negative means "use the -max-ns-regress default".
+	Tol float64
+}
 
 // parseBenchName returns the benchmark name opening a result line (GOMAXPROCS
 // suffix stripped) and the rest of the line, or "" when the line does not
@@ -61,14 +95,20 @@ func fail(format string, args ...interface{}) {
 	os.Exit(2)
 }
 
-// readBaseline parses "BenchmarkName allocs" lines; # starts a comment.
-func readBaseline(path string) (map[string]float64, error) {
+// readBaseline parses baseline lines of the forms
+//
+//	BenchmarkName allocs
+//	BenchmarkName allocs ns bytes
+//	BenchmarkName allocs ns bytes ns-tolerance
+//
+// (# starts a comment). Missing metrics are returned negative.
+func readBaseline(path string) (map[string]metrics, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	base := make(map[string]float64)
+	base := make(map[string]metrics)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -79,26 +119,38 @@ func readBaseline(path string) (map[string]float64, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		if len(fields) != 2 {
-			return nil, fmt.Errorf("%s: want `BenchmarkName allocs/op`, got %q", path, line)
+		if len(fields) != 2 && len(fields) != 4 && len(fields) != 5 {
+			return nil, fmt.Errorf("%s: want `BenchmarkName allocs [ns bytes [ns-tol]]`, got %q", path, line)
 		}
-		v, err := strconv.ParseFloat(fields[1], 64)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %q: %v", path, line, err)
+		m := metrics{Ns: -1, Bytes: -1, Tol: -1}
+		nums := make([]float64, len(fields)-1)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %q: %v", path, line, err)
+			}
+			nums[i] = v
 		}
-		base[fields[0]] = v
+		m.Allocs = nums[0]
+		if len(nums) >= 3 {
+			m.Ns, m.Bytes = nums[1], nums[2]
+		}
+		if len(nums) == 4 {
+			m.Tol = nums[3]
+		}
+		base[fields[0]] = m
 	}
 	return base, sc.Err()
 }
 
-// readResults extracts benchmark allocs/op from a test2json stream.
-func readResults(path string) (map[string]float64, error) {
+// readResults extracts benchmark metrics from a test2json stream.
+func readResults(path string) (map[string]metrics, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	got := make(map[string]float64)
+	got := make(map[string]metrics)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	var pending string // last benchmark name seen without metrics yet
@@ -122,26 +174,41 @@ func readResults(path string) (map[string]float64, error) {
 		if a == nil || name == "" {
 			continue
 		}
-		if v, err := strconv.ParseFloat(a[1], 64); err == nil {
-			got[name] = v
+		m := metrics{Ns: -1, Bytes: -1, Tol: -1}
+		m.Allocs, _ = strconv.ParseFloat(a[1], 64)
+		if ns := nsPerOp.FindStringSubmatch(out); ns != nil {
+			if v, err := strconv.ParseFloat(ns[1], 64); err == nil {
+				m.Ns = v
+			}
 		}
+		if by := bytesPerOp.FindStringSubmatch(out); by != nil {
+			if v, err := strconv.ParseFloat(by[1], 64); err == nil {
+				m.Bytes = v
+			}
+		}
+		got[name] = m
 		pending = ""
 	}
 	return got, sc.Err()
 }
 
+// gates is the pair of global tolerance defaults.
+type gates struct {
+	// MaxRegress is the allowed fractional allocs/op regression.
+	MaxRegress float64
+	// MaxNsRegress is the allowed fractional ns/op regression for
+	// baselines without their own tolerance column.
+	MaxNsRegress float64
+}
+
 // check gates got against base, writing the per-benchmark verdicts to out
 // and diagnostics to errOut. It reports whether any baseline benchmark is
-// missing from the results or regressed past maxRegress. A zero-alloc
+// missing from the results or regressed past its limits. A zero-alloc
 // baseline admits no slack (any fraction of zero is zero): the benchmark
-// must stay at exactly zero allocs/op.
-func check(base, got map[string]float64, maxRegress float64, out, errOut io.Writer) (bad bool) {
-	names := make([]string, 0, len(base))
-	for name := range base {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+// must stay at exactly zero allocs/op. The ns/op gate applies only to
+// baselines that record a wall-time figure.
+func check(base, got map[string]metrics, g gates, out, errOut io.Writer) (bad bool) {
+	for _, name := range sortedNames(base) {
 		want := base[name]
 		have, ok := got[name]
 		if !ok {
@@ -149,24 +216,136 @@ func check(base, got map[string]float64, maxRegress float64, out, errOut io.Writ
 			bad = true
 			continue
 		}
-		limit := want * (1 + maxRegress)
+		allocLimit := want.Allocs * (1 + g.MaxRegress)
 		status := "ok"
-		if have > limit {
-			status = "REGRESSION"
+		if have.Allocs > allocLimit {
+			status = "REGRESSION(allocs)"
 			bad = true
 		}
-		fmt.Fprintf(out, "%-28s %12.0f allocs/op  (baseline %.0f, limit %.0f)  %s\n",
-			name, have, want, limit, status)
+		fmt.Fprintf(out, "%-28s %12.0f allocs/op  (baseline %.0f, limit %.0f)",
+			name, have.Allocs, want.Allocs, allocLimit)
+		if want.Ns >= 0 {
+			tol := want.Tol
+			if tol < 0 {
+				tol = g.MaxNsRegress
+			}
+			nsLimit := want.Ns * (1 + tol)
+			if have.Ns < 0 {
+				fmt.Fprintf(errOut, "benchcheck: %s has an ns/op baseline but the result reports no ns/op\n", name)
+				bad = true
+				status = "REGRESSION(ns missing)"
+			} else if have.Ns > nsLimit {
+				if status == "ok" {
+					status = "REGRESSION(ns)"
+				} else {
+					status += "+ns"
+				}
+				bad = true
+			}
+			fmt.Fprintf(out, "  %12.0f ns/op (baseline %.0f, limit %.0f)", have.Ns, want.Ns, nsLimit)
+		}
+		fmt.Fprintf(out, "  %s\n", status)
 	}
 	return bad
 }
 
+func sortedNames(m map[string]metrics) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// writeSummary appends a GitHub-flavored markdown diff table — baseline vs
+// this run for allocs/op, ns/op and B/op — to w.
+func writeSummary(base, got map[string]metrics, w io.Writer) {
+	fmt.Fprintf(w, "### Benchmark gate: baseline vs run\n\n")
+	fmt.Fprintf(w, "| Benchmark | allocs/op | Δ allocs | ns/op | Δ ns | B/op | Δ bytes |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---:|---:|---:|---:|\n")
+	for _, name := range sortedNames(base) {
+		want := base[name]
+		have, ok := got[name]
+		if !ok {
+			fmt.Fprintf(w, "| %s | _no result_ | | | | | |\n", name)
+			continue
+		}
+		fmt.Fprintf(w, "| %s | %.0f | %s | %s | %s | %s | %s |\n",
+			name,
+			have.Allocs, delta(want.Allocs, have.Allocs),
+			cell(have.Ns), delta(want.Ns, have.Ns),
+			cell(have.Bytes), delta(want.Bytes, have.Bytes))
+	}
+}
+
+// cell formats an optional metric value.
+func cell(v float64) string {
+	if v < 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// delta formats the signed fractional change from base to have, or "—"
+// when either side is missing.
+func delta(base, have float64) string {
+	if base < 0 || have < 0 || base == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%+.1f%%", (have-base)/base*100)
+}
+
+// writeBaseline rewrites path from the measured results, gating exactly the
+// benchmarks that were measured and preserving per-benchmark tolerances
+// from prev (defaultTol for new entries).
+func writeBaseline(path string, got, prev map[string]metrics, defaultTol float64) error {
+	var b strings.Builder
+	b.WriteString(`# Checked-in performance baselines for make bench, gated by cmd/benchcheck.
+# Columns: BenchmarkName allocs/op ns/op B/op ns-tolerance. CI fails on a
+# >20% allocs/op regression (-max-regress) or an ns/op regression past the
+# per-benchmark tolerance; B/op is reported in the job-summary diff table
+# but not gated. Regenerate with make bench-baseline after intentional
+# performance changes.
+`)
+	for _, name := range sortedNames(got) {
+		m := got[name]
+		tol := defaultTol
+		if p, ok := prev[name]; ok && p.Tol >= 0 {
+			tol = p.Tol
+		}
+		fmt.Fprintf(&b, "%s %.0f %.0f %.0f %.2f\n", name, m.Allocs, m.Ns, m.Bytes, tol)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
 func main() {
 	in := flag.String("in", "BENCH_alloc.json", "test2json benchmark output to check")
-	baseline := flag.String("baseline", "bench_alloc_baseline.txt", "checked-in allocs/op baseline")
+	baseline := flag.String("baseline", "bench_alloc_baseline.txt", "checked-in performance baseline")
 	maxRegress := flag.Float64("max-regress", 0.20, "maximum allowed fractional allocs/op regression")
+	maxNsRegress := flag.Float64("max-ns-regress", 0.50, "default maximum fractional ns/op regression for baselines without a tolerance column")
+	summary := flag.String("summary", os.Getenv("GITHUB_STEP_SUMMARY"), "append a markdown diff table (baseline vs run) to this file (default: $GITHUB_STEP_SUMMARY when set)")
+	record := flag.String("record", "", "rewrite this baseline file from the results instead of gating")
 	flag.Parse()
 
+	got, err := readResults(*in)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *record != "" {
+		if len(got) == 0 {
+			fail("%s holds no benchmark results to record", *in)
+		}
+		prev, err := readBaseline(*record)
+		if err != nil && !os.IsNotExist(err) {
+			fail("%v", err)
+		}
+		if err := writeBaseline(*record, got, prev, *maxNsRegress); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("benchcheck: recorded %d benchmarks to %s\n", len(got), *record)
+		return
+	}
 	base, err := readBaseline(*baseline)
 	if err != nil {
 		fail("%v", err)
@@ -174,11 +353,15 @@ func main() {
 	if len(base) == 0 {
 		fail("%s lists no benchmarks", *baseline)
 	}
-	got, err := readResults(*in)
-	if err != nil {
-		fail("%v", err)
+	if *summary != "" {
+		f, err := os.OpenFile(*summary, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail("%v", err)
+		}
+		writeSummary(base, got, f)
+		f.Close()
 	}
-	if check(base, got, *maxRegress, os.Stdout, os.Stderr) {
+	if check(base, got, gates{MaxRegress: *maxRegress, MaxNsRegress: *maxNsRegress}, os.Stdout, os.Stderr) {
 		os.Exit(1)
 	}
 }

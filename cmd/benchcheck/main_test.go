@@ -18,33 +18,47 @@ func writeFile(t *testing.T, name, content string) string {
 }
 
 // TestReadBaseline covers the baseline parser's edge cases table-driven:
-// comments, blank lines, malformed pairs, unparsable numbers.
+// legacy allocs-only lines, full metric rows with and without tolerance,
+// comments, blank lines, malformed rows, unparsable numbers.
 func TestReadBaseline(t *testing.T) {
 	for _, tc := range []struct {
 		name    string
 		content string
-		want    map[string]float64
+		want    map[string]metrics
 		wantErr string
 	}{
 		{
-			name:    "happy path with comments",
+			name:    "legacy allocs-only lines",
 			content: "# header\nBenchmarkA 100\nBenchmarkB 0 # zero-alloc benchmark\n\n",
-			want:    map[string]float64{"BenchmarkA": 100, "BenchmarkB": 0},
+			want: map[string]metrics{
+				"BenchmarkA": {Allocs: 100, Ns: -1, Bytes: -1, Tol: -1},
+				"BenchmarkB": {Allocs: 0, Ns: -1, Bytes: -1, Tol: -1},
+			},
+		},
+		{
+			name:    "full row without tolerance",
+			content: "BenchmarkA 9000 43000000 55000000\n",
+			want:    map[string]metrics{"BenchmarkA": {Allocs: 9000, Ns: 43000000, Bytes: 55000000, Tol: -1}},
+		},
+		{
+			name:    "full row with tolerance column",
+			content: "BenchmarkA 9000 43000000 55000000 0.60\n",
+			want:    map[string]metrics{"BenchmarkA": {Allocs: 9000, Ns: 43000000, Bytes: 55000000, Tol: 0.60}},
 		},
 		{
 			name:    "comment-only file parses empty",
 			content: "# nothing gated yet\n",
-			want:    map[string]float64{},
+			want:    map[string]metrics{},
 		},
 		{
 			name:    "three fields rejected",
-			content: "BenchmarkA 100 extra\n",
-			wantErr: "want `BenchmarkName allocs/op`",
+			content: "BenchmarkA 100 200\n",
+			wantErr: "want `BenchmarkName allocs [ns bytes [ns-tol]]`",
 		},
 		{
 			name:    "single field rejected",
 			content: "BenchmarkA\n",
-			wantErr: "want `BenchmarkName allocs/op`",
+			wantErr: "want `BenchmarkName allocs [ns bytes [ns-tol]]`",
 		},
 		{
 			name:    "non-numeric count rejected",
@@ -85,45 +99,51 @@ func TestReadBaselineMissingFile(t *testing.T) {
 
 // TestReadResults covers the test2json extraction edge cases: split
 // name/metric records, GOMAXPROCS suffixes, malformed JSON noise, files
-// with no benchmark output at all.
+// with no benchmark output at all — and that ns/op and B/op come out
+// alongside allocs/op.
 func TestReadResults(t *testing.T) {
 	for _, tc := range []struct {
 		name    string
 		content string
-		want    map[string]float64
+		want    map[string]metrics
 	}{
 		{
 			name:    "one-record result with suffix",
 			content: `{"Output":"BenchmarkExecAlloc_FP-8 \t       1\t  70179468 ns/op\t 4096 B/op\t    8090 allocs/op\n"}` + "\n",
-			want:    map[string]float64{"BenchmarkExecAlloc_FP": 8090},
+			want:    map[string]metrics{"BenchmarkExecAlloc_FP": {Allocs: 8090, Ns: 70179468, Bytes: 4096, Tol: -1}},
 		},
 		{
 			name: "name and metrics split across records",
 			content: `{"Output":"BenchmarkHashTable_Insert-4 \t"}` + "\n" +
 				`{"Output":"       100\t  1234 ns/op\t   12 allocs/op\n"}` + "\n",
-			want: map[string]float64{"BenchmarkHashTable_Insert": 12},
+			want: map[string]metrics{"BenchmarkHashTable_Insert": {Allocs: 12, Ns: 1234, Bytes: -1, Tol: -1}},
 		},
 		{
 			name: "malformed JSON lines are skipped not fatal",
 			content: "this is not json at all\n{broken\n" +
 				`{"Output":"BenchmarkA-2 \t 1\t 5 allocs/op\n"}` + "\n" +
 				"trailing garbage\n",
-			want: map[string]float64{"BenchmarkA": 5},
+			want: map[string]metrics{"BenchmarkA": {Allocs: 5, Ns: -1, Bytes: -1, Tol: -1}},
 		},
 		{
 			name:    "entirely malformed file yields no results",
 			content: "::::\nnot json\n",
-			want:    map[string]float64{},
+			want:    map[string]metrics{},
 		},
 		{
 			name:    "zero allocs extracted as zero",
 			content: `{"Output":"BenchmarkZero-8 \t 1000\t 99 ns/op\t 0 allocs/op\n"}` + "\n",
-			want:    map[string]float64{"BenchmarkZero": 0},
+			want:    map[string]metrics{"BenchmarkZero": {Allocs: 0, Ns: 99, Bytes: -1, Tol: -1}},
+		},
+		{
+			name:    "fractional ns/op parsed",
+			content: `{"Output":"BenchmarkFast-8 \t 100000000\t 10.5 ns/op\t 0 B/op\t 0 allocs/op\n"}` + "\n",
+			want:    map[string]metrics{"BenchmarkFast": {Allocs: 0, Ns: 10.5, Bytes: 0, Tol: -1}},
 		},
 		{
 			name:    "non-benchmark output ignored",
 			content: `{"Output":"ok  \tmultijoin\t0.5s\n"}` + "\n" + `{"Output":"PASS\n"}` + "\n",
-			want:    map[string]float64{},
+			want:    map[string]metrics{},
 		},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
@@ -143,64 +163,102 @@ func TestReadResults(t *testing.T) {
 	}
 }
 
-// TestCheck covers the gating decision table-driven: regressions, missing
-// baseline keys, and the zero-alloc baseline whose limit admits no slack.
+// TestCheck covers the gating decision table-driven: alloc regressions, ns
+// regressions against both the per-benchmark tolerance and the global
+// default, missing baseline keys, and the zero-alloc baseline whose limit
+// admits no slack.
 func TestCheck(t *testing.T) {
+	g := gates{MaxRegress: 0.20, MaxNsRegress: 0.50}
 	for _, tc := range []struct {
 		name       string
-		base, got  map[string]float64
-		maxRegress float64
+		base, got  map[string]metrics
 		wantBad    bool
 		wantOut    string
 		wantErrOut string
 	}{
 		{
 			name:    "within slack passes",
-			base:    map[string]float64{"BenchmarkA": 100},
-			got:     map[string]float64{"BenchmarkA": 119},
+			base:    map[string]metrics{"BenchmarkA": {Allocs: 100, Ns: -1, Bytes: -1, Tol: -1}},
+			got:     map[string]metrics{"BenchmarkA": {Allocs: 119}},
 			wantOut: "ok",
 		},
 		{
-			name:    "past slack fails",
-			base:    map[string]float64{"BenchmarkA": 100},
-			got:     map[string]float64{"BenchmarkA": 121},
+			name:    "past alloc slack fails",
+			base:    map[string]metrics{"BenchmarkA": {Allocs: 100, Ns: -1, Bytes: -1, Tol: -1}},
+			got:     map[string]metrics{"BenchmarkA": {Allocs: 121}},
 			wantBad: true,
-			wantOut: "REGRESSION",
+			wantOut: "REGRESSION(allocs)",
+		},
+		{
+			name:    "ns within default tolerance passes",
+			base:    map[string]metrics{"BenchmarkA": {Allocs: 100, Ns: 1000, Bytes: 5000, Tol: -1}},
+			got:     map[string]metrics{"BenchmarkA": {Allocs: 100, Ns: 1490, Bytes: 9999}},
+			wantOut: "ok",
+		},
+		{
+			name:    "ns past default tolerance fails",
+			base:    map[string]metrics{"BenchmarkA": {Allocs: 100, Ns: 1000, Bytes: 5000, Tol: -1}},
+			got:     map[string]metrics{"BenchmarkA": {Allocs: 100, Ns: 1510, Bytes: 5000}},
+			wantBad: true,
+			wantOut: "REGRESSION(ns)",
+		},
+		{
+			name:    "per-benchmark tolerance loosens the ns gate",
+			base:    map[string]metrics{"BenchmarkA": {Allocs: 100, Ns: 1000, Bytes: 5000, Tol: 1.0}},
+			got:     map[string]metrics{"BenchmarkA": {Allocs: 100, Ns: 1900, Bytes: 5000}},
+			wantOut: "ok",
+		},
+		{
+			name:    "per-benchmark tolerance tightens the ns gate",
+			base:    map[string]metrics{"BenchmarkA": {Allocs: 100, Ns: 1000, Bytes: 5000, Tol: 0.10}},
+			got:     map[string]metrics{"BenchmarkA": {Allocs: 100, Ns: 1200, Bytes: 5000}},
+			wantBad: true,
+			wantOut: "REGRESSION(ns)",
+		},
+		{
+			name:    "both gates can fail at once",
+			base:    map[string]metrics{"BenchmarkA": {Allocs: 100, Ns: 1000, Bytes: 5000, Tol: 0.10}},
+			got:     map[string]metrics{"BenchmarkA": {Allocs: 200, Ns: 2000, Bytes: 5000}},
+			wantBad: true,
+			wantOut: "REGRESSION(allocs)+ns",
+		},
+		{
+			name:       "ns baseline with no measured ns fails",
+			base:       map[string]metrics{"BenchmarkA": {Allocs: 100, Ns: 1000, Bytes: 5000, Tol: -1}},
+			got:        map[string]metrics{"BenchmarkA": {Allocs: 100, Ns: -1}},
+			wantBad:    true,
+			wantErrOut: "reports no ns/op",
 		},
 		{
 			name:       "baseline without result fails",
-			base:       map[string]float64{"BenchmarkGone": 10},
-			got:        map[string]float64{"BenchmarkOther": 10},
+			base:       map[string]metrics{"BenchmarkGone": {Allocs: 10, Ns: -1, Bytes: -1, Tol: -1}},
+			got:        map[string]metrics{"BenchmarkOther": {Allocs: 10}},
 			wantBad:    true,
 			wantErrOut: "BenchmarkGone has a baseline but no result",
 		},
 		{
 			name:    "zero-alloc baseline stays zero",
-			base:    map[string]float64{"BenchmarkZero": 0},
-			got:     map[string]float64{"BenchmarkZero": 0},
+			base:    map[string]metrics{"BenchmarkZero": {Allocs: 0, Ns: -1, Bytes: -1, Tol: -1}},
+			got:     map[string]metrics{"BenchmarkZero": {Allocs: 0}},
 			wantOut: "ok",
 		},
 		{
 			name:    "zero-alloc baseline rejects any alloc",
-			base:    map[string]float64{"BenchmarkZero": 0},
-			got:     map[string]float64{"BenchmarkZero": 1},
+			base:    map[string]metrics{"BenchmarkZero": {Allocs: 0, Ns: -1, Bytes: -1, Tol: -1}},
+			got:     map[string]metrics{"BenchmarkZero": {Allocs: 1}},
 			wantBad: true,
-			wantOut: "REGRESSION",
+			wantOut: "REGRESSION(allocs)",
 		},
 		{
 			name:    "improvement passes",
-			base:    map[string]float64{"BenchmarkA": 100},
-			got:     map[string]float64{"BenchmarkA": 1},
+			base:    map[string]metrics{"BenchmarkA": {Allocs: 100, Ns: 1000, Bytes: 5000, Tol: 0.10}},
+			got:     map[string]metrics{"BenchmarkA": {Allocs: 1, Ns: 10, Bytes: 10}},
 			wantOut: "ok",
 		},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			maxRegress := tc.maxRegress
-			if maxRegress == 0 {
-				maxRegress = 0.20
-			}
 			var out, errOut strings.Builder
-			bad := check(tc.base, tc.got, maxRegress, &out, &errOut)
+			bad := check(tc.base, tc.got, g, &out, &errOut)
 			if bad != tc.wantBad {
 				t.Errorf("check() = %v, want %v\nout: %s\nerr: %s", bad, tc.wantBad, out.String(), errOut.String())
 			}
@@ -214,11 +272,65 @@ func TestCheck(t *testing.T) {
 	}
 }
 
+// TestWriteSummary asserts the markdown diff table carries all three
+// metrics with signed deltas, and marks missing results.
+func TestWriteSummary(t *testing.T) {
+	base := map[string]metrics{
+		"BenchmarkA":    {Allocs: 100, Ns: 1000, Bytes: 4000, Tol: -1},
+		"BenchmarkGone": {Allocs: 10, Ns: -1, Bytes: -1, Tol: -1},
+	}
+	got := map[string]metrics{
+		"BenchmarkA": {Allocs: 90, Ns: 1500, Bytes: 4000, Tol: -1},
+	}
+	var b strings.Builder
+	writeSummary(base, got, &b)
+	out := b.String()
+	for _, want := range []string{
+		"| Benchmark | allocs/op |",
+		"| BenchmarkA | 90 | -10.0% | 1500 | +50.0% | 4000 | +0.0% |",
+		"| BenchmarkGone | _no result_ |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary %q\nmissing %q", out, want)
+		}
+	}
+}
+
+// TestWriteBaselineRoundTrip asserts -record output re-parses to the same
+// metrics, and that an existing per-benchmark tolerance survives the
+// rewrite while new entries get the default.
+func TestWriteBaselineRoundTrip(t *testing.T) {
+	path := writeFile(t, "baseline.txt", "BenchmarkA 50 900 3000 0.33\n")
+	prev, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]metrics{
+		"BenchmarkA": {Allocs: 100, Ns: 1000, Bytes: 4000, Tol: -1},
+		"BenchmarkB": {Allocs: 7, Ns: 70, Bytes: 700, Tol: -1},
+	}
+	if err := writeBaseline(path, got, prev, 0.50); err != nil {
+		t.Fatal(err)
+	}
+	back, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA := metrics{Allocs: 100, Ns: 1000, Bytes: 4000, Tol: 0.33}
+	if back["BenchmarkA"] != wantA {
+		t.Errorf("BenchmarkA = %v, want %v (tolerance preserved)", back["BenchmarkA"], wantA)
+	}
+	wantB := metrics{Allocs: 7, Ns: 70, Bytes: 700, Tol: 0.50}
+	if back["BenchmarkB"] != wantB {
+		t.Errorf("BenchmarkB = %v, want %v (default tolerance)", back["BenchmarkB"], wantB)
+	}
+}
+
 // TestCheckEndToEnd runs the reader/gater pipeline over realistic files:
 // a malformed results file against a real baseline must fail as "missing",
 // not crash or pass.
 func TestCheckEndToEnd(t *testing.T) {
-	base, err := readBaseline(writeFile(t, "baseline.txt", "BenchmarkExecAlloc_FP 9200\n"))
+	base, err := readBaseline(writeFile(t, "baseline.txt", "BenchmarkExecAlloc_FP 9200 43000000 55000000 0.50\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +339,7 @@ func TestCheckEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out, errOut strings.Builder
-	if !check(base, got, 0.20, &out, &errOut) {
+	if !check(base, got, gates{MaxRegress: 0.20, MaxNsRegress: 0.50}, &out, &errOut) {
 		t.Fatal("malformed results passed the gate")
 	}
 	if !strings.Contains(errOut.String(), "no result") {

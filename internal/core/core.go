@@ -109,9 +109,6 @@ func ExecuteParallel(q Query, cfg parallel.Config) (*parallel.RunResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	if cfg.BatchTuples < 1 {
-		cfg.BatchTuples = q.Params.BatchTuples
-	}
 	return parallel.Run(plan, q.baseRelation, cfg)
 }
 

@@ -119,15 +119,15 @@ type Result struct {
 // keeps ownership. Implementations must be safe for use from the single
 // goroutine the runtime pushes from; they need not be concurrency-safe.
 type Sink interface {
-	Push(ctx context.Context, batch []relation.Tuple, release func()) error
+	Push(ctx context.Context, batch *relation.Batch, release func()) error
 }
 
 // gatherSink materializes a result stream into one relation — the draining
 // sink behind the classic Exec API.
 type gatherSink struct{ rel *relation.Relation }
 
-func (g *gatherSink) Push(_ context.Context, batch []relation.Tuple, release func()) error {
-	g.rel.Append(batch...)
+func (g *gatherSink) Push(_ context.Context, batch *relation.Batch, release func()) error {
+	batch.AppendTo(g.rel)
 	if release != nil {
 		release()
 	}
@@ -149,7 +149,9 @@ type Options struct {
 	// means the plan's own processor count.
 	MaxProcs int
 	// BatchTuples is the number of tuples per transport batch. Zero means
-	// Params.BatchTuples, or the runtime's default.
+	// the executing runtime's own default (the simulator batches at
+	// Params.BatchTuples, the goroutine runtimes at
+	// parallel.DefaultBatchTuples).
 	BatchTuples int
 	// ChannelDepth is the per-stream buffer capacity in batches on
 	// wall-clock runtimes. Zero means the runtime's default.
@@ -238,8 +240,10 @@ type Runtime interface {
 //	res, err := core.Exec(ctx, q, core.WithRuntime("parallel"),
 //	        core.WithMaxProcs(8), core.WithVerify())           // goroutines
 //
-// Params defaults to the query's own Params; BatchTuples defaults to
-// Params.BatchTuples.
+// Params defaults to the query's own Params. BatchTuples, when unset,
+// is left to the executing runtime's transport default (the simulator
+// always batches at Params.BatchTuples — its cost-model granularity —
+// while the goroutine runtimes default to parallel.DefaultBatchTuples).
 func Exec(ctx context.Context, q Query, opts ...Option) (*Result, error) {
 	o := Options{Runtime: DefaultRuntime, Params: q.Params}
 	for _, opt := range opts {
@@ -255,9 +259,6 @@ func Exec(ctx context.Context, q Query, opts ...Option) (*Result, error) {
 	plan, err := q.Plan()
 	if err != nil {
 		return nil, err
-	}
-	if o.BatchTuples < 1 {
-		o.BatchTuples = o.Params.BatchTuples
 	}
 	sink := &gatherSink{rel: relation.NewWithCap("result", q.tupleBytes(), q.estResultCard())}
 	res, err := rt.Execute(ctx, plan, q.baseRelation, sink, o)

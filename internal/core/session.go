@@ -188,9 +188,6 @@ func (e *Engine) query(ctx context.Context, q Query, opts []Option) (*Rows, erro
 	if err != nil {
 		return nil, err
 	}
-	if o.BatchTuples < 1 {
-		o.BatchTuples = o.Params.BatchTuples
-	}
 	child := e.meter.Child()
 	o.shared = &sharedRes{procs: e.procs, meter: child}
 
@@ -286,7 +283,7 @@ func (e *Engine) Close() error {
 // pushed is one result batch handed from the runtime to the cursor,
 // together with the release that returns it to the runtime's pool.
 type pushed struct {
-	tuples  []relation.Tuple
+	batch   *relation.Batch
 	release func()
 }
 
@@ -294,9 +291,9 @@ type pushed struct {
 // separate type keeps Push off the cursor's public API.)
 type querySink Rows
 
-func (s *querySink) Push(ctx context.Context, batch []relation.Tuple, release func()) error {
+func (s *querySink) Push(ctx context.Context, batch *relation.Batch, release func()) error {
 	select {
-	case s.ch <- pushed{tuples: batch, release: release}:
+	case s.ch <- pushed{batch: batch, release: release}:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -363,10 +360,10 @@ func (r *Rows) Next() bool {
 		r.mu.Unlock()
 		return false
 	}
-	if r.cur.tuples != nil {
-		if r.idx+1 < len(r.cur.tuples) {
+	if r.cur.batch != nil {
+		if r.idx+1 < r.cur.batch.Len() {
 			r.idx++
-			r.curTuple = r.cur.tuples[r.idx]
+			r.curTuple = r.cur.batch.Tuple(r.idx)
 			r.delivered = true
 			r.mu.Unlock()
 			return true
@@ -386,7 +383,7 @@ func (r *Rows) Next() bool {
 			r.finish()
 			return false
 		}
-		if len(p.tuples) == 0 {
+		if p.batch.Len() == 0 {
 			if p.release != nil {
 				p.release()
 			}
@@ -401,7 +398,7 @@ func (r *Rows) Next() bool {
 			return false
 		}
 		r.cur, r.idx = p, 0
-		r.curTuple = p.tuples[0]
+		r.curTuple = p.batch.Tuple(0)
 		r.delivered = true
 		r.mu.Unlock()
 		return true
@@ -532,11 +529,11 @@ func (r *Rows) All() (*relation.Relation, error) {
 	for {
 		r.mu.Lock()
 		closed, finished := r.closed, r.finished
-		if r.cur.tuples != nil {
+		if r.cur.batch != nil {
 			// Drain the rest of the current batch wholesale, starting
 			// after the tuple the cursor already delivered through
 			// Next/Tuple.
-			rel.Append(r.cur.tuples[r.idx+1:]...)
+			r.cur.batch.AppendRangeTo(rel, r.idx+1, r.cur.batch.Len())
 			release := r.cur.release
 			r.cur = pushed{}
 			r.mu.Unlock()
@@ -554,7 +551,7 @@ func (r *Rows) All() (*relation.Relation, error) {
 			r.finish()
 			break
 		}
-		rel.Append(p.tuples...)
+		p.batch.AppendTo(rel)
 		if p.release != nil {
 			p.release()
 		}

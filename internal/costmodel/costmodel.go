@@ -69,10 +69,13 @@ type Params struct {
 	// different processors. Local (same-processor) delivery is immediate.
 	NetLatency sim.Duration
 
-	// BatchTuples is the number of tuples per transport batch. It controls
-	// the granularity of pipelining: consumers see data only after a
-	// producer fills (or flushes) a batch, which is the source of the
-	// "delay over the pipeline".
+	// BatchTuples is the number of tuples per transport batch in the
+	// simulator's cost model. It controls the granularity of pipelining:
+	// consumers see data only after a producer fills (or flushes) a
+	// batch, which is the source of the "delay over the pipeline". The
+	// goroutine runtimes transport larger columnar vectors by default
+	// (parallel.DefaultBatchTuples); this parameter stays the paper's
+	// modeled batch size.
 	BatchTuples int
 
 	// RecordUtilization retains per-processor busy intervals so that

@@ -73,7 +73,7 @@ type Stats struct {
 // backpressure — or ctx is cancelled, in which case it returns the
 // context's error and keeps ownership of the batch.
 type Sink interface {
-	Push(ctx context.Context, batch []relation.Tuple, release func()) error
+	Push(ctx context.Context, batch *relation.Batch, release func()) error
 }
 
 // RunResult is the outcome of executing one plan.
@@ -319,9 +319,9 @@ func (e *engineState) setup(base func(leaf int) *relation.Relation) error {
 			e.collect.gathered.TupleBytes = rel.TupleBytes
 		}
 		os.estCard = rel.Card()
-		frags := relation.Fragment(rel, os.op.FragAttr, len(os.instances))
+		frags := relation.FragmentBatches(rel, os.op.FragAttr, len(os.instances))
 		for i, inst := range os.instances {
-			inst.scanTuples = frags[i].Tuples
+			inst.scanBatch = frags[i]
 		}
 	}
 	// Propagate cardinality estimates downstream (plan order lists

@@ -14,7 +14,7 @@ import (
 // out-of-order input.
 type item struct {
 	port   port
-	tuples []relation.Tuple
+	batch  *relation.Batch
 	eos    bool
 	remote bool
 	scan   bool
@@ -46,18 +46,22 @@ type instance struct {
 	buildDone bool
 	probeWait []item // probe batches buffered during the simple join's build phase
 
-	// Scan state.
-	scanTuples []relation.Tuple
+	// Scan state: the pre-placed base relation fragment in columnar form,
+	// and its per-batch views queued as scan items (chunk-at-a-time cost
+	// events without copying the fragment). Scan views stay out of the
+	// batch pool.
+	scanBatch  relation.Batch
+	scanChunks []relation.Batch
 
 	// scratch is the reusable join-result buffer: apply leaves results in
 	// it and the emit event copies them out before the next apply, so one
 	// buffer per instance suffices.
-	scratch []relation.Tuple
+	scratch relation.Batch
 
 	// Output batching: one pooled buffer per destination instance of the
 	// consumer edge (a nil buffer is replaced from the pool on first use
 	// after each flush).
-	outBufs [][]relation.Tuple
+	outBufs []*relation.Batch
 
 	// Collect state.
 	gathered *relation.Relation
@@ -119,16 +123,23 @@ func (in *instance) initState() {
 	switch in.op.op.Kind {
 	case xra.OpSimpleJoin:
 		in.simple = hashjoin.NewSimpleSized(in.spec(), hint)
+		in.scratch = *relation.NewBatch(2 * in.e.params.BatchTuples)
 	case xra.OpPipeJoin:
 		in.pipe = hashjoin.NewPipeliningSized(in.spec(), hint)
+		in.scratch = *relation.NewBatch(2 * in.e.params.BatchTuples)
 	case xra.OpScan:
 		b := in.e.params.BatchTuples
-		for lo := 0; lo < len(in.scanTuples); lo += b {
+		n := in.scanBatch.Len()
+		in.scanChunks = make([]relation.Batch, 0, (n+b-1)/b)
+		for lo := 0; lo < n; lo += b {
 			hi := lo + b
-			if hi > len(in.scanTuples) {
-				hi = len(in.scanTuples)
+			if hi > n {
+				hi = n
 			}
-			in.queue = append(in.queue, item{scan: true, tuples: in.scanTuples[lo:hi]})
+			in.scanChunks = append(in.scanChunks, in.scanBatch.View(lo, hi))
+		}
+		for k := range in.scanChunks {
+			in.queue = append(in.queue, item{scan: true, batch: &in.scanChunks[k]})
 		}
 	}
 	if c := in.op.consumer; c != nil {
@@ -136,7 +147,7 @@ func (in *instance) initState() {
 		if c.local {
 			n = 1
 		}
-		in.outBufs = make([][]relation.Tuple, n)
+		in.outBufs = make([]*relation.Batch, n)
 	}
 	if in.eosGot == nil {
 		in.eosGot = make(map[port]int)
@@ -205,7 +216,7 @@ func (in *instance) next() {
 		now := in.e.sim.Now()
 		_, end := in.proc.Acquire(now, cost, in.label)
 		in.e.sim.At(end, func() {
-			if len(results) > 0 {
+			if results != nil && results.Len() > 0 {
 				in.emit(results)
 			}
 			in.next()
@@ -216,36 +227,37 @@ func (in *instance) next() {
 
 // apply runs the operator logic on one item, returning the work in cost
 // units (Section 4.3: hash=1, net receive=1, result create+send=2) and any
-// result tuples to emit. Join results land in the instance's scratch
+// result batch to emit. Join results land in the instance's scratch
 // buffer, which the emit event consumes before the next apply; exhausted
-// input batches return to the batch pool (scan items are borrowed slices of
-// the base relation and stay out of the pool).
-func (in *instance) apply(it item) (units float64, results []relation.Tuple) {
-	n := float64(len(it.tuples))
+// input batches return to the batch pool (scan items are borrowed views of
+// the base relation fragment and stay out of the pool).
+func (in *instance) apply(it item) (units float64, results *relation.Batch) {
+	n := float64(it.batch.Len())
 	switch {
 	case it.scan:
 		units = n * in.e.params.ScanUnits
 		if c := in.op.consumer; c != nil && !c.local {
 			units += n * costmodel.UnitsResult / 2 // send over the network
 		}
-		results = it.tuples
+		results = it.batch
 	case in.op.op.Kind == xra.OpSimpleJoin && it.port == portBuild:
 		units = n * costmodel.UnitsHash
 		if it.remote {
 			units += n * costmodel.UnitsNetReceive
 		}
-		in.simple.Insert(it.tuples)
-		in.e.pool.Put(it.tuples)
+		in.simple.InsertBatch(it.batch)
+		in.e.pool.Put(it.batch)
 		in.e.addTableTuples(in.proc.ID, int(n))
 	case in.op.op.Kind == xra.OpSimpleJoin: // probe, build complete
-		in.scratch = in.simple.ProbeInto(in.scratch[:0], it.tuples)
-		in.e.pool.Put(it.tuples)
-		results = in.scratch
+		in.scratch.Reset()
+		in.simple.ProbeBatchInto(&in.scratch, it.batch)
+		in.e.pool.Put(it.batch)
+		results = &in.scratch
 		units = n * costmodel.UnitsHash
 		if it.remote {
 			units += n * costmodel.UnitsNetReceive
 		}
-		units += float64(len(results)) * costmodel.UnitsResult
+		units += float64(results.Len()) * costmodel.UnitsResult
 	case in.op.op.Kind == xra.OpPipeJoin:
 		// A pipelining-join tuple probes the other operand's table and —
 		// while that operand is still open — inserts into its own: two
@@ -258,13 +270,14 @@ func (in *instance) apply(it item) (units float64, results []relation.Tuple) {
 		otherClosed := in.pipe.SideClosed(!fromBuild)
 		bn, pn := in.pipe.Sizes()
 		otherEmpty := (fromBuild && pn == 0) || (!fromBuild && bn == 0)
+		in.scratch.Reset()
 		if fromBuild {
-			in.scratch = in.pipe.FromBuildSideInto(in.scratch[:0], it.tuples)
+			in.pipe.FromBuildSideBatchInto(&in.scratch, it.batch)
 		} else {
-			in.scratch = in.pipe.FromProbeSideInto(in.scratch[:0], it.tuples)
+			in.pipe.FromProbeSideBatchInto(&in.scratch, it.batch)
 		}
-		in.e.pool.Put(it.tuples)
-		results = in.scratch
+		in.e.pool.Put(it.batch)
+		results = &in.scratch
 		b1, p1 := in.pipe.Sizes()
 		in.e.addTableTuples(in.proc.ID, (b1+p1)-(bn+pn))
 		units = n * costmodel.UnitsHash
@@ -274,7 +287,7 @@ func (in *instance) apply(it item) (units float64, results []relation.Tuple) {
 		if it.remote {
 			units += n * costmodel.UnitsNetReceive
 		}
-		units += float64(len(results)) * costmodel.UnitsResult
+		units += float64(results.Len()) * costmodel.UnitsResult
 	case in.op.op.Kind == xra.OpCollect:
 		// Gathering at the scheduler host is free and identical for every
 		// strategy; the paper's response time excludes it.
@@ -286,61 +299,65 @@ func (in *instance) apply(it item) (units float64, results []relation.Tuple) {
 			// the event loop aborts at its next ctx check without further
 			// pushes.
 			if in.e.sinkErr == nil {
-				batch := it.tuples
+				batch := it.batch
+				cnt := batch.Len() // before Push: ownership transfers with it
 				err := in.e.sink.Push(in.e.ctx, batch, func() { in.e.pool.Put(batch) })
 				if err != nil {
 					in.e.sinkErr = err
 				} else {
-					in.e.pushed += len(batch)
+					in.e.pushed += cnt
 				}
 			}
 			break
 		}
-		in.gathered.Append(it.tuples...)
-		in.e.pool.Put(it.tuples)
+		it.batch.AppendTo(in.gathered)
+		in.e.pool.Put(it.batch)
 	}
 	return units, results
 }
 
 // emit routes result tuples into per-destination pooled buffers, flushing
 // batches the moment they are full so a pooled buffer never regrows past
-// its fixed capacity.
-func (in *instance) emit(results []relation.Tuple) {
+// its fixed capacity. The single-destination path is three bulk column
+// copies per chunk; redistribution hoists the routing key column and
+// scatters row-at-a-time over flat columns.
+func (in *instance) emit(results *relation.Batch) {
 	c := in.op.consumer
 	if c == nil {
 		return
 	}
+	n := results.Len()
 	bt := in.e.params.BatchTuples
 	if len(in.outBufs) == 1 {
-		buf := in.outBufs[0]
-		for len(results) > 0 {
+		for lo := 0; lo < n; {
+			buf := in.outBufs[0]
 			if buf == nil {
 				buf = in.e.pool.Get()
+				in.outBufs[0] = buf
 			}
-			n := bt - len(buf)
-			if n > len(results) {
-				n = len(results)
+			cnt := bt - buf.Len()
+			if cnt > n-lo {
+				cnt = n - lo
 			}
-			buf = append(buf, results[:n]...)
-			results = results[n:]
-			in.outBufs[0] = buf
-			if len(buf) == bt {
+			buf.AppendRange(results, lo, lo+cnt)
+			lo += cnt
+			if buf.Len() == bt {
 				in.flush(0)
-				buf = nil
 			}
 		}
 		return
 	}
-	m := len(in.outBufs)
-	for _, t := range results {
-		d := relation.HashKey(t.Get(c.route), m)
+	bk := relation.NewBucketer(len(in.outBufs))
+	keys := results.Col(c.route)
+	for i := 0; i < n; i++ {
+		d := bk.Bucket(keys[i])
 		buf := in.outBufs[d]
 		if buf == nil {
 			buf = in.e.pool.Get()
+			in.outBufs[d] = buf
 		}
-		buf = append(buf, t)
-		in.outBufs[d] = buf
-		if len(buf) == bt {
+		buf.Append(results.U1[i], results.U2[i], results.Check[i])
+		if buf.Len() == bt {
 			in.flush(d)
 		}
 	}
@@ -349,12 +366,12 @@ func (in *instance) emit(results []relation.Tuple) {
 // flush sends buffer d to its destination instance, with network latency
 // when crossing processors.
 func (in *instance) flush(d int) {
-	if len(in.outBufs[d]) == 0 {
+	buf := in.outBufs[d]
+	if buf == nil || buf.Len() == 0 {
 		return
 	}
 	c := in.op.consumer
 	dest := in.destInstance(d)
-	tuples := in.outBufs[d]
 	in.outBufs[d] = nil
 	remote := dest.proc != in.proc
 	var latency sim.Duration
@@ -366,13 +383,13 @@ func (in *instance) flush(d int) {
 	// transport statistics as well.
 	if c.to.op.Kind != xra.OpCollect {
 		if remote {
-			in.e.stats.TuplesMovedRemote += int64(len(tuples))
+			in.e.stats.TuplesMovedRemote += int64(buf.Len())
 		} else {
-			in.e.stats.TuplesLocal += int64(len(tuples))
+			in.e.stats.TuplesLocal += int64(buf.Len())
 		}
 		in.e.stats.Batches++
 	}
-	it := item{port: c.port, tuples: tuples, remote: remote}
+	it := item{port: c.port, batch: buf, remote: remote}
 	in.e.sim.After(latency, func() { dest.deliver(it) })
 }
 
@@ -402,13 +419,19 @@ func (in *instance) maybeFinish() {
 		return // cannot happen once build EOS arrived, defensive
 	}
 	in.finished = true
-	// Release hash-table memory held by this process.
+	// Release hash-table memory held by this process — the modeled bytes
+	// and, below, the real backing arrays, which the recycle pool hands to
+	// the joins still running.
 	switch {
 	case in.simple != nil:
 		in.e.addTableTuples(in.proc.ID, -in.simple.BuildSize())
+		in.simple.Release()
+		in.simple = nil
 	case in.pipe != nil:
 		bn, pn := in.pipe.Sizes()
 		in.e.addTableTuples(in.proc.ID, -(bn + pn))
+		in.pipe.Release()
+		in.pipe = nil
 	}
 	if c := in.op.consumer; c != nil {
 		for d := range in.outBufs {

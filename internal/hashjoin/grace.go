@@ -33,14 +33,19 @@ func gracePartition(v int64) int {
 // syscall, small enough to keep a spilled partition's residency negligible.
 const graceFlushTuples = 256
 
-// gracePart is one hash partition of one operand: an in-memory tuple buffer
-// and, once the partition has spilled, the overflow file. memBytes is the
-// buffer's contribution to the run's memory meter.
+// gracePart is one hash partition of one operand: an in-memory columnar
+// buffer and, once the partition has spilled, the overflow file. The
+// buffer's meter reservation is derived from its length (mem.Len() ×
+// TupleWireBytes), accounted batch-at-a-time as tuples arrive.
 type gracePart struct {
-	mem      []relation.Tuple
-	memBytes int64
-	file     *spill.File
-	tuples   int // total tuples in the partition (mem + file)
+	mem    relation.Batch
+	file   *spill.File
+	tuples int // total tuples in the partition (mem + file)
+}
+
+// memBytes is the partition's current resident meter reservation.
+func (p *gracePart) memBytes() int64 {
+	return int64(p.mem.Len()) * relation.TupleWireBytes
 }
 
 // Grace is the out-of-core join of the spill runtime: a Grace-style
@@ -64,6 +69,7 @@ type Grace struct {
 	pool  *relation.BatchPool
 	build [GraceFanout]gracePart
 	probe [GraceFanout]gracePart
+	heads []int32 // reusable probe scratch for Drain
 
 	// drainBytes is the meter reservation of the drain phase's rebuilt
 	// hash table (the spilled portion of the partition being re-read);
@@ -78,23 +84,33 @@ func NewGrace(spec Spec, meter *spill.Meter, dir string, pool *relation.BatchPoo
 }
 
 // AddBuild partitions a batch of build-operand tuples.
-func (g *Grace) AddBuild(batch []relation.Tuple) error {
+func (g *Grace) AddBuild(batch *relation.Batch) error {
 	return g.add(&g.build, g.spec.BuildAttr(), batch)
 }
 
 // AddProbe partitions a batch of probe-operand tuples.
-func (g *Grace) AddProbe(batch []relation.Tuple) error {
+func (g *Grace) AddProbe(batch *relation.Batch) error {
 	return g.add(&g.probe, g.spec.ProbeAttr(), batch)
 }
 
-func (g *Grace) add(side *[GraceFanout]gracePart, attr relation.Attr, batch []relation.Tuple) error {
-	for _, tp := range batch {
-		p := &side[gracePartition(tp.Get(attr))]
-		p.mem = append(p.mem, tp)
-		p.memBytes += relation.TupleWireBytes
+func (g *Grace) add(side *[GraceFanout]gracePart, attr relation.Attr, batch *relation.Batch) error {
+	n := batch.Len()
+	if n == 0 {
+		return nil
+	}
+	// Route the whole batch first — the key column is hoisted so the
+	// partition-index loop runs over a flat []int64 — then do the metering
+	// and flush checks once per batch instead of once per tuple.
+	keys := batch.Col(attr)
+	for i := 0; i < n; i++ {
+		p := &side[gracePartition(keys[i])]
+		p.mem.Append(batch.U1[i], batch.U2[i], batch.Check[i])
 		p.tuples++
-		g.meter.Add(relation.TupleWireBytes)
-		if p.file != nil && len(p.mem) >= graceFlushTuples {
+	}
+	g.meter.Add(int64(n) * relation.TupleWireBytes)
+	for i := range side {
+		p := &side[i]
+		if p.file != nil && p.mem.Len() >= graceFlushTuples {
 			// The partition already lives on disk: keep its resident tail
 			// bounded by flushing eagerly.
 			if err := g.flush(p); err != nil {
@@ -132,10 +148,10 @@ func (g *Grace) spillLargest() (bool, error) {
 	var victim *gracePart
 	for i := range g.build {
 		for _, p := range [2]*gracePart{&g.build[i], &g.probe[i]} {
-			if len(p.mem) == 0 || (p.file != nil && len(p.mem) < graceFlushTuples) {
+			if p.mem.Len() == 0 || (p.file != nil && p.mem.Len() < graceFlushTuples) {
 				continue
 			}
-			if victim == nil || len(p.mem) > len(victim.mem) {
+			if victim == nil || p.mem.Len() > victim.mem.Len() {
 				victim = p
 			}
 		}
@@ -149,7 +165,7 @@ func (g *Grace) spillLargest() (bool, error) {
 // flush appends a partition's resident tuples to its file (created on first
 // use) and releases their meter reservation.
 func (g *Grace) flush(p *gracePart) error {
-	if len(p.mem) == 0 {
+	if p.mem.Len() == 0 {
 		return nil
 	}
 	start := time.Now()
@@ -161,23 +177,22 @@ func (g *Grace) flush(p *gracePart) error {
 		p.file = f
 		g.meter.NotePartition()
 	}
-	n, err := p.file.Append(p.mem)
+	n, err := p.file.Append(&p.mem)
 	g.meter.NoteIO(time.Since(start))
 	if err != nil {
 		return err
 	}
 	g.meter.NoteSpill(n)
-	g.meter.Add(-p.memBytes)
-	p.memBytes = 0
-	p.mem = p.mem[:0]
+	g.meter.Add(-p.memBytes())
+	p.mem.Reset()
 	return nil
 }
 
 // Drain joins the buffered operands partition-at-a-time and hands result
-// chunks to emit. emit owns nothing: the chunk slice is reused between
-// calls, so it must forward (copy) the tuples before returning. Returning a
-// non-nil error (e.g. on cancellation) aborts the drain. Partition files
-// are closed and removed as they are consumed.
+// batches to emit. emit owns nothing: the batch is reused between calls, so
+// it must forward (copy) the tuples before returning. Returning a non-nil
+// error (e.g. on cancellation) aborts the drain. Partition files are closed
+// and removed as they are consumed.
 //
 // The drain phase's rebuilt hash table is accounted against the meter: the
 // spilled portion of the build partition being re-read is reserved while
@@ -186,24 +201,22 @@ func (g *Grace) flush(p *gracePart) error {
 // shed that memory — its residency is bounded structurally, by the largest
 // single partition (~1/GraceFanout of one operand per process); recursive
 // partitioning of oversized partitions remains the ROADMAP follow-up.
-func (g *Grace) Drain(emit func(results []relation.Tuple) error) error {
-	var scratch []relation.Tuple
+func (g *Grace) Drain(emit func(results *relation.Batch) error) error {
+	var scratch relation.Batch
 	for i := range g.build {
 		bp, pp := &g.build[i], &g.probe[i]
 		// Reserve the file-resident part of the build partition: rebuilding
 		// its hash table makes those tuples memory-resident again. The
 		// in-memory tail (bp.memBytes) is already on the meter.
-		if fileBytes := int64(bp.tuples)*relation.TupleWireBytes - bp.memBytes; fileBytes > 0 {
+		if fileBytes := int64(bp.tuples)*relation.TupleWireBytes - bp.memBytes(); fileBytes > 0 {
 			g.meter.Add(fileBytes)
 			g.drainBytes = fileBytes
 		}
 		table := NewTableSized(g.spec.BuildAttr(), bp.tuples)
 		if bp.file != nil {
 			start := time.Now()
-			err := bp.file.ReadBatches(g.pool, func(batch []relation.Tuple) error {
-				for _, tp := range batch {
-					table.Insert(tp)
-				}
+			err := bp.file.ReadBatches(g.pool, func(batch *relation.Batch) error {
+				table.InsertBatch(batch)
 				return nil
 			})
 			g.meter.NoteIO(time.Since(start))
@@ -211,21 +224,14 @@ func (g *Grace) Drain(emit func(results []relation.Tuple) error) error {
 				return err
 			}
 		}
-		for _, tp := range bp.mem {
-			table.Insert(tp)
-		}
-		probeChunk := func(batch []relation.Tuple) error {
-			scratch = scratch[:0]
-			pa := g.spec.ProbeAttr()
-			for _, tp := range batch {
-				for e := table.First(tp.Get(pa)); e >= 0; e = table.Next(e) {
-					scratch = append(scratch, g.spec.Result(table.At(e), tp))
-				}
-			}
-			if len(scratch) == 0 {
+		table.InsertBatchRadix(&bp.mem)
+		probeChunk := func(batch *relation.Batch) error {
+			scratch.Reset()
+			g.heads = probeBatch(&scratch, table, batch, g.spec.ProbeAttr(), !g.spec.BuildIsLower, g.heads)
+			if scratch.Len() == 0 {
 				return nil
 			}
-			return emit(scratch)
+			return emit(&scratch)
 		}
 		if pp.file != nil {
 			start := time.Now()
@@ -235,9 +241,10 @@ func (g *Grace) Drain(emit func(results []relation.Tuple) error) error {
 				return err
 			}
 		}
-		if err := probeChunk(pp.mem); err != nil {
+		if err := probeChunk(&pp.mem); err != nil {
 			return err
 		}
+		table.Release() // next partition's table reuses the memory
 		g.releaseDrain()
 		g.releasePart(bp)
 		g.releasePart(pp)
@@ -256,9 +263,8 @@ func (g *Grace) releaseDrain() {
 // releasePart returns a consumed partition's memory reservation and closes
 // its file.
 func (g *Grace) releasePart(p *gracePart) {
-	g.meter.Add(-p.memBytes)
-	p.memBytes = 0
-	p.mem = nil
+	g.meter.Add(-p.memBytes())
+	p.mem = relation.Batch{}
 	if p.file != nil {
 		p.file.Close()
 		p.file = nil

@@ -32,6 +32,14 @@ func graceOperands(seed int64, buildCard, probeCard int) (build, probe *relation
 	return build, probe
 }
 
+// batchOf transposes row-form tuples into a fresh columnar batch — the
+// shape Grace's Add methods take.
+func batchOf(ts []relation.Tuple) *relation.Batch {
+	b := relation.NewBatch(len(ts))
+	b.AppendTuples(ts)
+	return b
+}
+
 // runGrace joins the operands with a Grace join under the given budget,
 // feeding both sides in interleaved batches, and returns the result plus
 // how many partitions spilled.
@@ -47,14 +55,14 @@ func runGrace(t *testing.T, build, probe *relation.Relation, budget int64) (*rel
 	for bi < build.Card() || pi < probe.Card() {
 		if bi < build.Card() {
 			hi := min(bi+chunk, build.Card())
-			if err := g.AddBuild(build.Tuples[bi:hi]); err != nil {
+			if err := g.AddBuild(batchOf(build.Tuples[bi:hi])); err != nil {
 				t.Fatal(err)
 			}
 			bi = hi
 		}
 		if pi < probe.Card() {
 			hi := min(pi+chunk, probe.Card())
-			if err := g.AddProbe(probe.Tuples[pi:hi]); err != nil {
+			if err := g.AddProbe(batchOf(probe.Tuples[pi:hi])); err != nil {
 				t.Fatal(err)
 			}
 			pi = hi
@@ -62,8 +70,8 @@ func runGrace(t *testing.T, build, probe *relation.Relation, budget int64) (*rel
 	}
 	sb, sp := g.SpilledSides()
 	out := relation.New("grace", build.TupleBytes)
-	if err := g.Drain(func(results []relation.Tuple) error {
-		out.Append(results...) // Append copies; the chunk may be reused
+	if err := g.Drain(func(results *relation.Batch) error {
+		results.AppendTo(out) // AppendTo copies; the chunk may be reused
 		return nil
 	}); err != nil {
 		t.Fatal(err)
@@ -110,14 +118,14 @@ func TestGraceMatchesPipelining(t *testing.T) {
 	dir := t.TempDir()
 	g := NewGrace(spec, spill.NewMeter(1<<11), dir, relation.NewBatchPool(32, 64))
 	defer g.Close()
-	if err := g.AddBuild(build.Tuples); err != nil {
+	if err := g.AddBuild(batchOf(build.Tuples)); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.AddProbe(probe.Tuples); err != nil {
+	if err := g.AddProbe(batchOf(probe.Tuples)); err != nil {
 		t.Fatal(err)
 	}
 	got := relation.New("grace", build.TupleBytes)
-	if err := g.Drain(func(rs []relation.Tuple) error { got.Append(rs...); return nil }); err != nil {
+	if err := g.Drain(func(rs *relation.Batch) error { rs.AppendTo(got); return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if diff := relation.DiffMultiset(got, want); diff != "" {
@@ -132,16 +140,16 @@ func TestGraceDrainRemovesFiles(t *testing.T) {
 	dir := t.TempDir()
 	meter := spill.NewMeter(1 << 10)
 	g := NewGrace(Spec{BuildIsLower: true}, meter, dir, relation.NewBatchPool(32, 64))
-	if err := g.AddBuild(build.Tuples); err != nil {
+	if err := g.AddBuild(batchOf(build.Tuples)); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.AddProbe(probe.Tuples); err != nil {
+	if err := g.AddProbe(batchOf(probe.Tuples)); err != nil {
 		t.Fatal(err)
 	}
 	if meter.Partitions() == 0 {
 		t.Fatal("tiny budget created no spill partitions")
 	}
-	if err := g.Drain(func([]relation.Tuple) error { return nil }); err != nil {
+	if err := g.Drain(func(*relation.Batch) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	g.Close()

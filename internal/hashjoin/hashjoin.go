@@ -30,7 +30,12 @@
 // paper's projection step demands.
 package hashjoin
 
-import "multijoin/internal/relation"
+import (
+	"math/bits"
+	"sync"
+
+	"multijoin/internal/relation"
+)
 
 // Spec fixes the roles of the two operands of one binary join. Build is the
 // operand a simple hash-join builds its table from (the paper's "left"
@@ -77,37 +82,50 @@ func (s Spec) Result(build, probe relation.Tuple) relation.Tuple {
 	}
 }
 
-// nilIndex terminates entry chains and marks free slots.
-const nilIndex = -1
-
 // minSlots keeps the slot array non-empty so the probe loop needs no
 // emptiness check.
 const minSlots = 16
 
-// entry is one arena cell: a stored tuple plus the arena index of the next
-// tuple with the same key (duplicate chain), or nilIndex.
-type entry struct {
-	tuple relation.Tuple
-	next  int32
-}
+// RadixBuildMinTuples is the batch size from which a bulk insert
+// (InsertBatchRadix) partitions its rows by destination slot before
+// inserting: below it the slot array fits in cache and the scatter order is
+// irrelevant; above it slot-ordered insertion turns random slot-array
+// writes into near-sequential ones.
+const RadixBuildMinTuples = 1 << 14
+
+// radixBuckets is the fan-out of the slot-ordered bulk insert.
+const radixBuckets = 256
 
 // Table is an in-memory hash table over one join attribute: an
 // open-addressing slot array (linear probing, power-of-two size, no
-// tombstones — the table only ever grows) whose slots point into a tuple
-// arena. Duplicate keys chain inside the arena, so one slot per distinct
-// key. Steady-state Insert performs no per-key allocation; growth doubles
-// the slot array and re-seats slot heads without touching the arena.
+// tombstones — the table only ever grows) whose slots point into a
+// columnar tuple arena (parallel u1/u2/check columns plus a next column
+// for duplicate chains), so one slot per distinct key and three flat
+// []int64-shaped arrays for the probe loops to stream over. Steady-state
+// Insert performs no per-key allocation; growth doubles the slot array and
+// re-seats slot heads without touching the arena.
+//
+// Slot heads and chain links store arena index + 1, with 0 meaning
+// empty/end-of-chain: the zero value of a freshly made slot array is
+// already "all empty", so neither construction nor growth pays a fill
+// loop. The exported First/Next/At iteration API keeps its historical
+// 0-based indices with negative meaning "none".
 //
 // Sizing the table from the operand's declared cardinality (NewTableSized)
 // avoids rehash churn entirely — the PRISMA/DB setting, where scans declare
 // their fragment sizes up front.
 type Table struct {
-	attr    relation.Attr
-	keys    []int64 // keys[s] is meaningful only when head[s] != nilIndex
-	head    []int32 // slot -> first arena entry of the key's chain
-	entries []entry // tuple arena, insertion-ordered
-	used    int     // occupied slots (distinct keys)
-	mask    uint64
+	attr relation.Attr
+	keys []int64 // keys[s] is meaningful only when head[s] != 0
+	head []int32 // slot -> arena index+1 of the key's chain head; 0 = empty
+	// Columnar arena, insertion-ordered. next[i] is the arena index+1 of
+	// the next tuple with the same key, 0 at the end of the chain.
+	u1    []int64
+	u2    []int64
+	check []uint64
+	next  []int32
+	used  int // occupied slots (distinct keys)
+	mask  uint64
 }
 
 // hashKey mixes a join-attribute value for slot addressing (same multiplier
@@ -122,67 +140,197 @@ func hashKey(k int64) uint64 {
 // for small inputs. Use NewTableSized when the cardinality is known.
 func NewTable(attr relation.Attr) *Table { return NewTableSized(attr, 0) }
 
+// tableMem is the recyclable backing memory of one Table: the slot arrays
+// of one power-of-two slot class plus the arena columns that grew on top of
+// them. Join tables are born and die with every operation process, so
+// recycling their backing store removes the dominant allocation (and the
+// page-zeroing that comes with it) from the per-query cost.
+type tableMem struct {
+	keys  []int64
+	head  []int32
+	u1    []int64
+	u2    []int64
+	check []uint64
+	next  []int32
+}
+
+// tablePools recycles table backing memory by slot class; index i holds
+// memory whose slot arrays have exactly 1<<i slots. sync.Pool keeps the
+// recycling GC-aware: an idle process drops the hoard on the next cycle.
+var tablePools [33]sync.Pool
+
+// Release returns the table's backing memory to the recycle pool and
+// leaves the table unusable. Only the owner that created the table may
+// release it, and must not touch the table — or any tuple slice previously
+// returned by Matches, which aliases the arena — afterwards.
+func (t *Table) Release() {
+	slots := len(t.head)
+	if slots == 0 {
+		return
+	}
+	m := &tableMem{
+		keys:  t.keys,
+		head:  t.head,
+		u1:    t.u1[:0],
+		u2:    t.u2[:0],
+		check: t.check[:0],
+		next:  t.next[:0],
+	}
+	t.keys, t.head = nil, nil
+	t.u1, t.u2, t.check, t.next = nil, nil, nil, nil
+	t.used, t.mask = 0, 0
+	tablePools[bits.TrailingZeros(uint(slots))].Put(m)
+}
+
 // NewTableSized returns an empty hash table keyed on the given attribute
-// with capacity for hint tuples before any growth.
+// with capacity for hint tuples before any growth, reusing released
+// backing memory of the same slot class when available.
 func NewTableSized(attr relation.Attr, hint int) *Table {
 	slots := minSlots
 	for slots*3 < hint*4 { // keep load factor under 3/4 at hint tuples
 		slots *= 2
 	}
-	t := &Table{
-		attr: attr,
-		keys: make([]int64, slots),
-		head: make([]int32, slots),
-		mask: uint64(slots - 1),
+	t := &Table{attr: attr, mask: uint64(slots - 1)}
+	if m, _ := tablePools[bits.TrailingZeros(uint(slots))].Get().(*tableMem); m != nil {
+		// Only the chain heads must read as empty; keys[s] is never read
+		// while head[s] == 0, so the stale keys need no clearing.
+		for i := range m.head {
+			m.head[i] = 0
+		}
+		t.keys, t.head = m.keys, m.head
+		t.u1, t.u2, t.check, t.next = m.u1, m.u2, m.check, m.next
+	} else {
+		t.keys = make([]int64, slots)
+		t.head = make([]int32, slots)
 	}
-	if hint > 0 {
-		t.entries = make([]entry, 0, hint)
-	}
-	for i := range t.head {
-		t.head[i] = nilIndex
+	if hint > 0 && cap(t.u1) < hint {
+		t.u1 = make([]int64, 0, hint)
+		t.u2 = make([]int64, 0, hint)
+		t.check = make([]uint64, 0, hint)
+		t.next = make([]int32, 0, hint)
 	}
 	return t
 }
 
 // Insert adds a tuple.
 func (t *Table) Insert(tp relation.Tuple) {
-	k := tp.Get(t.attr)
-	s := hashKey(k) & t.mask
-	for t.head[s] != nilIndex {
+	t.insert(tp.Get(t.attr), tp.Unique1, tp.Unique2, tp.Check)
+}
+
+// insert adds one row given its key and column values.
+func (t *Table) insert(k, u1v, u2v int64, ck uint64) {
+	t.insertHashed(hashKey(k), k, u1v, u2v, ck)
+}
+
+// insertHashed is insert with the key hash precomputed (the radix bulk
+// insert hashes once for bucketing and reuses it here).
+func (t *Table) insertHashed(h uint64, k, u1v, u2v int64, ck uint64) {
+	s := h & t.mask
+	for t.head[s] != 0 {
 		if t.keys[s] == k {
-			t.entries = append(t.entries, entry{tuple: tp, next: t.head[s]})
-			t.head[s] = int32(len(t.entries) - 1)
+			t.pushRow(u1v, u2v, ck, t.head[s])
+			t.head[s] = int32(len(t.u1))
 			return
 		}
 		s = (s + 1) & t.mask
 	}
-	t.entries = append(t.entries, entry{tuple: tp, next: nilIndex})
+	t.pushRow(u1v, u2v, ck, 0)
 	t.keys[s] = k
-	t.head[s] = int32(len(t.entries) - 1)
+	t.head[s] = int32(len(t.u1))
 	t.used++
 	if t.used*4 > len(t.head)*3 {
-		t.grow()
+		t.grow(len(t.head) * 2)
 	}
 }
 
-// grow doubles the slot array and re-seats every chain head. The arena and
-// its chains are untouched: only the distinct keys rehash.
-func (t *Table) grow() {
+// pushRow appends one arena row.
+func (t *Table) pushRow(u1v, u2v int64, ck uint64, next int32) {
+	t.u1 = append(t.u1, u1v)
+	t.u2 = append(t.u2, u2v)
+	t.check = append(t.check, ck)
+	t.next = append(t.next, next)
+}
+
+// InsertBatch adds every tuple of a columnar batch: the key column is read
+// in one tight loop, the other columns are scattered into the arena.
+func (t *Table) InsertBatch(b *relation.Batch) {
+	keys := b.Col(t.attr)
+	for i, k := range keys {
+		t.insert(k, b.U1[i], b.U2[i], b.Check[i])
+	}
+}
+
+// InsertBatchRadix is InsertBatch with a radix-partitioned build for large
+// batches: rows are bucketed by the slot range their key hashes into
+// (counting sort over the key column) and inserted bucket-by-bucket, so
+// writes to the slot array proceed nearly sequentially instead of striding
+// randomly across a table that no longer fits in cache. Small batches fall
+// through to the plain insert loop.
+func (t *Table) InsertBatchRadix(b *relation.Batch) {
+	n := b.Len()
+	if n < RadixBuildMinTuples {
+		t.InsertBatch(b)
+		return
+	}
+	// Pre-grow so no rehash happens mid-build (growth would remap the
+	// slot ranges the buckets were computed from).
+	t.reserve(len(t.u1) + n)
+	shift := 0
+	for s := len(t.head) / radixBuckets; s > 1; s >>= 1 {
+		shift++
+	}
+	keys := b.Col(t.attr)
+	hashes := make([]uint64, n)
+	var counts [radixBuckets]int32
+	for i, k := range keys {
+		h := hashKey(k)
+		hashes[i] = h
+		counts[(h&t.mask)>>shift]++
+	}
+	starts := make([]int32, radixBuckets)
+	var sum int32
+	for bkt, c := range counts {
+		starts[bkt] = sum
+		sum += c
+	}
+	order := make([]int32, n)
+	for i, h := range hashes {
+		bkt := (h & t.mask) >> shift
+		order[starts[bkt]] = int32(i)
+		starts[bkt]++
+	}
+	for _, i := range order {
+		t.insertHashed(hashes[i], keys[i], b.U1[i], b.U2[i], b.Check[i])
+	}
+}
+
+// reserve grows the slot array until total tuples fit under the 3/4 load
+// factor without further growth.
+func (t *Table) reserve(total int) {
+	slots := len(t.head)
+	for slots*3 < total*4 {
+		slots *= 2
+	}
+	if slots > len(t.head) {
+		t.grow(slots)
+	}
+}
+
+// grow re-seats every chain head into a larger slot array. The arena and
+// its chains are untouched: only the distinct keys rehash. The new arrays
+// come zero-initialized from make, and 0 already means "empty slot".
+func (t *Table) grow(slots int) {
 	oldKeys, oldHead := t.keys, t.head
-	slots := len(oldHead) * 2
 	t.keys = make([]int64, slots)
 	t.head = make([]int32, slots)
 	t.mask = uint64(slots - 1)
-	for i := range t.head {
-		t.head[i] = nilIndex
-	}
 	for s, h := range oldHead {
-		if h == nilIndex {
+		if h == 0 {
 			continue
 		}
 		k := oldKeys[s]
 		d := hashKey(k) & t.mask
-		for t.head[d] != nilIndex {
+		for t.head[d] != 0 {
 			d = (d + 1) & t.mask
 		}
 		t.keys[d] = k
@@ -201,21 +349,67 @@ func (t *Table) grow() {
 // The loop allocates nothing.
 func (t *Table) First(k int64) int32 {
 	s := hashKey(k) & t.mask
-	for t.head[s] != nilIndex {
+	for t.head[s] != 0 {
 		if t.keys[s] == k {
-			return t.head[s]
+			return t.head[s] - 1
 		}
 		s = (s + 1) & t.mask
 	}
-	return nilIndex
+	return -1
 }
 
 // Next returns the arena index of the next tuple with the same key as entry
 // i, or a negative index at the end of the chain.
-func (t *Table) Next(i int32) int32 { return t.entries[i].next }
+func (t *Table) Next(i int32) int32 { return t.next[i] - 1 }
 
 // At returns the tuple stored at arena index i.
-func (t *Table) At(i int32) relation.Tuple { return t.entries[i].tuple }
+func (t *Table) At(i int32) relation.Tuple {
+	return relation.Tuple{Unique1: t.u1[i], Unique2: t.u2[i], Check: t.check[i]}
+}
+
+// probeBatch streams a whole columnar batch through t — the vectorized
+// probe every hot loop uses. Phase one hashes the batch's pa column in one
+// tight loop, resolving each key to its chain head (index+1; 0 = no
+// match); phase two walks the duplicate chains and appends result tuples
+// column-wise to dst. probeIsLower orients the result: the paper's chain
+// join emits (lower.Unique1, higher.Unique2, combined check) regardless of
+// which operand built the table. heads is the caller's reusable scratch
+// (returned re-sliced so it can grow once and be reused).
+func probeBatch(dst *relation.Batch, t *Table, b *relation.Batch, pa relation.Attr, probeIsLower bool, heads []int32) []int32 {
+	keys := b.Col(pa)
+	heads = heads[:0]
+	mask := t.mask
+	for _, k := range keys {
+		s := hashKey(k) & mask
+		var e int32
+		for t.head[s] != 0 {
+			if t.keys[s] == k {
+				e = t.head[s]
+				break
+			}
+			s = (s + 1) & mask
+		}
+		heads = append(heads, e)
+	}
+	if probeIsLower {
+		for i, e := range heads {
+			for e != 0 {
+				j := e - 1
+				dst.Append(b.U1[i], t.u2[j], relation.CombineChecks(b.Check[i], t.check[j]))
+				e = t.next[j]
+			}
+		}
+	} else {
+		for i, e := range heads {
+			for e != 0 {
+				j := e - 1
+				dst.Append(t.u1[j], b.U2[i], relation.CombineChecks(t.check[j], b.Check[i]))
+				e = t.next[j]
+			}
+		}
+	}
+	return heads
+}
 
 // Matches returns the tuples whose key attribute equals k (nil if none).
 // It allocates a fresh slice per call; hot paths iterate First/Next instead.
@@ -228,7 +422,7 @@ func (t *Table) Matches(k int64) []relation.Tuple {
 }
 
 // Len returns the number of inserted tuples.
-func (t *Table) Len() int { return len(t.entries) }
+func (t *Table) Len() int { return len(t.u1) }
 
 // Attr returns the key attribute.
 func (t *Table) Attr() relation.Attr { return t.attr }
@@ -237,6 +431,7 @@ func (t *Table) Attr() relation.Attr { return t.attr }
 type Simple struct {
 	spec  Spec
 	table *Table
+	heads []int32 // probeBatch scratch
 }
 
 // NewSimple returns a fresh simple hash-join. Use NewSimpleSized when the
@@ -258,6 +453,11 @@ func (j *Simple) Insert(batch []relation.Tuple) {
 		j.table.Insert(tp)
 	}
 }
+
+// InsertBatch consumes a columnar batch of build-operand tuples, with a
+// radix-partitioned build when the batch is large (one-shot builds from a
+// materialized operand or a Grace partition).
+func (j *Simple) InsertBatch(b *relation.Batch) { j.table.InsertBatchRadix(b) }
 
 // BuildSize returns the number of tuples in the hash table.
 func (j *Simple) BuildSize() int { return j.table.Len() }
@@ -284,6 +484,18 @@ func (j *Simple) Probe(batch []relation.Tuple) []relation.Tuple {
 	return j.ProbeInto(nil, batch)
 }
 
+// ProbeBatchInto streams a whole columnar batch of probe-operand tuples
+// through the (complete) hash table, appending result tuples to dst — the
+// vectorized two-phase probe (hash the key column, then resolve matches)
+// the runtimes' hot loops use.
+func (j *Simple) ProbeBatchInto(dst, b *relation.Batch) {
+	j.heads = probeBatch(dst, j.table, b, j.spec.ProbeAttr(), !j.spec.BuildIsLower, j.heads)
+}
+
+// Release recycles the join's table memory. The join, and any tuple slice
+// previously returned by reference, must not be used afterwards.
+func (j *Simple) Release() { j.table.Release() }
+
 // Pipelining is the state of one pipelining (symmetric) hash-join instance.
 //
 // As an optimization, an operand's tuples are inserted into that operand's
@@ -299,6 +511,7 @@ type Pipelining struct {
 	probeTable  *Table // tuples seen on the probe side
 	buildClosed bool
 	probeClosed bool
+	heads       []int32 // probeBatch scratch
 }
 
 // NewPipelining returns a fresh pipelining hash-join. Use NewPipeliningSized
@@ -341,6 +554,19 @@ func (j *Pipelining) FromBuildSide(batch []relation.Tuple) []relation.Tuple {
 	return j.FromBuildSideInto(nil, batch)
 }
 
+// FromBuildSideBatchInto consumes a columnar batch arriving on the build
+// operand: the whole batch probes the probe-side table (vectorized
+// two-phase probe, matches appended to dst) and, while the probe operand is
+// still open, is bulk-inserted into the build-side table. Probing before
+// inserting is equivalent to the per-tuple interleave because the two
+// tables index different operands.
+func (j *Pipelining) FromBuildSideBatchInto(dst, b *relation.Batch) {
+	j.heads = probeBatch(dst, j.probeTable, b, j.spec.BuildAttr(), j.spec.BuildIsLower, j.heads)
+	if !j.probeClosed {
+		j.buildTable.InsertBatch(b)
+	}
+}
+
 // FromProbeSideInto consumes a batch arriving on the probe operand,
 // symmetrically to FromBuildSideInto.
 func (j *Pipelining) FromProbeSideInto(dst, batch []relation.Tuple) []relation.Tuple {
@@ -362,6 +588,15 @@ func (j *Pipelining) FromProbeSide(batch []relation.Tuple) []relation.Tuple {
 	return j.FromProbeSideInto(nil, batch)
 }
 
+// FromProbeSideBatchInto consumes a columnar batch arriving on the probe
+// operand, symmetrically to FromBuildSideBatchInto.
+func (j *Pipelining) FromProbeSideBatchInto(dst, b *relation.Batch) {
+	j.heads = probeBatch(dst, j.buildTable, b, j.spec.ProbeAttr(), !j.spec.BuildIsLower, j.heads)
+	if !j.buildClosed {
+		j.probeTable.InsertBatch(b)
+	}
+}
+
 // CloseBuildSide declares the build operand ended: probe-side tuples stop
 // being inserted (one table action per tuple instead of two).
 func (j *Pipelining) CloseBuildSide() { j.buildClosed = true }
@@ -381,6 +616,13 @@ func (j *Pipelining) SideClosed(build bool) bool {
 // tables; the pipelining algorithm's extra memory cost is their sum.
 func (j *Pipelining) Sizes() (build, probe int) {
 	return j.buildTable.Len(), j.probeTable.Len()
+}
+
+// Release recycles both tables' memory. The join, and any tuple slice
+// previously returned by reference, must not be used afterwards.
+func (j *Pipelining) Release() {
+	j.buildTable.Release()
+	j.probeTable.Release()
 }
 
 // Join runs a complete join of two materialized relations with the given
@@ -419,7 +661,13 @@ func Join(build, probe *relation.Relation, spec Spec, pipelined bool) *relation.
 		return out
 	}
 	j := NewSimpleSized(spec, build.Card())
-	j.Insert(build.Tuples)
-	out.Append(j.Probe(probe.Tuples)...)
+	// One-shot build from a materialized operand: transpose to columns and
+	// take the radix-partitioned bulk-insert path, then probe batch-wise.
+	var bb, pb, res relation.Batch
+	bb.AppendTuples(build.Tuples)
+	j.InsertBatch(&bb)
+	pb.AppendTuples(probe.Tuples)
+	j.ProbeBatchInto(&res, &pb)
+	res.AppendTo(out)
 	return out
 }

@@ -69,7 +69,7 @@ func HostCap(procs int) int {
 // batch — streaming backpressure — or ctx is cancelled, in which case it
 // returns the context's error and keeps ownership of the batch.
 type Sink interface {
-	Push(ctx context.Context, batch []relation.Tuple, release func()) error
+	Push(ctx context.Context, batch *relation.Batch, release func()) error
 }
 
 // sharedQueueDepth is the buffered capacity of each shared run queue. A
@@ -192,9 +192,22 @@ type Config struct {
 }
 
 // Defaults for Config zero values.
+//
+// DefaultBatchTuples is the transport vector size of the goroutine
+// runtimes, deliberately larger than the simulator's cost-model granularity
+// (costmodel.Params.BatchTuples): every batch send costs a fixed number of
+// channel operations and a run-queue handshake, so with columnar batches
+// the per-batch overhead amortizes over 4x more tuples while a batch still
+// stays a few KB of cache-warm columns.
+// DefaultSpillBatchTuples is the transport vector size of memory-budgeted
+// (out-of-core) runs. Pooled batches are metered against the run's budget,
+// so smaller vectors keep the accounting granularity — and the residency a
+// blocked stream pins — fine enough for tight budgets to keep their
+// meaning.
 const (
-	DefaultBatchTuples  = 64
-	DefaultChannelDepth = 4
+	DefaultBatchTuples      = 256
+	DefaultSpillBatchTuples = 64
+	DefaultChannelDepth     = 4
 )
 
 func (c Config) withDefaults(plan *xra.Plan) Config {
@@ -207,7 +220,11 @@ func (c Config) withDefaults(plan *xra.Plan) Config {
 		}
 	}
 	if c.BatchTuples < 1 {
-		c.BatchTuples = DefaultBatchTuples
+		if c.MemoryBudget > 0 || c.Meter != nil {
+			c.BatchTuples = DefaultSpillBatchTuples
+		} else {
+			c.BatchTuples = DefaultBatchTuples
+		}
 	}
 	if c.ChannelDepth < 1 {
 		c.ChannelDepth = DefaultChannelDepth
@@ -280,9 +297,9 @@ const (
 // end-of-stream marker for one port. Data batches are pool-owned: the
 // consumer that applies one returns it to the run's BatchPool.
 type item struct {
-	port   port
-	tuples []relation.Tuple
-	eos    bool
+	port  port
+	batch *relation.Batch
+	eos   bool
 }
 
 // task is one unit of operator work on a run queue: the process requesting
@@ -296,7 +313,7 @@ type task struct {
 // stream is one tuple stream: a buffered channel from one producer process
 // to one consumer process. Closing the channel ends the stream.
 type stream struct {
-	ch     chan []relation.Tuple
+	ch     chan *relation.Batch
 	port   port
 	remote bool // producer and consumer bound to different processor ids
 }
@@ -561,9 +578,9 @@ func (r *runtimeState) setup(base func(leaf int) *relation.Relation) error {
 			tupleBytes = rel.TupleBytes
 		}
 		os.estCard = rel.Card()
-		frags := relation.Fragment(rel, os.op.FragAttr, len(os.instances))
+		frags := relation.FragmentBatches(rel, os.op.FragAttr, len(os.instances))
 		for i, w := range os.instances {
-			w.scanTuples = frags[i].Tuples
+			w.scanBatch = frags[i]
 		}
 	}
 	// Propagate cardinality estimates downstream (plan order lists
@@ -611,7 +628,7 @@ func (r *runtimeState) setup(base func(leaf int) *relation.Relation) error {
 					dest.incoming = append(dest.incoming, s)
 				}
 			}
-			w.outBufs = make([][]relation.Tuple, len(w.outs))
+			w.outBufs = make([]*relation.Batch, len(w.outs))
 		}
 	}
 	// End-of-stream accounting and mailboxes: every incoming stream
@@ -644,7 +661,7 @@ func queueIndex(proc, n int) int {
 
 func (r *runtimeState) newStream(p port, fromProc, toProc, depth int) *stream {
 	return &stream{
-		ch:     make(chan []relation.Tuple, depth),
+		ch:     make(chan *relation.Batch, depth),
 		port:   p,
 		remote: fromProc != toProc,
 	}
@@ -714,7 +731,7 @@ func (r *runtimeState) launch() {
 								return
 							}
 							select {
-							case w.mailbox <- item{port: s.port, tuples: b}:
+							case w.mailbox <- item{port: s.port, batch: b}:
 							case <-done:
 								return
 							}

@@ -25,7 +25,7 @@ type inst struct {
 	// exactly one goroutine touches it at a time.
 	queue    chan task
 	taskDone chan struct{}
-	scratch  []relation.Tuple
+	scratch  relation.Batch
 
 	// Input side.
 	mailbox  chan item
@@ -44,14 +44,14 @@ type inst struct {
 	buildDone bool
 	probeWait []item // probe batches buffered during the simple join's build phase
 
-	// Scan state.
-	scanTuples []relation.Tuple
+	// Scan state: the pre-placed base relation fragment in columnar form.
+	scanBatch relation.Batch
 
 	// Output side: one stream and one pooled batch buffer per destination
 	// process (a single destination on local edges). A nil buffer is
 	// replaced from the pool on first use after each flush.
 	outs    []*stream
-	outBufs [][]relation.Tuple
+	outBufs []*relation.Batch
 
 	// Collect state.
 	gathered *relation.Relation
@@ -107,7 +107,7 @@ func (w *inst) run() {
 		// the worker goroutine, not the processor dispatcher — it may
 		// block on file I/O and on downstream channel sends, and blocked
 		// processes must not occupy a processor.
-		err := w.grace.Drain(func(results []relation.Tuple) error {
+		err := w.grace.Drain(func(results *relation.Batch) error {
 			w.emit(results)
 			return w.r.ctx.Err()
 		})
@@ -135,7 +135,13 @@ func (w *inst) initState() {
 		w.simple = hashjoin.NewSimpleSized(spec, hint)
 	case xra.OpPipeJoin:
 		w.pipe = hashjoin.NewPipeliningSized(spec, hint)
+	default:
+		return
 	}
+	// Probing a full transport batch produces about one match per row on
+	// the chain queries; presizing the result scratch to twice that keeps
+	// steady-state probes from regrowing it column by column.
+	w.scratch = *relation.NewBatch(2 * w.r.cfg.BatchTuples)
 }
 
 // allEOS reports whether every incoming stream has delivered its
@@ -202,13 +208,13 @@ func (w *inst) handle(it item) bool {
 			return false
 		}
 		if it.port == portProbe {
-			w.emit(w.scratch)
+			w.emit(&w.scratch)
 		}
 	case xra.OpPipeJoin:
 		if !w.dispatch(it) {
 			return false
 		}
-		w.emit(w.scratch)
+		w.emit(&w.scratch)
 	case xra.OpCollect:
 		if w.r.sink != nil {
 			// Streaming: hand the pooled batch to the cursor. Ownership
@@ -217,16 +223,17 @@ func (w *inst) handle(it item) bool {
 			// the run's pool. Push blocks until the consumer accepts the
 			// batch — the backpressure that makes the whole plan stream —
 			// and fails only when the run is cancelled.
-			batch := it.tuples
+			batch := it.batch
+			n := batch.Len() // before Push: ownership transfers with it
 			if err := w.r.sink.Push(w.r.ctx, batch, func() { w.r.pool.Put(batch) }); err != nil {
 				return false
 			}
-			w.r.resultTuples.Add(int64(len(batch)))
+			w.r.resultTuples.Add(int64(n))
 			return true
 		}
-		w.gathered.Append(it.tuples...)
+		it.batch.AppendTo(w.gathered)
 	}
-	w.r.pool.Put(it.tuples)
+	w.r.pool.Put(it.batch)
 	return true
 }
 
@@ -244,15 +251,15 @@ func (w *inst) handleGrace(it item) bool {
 	}
 	var err error
 	if it.port == portBuild {
-		err = w.grace.AddBuild(it.tuples)
+		err = w.grace.AddBuild(it.batch)
 	} else {
-		err = w.grace.AddProbe(it.tuples)
+		err = w.grace.AddProbe(it.batch)
 	}
 	if err != nil {
 		w.r.fail(err)
 		return false
 	}
-	w.r.pool.Put(it.tuples)
+	w.r.pool.Put(it.batch)
 	return true
 }
 
@@ -281,73 +288,71 @@ func (w *inst) applyJoin(it item) {
 	switch w.op.op.Kind {
 	case xra.OpSimpleJoin:
 		if it.port == portBuild {
-			w.simple.Insert(it.tuples)
+			w.simple.InsertBatch(it.batch)
 			return
 		}
-		w.scratch = w.simple.ProbeInto(w.scratch[:0], it.tuples)
+		w.scratch.Reset()
+		w.simple.ProbeBatchInto(&w.scratch, it.batch)
 	case xra.OpPipeJoin:
+		w.scratch.Reset()
 		if it.port == portBuild {
-			w.scratch = w.pipe.FromBuildSideInto(w.scratch[:0], it.tuples)
+			w.pipe.FromBuildSideBatchInto(&w.scratch, it.batch)
 		} else {
-			w.scratch = w.pipe.FromProbeSideInto(w.scratch[:0], it.tuples)
+			w.pipe.FromProbeSideBatchInto(&w.scratch, it.batch)
 		}
 	}
 }
 
-// emitScan streams the pre-placed base relation fragment downstream in
-// batches. Scan work is a slice traversal and is not charged to the run
-// queue (the simulator's near-zero ScanUnits).
+// emitScan streams the pre-placed base relation fragment downstream. Scan
+// work is a column copy (emit chunks into pooled transport batches) and is
+// not charged to the run queue (the simulator's near-zero ScanUnits).
 func (w *inst) emitScan() {
-	b := w.r.cfg.BatchTuples
-	for lo := 0; lo < len(w.scanTuples); lo += b {
-		hi := lo + b
-		if hi > len(w.scanTuples) {
-			hi = len(w.scanTuples)
-		}
-		w.emit(w.scanTuples[lo:hi])
-	}
+	w.emit(&w.scanBatch)
 }
 
 // emit routes result tuples into per-destination pooled batch buffers —
 // hashing the consumer's routing attribute over its processes exactly like
 // the simulator — and flushes batches the moment they are full, so a
-// pooled buffer never regrows past its fixed capacity.
-func (w *inst) emit(results []relation.Tuple) {
-	if len(results) == 0 || w.op.edge == nil {
+// pooled buffer never regrows past its fixed capacity. The single-
+// destination path is three bulk column copies per chunk; redistribution
+// hoists the routing key column and scatters row-at-a-time over flat
+// columns.
+func (w *inst) emit(results *relation.Batch) {
+	n := results.Len()
+	if n == 0 || w.op.edge == nil {
 		return
 	}
 	bt := w.r.cfg.BatchTuples
 	if len(w.outs) == 1 {
-		buf := w.outBufs[0]
-		for len(results) > 0 {
+		for lo := 0; lo < n; {
+			buf := w.outBufs[0]
 			if buf == nil {
 				buf = w.r.pool.Get()
+				w.outBufs[0] = buf
 			}
-			n := bt - len(buf)
-			if n > len(results) {
-				n = len(results)
+			c := bt - buf.Len()
+			if c > n-lo {
+				c = n - lo
 			}
-			buf = append(buf, results[:n]...)
-			results = results[n:]
-			w.outBufs[0] = buf
-			if len(buf) == bt {
+			buf.AppendRange(results, lo, lo+c)
+			lo += c
+			if buf.Len() == bt {
 				w.flush(0)
-				buf = nil
 			}
 		}
 		return
 	}
-	m := len(w.outs)
-	route := w.op.edge.route
-	for _, t := range results {
-		d := relation.HashKey(t.Get(route), m)
+	bk := relation.NewBucketer(len(w.outs))
+	keys := results.Col(w.op.edge.route)
+	for i := 0; i < n; i++ {
+		d := bk.Bucket(keys[i])
 		buf := w.outBufs[d]
 		if buf == nil {
 			buf = w.r.pool.Get()
+			w.outBufs[d] = buf
 		}
-		buf = append(buf, t)
-		w.outBufs[d] = buf
-		if len(buf) == bt {
+		buf.Append(results.U1[i], results.U2[i], results.Check[i])
+		if buf.Len() == bt {
 			w.flush(d)
 		}
 	}
@@ -359,16 +364,16 @@ func (w *inst) emit(results []relation.Tuple) {
 // transport statistics, as in the simulator.
 func (w *inst) flush(d int) {
 	buf := w.outBufs[d]
-	if len(buf) == 0 {
+	if buf == nil || buf.Len() == 0 {
 		return
 	}
 	w.outBufs[d] = nil
 	s := w.outs[d]
 	if w.op.edge.to.op.Kind != xra.OpCollect {
 		if s.remote {
-			w.r.remoteTuples.Add(int64(len(buf)))
+			w.r.remoteTuples.Add(int64(buf.Len()))
 		} else {
-			w.r.localTuples.Add(int64(len(buf)))
+			w.r.localTuples.Add(int64(buf.Len()))
 		}
 		w.r.batches.Add(1)
 	}
@@ -388,6 +393,16 @@ func (w *inst) finish() {
 		for _, s := range w.outs {
 			close(s.ch)
 		}
+	}
+	// The join state is dead once the output streams are closed; recycle
+	// its table memory for the joins still running.
+	if w.simple != nil {
+		w.simple.Release()
+		w.simple = nil
+	}
+	if w.pipe != nil {
+		w.pipe.Release()
+		w.pipe = nil
 	}
 	if w.op.remaining.Add(-1) == 0 {
 		w.op.wallDone = time.Since(w.r.start)

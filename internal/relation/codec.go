@@ -5,39 +5,135 @@ import (
 	"fmt"
 )
 
-// TupleWireBytes is the size of one tuple in the binary spill format (and,
-// not coincidentally, its in-memory size): Unique1, Unique2 and Check as
-// three 8-byte little-endian words. Memory budgets and spill-file sizes are
-// both expressed in these bytes, so "bytes spilled" and "bytes resident"
-// are directly comparable.
+// TupleWireBytes is the payload size of one tuple in the binary spill
+// format (and, not coincidentally, its in-memory size): Unique1, Unique2
+// and Check as three 8-byte little-endian words. Memory budgets and
+// spill-file sizes are both expressed in these bytes, so "bytes spilled"
+// and "bytes resident" are directly comparable.
 const TupleWireBytes = 24
 
-// AppendTupleBytes encodes a batch of tuples in the binary spill format and
-// appends it to dst, returning the extended slice. The encoding is
-// fixed-width, so a file of encoded batches needs no framing: any multiple
-// of TupleWireBytes decodes back.
-func AppendTupleBytes(dst []byte, ts []Tuple) []byte {
-	for _, t := range ts {
-		dst = binary.LittleEndian.AppendUint64(dst, uint64(t.Unique1))
-		dst = binary.LittleEndian.AppendUint64(dst, uint64(t.Unique2))
-		dst = binary.LittleEndian.AppendUint64(dst, t.Check)
+// BlockHeaderBytes is the size of the per-block framing: one 8-byte
+// little-endian tuple count. The encoding is column-contiguous *within* a
+// block — all Unique1 words, then all Unique2 words, then all Check words —
+// so the count is needed up front to locate the columns; in exchange,
+// encode and decode are three bulk column loops instead of a per-tuple
+// three-field interleave.
+const BlockHeaderBytes = 8
+
+// BlockBytes returns the encoded size of one block of n tuples.
+func BlockBytes(n int) int { return BlockHeaderBytes + n*TupleWireBytes }
+
+// MaxBlockTuples bounds the tuples per encoded block. Writers split larger
+// batches into multiple blocks, so a block-at-a-time reader needs at most
+// BlockBytes(MaxBlockTuples) ≈ 12KB of staging buffer per partition,
+// however large the spilled backlog was.
+const MaxBlockTuples = 512
+
+// AppendBlockBytes encodes rows [lo,hi) of a batch as one column-contiguous
+// block and appends it to dst, returning the extended slice: the count
+// header, the U1 column, the U2 column, the Check column.
+func AppendBlockBytes(dst []byte, b *Batch, lo, hi int) []byte {
+	n := hi - lo
+	need := BlockBytes(n)
+	off := len(dst)
+	dst = append(dst, make([]byte, need)...)
+	binary.LittleEndian.PutUint64(dst[off:], uint64(n))
+	off += BlockHeaderBytes
+	for _, v := range b.U1[lo:hi] {
+		binary.LittleEndian.PutUint64(dst[off:], uint64(v))
+		off += 8
+	}
+	for _, v := range b.U2[lo:hi] {
+		binary.LittleEndian.PutUint64(dst[off:], uint64(v))
+		off += 8
+	}
+	for _, v := range b.Check[lo:hi] {
+		binary.LittleEndian.PutUint64(dst[off:], v)
+		off += 8
 	}
 	return dst
 }
 
-// TuplesFromBytes decodes src (a whole number of wire tuples) and appends
-// the tuples to dst, returning the extended slice. Decoding into a pooled
-// batch is the intended use: the caller owns sizing.
-func TuplesFromBytes(dst []Tuple, src []byte) ([]Tuple, error) {
-	if len(src)%TupleWireBytes != 0 {
-		return dst, fmt.Errorf("relation: %d bytes is not a whole number of %d-byte tuples", len(src), TupleWireBytes)
+// AppendBatchBytes encodes a whole batch as one column-contiguous block and
+// appends it to dst. A file of appended blocks decodes back with
+// TuplesFromBytes or block-at-a-time readers (BlockHeader/BlockCount +
+// Batch.AppendColumns). Callers that must bound their read buffer split at
+// MaxBlockTuples via AppendBlockBytes instead.
+func AppendBatchBytes(dst []byte, b *Batch) []byte {
+	return AppendBlockBytes(dst, b, 0, b.Len())
+}
+
+// BlockCount parses a block's count header alone — for streaming readers
+// that read the fixed-size header first and then exactly the block body.
+func BlockCount(hdr []byte) (int, error) {
+	if len(hdr) < BlockHeaderBytes {
+		return 0, fmt.Errorf("relation: truncated block header: %d bytes", len(hdr))
 	}
-	for off := 0; off < len(src); off += TupleWireBytes {
-		dst = append(dst, Tuple{
-			Unique1: int64(binary.LittleEndian.Uint64(src[off:])),
-			Unique2: int64(binary.LittleEndian.Uint64(src[off+8:])),
-			Check:   binary.LittleEndian.Uint64(src[off+16:]),
-		})
+	n := binary.LittleEndian.Uint64(hdr)
+	if int64(n) < 0 || n > (1<<40) {
+		return 0, fmt.Errorf("relation: implausible block tuple count %d", n)
+	}
+	return int(n), nil
+}
+
+// AppendTupleBytes encodes a slice of row-form tuples as one block —
+// AppendBatchBytes for callers that hold rows (tests, the sequential
+// reference).
+func AppendTupleBytes(dst []byte, ts []Tuple) []byte {
+	var b Batch
+	b.AppendTuples(ts)
+	return AppendBatchBytes(dst, &b)
+}
+
+// BlockHeader parses the framing of the block at the head of src and
+// returns its tuple count and total encoded size (header included). It
+// fails on a truncated header or body.
+func BlockHeader(src []byte) (tuples, size int, err error) {
+	if len(src) < BlockHeaderBytes {
+		return 0, 0, fmt.Errorf("relation: truncated block header: %d bytes", len(src))
+	}
+	n := binary.LittleEndian.Uint64(src)
+	size = BlockBytes(int(n))
+	if int(n) < 0 || len(src) < size {
+		return 0, 0, fmt.Errorf("relation: block claims %d tuples (%d bytes) but only %d bytes remain", n, size, len(src))
+	}
+	return int(n), size, nil
+}
+
+// AppendColumns decodes rows [lo,hi) of an n-tuple block body (the bytes
+// after the count header) and appends them to b — three bulk column loops.
+// The caller has validated the framing with BlockHeader.
+func (b *Batch) AppendColumns(body []byte, n, lo, hi int) {
+	u1 := body[:n*8]
+	u2 := body[n*8 : 2*n*8]
+	ck := body[2*n*8 : 3*n*8]
+	for off := lo * 8; off < hi*8; off += 8 {
+		b.U1 = append(b.U1, int64(binary.LittleEndian.Uint64(u1[off:])))
+	}
+	for off := lo * 8; off < hi*8; off += 8 {
+		b.U2 = append(b.U2, int64(binary.LittleEndian.Uint64(u2[off:])))
+	}
+	for off := lo * 8; off < hi*8; off += 8 {
+		b.Check = append(b.Check, binary.LittleEndian.Uint64(ck[off:]))
+	}
+}
+
+// TuplesFromBytes decodes src (a whole number of encoded blocks) and
+// appends the tuples to dst, returning the extended slice — the row-form
+// decoder used by tests and oracles; the runtimes decode straight into
+// columnar batches instead.
+func TuplesFromBytes(dst []Tuple, src []byte) ([]Tuple, error) {
+	for len(src) > 0 {
+		n, size, err := BlockHeader(src)
+		if err != nil {
+			return dst, err
+		}
+		var b Batch
+		b.AppendColumns(src[BlockHeaderBytes:size], n, 0, n)
+		for i := 0; i < n; i++ {
+			dst = append(dst, b.Tuple(i))
+		}
+		src = src[size:]
 	}
 	return dst, nil
 }

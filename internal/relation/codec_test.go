@@ -2,7 +2,10 @@ package relation
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
+	"testing/quick"
 )
 
 // TestTupleCodecRoundTrip encodes and decodes batches, including negative
@@ -20,7 +23,7 @@ func TestTupleCodecRoundTrip(t *testing.T) {
 	}
 	for _, ts := range batches {
 		enc := AppendTupleBytes(nil, ts)
-		if got, want := len(enc), len(ts)*TupleWireBytes; got != want {
+		if got, want := len(enc), BlockBytes(len(ts)); got != want {
 			t.Fatalf("encoded %d tuples into %d bytes, want %d", len(ts), got, want)
 		}
 		dec, err := TuplesFromBytes(nil, enc)
@@ -35,6 +38,72 @@ func TestTupleCodecRoundTrip(t *testing.T) {
 				t.Errorf("tuple %d: got %+v want %+v", i, dec[i], ts[i])
 			}
 		}
+	}
+}
+
+// TestColumnarCodecRoundTripProperty is the property test for the columnar
+// wire format: random batches, split into blocks at random boundaries (the
+// writers' MaxBlockTuples discipline), encoded column-contiguously with
+// AppendBlockBytes and decoded back through the row-form TuplesFromBytes
+// oracle, must reproduce the original multiset. `make pooldebug` runs it
+// with the pool poison detector armed and `make test` under -race.
+func TestColumnarCodecRoundTripProperty(t *testing.T) {
+	sorted := func(ts []Tuple) []Tuple {
+		out := append([]Tuple(nil), ts...)
+		sort.Slice(out, func(i, j int) bool {
+			a, b := out[i], out[j]
+			if a.Unique1 != b.Unique1 {
+				return a.Unique1 < b.Unique1
+			}
+			if a.Unique2 != b.Unique2 {
+				return a.Unique2 < b.Unique2
+			}
+			return a.Check < b.Check
+		})
+		return out
+	}
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 3000)
+		var b Batch
+		want := make([]Tuple, n)
+		for i := range want {
+			want[i] = Tuple{
+				Unique1: rng.Int63() - rng.Int63(), // full signed range, both signs
+				Unique2: rng.Int63() - rng.Int63(),
+				Check:   rng.Uint64(),
+			}
+			b.AppendTuple(want[i])
+		}
+		// Encode as a sequence of blocks split at random points, none
+		// larger than MaxBlockTuples — the shape a spill writer produces.
+		var enc []byte
+		for lo := 0; lo < n; {
+			hi := lo + 1 + rng.Intn(MaxBlockTuples)
+			if hi > n {
+				hi = n
+			}
+			enc = AppendBlockBytes(enc, &b, lo, hi)
+			lo = hi
+		}
+		dec, err := TuplesFromBytes(nil, enc)
+		if err != nil {
+			t.Logf("seed %d n %d: decode failed: %v", seed, n, err)
+			return false
+		}
+		gs, ws := sorted(dec), sorted(want)
+		if len(gs) != len(ws) {
+			return false
+		}
+		for i := range gs {
+			if gs[i] != ws[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
 	}
 }
 
@@ -54,11 +123,15 @@ func TestTupleCodecAppendsToDst(t *testing.T) {
 }
 
 // TestTupleCodecRejectsPartialTuple asserts truncated input errors instead
-// of decoding garbage.
+// of decoding garbage — a block claiming more tuples than the remaining
+// bytes hold, and a truncated header.
 func TestTupleCodecRejectsPartialTuple(t *testing.T) {
 	enc := AppendTupleBytes(nil, []Tuple{{Unique1: 1}})
-	if _, err := TuplesFromBytes(nil, enc[:TupleWireBytes-1]); err == nil {
-		t.Fatal("decoding a partial tuple succeeded, want error")
+	if _, err := TuplesFromBytes(nil, enc[:len(enc)-1]); err == nil {
+		t.Fatal("decoding a truncated block succeeded, want error")
+	}
+	if _, err := TuplesFromBytes(nil, enc[:BlockHeaderBytes-1]); err == nil {
+		t.Fatal("decoding a truncated header succeeded, want error")
 	}
 }
 
@@ -77,7 +150,7 @@ func TestBatchPoolAccounting(t *testing.T) {
 	if live != 0 {
 		t.Fatalf("after matching Puts live=%d, want 0", live)
 	}
-	p.Put(make([]Tuple, 0, 7)) // foreign capacity: dropped, not accounted
+	p.Put(NewBatch(7)) // foreign capacity: dropped, not accounted
 	if live != 0 {
 		t.Fatalf("foreign Put changed live to %d", live)
 	}

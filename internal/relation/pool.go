@@ -1,17 +1,17 @@
 package relation
 
-// BatchPool recycles fixed-capacity tuple batches across the producers and
-// consumers of one execution: scans, redistribution out-buffers and channel
-// items draw batches with Get and the consumer that exhausts a batch
-// returns it with Put, so steady-state execution allocates no per-batch
-// garbage. The free list is a buffered channel — Get and Put are themselves
-// allocation-free (unlike sync.Pool, whose interface boxing costs one
-// header allocation per cycle) and safe for concurrent use. An empty free
-// list falls back to make; a full one drops the batch to the garbage
-// collector, so Put never blocks.
+// BatchPool recycles fixed-capacity columnar batches across the producers
+// and consumers of one execution: scans, redistribution out-buffers and
+// channel items draw batches with Get and the consumer that exhausts a
+// batch returns it with Put, so steady-state execution allocates no
+// per-batch garbage. The free list is a buffered channel — Get and Put are
+// themselves allocation-free (unlike sync.Pool, whose interface boxing
+// costs one header allocation per cycle) and safe for concurrent use. An
+// empty free list falls back to NewBatch; a full one drops the batch to the
+// garbage collector, so Put never blocks.
 type BatchPool struct {
 	size int
-	free chan []Tuple
+	free chan *Batch
 	// acct, when set, observes the live-batch byte balance: +batch bytes on
 	// every Get, -batch bytes on every Put of a pool-shaped batch. A memory
 	// budget (spill runtime) hangs off this hook.
@@ -35,7 +35,7 @@ func NewBatchPool(size, retain int) *BatchPool {
 	if retain < 1 {
 		retain = 1
 	}
-	return &BatchPool{size: size, free: make(chan []Tuple, retain)}
+	return &BatchPool{size: size, free: make(chan *Batch, retain)}
 }
 
 // NewBatchPoolAccounted is NewBatchPool with a live-byte accounting hook:
@@ -57,16 +57,17 @@ func (p *BatchPool) batchBytes() int64 { return int64(p.size) * TupleWireBytes }
 func (p *BatchPool) BatchSize() int { return p.size }
 
 // Get returns an empty batch with the pool's capacity.
-func (p *BatchPool) Get() []Tuple {
+func (p *BatchPool) Get() *Batch {
 	if p.acct != nil {
 		p.acct(p.batchBytes())
 	}
 	select {
 	case b := <-p.free:
 		p.dbg.get(b, true)
-		return b[:0]
+		b.Reset()
+		return b
 	default:
-		b := make([]Tuple, 0, p.size)
+		b := NewBatch(p.size)
 		p.dbg.get(b, false)
 		return b
 	}
@@ -74,10 +75,10 @@ func (p *BatchPool) Get() []Tuple {
 
 // Put returns a batch to the pool. Batches that did not come from a pool of
 // the same size (or grew past their capacity) are dropped, so handing a
-// foreign slice to Put is harmless — but note that the pool will reuse
+// foreign batch to Put is harmless — but note that the pool will reuse
 // accepted batches: never Put a batch that something still aliases.
-func (p *BatchPool) Put(b []Tuple) {
-	if cap(b) != p.size {
+func (p *BatchPool) Put(b *Batch) {
+	if b == nil || b.Cap() != p.size {
 		return
 	}
 	p.dbg.put(b)

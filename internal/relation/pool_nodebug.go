@@ -7,6 +7,6 @@ package relation
 // detector. The zero value is ready to use and adds no per-call cost here.
 type poolDebug struct{}
 
-func (poolDebug) get([]Tuple, bool) {}
-func (poolDebug) put([]Tuple)       {}
-func (poolDebug) drop([]Tuple)      {}
+func (poolDebug) get(*Batch, bool) {}
+func (poolDebug) put(*Batch)       {}
+func (poolDebug) drop(*Batch)      {}

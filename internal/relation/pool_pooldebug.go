@@ -12,8 +12,8 @@ import (
 // discipline at run time instead of assuming it:
 //
 //   - double Put: returning a batch that is already in the pool panics;
-//   - use after Put: Put poisons the batch's full capacity with sentinel
-//     tuples, and Get verifies the poison is intact before handing the batch
+//   - use after Put: Put poisons every column's full capacity with sentinel
+//     values, and Get verifies the poison is intact before handing the batch
 //     out — any write through a stale alias between Put and the next Get
 //     panics at the Get that would have exposed the corruption.
 //
@@ -22,26 +22,32 @@ import (
 // completed, or a second Put of the same batch, is caught deterministically
 // rather than surfacing as a corrupted join result.
 //
-// Batches are identified by their backing-array pointer; the tracking map is
-// global per pool and mutex-guarded, so pooldebug builds are for tests, not
-// benchmarks.
+// Batches are identified by the U1 column's backing-array pointer (the
+// columns travel together for a pooled batch's whole life); the tracking map
+// is global per pool and mutex-guarded, so pooldebug builds are for tests,
+// not benchmarks.
 type poolDebug struct {
 	mu     sync.Mutex
-	pooled map[unsafe.Pointer]bool // batch data pointer -> currently in the free list
+	pooled map[unsafe.Pointer]bool // U1 data pointer -> currently in the free list
 }
 
-// poisonTuple is the sentinel Put fills returned batches with. The values
-// are implausible for real data (join attributes are non-negative).
-var poisonTuple = Tuple{Unique1: -0x6b6f6c626f6f70, Unique2: -0x6465616462656566, Check: 0xdeadbeefdeadbeef}
+// Poison sentinels per column. The values are implausible for real data
+// (join attributes are non-negative).
+const (
+	poisonU1    = int64(-0x6b6f6c626f6f70)
+	poisonU2    = int64(-0x6465616462656566)
+	poisonCheck = uint64(0xdeadbeefdeadbeef)
+)
 
-func batchPtr(b []Tuple) unsafe.Pointer { return unsafe.Pointer(unsafe.SliceData(b)) }
+func batchPtr(b *Batch) unsafe.Pointer { return unsafe.Pointer(unsafe.SliceData(b.U1)) }
 
-func (d *poolDebug) get(b []Tuple, fromFreeList bool) {
+func (d *poolDebug) get(b *Batch, fromFreeList bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if fromFreeList {
-		for i, t := range b[:cap(b)] {
-			if t != poisonTuple {
+		u1, u2, ck := b.U1[:b.Cap()], b.U2[:cap(b.U2)], b.Check[:cap(b.Check)]
+		for i := range u1 {
+			if u1[i] != poisonU1 || u2[i] != poisonU2 || ck[i] != poisonCheck {
 				panic(fmt.Sprintf("relation: pooldebug: use after Put: batch %p slot %d was modified while in the pool", batchPtr(b), i))
 			}
 		}
@@ -52,15 +58,21 @@ func (d *poolDebug) get(b []Tuple, fromFreeList bool) {
 	d.pooled[batchPtr(b)] = false
 }
 
-func (d *poolDebug) put(b []Tuple) {
+func (d *poolDebug) put(b *Batch) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.pooled[batchPtr(b)] {
 		panic(fmt.Sprintf("relation: pooldebug: double Put of batch %p", batchPtr(b)))
 	}
-	full := b[:cap(b)]
-	for i := range full {
-		full[i] = poisonTuple
+	u1, u2, ck := b.U1[:b.Cap()], b.U2[:cap(b.U2)], b.Check[:cap(b.Check)]
+	for i := range u1 {
+		u1[i] = poisonU1
+	}
+	for i := range u2 {
+		u2[i] = poisonU2
+	}
+	for i := range ck {
+		ck[i] = poisonCheck
 	}
 	if d.pooled == nil {
 		d.pooled = make(map[unsafe.Pointer]bool)
@@ -71,7 +83,7 @@ func (d *poolDebug) put(b []Tuple) {
 // drop forgets a batch the full free list rejected: it is garbage now, and a
 // later identical allocation at the same address must not look like a
 // double Put.
-func (d *poolDebug) drop(b []Tuple) {
+func (d *poolDebug) drop(b *Batch) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	delete(d.pooled, batchPtr(b))

@@ -29,7 +29,7 @@ func mustPanic(t *testing.T, fn func()) string {
 func TestPoolDebugDoublePut(t *testing.T) {
 	p := NewBatchPool(8, 4)
 	b := p.Get()
-	b = append(b, Tuple{Unique1: 1})
+	b.AppendTuple(Tuple{Unique1: 1})
 	p.Put(b)
 	msg := mustPanic(t, func() { p.Put(b) })
 	if !strings.Contains(msg, "double Put") {
@@ -42,11 +42,12 @@ func TestPoolDebugDoublePut(t *testing.T) {
 func TestPoolDebugUseAfterPut(t *testing.T) {
 	p := NewBatchPool(8, 1)
 	b := p.Get()
-	b = append(b, Tuple{Unique1: 7})
+	b.AppendTuple(Tuple{Unique1: 7})
+	u1 := b.U1 // column alias surviving the Put
 	p.Put(b)
 	// A retained alias mutates the batch while it sits in the pool — the
 	// spill bug this detector exists for (Put before the serialize finished).
-	b[0] = Tuple{Unique1: 42}
+	u1[0] = 42
 	msg := mustPanic(t, func() { p.Get() })
 	if !strings.Contains(msg, "use after Put") {
 		t.Errorf("use-after-Put panic message %q does not mention use after Put", msg)
@@ -60,7 +61,7 @@ func TestPoolDebugCleanCycleDoesNotPanic(t *testing.T) {
 	for i := 0; i < 16; i++ {
 		b := p.Get()
 		for j := 0; j < 4; j++ {
-			b = append(b, Tuple{Unique1: int64(i), Unique2: int64(j)})
+			b.Append(int64(i), int64(j), 0)
 		}
 		p.Put(b)
 	}

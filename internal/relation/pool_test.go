@@ -11,30 +11,30 @@ func TestBatchPoolReuse(t *testing.T) {
 		t.Fatalf("BatchSize = %d", p.BatchSize())
 	}
 	b := p.Get()
-	if len(b) != 0 || cap(b) != 8 {
-		t.Fatalf("Get: len=%d cap=%d", len(b), cap(b))
+	if b.Len() != 0 || b.Cap() != 8 {
+		t.Fatalf("Get: len=%d cap=%d", b.Len(), b.Cap())
 	}
-	b = append(b, Tuple{Unique1: 1})
+	b.AppendTuple(Tuple{Unique1: 1})
 	p.Put(b)
 	b2 := p.Get()
-	if len(b2) != 0 || cap(b2) != 8 {
-		t.Fatalf("recycled batch: len=%d cap=%d", len(b2), cap(b2))
+	if b2.Len() != 0 || b2.Cap() != 8 {
+		t.Fatalf("recycled batch: len=%d cap=%d", b2.Len(), b2.Cap())
 	}
-	if &b[:1][0] != &b2[:1][0] {
-		t.Error("Get after Put did not reuse the batch memory")
+	if b != b2 {
+		t.Error("Get after Put did not reuse the batch")
 	}
 }
 
 func TestBatchPoolRejectsForeign(t *testing.T) {
 	p := NewBatchPool(8, 4)
-	p.Put(make([]Tuple, 0, 16)) // wrong capacity: dropped
+	p.Put(NewBatch(16)) // wrong capacity: dropped
 	b := p.Get()
-	if cap(b) != 8 {
-		t.Errorf("pool handed out a foreign batch with cap %d", cap(b))
+	if b.Cap() != 8 {
+		t.Errorf("pool handed out a foreign batch with cap %d", b.Cap())
 	}
 	// Overfull free list: Put must not block.
 	for i := 0; i < 10; i++ {
-		p.Put(make([]Tuple, 0, 8))
+		p.Put(NewBatch(8))
 	}
 }
 
@@ -48,10 +48,10 @@ func TestBatchPoolConcurrent(t *testing.T) {
 			for i := 0; i < 1000; i++ {
 				b := p.Get()
 				for j := 0; j < 64; j++ {
-					b = append(b, Tuple{Unique1: int64(g), Unique2: int64(j)})
+					b.Append(int64(g), int64(j), 0)
 				}
-				for j := range b {
-					if b[j].Unique1 != int64(g) {
+				for j := range b.U1 {
+					if b.U1[j] != int64(g) {
 						t.Errorf("batch mutated by another goroutine")
 						return
 					}

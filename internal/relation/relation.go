@@ -15,6 +15,7 @@ package relation
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 )
 
@@ -124,7 +125,9 @@ func (r *Relation) String() string {
 
 // HashKey hashes an attribute value into one of n buckets. All components
 // that partition data (fragmentation, redistribution, join hash tables) use
-// this single function so that co-partitioned operands stay aligned.
+// this single function so that co-partitioned operands stay aligned. Loops
+// that bucket many values against the same n use a Bucketer, which produces
+// bit-identical results without the per-value divide.
 func HashKey(v int64, n int) int {
 	if n <= 1 {
 		return 0
@@ -132,6 +135,45 @@ func HashKey(v int64, n int) int {
 	h := uint64(v) * 0x9e3779b97f4a7c15
 	h ^= h >> 32
 	return int(h % uint64(n))
+}
+
+// Bucketer maps attribute values onto a fixed number of buckets, exactly
+// like HashKey(v, n) for every input, but with the 64-bit divide replaced
+// by a multiply-high against a precomputed reciprocal plus one conditional
+// fix-up — the divide is the dominant cost of the per-tuple partitioning
+// loops (fragmentation, redistribution routing, Grace partitioning).
+type Bucketer struct {
+	n   uint64
+	rec uint64 // floor((2^64-1)/n)
+}
+
+// NewBucketer returns a Bucketer over n buckets (n < 1 behaves like 1, as
+// in HashKey).
+func NewBucketer(n int) Bucketer {
+	if n < 1 {
+		n = 1
+	}
+	return Bucketer{n: uint64(n), rec: ^uint64(0) / uint64(n)}
+}
+
+// Bucket returns HashKey(v, n).
+//
+// Why the fix-up is exact: rec = floor((2^64-1)/n) lies in
+// [2^64/n - 1, 2^64/n], so q = floor(h*rec / 2^64) is either floor(h/n) or
+// floor(h/n)-1; r = h - q*n is therefore h mod n, possibly overshot by
+// exactly one n, which the single conditional subtraction removes.
+func (b Bucketer) Bucket(v int64) int {
+	if b.n == 1 {
+		return 0
+	}
+	h := uint64(v) * 0x9e3779b97f4a7c15
+	h ^= h >> 32
+	q, _ := bits.Mul64(h, b.rec)
+	r := h - q*b.n
+	if r >= b.n {
+		r -= b.n
+	}
+	return int(r)
 }
 
 // Fragmentation describes how a relation is declustered over a set of
@@ -165,8 +207,9 @@ func Fragment(r *Relation, a Attr, n int) []*Relation {
 			Tuples:     make([]Tuple, 0, per),
 		}
 	}
+	bk := NewBucketer(n)
 	for _, t := range r.Tuples {
-		i := HashKey(t.Get(a), n)
+		i := bk.Bucket(t.Get(a))
 		frags[i].Tuples = append(frags[i].Tuples, t)
 	}
 	return frags

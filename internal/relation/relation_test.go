@@ -100,6 +100,28 @@ func TestHashKeyDeterministic(t *testing.T) {
 	}
 }
 
+// TestBucketerMatchesHashKey pins the Bucketer's reciprocal fix-up to the
+// divide it replaces: for every value and bucket count — powers of two,
+// primes, huge n, degenerate n — Bucket must equal HashKey bit for bit,
+// or co-partitioned operands would silently disagree.
+func TestBucketerMatchesHashKey(t *testing.T) {
+	f := func(v int64, nRaw uint32) bool {
+		n := int(nRaw % 100000)
+		return NewBucketer(n).Bucket(v) == HashKey(v, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 16, 64, 169, 1 << 20, 1<<31 - 1} {
+		bk := NewBucketer(n)
+		for _, v := range []int64{0, 1, -1, 12345, -12345, 1 << 62, -1 << 62, 1<<63 - 1, -1 << 63} {
+			if got, want := bk.Bucket(v), HashKey(v, n); got != want {
+				t.Fatalf("Bucket(%d) over %d buckets = %d, HashKey = %d", v, n, got, want)
+			}
+		}
+	}
+}
+
 func TestHashKeySpread(t *testing.T) {
 	// Sequential keys must spread reasonably evenly over buckets.
 	const n, buckets = 10000, 16

@@ -145,53 +145,74 @@ func Create(dir string) (*File, error) {
 	return &File{f: f}, nil
 }
 
-// Append serializes a batch to the end of the file and returns the number
-// of bytes written. The staging buffer is reused across calls, so a
+// Append serializes a batch to the end of the file as column-contiguous
+// blocks (split at relation.MaxBlockTuples, so re-readers need a bounded
+// staging buffer however large the flushed backlog was) and returns the
+// number of bytes written. The staging buffer is reused across calls, so a
 // steady-state Append allocates nothing.
-func (s *File) Append(batch []relation.Tuple) (int64, error) {
-	s.enc = relation.AppendTupleBytes(s.enc[:0], batch)
+func (s *File) Append(b *relation.Batch) (int64, error) {
+	s.enc = s.enc[:0]
+	n := b.Len()
+	for lo := 0; lo < n; lo += relation.MaxBlockTuples {
+		hi := lo + relation.MaxBlockTuples
+		if hi > n {
+			hi = n
+		}
+		s.enc = relation.AppendBlockBytes(s.enc, b, lo, hi)
+	}
 	if _, err := s.f.Write(s.enc); err != nil {
 		return 0, fmt.Errorf("spill: append to %s: %w", s.f.Name(), err)
 	}
-	s.tuples += len(batch)
+	s.tuples += n
 	return int64(len(s.enc)), nil
 }
 
 // Tuples returns the number of tuples written so far.
 func (s *File) Tuples() int { return s.tuples }
 
-// ReadBatches rewinds the file and streams its tuples back in batches drawn
-// from pool, invoking fn for each. The batch is valid only during the call:
-// ReadBatches returns it to the pool afterwards (fn must copy what it
-// keeps — inserting into a hash table or emitting downstream both copy).
-func (s *File) ReadBatches(pool *relation.BatchPool, fn func(batch []relation.Tuple) error) error {
+// ReadBatches rewinds the file and streams its tuples back through fn in
+// pool-sized columnar batches. One batch is drawn from the pool for the
+// whole drain and reused across calls (no per-batch Get/Put churn), so the
+// batch is valid only during each call: fn must copy what it keeps —
+// inserting into a hash table or emitting downstream both copy. Decoding is
+// three bulk column loops per block (the column-contiguous wire format).
+func (s *File) ReadBatches(pool *relation.BatchPool, fn func(batch *relation.Batch) error) error {
 	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("spill: rewind %s: %w", s.f.Name(), err)
 	}
-	chunk := pool.BatchSize() * relation.TupleWireBytes
-	if cap(s.enc) < chunk {
-		s.enc = make([]byte, chunk)
-	}
-	buf := s.enc[:chunk]
+	batch := pool.Get()
+	defer pool.Put(batch)
+	per := pool.BatchSize()
+	var hdr [relation.BlockHeaderBytes]byte
 	for {
-		n, err := io.ReadFull(s.f, buf)
-		if err == io.EOF {
-			return nil
+		if _, err := io.ReadFull(s.f, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("spill: read block header of %s: %w", s.f.Name(), err)
 		}
-		if err != nil && err != io.ErrUnexpectedEOF {
-			return fmt.Errorf("spill: read %s: %w", s.f.Name(), err)
+		n, err := relation.BlockCount(hdr[:])
+		if err != nil {
+			return fmt.Errorf("spill: %s: %w", s.f.Name(), err)
 		}
-		batch := pool.Get()
-		batch, derr := relation.TuplesFromBytes(batch, buf[:n])
-		if derr == nil {
-			derr = fn(batch)
+		body := n * relation.TupleWireBytes
+		if cap(s.enc) < body {
+			s.enc = make([]byte, body)
 		}
-		pool.Put(batch)
-		if derr != nil {
-			return derr
+		buf := s.enc[:body]
+		if _, err := io.ReadFull(s.f, buf); err != nil {
+			return fmt.Errorf("spill: read block body of %s: %w", s.f.Name(), err)
 		}
-		if err == io.ErrUnexpectedEOF {
-			return nil
+		for lo := 0; lo < n; lo += per {
+			hi := lo + per
+			if hi > n {
+				hi = n
+			}
+			batch.Reset()
+			batch.AppendColumns(buf, n, lo, hi)
+			if err := fn(batch); err != nil {
+				return err
+			}
 		}
 	}
 }

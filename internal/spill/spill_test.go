@@ -20,13 +20,13 @@ func TestFileRoundTrip(t *testing.T) {
 	defer f.Close()
 	var want []relation.Tuple
 	for i := 0; i < 10; i++ {
-		batch := make([]relation.Tuple, 0, 37)
+		var batch relation.Batch
 		for j := 0; j <= i*7; j++ {
 			tp := relation.Tuple{Unique1: int64(i), Unique2: int64(j), Check: uint64(i*1000 + j)}
-			batch = append(batch, tp)
+			batch.AppendTuple(tp)
 			want = append(want, tp)
 		}
-		if _, err := f.Append(batch); err != nil {
+		if _, err := f.Append(&batch); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -35,11 +35,11 @@ func TestFileRoundTrip(t *testing.T) {
 	}
 	pool := relation.NewBatchPool(16, 4)
 	var got []relation.Tuple
-	err = f.ReadBatches(pool, func(batch []relation.Tuple) error {
-		if len(batch) > 16 {
-			t.Errorf("read batch of %d tuples exceeds pool size 16", len(batch))
+	err = f.ReadBatches(pool, func(batch *relation.Batch) error {
+		if batch.Len() > 16 {
+			t.Errorf("read batch of %d tuples exceeds pool size 16", batch.Len())
 		}
-		got = append(got, batch...)
+		got = append(got, batch.Tuples()...)
 		return nil
 	})
 	if err != nil {
@@ -63,7 +63,9 @@ func TestFileCloseRemoves(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Append([]relation.Tuple{{Unique1: 1}}); err != nil {
+	var one relation.Batch
+	one.AppendTuple(relation.Tuple{Unique1: 1})
+	if _, err := f.Append(&one); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
@@ -90,7 +92,7 @@ func TestFileReadEmpty(t *testing.T) {
 	defer f.Close()
 	pool := relation.NewBatchPool(8, 2)
 	calls := 0
-	if err := f.ReadBatches(pool, func([]relation.Tuple) error { calls++; return nil }); err != nil {
+	if err := f.ReadBatches(pool, func(*relation.Batch) error { calls++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if calls != 0 {
