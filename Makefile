@@ -1,7 +1,7 @@
 # Single source of truth for the commands CI and humans run.
 GO ?= go
 
-.PHONY: all build lint test bench bench-baseline examples fuzz-smoke pooldebug spill-check throughput-smoke clean
+.PHONY: all build lint test bench bench-baseline examples fuzz-smoke pooldebug spill-check throughput-smoke dist-smoke clean
 
 all: build lint test
 
@@ -29,8 +29,8 @@ spill-check:
 
 # Fuzz smoke: 30 seconds of the randomized differential harness — seeded
 # sizes, skewed cardinalities, all strategies and shapes — asserting the
-# sim, parallel and spill runtimes reproduce the sequential reference
-# checksum multiset.
+# sim, parallel, spill and dist (two worker processes) runtimes reproduce
+# the sequential reference checksum multiset.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzExecEquivalence -fuzztime 30s ./internal/testutil
 
@@ -47,6 +47,13 @@ pooldebug:
 # the session layer exercised end to end on a small workload.
 throughput-smoke:
 	$(GO) run ./cmd/mjbench -fig throughput -concurrency 4 -card5k 500
+
+# Dist smoke: the multi-process runtime end to end on a small workload —
+# all four strategies across two loopback worker processes, compared
+# against the single-process goroutine runtime (every run inside is also
+# covered, verified and leak-audited, by `go test ./internal/dist`).
+dist-smoke:
+	$(GO) run ./cmd/mjbench -fig dist -workers 2 -card5k 500
 
 # Bench smoke: one iteration of every benchmark, with the sim-vs-parallel
 # comparison captured as test2json lines in BENCH_parallel.json and the
@@ -66,8 +73,10 @@ bench:
 # Re-record the checked-in performance baseline after an intentional
 # change: runs the gated benchmarks under the same conditions CI measures
 # (-benchtime 1x, the first iteration paying pool warm-up) and rewrites
-# bench_alloc_baseline.txt in place, preserving each benchmark's ns/op
-# tolerance column.
+# bench_alloc_baseline.txt in place. Each baseline row is
+# `BenchmarkName allocs/op ns/op B/op ns-tolerance`; recording refreshes
+# the three measured columns and preserves each benchmark's ns/op
+# tolerance.
 bench-baseline:
 	$(GO) test -run '^$$' -bench 'BenchmarkExecAlloc|BenchmarkExecStreamAlloc' -benchtime 1x -benchmem -json . > BENCH_alloc.json
 	$(GO) run ./cmd/benchcheck -in BENCH_alloc.json -record bench_alloc_baseline.txt

@@ -12,6 +12,7 @@
 //	mjbench -fig ablation # Section 3.5 overhead ablation
 //	mjbench -fig spillmem # memory-budget sweep on the out-of-core spill runtime
 //	mjbench -fig throughput -concurrency N # one shared Engine, N in-flight queries
+//	mjbench -fig dist -workers N # multi-process dist runtime vs the goroutine runtime
 //	mjbench -fig all      # everything
 //
 // -runtime selects the execution runtime for the response-time figures by
@@ -60,7 +61,7 @@ var figureShapes = map[string]jointree.Shape{
 }
 
 // allFigures lists every valid -fig name in output order.
-var allFigures = []string{"3", "4", "6", "7", "9", "10", "11", "12", "13", "14", "speedup", "pipedelay", "ablation", "memory", "costfn", "spillmem", "throughput"}
+var allFigures = []string{"3", "4", "6", "7", "9", "10", "11", "12", "13", "14", "speedup", "pipedelay", "ablation", "memory", "costfn", "spillmem", "throughput", "dist"}
 
 // fail reports a usage error (exit 2); die reports a runtime error
 // (exit 1). Both stop an active CPU profile first — os.Exit skips defers,
@@ -100,6 +101,8 @@ func parseFigures(fig string) []string {
 }
 
 func main() {
+	multijoin.InitDistWorker() // never returns in a spawned dist worker process
+
 	fig := flag.String("fig", "all", "comma-separated figures to regenerate: "+strings.Join(allFigures, ",")+", or all")
 	card5k := flag.Int("card5k", 5000, "cardinality of the small experiment")
 	card40k := flag.Int("card40k", 40000, "cardinality of the large experiment")
@@ -107,6 +110,7 @@ func main() {
 	csvPath := flag.String("csv", "", "write the response-time sweeps run for figures 9-13 to this CSV file")
 	rt := flag.String("runtime", multijoin.DefaultRuntime, "execution runtime for figures 9-13, by registry name: "+strings.Join(multijoin.RuntimeNames(), ", "))
 	concurrency := flag.Int("concurrency", 8, "peak in-flight query count for -fig throughput (the sweep runs 1,2,4,...,N)")
+	workers := flag.Int("workers", 2, "worker-process count for -fig dist (and for -runtime dist sweeps)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after the last experiment) to this file")
 	flag.Parse()
@@ -121,6 +125,16 @@ func main() {
 			if name == "throughput" {
 				fail("-concurrency must be >= 1 for -fig throughput; got %d", *concurrency)
 			}
+		}
+	}
+	if *workers < 1 {
+		for _, name := range names {
+			if name == "dist" {
+				fail("-workers must be >= 1 for -fig dist; got %d", *workers)
+			}
+		}
+		if *rt == "dist" {
+			fail("-workers must be >= 1 for -runtime dist; got %d", *workers)
 		}
 	}
 	if *csvPath != "" {
@@ -220,6 +234,14 @@ func main() {
 			// the out-of-core spill runtime (wall clock, real cores).
 			budgets := []int64{64 << 10, 256 << 10, 1 << 20, 4 << 20, 64 << 20}
 			out, err := experiments.MemoryBounded(*card40k, 16, budgets, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+		case "dist":
+			// Same plans, two transports: the goroutine runtime's channels
+			// vs worker processes exchanging batches over loopback TCP.
+			out, err := experiments.Distributed(*card5k, 16, *workers, *seed)
 			if err != nil {
 				return err
 			}

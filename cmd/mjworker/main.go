@@ -1,0 +1,33 @@
+// Command mjworker is one worker process of the distributed ("dist")
+// runtime. It is normally spawned by a coordinator with the MJ_DIST_*
+// environment set (dist.InitWorker handles that form, including when the
+// coordinator re-executes its own binary); running the command by hand
+// with flags exists for debugging a worker against a live coordinator:
+//
+//	mjworker -connect 127.0.0.1:PORT -node 0 -run RUNID
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multijoin/internal/dist"
+)
+
+func main() {
+	dist.InitWorker() // never returns when spawned by a coordinator
+
+	connect := flag.String("connect", "", "coordinator control address (host:port)")
+	node := flag.Int("node", 0, "this worker's node id")
+	run := flag.String("run", "", "run id the coordinator announced")
+	flag.Parse()
+	if *connect == "" || *run == "" {
+		fmt.Fprintln(os.Stderr, "mjworker: -connect and -run are required (or spawn via the dist coordinator)")
+		os.Exit(2)
+	}
+	if err := dist.ServeWorker(*connect, *node, *run); err != nil {
+		fmt.Fprintf(os.Stderr, "mjworker %d: %v\n", *node, err)
+		os.Exit(1)
+	}
+}

@@ -16,6 +16,11 @@ import (
 )
 
 func main() {
+	// Required for the "dist" runtime below: when the coordinator re-executes
+	// this binary as a worker process, this call runs the worker protocol and
+	// never returns. In the normal (coordinator) invocation it is a no-op.
+	multijoin.InitDistWorker()
+
 	ctx := context.Background()
 
 	// The paper's small experiment: 10 Wisconsin relations of 5000 tuples,
@@ -67,9 +72,10 @@ func main() {
 	// Phase 2: parallelize with each strategy and execute on every
 	// registered runtime through the same session. The simulator measures
 	// virtual seconds on 80 simulated processors; the wall-clock runtimes
-	// run the identical plans on the host's real cores. Engine.Exec
-	// materializes (Rows.All under the hood) and WithVerify checks each
-	// result against the sequential reference.
+	// run the identical plans on the host's real cores — "dist" spreads
+	// them over two spawned worker processes connected by loopback TCP.
+	// Engine.Exec materializes (Rows.All under the hood) and WithVerify
+	// checks each result against the sequential reference.
 	for _, rt := range multijoin.RuntimeNames() {
 		fmt.Printf("wide bushy tree, 50000 tuples, runtime=%s:\n", rt)
 		fmt.Printf("%-10s%14s%12s%12s%10s\n", "strategy", "time (s)", "processes", "streams", "virtual")

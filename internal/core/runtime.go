@@ -85,6 +85,14 @@ type Stats struct {
 	// SpillTime is the total wall time spent on spill-file I/O (writes
 	// plus partition re-reads).
 	SpillTime time.Duration
+
+	// Dist-runtime-only counters (zero on single-process runtimes).
+
+	// BytesOnWire is the total frame bytes written on inter-node TCP data
+	// connections, summed over the coordinator and every worker process.
+	BytesOnWire int64
+	// Workers is the number of worker processes the run spawned.
+	Workers int
 }
 
 // Result is the unified outcome of executing a plan on any runtime.
@@ -162,6 +170,10 @@ type Options struct {
 	// in-memory runtimes ignore it, and under an Engine session the
 	// engine's shared budget (WithEngineMemoryBudget) takes its place.
 	MemoryBudget int64
+	// Workers is the number of worker processes the "dist" runtime spawns
+	// (plan processor id p runs on worker p mod Workers). Zero means
+	// dist.DefaultWorkers. Single-process runtimes ignore it.
+	Workers int
 	// Verify checks the result against the sequential reference execution
 	// wherever it is materialized (Exec, Engine.Exec, Rows.All; runtimes
 	// do not see the option). Cursor-style iteration over a Rows never
@@ -211,6 +223,13 @@ func WithChannelDepth(n int) Option { return func(o *Options) { o.ChannelDepth =
 // structurally rather than metered. The in-memory runtimes ignore the
 // option.
 func WithMemoryBudget(bytes int64) Option { return func(o *Options) { o.MemoryBudget = bytes } }
+
+// WithWorkers sets the worker-process count of the "dist" runtime: the
+// plan's operation processes are partitioned round-robin over n spawned
+// mjworker processes (processor id p on worker p mod n), with the collect
+// process on the coordinator. Zero means dist.DefaultWorkers; the
+// single-process runtimes ignore the option.
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
 
 // WithVerify checks the result against the sequential reference execution.
 func WithVerify() Option { return func(o *Options) { o.Verify = true } }

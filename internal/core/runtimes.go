@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"multijoin/internal/dist"
 	"multijoin/internal/engine"
 	"multijoin/internal/parallel"
 	"multijoin/internal/sim"
@@ -18,6 +19,7 @@ func init() {
 	RegisterRuntime("sim", simRuntime{})
 	RegisterRuntime("parallel", parallelRuntime{})
 	RegisterRuntime("spill", spillRuntime{})
+	RegisterRuntime("dist", distRuntime{})
 }
 
 // simRuntime executes plans on the discrete-event-simulated PRISMA/DB
@@ -124,6 +126,47 @@ func (spillRuntime) Execute(ctx context.Context, plan *xra.Plan, base BaseFunc, 
 		return nil, err
 	}
 	return wallResult("spill", res), nil
+}
+
+// distRuntime executes plans across multiple OS processes (package dist):
+// a coordinator partitions the plan's operation processes over
+// Options.Workers spawned mjworker children and streams every node-crossing
+// redistribution edge over loopback TCP as credit-windowed columnar batch
+// blocks; the coordinator-side collect feeds the caller's Sink, so
+// Engine.Query/Rows work over it transparently. Under an Engine session the
+// shared processor pool and memory meter do not apply — each worker process
+// schedules its own local processes (shared-nothing by construction).
+type distRuntime struct{}
+
+func (distRuntime) Name() string { return "dist" }
+
+func (distRuntime) Execute(ctx context.Context, plan *xra.Plan, base BaseFunc, sink Sink, opts Options) (*Result, error) {
+	cfg := dist.Config{
+		Workers:      opts.Workers,
+		BatchTuples:  opts.BatchTuples,
+		ChannelDepth: opts.ChannelDepth,
+	}
+	res, err := dist.Run(ctx, plan, base, cfg, sink)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Runtime: "dist",
+		Virtual: false,
+		Time:    res.WallTime,
+		Stats: Stats{
+			Processes:         res.Stats.Processes,
+			Streams:           res.Stats.Streams,
+			TuplesMovedRemote: res.Stats.TuplesMovedRemote,
+			TuplesLocal:       res.Stats.TuplesLocal,
+			Batches:           res.Stats.Batches,
+			ResultTuples:      res.Stats.ResultTuples,
+			OpDone:            res.Stats.OpWall,
+			Goroutines:        res.Stats.Goroutines,
+			BytesOnWire:       res.Stats.BytesOnWire,
+			Workers:           res.Stats.Workers,
+		},
+	}, nil
 }
 
 // wallResult maps a goroutine-runtime result onto the unified Result.

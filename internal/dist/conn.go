@@ -1,0 +1,192 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multijoin/internal/relation"
+)
+
+// Conn is one framed connection of a distributed run. Writes are
+// frame-atomic (a mutex serializes concurrent senders — several egress
+// streams multiplex one connection); reads are single-reader by
+// construction (each connection has exactly one serving goroutine). The
+// hot path, WriteBatch, encodes a columnar batch straight from its columns
+// into a staging buffer with the relation block codec — no per-tuple
+// encode step and no allocation in steady state.
+type Conn struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	wbuf []byte
+	rbuf []byte
+
+	// bytes, when set, accumulates every frame byte written — the
+	// bytes-on-wire counter of the run's data plane.
+	bytes *atomic.Int64
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+func newConn(nc net.Conn) *Conn {
+	return &Conn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 64<<10),
+		bw: bufio.NewWriterSize(nc, 64<<10),
+	}
+}
+
+// dialConn opens a framed connection to addr.
+func dialConn(addr string, timeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dial %s: %w", addr, err)
+	}
+	return newConn(nc), nil
+}
+
+// Close closes the underlying connection; it is idempotent and safe to
+// call concurrently with blocked reads and writes (which then fail).
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.nc.Close() })
+	return c.closeErr
+}
+
+// writeFrame writes one frame (kind + payload) atomically and flushes.
+func (c *Conn) writeFrame(kind byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbuf = c.wbuf[:0]
+	c.wbuf = binary.LittleEndian.AppendUint32(c.wbuf, uint32(1+len(payload)))
+	c.wbuf = append(c.wbuf, kind)
+	c.wbuf = append(c.wbuf, payload...)
+	return c.send()
+}
+
+// send writes the staged frame in wbuf and flushes, accounting the bytes.
+// Callers hold wmu.
+func (c *Conn) send() error {
+	if _, err := c.bw.Write(c.wbuf); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	if c.bytes != nil {
+		c.bytes.Add(int64(len(c.wbuf)))
+	}
+	return nil
+}
+
+// writeMsg writes one gob-encoded control frame.
+func (c *Conn) writeMsg(kind byte, v any) error {
+	payload, err := encodeMsg(v)
+	if err != nil {
+		return err
+	}
+	return c.writeFrame(kind, payload)
+}
+
+// WriteBatch writes one DATA frame: the stream id followed by the batch as
+// one columnar block, encoded directly from the batch's columns.
+func (c *Conn) WriteBatch(sid uint32, b *relation.Batch) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbuf = c.wbuf[:0]
+	c.wbuf = append(c.wbuf, 0, 0, 0, 0, ftData)
+	c.wbuf = binary.LittleEndian.AppendUint32(c.wbuf, sid)
+	c.wbuf = relation.AppendBatchBytes(c.wbuf, b)
+	binary.LittleEndian.PutUint32(c.wbuf, uint32(len(c.wbuf)-4))
+	return c.send()
+}
+
+// WriteEOS writes one EOS frame for stream sid.
+func (c *Conn) WriteEOS(sid uint32) error {
+	var p [4]byte
+	binary.LittleEndian.PutUint32(p[:], sid)
+	return c.writeFrame(ftEOS, p[:])
+}
+
+// WriteCredit grants the sender of stream sid n more batch credits.
+func (c *Conn) WriteCredit(sid uint32, n uint32) error {
+	var p [8]byte
+	binary.LittleEndian.PutUint32(p[:4], sid)
+	binary.LittleEndian.PutUint32(p[4:], n)
+	return c.writeFrame(ftCredit, p[:])
+}
+
+// ReadFrame reads the next frame, returning its kind and payload. The
+// payload slice is only valid until the next ReadFrame call (it views the
+// connection's reusable read buffer). It fails on malformed framing, on a
+// closed connection, and on any transport error.
+func (c *Conn) ReadFrame() (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > maxFrame {
+		return 0, nil, fmt.Errorf("dist: implausible frame length %d", n)
+	}
+	if cap(c.rbuf) < int(n) {
+		c.rbuf = make([]byte, n)
+	}
+	c.rbuf = c.rbuf[:n]
+	if _, err := io.ReadFull(c.br, c.rbuf); err != nil {
+		return 0, nil, err
+	}
+	return c.rbuf[0], c.rbuf[1:], nil
+}
+
+// readMsgFrame reads the next frame and requires it to be of the given
+// kind, decoding its gob payload into v (v nil skips decoding). A CANCEL
+// frame instead of the expected kind is surfaced as a distinct error.
+func (c *Conn) readMsgFrame(kind byte, v any) error {
+	got, payload, err := c.ReadFrame()
+	if err != nil {
+		return err
+	}
+	if got == ftCancel && kind != ftCancel {
+		return errCancelled
+	}
+	if got != kind {
+		return fmt.Errorf("dist: expected frame 0x%02x, got 0x%02x", kind, got)
+	}
+	if v == nil {
+		return nil
+	}
+	return decodeMsg(payload, v)
+}
+
+// parseDataFrame splits a DATA payload into its stream id and block bytes.
+func parseDataFrame(payload []byte) (uint32, []byte, error) {
+	if len(payload) < 4 {
+		return 0, nil, fmt.Errorf("dist: short data frame: %d bytes", len(payload))
+	}
+	return binary.LittleEndian.Uint32(payload), payload[4:], nil
+}
+
+// parseStreamID reads the stream id of an EOS payload.
+func parseStreamID(payload []byte) (uint32, error) {
+	if len(payload) < 4 {
+		return 0, fmt.Errorf("dist: short stream-id payload: %d bytes", len(payload))
+	}
+	return binary.LittleEndian.Uint32(payload), nil
+}
+
+// parseCreditFrame splits a CREDIT payload into stream id and grant count.
+func parseCreditFrame(payload []byte) (uint32, uint32, error) {
+	if len(payload) < 8 {
+		return 0, 0, fmt.Errorf("dist: short credit frame: %d bytes", len(payload))
+	}
+	return binary.LittleEndian.Uint32(payload), binary.LittleEndian.Uint32(payload[4:]), nil
+}

@@ -1,0 +1,6 @@
+package dist
+
+// SetWorkerSpawnHook installs (or, with nil, removes) a test observer that
+// sees every spawned worker's node id and OS pid — the seam the
+// crash-recovery audits use to kill a live worker mid-run.
+func SetWorkerSpawnHook(h func(node, pid int)) { workerSpawnHook = h }

@@ -1,0 +1,74 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// helloTimeout bounds how long a freshly accepted or dialed connection may
+// take to complete its HELLO exchange — a child that never speaks (or a
+// stray connection) is cut off instead of pinning the run.
+const helloTimeout = 20 * time.Second
+
+// Listener accepts the framed connections of one distributed run on a
+// loopback TCP port and validates each connection's HELLO handshake
+// (protocol version + run id) before handing it to the node.
+type Listener struct {
+	l     net.Listener
+	runID string
+}
+
+// listen opens a loopback listener for the run.
+func listen(runID string) (*Listener, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("dist: listen: %w", err)
+	}
+	return &Listener{l: l, runID: runID}, nil
+}
+
+// Addr returns the listener's dialable address.
+func (ln *Listener) Addr() string { return ln.l.Addr().String() }
+
+// Close stops accepting; blocked Accept calls fail.
+func (ln *Listener) Close() error { return ln.l.Close() }
+
+// Accept waits for the next connection and completes its handshake: the
+// first frame must be a HELLO matching this run's protocol version and run
+// id, read under helloTimeout. Invalid connections are closed and the
+// error returned; the caller decides whether that fails the run (it does —
+// nothing else should ever dial a run's port).
+func (ln *Listener) Accept() (*Conn, helloMsg, error) {
+	nc, err := ln.l.Accept()
+	if err != nil {
+		return nil, helloMsg{}, err
+	}
+	c := newConn(nc)
+	h, err := readHello(c)
+	if err != nil {
+		c.Close()
+		return nil, helloMsg{}, err
+	}
+	if err := checkHello(h, ln.runID); err != nil {
+		c.Close()
+		return nil, helloMsg{}, err
+	}
+	return c, h, nil
+}
+
+// readHello reads one HELLO frame under the handshake deadline.
+func readHello(c *Conn) (helloMsg, error) {
+	var h helloMsg
+	c.nc.SetReadDeadline(time.Now().Add(helloTimeout))
+	defer c.nc.SetReadDeadline(time.Time{})
+	if err := c.readMsgFrame(ftHello, &h); err != nil {
+		return h, fmt.Errorf("dist: handshake: %w", err)
+	}
+	return h, nil
+}
+
+// sendHello opens c's handshake from the dialing side.
+func sendHello(c *Conn, h helloMsg) error {
+	return c.writeMsg(ftHello, h)
+}

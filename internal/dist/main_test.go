@@ -1,0 +1,17 @@
+package dist_test
+
+import (
+	"os"
+	"testing"
+
+	"multijoin/internal/dist"
+)
+
+// TestMain routes spawned worker processes into the worker protocol: the
+// coordinator under test re-executes this test binary with the MJ_DIST_*
+// environment set, and InitWorker never returns in that case. In the
+// ordinary test process it just marks the binary self-executable.
+func TestMain(m *testing.M) {
+	dist.InitWorker()
+	os.Exit(m.Run())
+}

@@ -1,0 +1,306 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"multijoin/internal/relation"
+)
+
+// errCancelled marks a run torn down by a CANCEL frame (the remote side's
+// context was cancelled).
+var errCancelled = errors.New("dist: cancelled by peer")
+
+// plane is one node's data plane: every data connection it serves, the
+// per-stream ingress queues and egress credit windows, and the pooled
+// batch recycling shared with the node's partial run.
+//
+// Flow control: each egress stream starts with window credits; sending one
+// DATA frame costs one credit, and the receiving plane grants a credit
+// back (CREDIT frame on the same connection, reverse direction) only after
+// the batch has been handed to the consuming process's channel. The
+// receiver dispatches frames off the connection into per-stream queues of
+// capacity window — the protocol guarantees at most window undelivered
+// batches per stream, so dispatch never blocks on a slow stream and one
+// stalled consumer cannot head-of-line-block the other streams sharing the
+// connection.
+type plane struct {
+	window int
+	pool   *relation.BatchPool
+	ctx    context.Context
+	fail   func(error)
+	bytes  atomic.Int64 // frame bytes written on this node's data conns
+	spawns atomic.Int64 // transport goroutines launched (readers + movers)
+
+	in  map[uint32]*inStream
+	out map[uint32]*outStream
+
+	mu      sync.Mutex
+	conns   []*Conn
+	closing bool
+
+	// readers tracks per-connection serving goroutines (unblocked by
+	// closing their connection); movers tracks ingress pumps and egress
+	// senders (unblocked by ctx cancellation and stream completion).
+	readers sync.WaitGroup
+	movers  sync.WaitGroup
+}
+
+// inStream is the receive side of one node-crossing stream.
+type inStream struct {
+	q    chan *relation.Batch
+	src  atomic.Pointer[Conn] // the connection delivering this stream
+	once sync.Once            // closes q on EOS (or teardown)
+}
+
+// outStream is the send side of one node-crossing stream.
+type outStream struct {
+	credits chan struct{}
+	conn    *Conn
+}
+
+func newPlane(ctx context.Context, window int, pool *relation.BatchPool, fail func(error)) *plane {
+	return &plane{
+		window: window,
+		pool:   pool,
+		ctx:    ctx,
+		fail:   fail,
+		in:     make(map[uint32]*inStream),
+		out:    make(map[uint32]*outStream),
+	}
+}
+
+// expectIngress declares that stream sid arrives from a remote node; its
+// queue exists before any connection is served, so early frames always
+// have a home.
+func (p *plane) expectIngress(sid uint32) {
+	p.in[sid] = &inStream{q: make(chan *relation.Batch, p.window)}
+}
+
+// addEgress declares that stream sid leaves this node over c, with a full
+// credit window.
+func (p *plane) addEgress(sid uint32, c *Conn) {
+	credits := make(chan struct{}, p.window)
+	for i := 0; i < p.window; i++ {
+		credits <- struct{}{}
+	}
+	p.out[sid] = &outStream{credits: credits, conn: c}
+}
+
+// track registers a data connection for teardown and starts its serving
+// goroutine. The connection's writes count toward bytes-on-wire.
+func (p *plane) track(c *Conn) {
+	c.bytes = &p.bytes
+	p.mu.Lock()
+	p.conns = append(p.conns, c)
+	closing := p.closing
+	p.mu.Unlock()
+	if closing {
+		c.Close()
+		return
+	}
+	p.readers.Add(1)
+	p.spawns.Add(1)
+	go p.serve(c)
+}
+
+// goroutines returns how many transport goroutines this plane launched —
+// the node's contribution to the unified Goroutines counter.
+func (p *plane) goroutines() int { return int(p.spawns.Load()) }
+
+// serve is the single reading goroutine of one data connection: DATA
+// frames are decoded into pooled batches and dispatched to their stream's
+// queue, EOS closes the queue, CREDIT refills the egress window. A read
+// error during normal operation fails the run (a peer died); during
+// teardown it just ends the goroutine.
+func (p *plane) serve(c *Conn) {
+	defer p.readers.Done()
+	for {
+		kind, payload, err := c.ReadFrame()
+		if err != nil {
+			if p.isClosing() || p.ctx.Err() != nil {
+				return
+			}
+			p.fail(fmt.Errorf("dist: data connection lost: %w", err))
+			return
+		}
+		switch kind {
+		case ftData:
+			sid, block, err := parseDataFrame(payload)
+			if err != nil {
+				p.fail(err)
+				return
+			}
+			in := p.in[sid]
+			if in == nil {
+				p.fail(fmt.Errorf("dist: data frame for unknown stream %d", sid))
+				return
+			}
+			in.src.Store(c)
+			n, size, err := relation.BlockHeader(block)
+			if err != nil || size != len(block) {
+				p.fail(fmt.Errorf("dist: bad block on stream %d: %v", sid, err))
+				return
+			}
+			b := p.pool.Get()
+			b.AppendColumns(block[relation.BlockHeaderBytes:size], n, 0, n)
+			select {
+			case in.q <- b: // capacity window; the credit protocol keeps this from blocking
+			case <-p.ctx.Done():
+				return
+			}
+		case ftEOS:
+			sid, err := parseStreamID(payload)
+			if err != nil {
+				p.fail(err)
+				return
+			}
+			if in := p.in[sid]; in != nil {
+				in.once.Do(func() { close(in.q) })
+			}
+		case ftCredit:
+			sid, n, err := parseCreditFrame(payload)
+			if err != nil {
+				p.fail(err)
+				return
+			}
+			out := p.out[sid]
+			if out == nil {
+				p.fail(fmt.Errorf("dist: credit for unknown stream %d", sid))
+				return
+			}
+			for i := uint32(0); i < n; i++ {
+				select {
+				case out.credits <- struct{}{}:
+				case <-p.ctx.Done():
+					return
+				}
+			}
+		default:
+			p.fail(fmt.Errorf("dist: unexpected frame 0x%02x on data connection", kind))
+			return
+		}
+	}
+}
+
+// ingress is the run's Partial.Ingress hook: it pumps stream sid's queue
+// into the consuming process's channel, granting one credit per delivered
+// batch, and closes the channel when the queue ends (EOS received).
+func (p *plane) ingress(sid int, ch chan *relation.Batch) {
+	in := p.in[uint32(sid)]
+	if in == nil {
+		p.fail(fmt.Errorf("dist: run opened unexpected ingress stream %d", sid))
+		close(ch)
+		return
+	}
+	p.movers.Add(1)
+	p.spawns.Add(1)
+	go func() {
+		defer p.movers.Done()
+		for {
+			select {
+			case b, ok := <-in.q:
+				if !ok {
+					close(ch)
+					return
+				}
+				select {
+				case ch <- b:
+				case <-p.ctx.Done():
+					return
+				}
+				if c := in.src.Load(); c != nil {
+					if err := c.WriteCredit(uint32(sid), 1); err != nil {
+						if !p.isClosing() && p.ctx.Err() == nil {
+							p.fail(fmt.Errorf("dist: credit grant: %w", err))
+						}
+						return
+					}
+				}
+			case <-p.ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// egress is the run's Partial.Egress hook: it drains the producing
+// process's channel, spending one credit per batch, writes each batch as a
+// DATA frame, recycles it, and ends the stream with an EOS frame when the
+// producer closes the channel.
+func (p *plane) egress(sid int, ch chan *relation.Batch) {
+	out := p.out[uint32(sid)]
+	if out == nil {
+		p.fail(fmt.Errorf("dist: run opened unexpected egress stream %d", sid))
+		return
+	}
+	p.movers.Add(1)
+	p.spawns.Add(1)
+	go func() {
+		defer p.movers.Done()
+		for {
+			select {
+			case b, ok := <-ch:
+				if !ok {
+					if err := out.conn.WriteEOS(uint32(sid)); err != nil && !p.isClosing() && p.ctx.Err() == nil {
+						p.fail(fmt.Errorf("dist: eos: %w", err))
+					}
+					return
+				}
+				select {
+				case <-out.credits:
+				case <-p.ctx.Done():
+					return
+				}
+				err := out.conn.WriteBatch(uint32(sid), b)
+				p.pool.Put(b)
+				if err != nil {
+					if !p.isClosing() && p.ctx.Err() == nil {
+						p.fail(fmt.Errorf("dist: send: %w", err))
+					}
+					return
+				}
+			case <-p.ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+func (p *plane) isClosing() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closing
+}
+
+// quiesce ends a *successful* run's data plane gracefully: wait for the
+// movers (every EOS written, every delivered batch handed over), then mark
+// the plane closing so the EOFs of peers tearing down their ends are
+// treated as quiet closes, not failures. The connections stay open — a
+// peer may not have drained our frames yet; they are closed in teardown
+// once the coordinator declares the whole run over.
+func (p *plane) quiesce() {
+	p.movers.Wait()
+	p.mu.Lock()
+	p.closing = true
+	p.mu.Unlock()
+}
+
+// teardown closes every data connection and joins all plane goroutines.
+// Closing the connections is what unblocks readers stuck in ReadFrame and
+// movers stuck in a TCP write on error paths (where quiesce was skipped
+// and the movers unwind via ctx or write errors instead).
+func (p *plane) teardown() {
+	p.mu.Lock()
+	p.closing = true
+	conns := p.conns
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.readers.Wait()
+	p.movers.Wait()
+}

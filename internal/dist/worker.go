@@ -1,0 +1,295 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+
+	"multijoin/internal/parallel"
+	"multijoin/internal/relation"
+	"multijoin/internal/xra"
+)
+
+// coordNode is the placement id of the coordinator process: it hosts
+// exactly the plan processes bound to negative processor ids (the
+// scheduler host's collect, xra.HostProc).
+const coordNode = -1
+
+// nodeOf maps a plan processor id to the node that runs it: the
+// round-robin rule of the parallel dispatcher's run queues, with the
+// scheduler host pinned to the coordinator.
+func nodeOf(proc, workers int) int {
+	if proc < 0 {
+		return coordNode
+	}
+	return proc % workers
+}
+
+// fragKey identifies one scan instance's pre-placed fragment.
+type fragKey struct {
+	op  string
+	idx int
+}
+
+// ServeWorker runs one worker process of a distributed run to completion:
+// dial the coordinator, hand over our data address, build the partial run
+// the SETUP describes, execute it with the plan's own worker loop
+// (parallel.Partial), report DONE, and hold all connections open until the
+// coordinator closes the control connection — the signal that every node
+// has drained our frames. It is called by InitWorker in spawned processes
+// and by cmd/mjworker.
+func ServeWorker(connect string, node int, runID string) error {
+	if connect == "" {
+		return errors.New("dist: worker: no coordinator address")
+	}
+	ln, err := listen(runID)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	ctrl, err := dialConn(connect, helloTimeout)
+	if err != nil {
+		return err
+	}
+	defer ctrl.Close()
+	if err := sendHello(ctrl, helloMsg{
+		Version: protoVersion, RunID: runID, Node: node,
+		Kind: kindControl, DataAddr: ln.Addr(),
+	}); err != nil {
+		return err
+	}
+	var su setupMsg
+	if err := ctrl.readMsgFrame(ftSetup, &su); err != nil {
+		if errors.Is(err, errCancelled) || quietClose(err) {
+			return nil // the coordinator aborted before setting us up
+		}
+		return fmt.Errorf("dist: worker %d: setup: %w", node, err)
+	}
+	plan, err := xra.Parse(su.PlanText)
+	if err != nil {
+		return fmt.Errorf("dist: worker %d: plan: %w", node, err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var failOnce sync.Once
+	var failErr error
+	fail := func(err error) {
+		failOnce.Do(func() {
+			failErr = err
+			cancel()
+		})
+	}
+
+	retain := plan.NumStreams() * (su.ChannelDepth + 1)
+	if retain > relation.MaxPoolRetain {
+		retain = relation.MaxPoolRetain
+	}
+	pool := relation.NewBatchPool(su.BatchTuples, retain)
+	p := newPlane(ctx, su.Window, pool, fail)
+
+	local := func(proc int) bool { return proc >= 0 && proc%su.Workers == node }
+
+	// Wire the node-crossing streams of the canonical enumeration: queues
+	// for everything arriving here, a per-target-node stream list for
+	// everything leaving.
+	egressTo := make(map[int][]int)
+	for _, sp := range parallel.Streams(plan) {
+		fn, tn := nodeOf(sp.FromProc, su.Workers), nodeOf(sp.ToProc, su.Workers)
+		if fn == node && tn != node {
+			egressTo[tn] = append(egressTo[tn], sp.ID)
+		}
+		if tn == node && fn != node {
+			p.expectIngress(uint32(sp.ID))
+		}
+	}
+
+	// Decode the pre-placed scan fragments shipped in SETUP.
+	frags := make(map[fragKey]relation.Batch, len(su.Frags))
+	for _, f := range su.Frags {
+		var b relation.Batch
+		if err := b.AppendBlocks(f.Blocks); err != nil {
+			return fmt.Errorf("dist: worker %d: fragment %s/%d: %w", node, f.OpID, f.Idx, err)
+		}
+		frags[fragKey{f.OpID, f.Idx}] = b
+	}
+
+	// Serve incoming data connections (peers with egress toward us dial in
+	// after the START barrier, when our queues above already exist).
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for {
+			c, h, err := ln.Accept()
+			if err != nil {
+				return // listener closed (teardown)
+			}
+			if h.Kind != kindData {
+				c.Close()
+				continue
+			}
+			p.track(c)
+		}
+	}()
+
+	if err := ctrl.writeFrame(ftReady, nil); err != nil {
+		return fmt.Errorf("dist: worker %d: ready: %w", node, err)
+	}
+	if err := ctrl.readMsgFrame(ftStart, nil); err != nil {
+		if errors.Is(err, errCancelled) || quietClose(err) {
+			return nil // aborted between setup and start
+		}
+		return fmt.Errorf("dist: worker %d: start: %w", node, err)
+	}
+
+	// From here the control connection carries at most a CANCEL, then the
+	// coordinator's final close. closing flips once we have sent DONE and
+	// the close is the expected outcome.
+	var closing atomic.Bool
+	ctrlClosed := make(chan struct{})
+	go func() {
+		defer close(ctrlClosed)
+		for {
+			kind, _, err := ctrl.ReadFrame()
+			if err != nil {
+				if !closing.Load() {
+					fail(fmt.Errorf("dist: worker %d: coordinator connection lost: %w", node, err))
+				}
+				return
+			}
+			if kind == ftCancel {
+				fail(errCancelled)
+				return
+			}
+		}
+	}()
+
+	// Dial one data connection per node we send to (deterministic order),
+	// and hang every egress stream toward that node off it.
+	targets := make([]int, 0, len(egressTo))
+	for tn := range egressTo {
+		targets = append(targets, tn)
+	}
+	sort.Ints(targets)
+	for _, tn := range targets {
+		addr := su.CoordAddr
+		if tn != coordNode {
+			addr = su.PeerAddrs[tn]
+		}
+		c, err := dialConn(addr, helloTimeout)
+		if err != nil {
+			fail(err)
+			break
+		}
+		if err := sendHello(c, helloMsg{Version: protoVersion, RunID: runID, Node: node, Kind: kindData}); err != nil {
+			c.Close()
+			fail(err)
+			break
+		}
+		p.track(c)
+		for _, sid := range egressTo[tn] {
+			p.addEgress(uint32(sid), c)
+		}
+	}
+
+	var res *parallel.RunResult
+	var runErr error
+	if failErr == nil {
+		cfg := parallel.Config{
+			MaxProcs:     localProcCount(plan, local),
+			BatchTuples:  su.BatchTuples,
+			ChannelDepth: su.ChannelDepth,
+			Partial: &parallel.Partial{
+				Local:        local,
+				Ingress:      p.ingress,
+				Egress:       p.egress,
+				ScanFragment: func(opID string, idx int) relation.Batch { return frags[fragKey{opID, idx}] },
+				LeafCard:     func(leaf int) int { return su.LeafCards[leaf] },
+				BatchPool:    pool,
+			},
+		}
+		res, runErr = parallel.RunContext(ctx, plan, nil, cfg)
+	}
+
+	if runErr != nil || failErr != nil {
+		// Torn down (cancel, peer loss, or a local failure): close
+		// everything, unblocking any stuck goroutine, and report. A
+		// coordinator-initiated cancel is a clean exit, not a failure.
+		cancel()
+		closing.Store(true)
+		p.teardown()
+		ln.Close()
+		ctrl.Close()
+		<-ctrlClosed
+		<-acceptDone
+		if errors.Is(failErr, errCancelled) {
+			return nil
+		}
+		if failErr != nil {
+			return failErr
+		}
+		return runErr
+	}
+
+	// Success: flush every EOS (quiesce), report DONE with our counters,
+	// then hold the sockets open until the coordinator ends the run.
+	p.quiesce()
+	d := doneMsg{
+		TuplesMovedRemote: res.Stats.TuplesMovedRemote,
+		TuplesLocal:       res.Stats.TuplesLocal,
+		Batches:           res.Stats.Batches,
+		Goroutines:        res.Stats.Goroutines + p.goroutines(),
+		BytesOnWire:       p.bytes.Load(),
+		OpWall:            res.Stats.OpWall,
+	}
+	closing.Store(true)
+	if err := ctrl.writeMsg(ftDone, d); err != nil {
+		cancel()
+		p.teardown()
+		ln.Close()
+		ctrl.Close()
+		<-ctrlClosed
+		<-acceptDone
+		return fmt.Errorf("dist: worker %d: done: %w", node, err)
+	}
+	<-ctrlClosed
+	cancel()
+	p.teardown()
+	ln.Close()
+	<-acceptDone
+	if failErr != nil && !errors.Is(failErr, errCancelled) {
+		return failErr
+	}
+	return nil
+}
+
+// quietClose reports whether err is an orderly connection teardown — the
+// coordinator ending the run before this worker got its next control
+// frame, which is an abort to obey silently, not a failure to report.
+func quietClose(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE)
+}
+
+// localProcCount counts the distinct plan processor ids placed on this
+// node — the worker's modeled-processor (dispatcher) count.
+func localProcCount(plan *xra.Plan, local func(int) bool) int {
+	seen := make(map[int]bool)
+	for _, op := range plan.Ops {
+		for _, p := range op.Procs {
+			if local(p) {
+				seen[p] = true
+			}
+		}
+	}
+	if len(seen) < 1 {
+		return 1
+	}
+	return len(seen)
+}

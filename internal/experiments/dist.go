@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"multijoin/internal/core"
+	"multijoin/internal/costmodel"
+	"multijoin/internal/jointree"
+	"multijoin/internal/parallel"
+	"multijoin/internal/strategy"
+	"multijoin/internal/wisconsin"
+)
+
+// Distributed compares single-process and multi-process execution of the
+// same plans: the wide-bushy chain query per strategy, once on the
+// goroutine runtime ("parallel", shared memory, channels as streams) and
+// once on the dist runtime (worker OS processes on loopback TCP — the
+// shared-nothing transport the paper's PRISMA/DB machine actually had).
+// The table reports wall seconds for both, the dist/parallel ratio, and
+// the bytes the dist run put on the wire. Dist wall time includes spawning
+// and reaping the worker processes, which dominates at small cardinalities
+// — the transport tax is the point of the experiment, not a defect.
+func Distributed(card, procs, workers int, seed int64) (string, error) {
+	db, err := wisconsin.Chain(wisconsin.Config{Relations: 6, Cardinality: card, Seed: seed})
+	if err != nil {
+		return "", err
+	}
+	tree, err := jointree.BuildShape(jointree.WideBushy, db.NumRelations())
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Distributed execution: wide-bushy chain of 6x%d tuples, %d processors, %d worker processes\n",
+		card, procs, workers)
+	fmt.Fprintf(&b, "(dist seconds include worker spawn and teardown)\n")
+	fmt.Fprintf(&b, "%-10s%14s%10s%12s%12s%12s\n",
+		"strategy", "parallel (s)", "dist (s)", "dist/par", "wire (MB)", "batches")
+	for _, kind := range strategy.Kinds {
+		q := core.Query{DB: db, Tree: tree, Strategy: kind, Procs: procs, Params: costmodel.Default()}
+		pres, err := core.Exec(context.Background(), q,
+			core.WithRuntime("parallel"),
+			core.WithMaxProcs(parallel.HostCap(procs)))
+		if err != nil {
+			return "", fmt.Errorf("parallel %v: %w", kind, err)
+		}
+		dres, err := core.Exec(context.Background(), q,
+			core.WithRuntime("dist"),
+			core.WithWorkers(workers))
+		if err != nil {
+			return "", fmt.Errorf("dist %v: %w", kind, err)
+		}
+		ratio := 0.0
+		if s := pres.Time.Seconds(); s > 0 {
+			ratio = dres.Time.Seconds() / s
+		}
+		fmt.Fprintf(&b, "%-10v%14.3f%10.3f%12.2f%12.2f%12d\n",
+			kind, pres.Time.Seconds(), dres.Time.Seconds(), ratio,
+			float64(dres.Stats.BytesOnWire)/(1<<20), dres.Stats.Batches)
+	}
+	b.WriteString("\n")
+	return b.String(), nil
+}

@@ -189,6 +189,12 @@ type Config struct {
 	// MemoryBudget, whose value is then ignored: the shared meter carries
 	// its own budget. The caller owns the meter's lifecycle (Settle).
 	Meter *spill.Meter
+
+	// Partial, when set, executes only the operation processes placed on
+	// this node and hands node-crossing streams to the configured transport
+	// (the distributed runtime's reuse seam — see Partial). Incompatible
+	// with Pool and with out-of-core mode (MemoryBudget/Meter).
+	Partial *Partial
 }
 
 // Defaults for Config zero values.
@@ -332,6 +338,9 @@ type opState struct {
 	instances []*inst
 	edge      *consumerEdge // nil only for collect
 	deps      []*opState
+	// locals is the number of instances placed on this node (all of them
+	// unless the run is partial).
+	locals int
 
 	// estCard is the estimated output cardinality of the operator (exact
 	// for scans, an upper-bound estimate for the 1:1 chain joins), used to
@@ -365,13 +374,14 @@ func (s *spillState) cleanup() {
 
 // runtimeState carries one execution.
 type runtimeState struct {
-	plan  *xra.Plan
-	cfg   Config
-	ctx   context.Context
-	pool  *relation.BatchPool
-	ops   map[string]*opState
-	order []*opState
-	spill *spillState // nil unless the run is budgeted (MemoryBudget/Meter)
+	plan    *xra.Plan
+	cfg     Config
+	ctx     context.Context
+	pool    *relation.BatchPool
+	ops     map[string]*opState
+	order   []*opState
+	spill   *spillState // nil unless the run is budgeted (MemoryBudget/Meter)
+	partial *Partial    // nil for whole-plan (single-node) runs
 
 	// sink, when set, receives the final result stream (collect pushes
 	// pooled batches instead of materializing); resultTuples counts what
@@ -438,6 +448,17 @@ func run(ctx context.Context, plan *xra.Plan, base func(leaf int) *relation.Rela
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("parallel: %w", err)
 	}
+	if cfg.Partial != nil {
+		if cfg.Partial.Local == nil {
+			return nil, fmt.Errorf("parallel: Partial needs a Local placement function")
+		}
+		if cfg.Partial.Ingress == nil || cfg.Partial.Egress == nil {
+			return nil, fmt.Errorf("parallel: Partial needs Ingress and Egress transport hooks")
+		}
+		if cfg.Pool != nil || cfg.MemoryBudget > 0 || cfg.Meter != nil {
+			return nil, fmt.Errorf("parallel: Partial is incompatible with Pool and out-of-core mode")
+		}
+	}
 	runCtx, cancelRun := context.WithCancel(ctx)
 	defer cancelRun()
 	r := &runtimeState{
@@ -446,6 +467,7 @@ func run(ctx context.Context, plan *xra.Plan, base func(leaf int) *relation.Rela
 		ctx:       runCtx,
 		cancelRun: cancelRun,
 		sink:      sink,
+		partial:   cfg.Partial,
 		ops:       make(map[string]*opState, len(plan.Ops)),
 	}
 	retain := plan.NumStreams() * (r.cfg.ChannelDepth + 1)
@@ -463,6 +485,8 @@ func run(ctx context.Context, plan *xra.Plan, base func(leaf int) *relation.Rela
 		}
 		r.spill = &spillState{meter: meter, dir: dir}
 		r.pool = relation.NewBatchPoolAccounted(r.cfg.BatchTuples, retain, meter.Add)
+	} else if r.partial != nil && r.partial.BatchPool != nil {
+		r.pool = r.partial.BatchPool
 	} else {
 		r.pool = relation.NewBatchPool(r.cfg.BatchTuples, retain)
 	}
@@ -506,7 +530,6 @@ func (r *runtimeState) fail(err error) {
 func (r *runtimeState) setup(base func(leaf int) *relation.Relation) error {
 	for _, op := range r.plan.Ops {
 		os := &opState{op: op, ready: make(chan struct{}), done: make(chan struct{})}
-		os.remaining.Store(int32(len(op.Procs)))
 		r.ops[op.ID] = os
 		r.order = append(r.order, os)
 	}
@@ -540,8 +563,10 @@ func (r *runtimeState) setup(base func(leaf int) *relation.Relation) error {
 		}
 	}
 	// Create one process (worker) per operator replica, bound to its
-	// processor's run queue. In out-of-core mode every join process gets a
-	// Grace join up front (single-threaded here, so registration for
+	// processor's run queue. In a partial run, instances whose processor is
+	// placed on another node exist only as routing targets: they are never
+	// launched and own no mailbox. In out-of-core mode every join process
+	// gets a Grace join up front (single-threaded here, so registration for
 	// cleanup needs no lock).
 	for _, os := range r.order {
 		for i, procID := range os.op.Procs {
@@ -550,24 +575,54 @@ func (r *runtimeState) setup(base func(leaf int) *relation.Relation) error {
 				op:       os,
 				idx:      i,
 				proc:     procID,
+				local:    r.partial == nil || r.partial.Local(procID),
 				queue:    r.queues[queueIndex(procID, len(r.queues))],
 				taskDone: make(chan struct{}, 1),
 				eosGot:   make(map[port]int),
 			}
-			if r.spill != nil && (os.op.Kind == xra.OpSimpleJoin || os.op.Kind == xra.OpPipeJoin) {
+			if w.local {
+				os.locals++
+			}
+			if w.local && r.spill != nil && (os.op.Kind == xra.OpSimpleJoin || os.op.Kind == xra.OpPipeJoin) {
 				spec := hashjoin.Spec{BuildIsLower: os.op.BuildIsLower}
 				w.grace = hashjoin.NewGrace(spec, r.spill.meter, r.spill.dir, r.pool)
 				r.spill.graces = append(r.spill.graces, w.grace)
 			}
 			os.instances = append(os.instances, w)
 		}
+		os.remaining.Store(int32(os.locals))
+		if os.locals == 0 {
+			// No process of this operator runs here; its completion is
+			// another node's business. Closing done up front keeps local
+			// After dependencies on it from blocking (cross-node After
+			// ordering is node-local — see internal/dist).
+			close(os.done)
+		}
 	}
 	// Pre-place base relation fragments: ideal initial fragmentation
 	// (Section 4.1), identical to the simulator — fragment i of a scan
-	// goes to scan process i.
+	// goes to scan process i. A partial run receives its fragments
+	// pre-placed by the coordinator (Partial.ScanFragment) instead of
+	// fragmenting in-process.
 	var tupleBytes int
 	for _, os := range r.order {
 		if os.op.Kind != xra.OpScan {
+			continue
+		}
+		if r.partial != nil {
+			if r.partial.LeafCard == nil {
+				return fmt.Errorf("parallel: Partial needs LeafCard")
+			}
+			os.estCard = r.partial.LeafCard(os.op.Leaf)
+			for i, w := range os.instances {
+				if !w.local {
+					continue
+				}
+				if r.partial.ScanFragment == nil {
+					return fmt.Errorf("parallel: Partial needs ScanFragment (local scan %s/%d)", os.op.ID, i)
+				}
+				w.scanBatch = r.partial.ScanFragment(os.op.ID, i)
+			}
 			continue
 		}
 		rel := base(os.op.Leaf)
@@ -598,43 +653,64 @@ func (r *runtimeState) setup(base func(leaf int) *relation.Relation) error {
 		}
 		if os.op.Kind == xra.OpCollect {
 			w := os.instances[0]
-			r.collect = w
-			if r.sink == nil {
-				w.gathered = relation.NewWithCap("result", tupleBytes, os.estCard)
+			if w.local {
+				r.collect = w
+				if r.sink == nil {
+					w.gathered = relation.NewWithCap("result", tupleBytes, os.estCard)
+				}
 			}
 		}
 	}
-	// Open the tuple streams: on a local edge, producer process i feeds
-	// consumer process i over one channel; on a redistribution edge every
-	// producer process opens one channel to every consumer process. The
-	// per-stream depth is resolved once per run (Config.ChannelDepth).
+	// Open the tuple streams, iterating the canonical enumeration (Streams)
+	// so a partial run's stream ids can never drift from its peers': on a
+	// local edge, producer process i feeds consumer process i over one
+	// channel; on a redistribution edge every producer process opens one
+	// channel to every consumer process. The per-stream depth is resolved
+	// once per run (Config.ChannelDepth). Streams with both endpoints on
+	// other nodes are skipped; streams crossing the node boundary keep
+	// their channel and hand the far end to the transport.
 	depth := r.cfg.ChannelDepth
-	for _, os := range r.order {
-		c := os.edge
-		if c == nil {
+	specs := Streams(r.plan)
+	for i := range specs {
+		sp := &specs[i]
+		fromOS, toOS := r.ops[sp.From.ID], r.ops[sp.To.ID]
+		w := fromOS.instances[sp.FromIdx]
+		dest := toOS.instances[sp.ToIdx]
+		if !w.local && !dest.local {
 			continue
 		}
-		for _, w := range os.instances {
-			if c.local {
-				dest := c.to.instances[w.idx]
-				s := r.newStream(c.port, w.proc, dest.proc, depth)
-				w.outs = []*stream{s}
-				dest.incoming = append(dest.incoming, s)
-			} else {
-				w.outs = make([]*stream, len(c.to.instances))
-				for d, dest := range c.to.instances {
-					s := r.newStream(c.port, w.proc, dest.proc, depth)
-					w.outs[d] = s
-					dest.incoming = append(dest.incoming, s)
+		s := r.newStream(portOf(toOS.op, sp.In), sp.FromProc, sp.ToProc, depth)
+		if w.local {
+			if w.outs == nil {
+				nd := len(toOS.instances)
+				if sp.LocalEdge {
+					nd = 1
 				}
+				w.outs = make([]*stream, nd)
+				w.outBufs = make([]*relation.Batch, nd)
 			}
-			w.outBufs = make([]*relation.Batch, len(w.outs))
+			d := sp.ToIdx
+			if sp.LocalEdge {
+				d = 0
+			}
+			w.outs[d] = s
+		}
+		if dest.local {
+			dest.incoming = append(dest.incoming, s)
+			if !w.local {
+				r.partial.Ingress(sp.ID, s.ch)
+			}
+		} else {
+			r.partial.Egress(sp.ID, s.ch)
 		}
 	}
 	// End-of-stream accounting and mailboxes: every incoming stream
 	// delivers exactly one end-of-stream marker on its port.
 	for _, os := range r.order {
 		for _, w := range os.instances {
+			if !w.local {
+				continue
+			}
 			w.eosWant = make(map[port]int)
 			for _, s := range w.incoming {
 				w.eosWant[s.port]++
@@ -695,7 +771,7 @@ func (r *runtimeState) launch() {
 	}
 	for _, os := range r.order {
 		os := os
-		if len(os.deps) == 0 {
+		if len(os.deps) == 0 || os.locals == 0 {
 			close(os.ready)
 		} else {
 			r.wg.Add(1)
@@ -714,6 +790,9 @@ func (r *runtimeState) launch() {
 		}
 		for _, w := range os.instances {
 			w := w
+			if !w.local {
+				continue
+			}
 			for _, s := range w.incoming {
 				s := s
 				r.wg.Add(1)
@@ -780,11 +859,15 @@ func (r *runtimeState) finish() *RunResult {
 		}
 	}
 	resultTuples := int(r.resultTuples.Load())
-	if r.sink == nil {
-		resultTuples = r.collect.gathered.Card()
+	var gathered *relation.Relation
+	if r.collect != nil {
+		gathered = r.collect.gathered
+		if r.sink == nil {
+			resultTuples = gathered.Card()
+		}
 	}
 	res := &RunResult{
-		Result:   r.collect.gathered, // nil in streaming mode (the sink consumed the tuples)
+		Result:   gathered, // nil in streaming mode (the sink consumed the tuples) and on worker nodes
 		WallTime: last,
 		Stats: Stats{
 			Processes:         r.plan.NumProcesses(),

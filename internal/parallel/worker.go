@@ -17,6 +17,10 @@ type inst struct {
 	op   *opState
 	idx  int
 	proc int
+	// local reports whether this process runs on this node; a non-local
+	// instance of a partial run is only a routing target (its streams are
+	// served by the transport) and is never launched.
+	local bool
 
 	// Run-queue side: the processor's queue, the completion signal
 	// (buffered 1 — a worker has at most one task outstanding), and the

@@ -63,6 +63,40 @@ func AppendBatchBytes(dst []byte, b *Batch) []byte {
 	return AppendBlockBytes(dst, b, 0, b.Len())
 }
 
+// AppendBlocksBytes encodes the whole batch as consecutive blocks of at
+// most max tuples each (max < 1 means MaxBlockTuples) and appends them to
+// dst — the framing used to ship pre-placed scan fragments over the wire;
+// the receiver decodes with Batch.AppendBlocks. An empty batch encodes to
+// nothing.
+func AppendBlocksBytes(dst []byte, b *Batch, max int) []byte {
+	if max < 1 {
+		max = MaxBlockTuples
+	}
+	n := b.Len()
+	for lo := 0; lo < n; lo += max {
+		hi := lo + max
+		if hi > n {
+			hi = n
+		}
+		dst = AppendBlockBytes(dst, b, lo, hi)
+	}
+	return dst
+}
+
+// AppendBlocks decodes a whole number of consecutive encoded blocks (as
+// produced by AppendBlocksBytes or repeated AppendBatchBytes) into b.
+func (b *Batch) AppendBlocks(src []byte) error {
+	for len(src) > 0 {
+		n, size, err := BlockHeader(src)
+		if err != nil {
+			return err
+		}
+		b.AppendColumns(src[BlockHeaderBytes:size], n, 0, n)
+		src = src[size:]
+	}
+	return nil
+}
+
 // BlockCount parses a block's count header alone — for streaming readers
 // that read the fixed-size header first and then exactly the block body.
 func BlockCount(hdr []byte) (int, error) {

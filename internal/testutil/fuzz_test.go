@@ -2,20 +2,30 @@ package testutil
 
 import (
 	"context"
+	"os"
 	"testing"
 
 	"multijoin/internal/core"
+	"multijoin/internal/dist"
 	"multijoin/internal/relation"
 )
 
-// runtimesUnderTest are the three built-in runtimes the differential
+// TestMain lets the dist runtime spawn its workers by re-executing this
+// test binary (InitWorker never returns in a spawned worker process).
+func TestMain(m *testing.M) {
+	dist.InitWorker()
+	os.Exit(m.Run())
+}
+
+// runtimesUnderTest are the four built-in runtimes the differential
 // harness compares, named explicitly so runtimes registered by other tests
 // cannot change what the fuzz target asserts.
-var runtimesUnderTest = []string{"sim", "parallel", "spill"}
+var runtimesUnderTest = []string{"sim", "parallel", "spill", "dist"}
 
 // execScenario runs a scenario on one runtime and returns the result
 // relation. The spill runtime gets the scenario's forcing memory budget so
-// the out-of-core path is exercised, not just registered. The parallel
+// the out-of-core path is exercised, not just registered; the dist runtime
+// runs the scenario across two loopback worker processes. The parallel
 // runtime is consumed through the session API — an Engine and a streaming
 // Rows cursor — so the fuzz harness also differential-tests the cursor
 // hand-off (pooled batch ownership, release on Next) against the other
@@ -45,6 +55,9 @@ func execScenario(t testing.TB, s *Scenario, rt string) *relation.Relation {
 	if rt == "spill" {
 		opts = append(opts, core.WithMemoryBudget(s.MemoryBudget))
 	}
+	if rt == "dist" {
+		opts = append(opts, core.WithWorkers(2))
+	}
 	res, err := core.Exec(context.Background(), s.Query, opts...)
 	if err != nil {
 		t.Fatalf("%s: %s: %v", s.Desc, rt, err)
@@ -55,8 +68,9 @@ func execScenario(t testing.TB, s *Scenario, rt string) *relation.Relation {
 // FuzzExecEquivalence is the randomized differential harness: for any
 // generated scenario — seeded sizes, skewed cardinalities, all four
 // strategies, bushy and linear tree shapes — the simulator, the goroutine
-// runtime and the out-of-core spill runtime must each produce exactly the
-// checksum multiset of the sequential reference execution. The provenance
+// runtime, the out-of-core spill runtime and the multi-process dist runtime
+// (two loopback workers) must each produce exactly the checksum multiset of
+// the sequential reference execution. The provenance
 // checksums make the assertion total: a lost, duplicated, or wrongly
 // combined tuple anywhere in any runtime changes the multiset.
 func FuzzExecEquivalence(f *testing.F) {

@@ -1,0 +1,17 @@
+package multijoin_test
+
+import (
+	"os"
+	"testing"
+
+	"multijoin"
+)
+
+// TestMain lets the "dist" runtime spawn workers by re-executing this test
+// binary: InitDistWorker routes spawned worker processes (MJ_DIST_*
+// environment set) into the worker protocol and never returns for them; in
+// the ordinary test process it only marks the binary self-executable.
+func TestMain(m *testing.M) {
+	multijoin.InitDistWorker()
+	os.Exit(m.Run())
+}

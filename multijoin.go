@@ -53,6 +53,7 @@ import (
 
 	"multijoin/internal/core"
 	"multijoin/internal/costmodel"
+	"multijoin/internal/dist"
 	"multijoin/internal/engine"
 	"multijoin/internal/jointree"
 	"multijoin/internal/optimizer"
@@ -231,11 +232,35 @@ func WithChannelDepth(n int) ExecOption { return core.WithChannelDepth(n) }
 // in-memory runtimes ignore the option.
 func WithMemoryBudget(bytes int64) ExecOption { return core.WithMemoryBudget(bytes) }
 
+// WithWorkers sets the worker-process count of the "dist" runtime — the
+// distributed executor that partitions a plan's operation processes over n
+// spawned worker OS processes (plan processor id p on worker p mod n, the
+// collect process on the coordinator) and streams every node-crossing
+// redistribution edge over loopback TCP:
+//
+//	res, err := multijoin.Exec(ctx, q,
+//	        multijoin.WithRuntime("dist"),
+//	        multijoin.WithWorkers(4)) // 4 worker processes
+//
+// Spawning workers by re-executing the current binary requires that main
+// called InitDistWorker first; see its doc. Zero means the dist default
+// (2); the single-process runtimes ignore the option.
+func WithWorkers(n int) ExecOption { return core.WithWorkers(n) }
+
 // WithVerify checks the result against the sequential reference execution
 // and fails on the first discrepancy, wherever the result is materialized:
 // Exec, Engine.Exec, or Rows.All. Streaming iteration over a Rows never
 // materializes the result and therefore never verifies.
 func WithVerify() ExecOption { return core.WithVerify() }
+
+// InitDistWorker is the "dist" runtime's worker entry hook. Call it first
+// thing in main (it is safe and cheap when the process is not a worker): in
+// an ordinary process it only marks the binary as re-executable for worker
+// spawning and returns; in a process the dist coordinator spawned it runs
+// the worker protocol to completion and exits, never returning.
+// Alternatively, set MJ_DIST_WORKER_BIN to a built cmd/mjworker binary and
+// no hook is needed.
+func InitDistWorker() { dist.InitWorker() }
 
 // Open starts a long-lived session over db: an Engine that owns the shared
 // resources every query it serves draws on — a processor pool capping
