@@ -1,7 +1,7 @@
 # Single source of truth for the commands CI and humans run.
 GO ?= go
 
-.PHONY: all build lint test bench bench-baseline examples fuzz-smoke pooldebug spill-check throughput-smoke dist-smoke clean
+.PHONY: all build lint test bench bench-baseline examples fuzz-smoke pooldebug spill-check throughput-smoke dist-smoke calibrate-smoke clean
 
 all: build lint test
 
@@ -55,6 +55,12 @@ throughput-smoke:
 dist-smoke:
 	$(GO) run ./cmd/mjbench -fig dist -workers 2 -card5k 500
 
+# Calibration smoke: a tiny cost-model calibration sweep on the CI host,
+# asserting it produces finite, positive per-action costs and a monotone
+# wall-time estimator — the measurement feeding cost-based admission.
+calibrate-smoke:
+	$(GO) test -race -run 'TestCalibrateSmoke' -count=1 ./internal/costmodel
+
 # Bench smoke: one iteration of every benchmark, with the sim-vs-parallel
 # comparison captured as test2json lines in BENCH_parallel.json and the
 # allocation benchmarks in BENCH_alloc.json, gated against the checked-in
@@ -66,7 +72,7 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -json . > BENCH_parallel.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_parallel.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 	@echo "wrote BENCH_parallel.json"
-	$(GO) test -run '^$$' -bench 'BenchmarkExecAlloc|BenchmarkExecStreamAlloc|BenchmarkHashTable' -benchtime 1x -benchmem -json . ./internal/hashjoin > BENCH_alloc.json
+	$(GO) test -run '^$$' -bench 'BenchmarkExecAlloc|BenchmarkExecStreamAlloc|BenchmarkEngineQueryCached|BenchmarkHashTable' -benchtime 1x -benchmem -json . ./internal/hashjoin > BENCH_alloc.json
 	@echo "wrote BENCH_alloc.json"
 	$(GO) run ./cmd/benchcheck -in BENCH_alloc.json -baseline bench_alloc_baseline.txt
 
@@ -78,7 +84,7 @@ bench:
 # the three measured columns and preserves each benchmark's ns/op
 # tolerance.
 bench-baseline:
-	$(GO) test -run '^$$' -bench 'BenchmarkExecAlloc|BenchmarkExecStreamAlloc' -benchtime 1x -benchmem -json . > BENCH_alloc.json
+	$(GO) test -run '^$$' -bench 'BenchmarkExecAlloc|BenchmarkExecStreamAlloc|BenchmarkEngineQueryCached' -benchtime 1x -benchmem -json . > BENCH_alloc.json
 	$(GO) run ./cmd/benchcheck -in BENCH_alloc.json -record bench_alloc_baseline.txt
 
 # Examples smoke: build every example binary, then run each one to

@@ -291,6 +291,59 @@ func BenchmarkExecStreamAlloc_FP(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineQueryCached measures the hot plan-cache path: a small
+// repeated query shape on one long-lived Engine, where every iteration
+// after the first hits the memoized plan. Planning allocations must not
+// appear per-query — cmd/benchcheck gates the allocs/op baseline in CI.
+func BenchmarkEngineQueryCached(b *testing.B) {
+	db, err := multijoin.NewDatabase(5, 1000, 1995)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := multijoin.BuildTree(multijoin.WideBushy, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const procs = 8
+	eng, err := multijoin.Open(db,
+		multijoin.WithEngineRuntime("parallel"),
+		multijoin.WithEngineProcs(multijoin.HostCap(procs)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	q := multijoin.Query{DB: db, Tree: tree, Strategy: strategy.FP, Procs: procs, Params: multijoin.DefaultParams()}
+	ctx := context.Background()
+	// Warm the plan cache so every timed iteration is a hit.
+	if _, err := eng.Exec(ctx, q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := eng.Query(ctx, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for rows.Next() {
+			_ = rows.Tuple()
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if n != 1000 {
+			b.Fatalf("streamed %d tuples, want 1000", n)
+		}
+	}
+	b.StopTimer()
+	hits, misses := eng.PlanCacheStats()
+	if hits < int64(b.N) || misses != 1 {
+		b.Fatalf("plan cache hits=%d misses=%d, want >= %d hits and exactly 1 miss", hits, misses, b.N)
+	}
+}
+
 func BenchmarkParallelVsSim_SP(b *testing.B) { benchParallelVsSim(b, strategy.SP) }
 func BenchmarkParallelVsSim_SE(b *testing.B) { benchParallelVsSim(b, strategy.SE) }
 func BenchmarkParallelVsSim_RD(b *testing.B) { benchParallelVsSim(b, strategy.RD) }

@@ -11,7 +11,7 @@
 //	mjbench -fig pipedelay# Section 2.3.3 pipeline delay experiment
 //	mjbench -fig ablation # Section 3.5 overhead ablation
 //	mjbench -fig spillmem # memory-budget sweep on the out-of-core spill runtime
-//	mjbench -fig throughput -concurrency N # one shared Engine, N in-flight queries
+//	mjbench -fig throughput -concurrency N -policy fifo|cost # one shared Engine, N in-flight queries
 //	mjbench -fig dist -workers N # multi-process dist runtime vs the goroutine runtime
 //	mjbench -fig all      # everything
 //
@@ -110,6 +110,7 @@ func main() {
 	csvPath := flag.String("csv", "", "write the response-time sweeps run for figures 9-13 to this CSV file")
 	rt := flag.String("runtime", multijoin.DefaultRuntime, "execution runtime for figures 9-13, by registry name: "+strings.Join(multijoin.RuntimeNames(), ", "))
 	concurrency := flag.Int("concurrency", 8, "peak in-flight query count for -fig throughput (the sweep runs 1,2,4,...,N)")
+	policy := flag.String("policy", "fifo", "admission policy for -fig throughput: "+strings.Join(multijoin.AdmissionPolicies, ", "))
 	workers := flag.Int("workers", 2, "worker-process count for -fig dist (and for -runtime dist sweeps)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after the last experiment) to this file")
@@ -126,6 +127,15 @@ func main() {
 				fail("-concurrency must be >= 1 for -fig throughput; got %d", *concurrency)
 			}
 		}
+	}
+	validPolicy := false
+	for _, p := range multijoin.AdmissionPolicies {
+		if *policy == p {
+			validPolicy = true
+		}
+	}
+	if !validPolicy {
+		fail("unknown -policy %q (valid: %s)", *policy, strings.Join(multijoin.AdmissionPolicies, ", "))
 	}
 	if *workers < 1 {
 		for _, name := range names {
@@ -249,13 +259,14 @@ func main() {
 		case "throughput":
 			// Concurrency sweep on one shared Engine: doubling in-flight
 			// query counts up to -concurrency, mixed strategies and
-			// runtimes, queries/sec plus admission queue waits.
+			// runtimes, queries/sec plus admission queue waits, under the
+			// selected admission policy (-policy fifo|cost).
 			var levels []int
 			for c := 1; c < *concurrency; c *= 2 {
 				levels = append(levels, c)
 			}
 			levels = append(levels, *concurrency)
-			out, err := experiments.Throughput(*card5k, 16, levels, 4**concurrency, *seed)
+			out, err := experiments.Throughput(*card5k, 16, levels, 4**concurrency, *seed, *policy)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,329 @@
+// Admission policies: who runs next, and with how much memory.
+//
+// The Engine used to admit queries with a blind FIFO semaphore: arrival
+// order, no knowledge of cost, and spill queries discovering memory
+// pressure reactively — everyone over-commits the shared spill.Meter, then
+// everyone spills. This file turns admission into a policy seam with two
+// implementations:
+//
+//   - "fifo": the original semaphore. Arrival order, no reservation.
+//   - "cost": shortest-job-first by the calibrated cost-model estimate,
+//     with aging (waiting discounts a query's effective cost, so a large
+//     query cannot be starved by a stream of small ones), plus memory
+//     reservation — a spill query's estimated peak residency is reserved
+//     from the shared meter at admission. A query whose reservation fits
+//     runs unspilled; one that can never fit (estimate ≥ whole budget)
+//     claims the whole budget instead, so memory consumers serialize —
+//     each spills only its own structural overage, bounded by recursive
+//     Grace partitioning (see hashjoin.Grace), instead of all thrashing
+//     the meter together — while zero-memory queries keep filling free
+//     execution slots.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"multijoin/internal/jointree"
+	"multijoin/internal/parallel"
+	"multijoin/internal/relation"
+	"multijoin/internal/spill"
+	"multijoin/internal/xra"
+)
+
+// AdmissionPolicies lists the registry names accepted by
+// WithAdmissionPolicy.
+var AdmissionPolicies = []string{"fifo", "cost"}
+
+// defaultUnitNanos is the per-work-unit wall cost assumed when the engine
+// has no calibration: a few tens of nanoseconds per tuple action is the
+// right order of magnitude on current hardware, and the cost policy only
+// needs estimates on a consistent scale to order the queue.
+const defaultUnitNanos = 25.0
+
+// agingFactor is the SJF aging rate: every nanosecond spent waiting
+// discounts agingFactor nanoseconds of estimated cost, so a queued query
+// overtakes one estimated to be d cheaper after waiting d/agingFactor —
+// bounded starvation instead of strict SJF.
+const agingFactor = 4.0
+
+// queryEstimate is the admission policy's view of one query, derived from
+// the cost model before the query queues.
+type queryEstimate struct {
+	// units is the abstract work-unit total: the paper's JoinCost summed
+	// over the tree plus per-tuple scan work.
+	units float64
+	// wall is units converted to predicted wall time on this host (the
+	// engine's calibration, or defaultUnitNanos without one), assuming the
+	// processor pool spreads the work.
+	wall time.Duration
+	// peakBytes is the predicted peak memory residency of a spill-runtime
+	// query: fully buffered join operands plus pooled transport batches in
+	// flight. Zero for runtimes that do not meter memory.
+	peakBytes int64
+}
+
+// admitTicket accompanies one query through admission and release.
+type admitTicket struct {
+	est   queryEstimate
+	meter *spill.Meter // the query's child meter; the cost policy reserves on it
+	// reserved is the memory reservation granted at admission (zero under
+	// fifo, for non-spill queries, and for grace-mode admissions).
+	reserved int64
+}
+
+// admissionPolicy decides when a query may start executing. admit blocks
+// until the query is admitted or ctx is done; release frees the query's
+// slot once its workers have exited; kick re-evaluates waiters after
+// external state changed (a finished query's meter reservation settled).
+// Implementations must be safe for concurrent use.
+type admissionPolicy interface {
+	name() string
+	admit(ctx context.Context, t *admitTicket) error
+	release(t *admitTicket)
+	kick()
+}
+
+// newAdmissionPolicy builds the named policy for an engine. slots <= 0
+// means unlimited concurrency.
+func newAdmissionPolicy(name string, slots int, root *spill.Meter) (admissionPolicy, error) {
+	switch name {
+	case "", "fifo":
+		p := &fifoPolicy{}
+		if slots > 0 {
+			p.sem = make(chan struct{}, slots)
+		}
+		return p, nil
+	case "cost":
+		return &costPolicy{slots: slots, root: root}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown admission policy %q (valid: fifo, cost)", name)
+	}
+}
+
+// fifoPolicy is the original admission semaphore: strict arrival order, no
+// cost knowledge, no reservation.
+type fifoPolicy struct {
+	sem chan struct{} // nil means unlimited
+}
+
+func (p *fifoPolicy) name() string { return "fifo" }
+
+func (p *fifoPolicy) admit(ctx context.Context, t *admitTicket) error {
+	if p.sem == nil {
+		return nil
+	}
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p *fifoPolicy) release(t *admitTicket) {
+	if p.sem != nil {
+		<-p.sem
+	}
+}
+
+func (p *fifoPolicy) kick() {}
+
+// costWaiter is one queued query under the cost policy.
+type costWaiter struct {
+	t   *admitTicket
+	enq time.Time
+	ch  chan struct{} // buffered 1; a grant sends exactly once
+}
+
+// costPolicy admits shortest-estimated-job-first with aging and reserves
+// estimated peak memory from the shared meter at admission.
+type costPolicy struct {
+	slots int // <= 0 means unlimited
+	root  *spill.Meter
+
+	mu      sync.Mutex
+	running int
+	waiters []*costWaiter
+}
+
+func (p *costPolicy) name() string { return "cost" }
+
+func (p *costPolicy) admit(ctx context.Context, t *admitTicket) error {
+	p.mu.Lock()
+	if len(p.waiters) == 0 && p.startLocked(t) {
+		p.mu.Unlock()
+		return nil
+	}
+	w := &costWaiter{t: t, enq: time.Now(), ch: make(chan struct{}, 1)}
+	p.waiters = append(p.waiters, w)
+	// Re-evaluate immediately: with a memory-blocked spill query at the
+	// head of the queue, a zero-memory arrival may be admissible right now
+	// rather than at the next release/kick.
+	p.grantLocked()
+	p.mu.Unlock()
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		removed := p.removeLocked(w)
+		p.mu.Unlock()
+		if !removed {
+			// Lost the race: a grant landed between ctx firing and the
+			// lock. Undo it — free the slot and return the reservation.
+			p.release(t)
+			t.meter.Settle()
+		}
+		return ctx.Err()
+	}
+}
+
+// startLocked takes a slot for t and grants (or waives) its memory
+// reservation. It reports false when t must wait: no slot, or its
+// reservation does not fit yet while other queries are still running (their
+// completion will free memory). A query whose estimate exceeds the whole
+// budget claims exactly the budget instead — it then runs only when no
+// other memory consumer does, with recursive Grace partitioning bounding
+// the overage, rather than thrashing every sibling's residency. With
+// nothing running, t always starts (waiting could then wait forever), in
+// grace mode (unreserved) if its claim does not fit.
+func (p *costPolicy) startLocked(t *admitTicket) bool {
+	if p.slots > 0 && p.running >= p.slots {
+		return false
+	}
+	if t.est.peakBytes > 0 && t.meter != nil {
+		budget := t.meter.Budget()
+		claim := t.est.peakBytes
+		if claim > budget {
+			claim = budget
+		}
+		switch {
+		case p.root.Live()+claim <= budget:
+			t.meter.Reserve(claim)
+			t.reserved = claim
+		case p.running > 0:
+			return false
+		}
+	}
+	p.running++
+	return true
+}
+
+// grantLocked starts as many waiters as slots and memory allow, best
+// effective cost first. A memory-blocked best waiter holds its place
+// against other *memory consumers* (head-of-line on memory: skipping it
+// for a smaller spill query would hand its freed memory away and starve it
+// despite aging), but zero-memory waiters may still fill free slots — they
+// cannot take the blocked query's memory, only compute that would
+// otherwise sit idle.
+func (p *costPolicy) grantLocked() {
+	memBlocked := false
+	for len(p.waiters) > 0 {
+		if p.slots > 0 && p.running >= p.slots {
+			return
+		}
+		now := time.Now()
+		eff := func(w *costWaiter) float64 {
+			return float64(w.t.est.wall) - agingFactor*float64(now.Sub(w.enq))
+		}
+		best := -1
+		for i, w := range p.waiters {
+			if memBlocked && w.t.est.peakBytes > 0 {
+				continue
+			}
+			if best < 0 || eff(w) < eff(p.waiters[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		w := p.waiters[best]
+		if !p.startLocked(w.t) {
+			// Slots were checked above and zero-memory waiters always
+			// start, so this is a memory block on a spill waiter.
+			memBlocked = true
+			continue
+		}
+		p.waiters = append(p.waiters[:best], p.waiters[best+1:]...)
+		w.ch <- struct{}{}
+	}
+}
+
+// removeLocked takes w out of the wait queue, reporting whether it was
+// still queued.
+func (p *costPolicy) removeLocked(w *costWaiter) bool {
+	for i, q := range p.waiters {
+		if q == w {
+			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (p *costPolicy) release(t *admitTicket) {
+	p.mu.Lock()
+	p.running--
+	p.grantLocked()
+	p.mu.Unlock()
+}
+
+// kick re-evaluates waiters; the engine calls it when a query's meter
+// reservation settles (memory freed without a slot changing hands).
+func (p *costPolicy) kick() {
+	p.mu.Lock()
+	p.grantLocked()
+	p.mu.Unlock()
+}
+
+// estimateQuery derives the admission estimate for one planned query: work
+// units from the paper's cost function over the tree's span cardinalities,
+// wall time via the engine's calibration, and — for the spill runtime,
+// the only memory-metered backend — peak residency from fully buffered
+// join operands plus the pooled transport batches the plan's streams keep
+// in flight.
+func (e *Engine) estimateQuery(q Query, o Options, plan *xra.Plan) queryEstimate {
+	spanCard := q.DB.SpanCard
+	units := jointree.SubtreeWorkSpan(q.Tree, spanCard)
+	var scanTuples float64
+	for _, leaf := range jointree.Leaves(q.Tree) {
+		scanTuples += float64(q.DB.Card(leaf.Leaf))
+	}
+	units += q.Params.ScanUnits * scanTuples
+
+	unitNanos := defaultUnitNanos
+	if !e.cal.IsZero() {
+		unitNanos = e.cal.UnitNanos
+	}
+	procs := e.procs.Size()
+	if procs < 1 {
+		procs = 1
+	}
+	est := queryEstimate{
+		units: units,
+		wall:  time.Duration(units * unitNanos / float64(procs)),
+	}
+	if o.Runtime == "spill" {
+		var operands int64
+		for _, j := range jointree.Joins(q.Tree) {
+			n1 := spanCard(j.Build.Lo, j.Build.Hi)
+			n2 := spanCard(j.Probe.Lo, j.Probe.Hi)
+			operands += int64(n1+n2) * relation.TupleWireBytes
+		}
+		depth := o.ChannelDepth
+		if depth < 1 {
+			depth = parallel.DefaultChannelDepth
+		}
+		bt := o.BatchTuples
+		if bt < 1 {
+			bt = parallel.DefaultSpillBatchTuples
+		}
+		pooled := int64(plan.NumStreams()) * int64(depth+1) * int64(bt) * relation.TupleWireBytes
+		est.peakBytes = operands + pooled
+	}
+	return est
+}

@@ -1,0 +1,106 @@
+// Plan cache: memoized strategy.Plan output for the Engine's repeated
+// query shapes.
+//
+// Planning a query is pure — the plan depends only on the join tree's
+// canonical shape, the strategy, the processor count, and the operand
+// cardinalities — yet every Engine.Query used to re-run it from scratch,
+// which on a serving workload means re-planning the same handful of shapes
+// thousands of times. The cache keys plans by that canonical shape (with
+// cardinalities bucketed to powers of two, so minor data growth does not
+// fragment the cache) and is concurrency-safe with singleflight semantics:
+// N identical queries arriving together plan exactly once, the rest wait
+// for the winner's entry. Cached plans are shared between concurrent runs;
+// that is safe because plans are immutable after strategy.Plan returns —
+// every runtime treats xra.Op as read-only.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"multijoin/internal/jointree"
+	"multijoin/internal/xra"
+)
+
+// planCacheMaxEntries bounds the cache. A serving workload has a handful of
+// shapes; a fuzzer has millions — on overflow the whole map is dropped
+// (simple, and correct for a cache) rather than evicted piecemeal.
+const planCacheMaxEntries = 1024
+
+// planEntry is one memoized planning: the first caller runs the plan under
+// once, every later caller waits on it.
+type planEntry struct {
+	once sync.Once
+	plan *xra.Plan
+	err  error
+}
+
+// planCache memoizes Query.Plan results by canonical query shape.
+type planCache struct {
+	mu     sync.Mutex
+	m      map[string]*planEntry
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newPlanCache() *planCache {
+	return &planCache{m: make(map[string]*planEntry)}
+}
+
+// key renders the canonical shape of a query: the join tree with its ids
+// (two trees with different JoinIDs yield different plan operator ids, so
+// the ids are part of the shape), the strategy, the processor budget, the
+// cost-function toggle, and each leaf's cardinality bucketed to the next
+// power of two. Queries differing only within a cardinality bucket share a
+// plan — processor allocation is proportional, so sub-2× differences do
+// not change it materially.
+func planKey(q Query) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|p%d|eq%t|", q.Tree.String(), q.Strategy, q.Procs, q.EqualWork)
+	for _, leaf := range jointree.Leaves(q.Tree) {
+		fmt.Fprintf(&b, "c%d,", cardBucket(q.DB.Card(leaf.Leaf)))
+	}
+	return b.String()
+}
+
+// cardBucket buckets a cardinality to its power-of-two ceiling exponent.
+func cardBucket(card int) int {
+	if card <= 1 {
+		return 0
+	}
+	return bits.Len(uint(card - 1))
+}
+
+// plan returns the memoized plan for q, planning it on a miss. hit reports
+// whether an already-built (or in-flight) entry served the call; exactly
+// one caller per key ever runs q.Plan (singleflight), so a stampede of
+// identical concurrent queries plans once. Planning errors are cached too:
+// a structurally invalid shape fails every time for the same reason.
+func (c *planCache) plan(q Query) (p *xra.Plan, hit bool, err error) {
+	key := planKey(q)
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		if len(c.m) >= planCacheMaxEntries {
+			c.m = make(map[string]*planEntry)
+		}
+		e = &planEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() { e.plan, e.err = q.Plan() })
+	return e.plan, ok, e.err
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *planCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -50,6 +50,19 @@ type Stats struct {
 	// queue before it began executing (zero outside an Engine session or
 	// when a slot was free immediately).
 	QueueWait time.Duration
+	// PlanCacheHit reports whether the query's plan was served from the
+	// Engine's plan cache instead of being planned from scratch (always
+	// false outside an Engine session).
+	PlanCacheHit bool
+	// EstimatedCost is the admission policy's predicted wall time for the
+	// query — calibrated via WithCalibration, otherwise on an assumed
+	// per-unit cost (zero outside an Engine session).
+	EstimatedCost time.Duration
+	// MemReserved is the peak-memory reservation the cost admission policy
+	// held for the query on the shared budget, in bytes (zero under the
+	// fifo policy, for non-spill queries, and for grace-mode admissions of
+	// queries too large to ever fit).
+	MemReserved int64
 
 	// Simulator-only counters (zero on wall-clock runtimes).
 

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"multijoin/internal/costmodel"
+	"multijoin/internal/jointree"
+	"multijoin/internal/relation"
+	"multijoin/internal/strategy"
+)
+
+// TestPlanCacheSingleflight is the plan-cache race test: a stampede of
+// identical-shape queries interleaved with distinct shapes must plan each
+// distinct shape exactly once (misses == shapes, everything else hits) and
+// still return correct results, under -race.
+func TestPlanCacheSingleflight(t *testing.T) {
+	db := sessionDB(t, 5, 400)
+	eng, err := Open(db, WithEngineRuntime("parallel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	shapes := []jointree.Shape{jointree.WideBushy, jointree.RightLinear, jointree.LeftBushy}
+	kinds := []strategy.Kind{strategy.FP, strategy.RD}
+	refs := map[jointree.Shape]*relation.Relation{}
+	for _, shape := range shapes {
+		refs[shape] = Reference(db, sessionQuery(t, db, shape, strategy.FP).Tree)
+	}
+	// Distinct cache keys: shape × strategy (all queries share procs and
+	// cardinalities).
+	distinct := int64(len(shapes) * len(kinds))
+
+	const perShape = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, int(distinct)*perShape)
+	for _, shape := range shapes {
+		for _, kind := range kinds {
+			for i := 0; i < perShape; i++ {
+				wg.Add(1)
+				go func(shape jointree.Shape, kind strategy.Kind) {
+					defer wg.Done()
+					q := sessionQuery(t, db, shape, kind)
+					rows, err := eng.Query(context.Background(), q)
+					if err != nil {
+						errc <- err
+						return
+					}
+					got, err := rows.All()
+					if err != nil {
+						errc <- err
+						return
+					}
+					if diff := relation.DiffMultiset(got, refs[shape]); diff != "" {
+						errc <- fmt.Errorf("%v/%v differs from reference: %s", shape, kind, diff)
+					}
+				}(shape, kind)
+			}
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	hits, misses := eng.PlanCacheStats()
+	if misses != distinct {
+		t.Errorf("plan cache misses = %d, want exactly %d (one per distinct shape)", misses, distinct)
+	}
+	if want := distinct * (perShape - 1); hits != want {
+		t.Errorf("plan cache hits = %d, want %d", hits, want)
+	}
+}
+
+// TestPlanCacheHitReported asserts ExecStats.PlanCacheHit: false on the
+// first query of a shape, true on the repeat.
+func TestPlanCacheHitReported(t *testing.T) {
+	db := sessionDB(t, 4, 200)
+	eng, err := Open(db, WithEngineRuntime("parallel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	q := sessionQuery(t, db, jointree.WideBushy, strategy.FP)
+	for i, wantHit := range []bool{false, true, true} {
+		res, err := eng.Exec(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.PlanCacheHit != wantHit {
+			t.Errorf("query %d: PlanCacheHit = %v, want %v", i, res.Stats.PlanCacheHit, wantHit)
+		}
+	}
+}
+
+// TestCostAdmissionCorrectAndLeakFree is the reservation leak audit: under
+// the cost policy with a forcing shared budget, a mix of completed and
+// cancelled-mid-stream spill queries must produce reference-identical
+// results, report reservations in ExecStats, and leave the shared meter at
+// exactly zero once everything settles.
+func TestCostAdmissionCorrectAndLeakFree(t *testing.T) {
+	db := sessionDB(t, 5, 1500)
+	cal := costmodel.Calibration{
+		HashNanos: 20, ProbeNanos: 25, TransportNanos: 15,
+		BatchNanos: 500, StartupNanos: 2000, UnitNanos: 20,
+	}
+	eng, err := Open(db,
+		WithMaxConcurrent(4),
+		WithEngineMemoryBudget(1<<20),
+		WithAdmissionPolicy("cost"),
+		WithCalibration(cal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if got := eng.AdmissionPolicy(); got != "cost" {
+		t.Fatalf("AdmissionPolicy() = %q, want %q", got, "cost")
+	}
+	q := sessionQuery(t, db, jointree.WideBushy, strategy.FP)
+	want := Reference(db, q.Tree)
+
+	const queries = 12
+	var (
+		wg          sync.WaitGroup
+		mu          sync.Mutex
+		reservedAny bool
+		firstE      error
+	)
+	for i := 0; i < queries; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			rows, err := eng.Query(ctx, q, WithRuntime("spill"))
+			if err != nil {
+				mu.Lock()
+				if firstE == nil {
+					firstE = err
+				}
+				mu.Unlock()
+				return
+			}
+			if i%3 == 0 {
+				// Abandon mid-stream: the reservation and every buffered
+				// batch must come back to the shared meter on Close.
+				for j := 0; j < 5 && rows.Next(); j++ {
+					_ = rows.Tuple()
+				}
+				cancel()
+				rows.Close()
+				return
+			}
+			got, err := rows.All()
+			if err != nil {
+				mu.Lock()
+				if firstE == nil {
+					firstE = err
+				}
+				mu.Unlock()
+				return
+			}
+			if diff := relation.DiffMultiset(got, want); diff != "" {
+				mu.Lock()
+				if firstE == nil {
+					firstE = fmt.Errorf("query %d differs from reference: %s", i, diff)
+				}
+				mu.Unlock()
+				return
+			}
+			if res, ok := rows.Result(); ok {
+				mu.Lock()
+				if res.Stats.MemReserved > 0 {
+					reservedAny = true
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstE != nil {
+		t.Fatal(firstE)
+	}
+	if !reservedAny {
+		t.Error("no completed spill query reported a memory reservation (Stats.MemReserved)")
+	}
+	if live := eng.MemoryLive(); live != 0 {
+		t.Errorf("shared meter holds %d live bytes after all queries settled (reservation leak)", live)
+	}
+}
+
+// TestCostAdmissionEstimates asserts the estimate surface: a cost-policy
+// query reports a positive EstimatedCost, and the fifo engine reports none
+// of the cost machinery but still works.
+func TestCostAdmissionEstimates(t *testing.T) {
+	db := sessionDB(t, 4, 300)
+	eng, err := Open(db, WithAdmissionPolicy("cost"), WithEngineRuntime("parallel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	q := sessionQuery(t, db, jointree.WideBushy, strategy.FP)
+	res, err := eng.Exec(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.EstimatedCost <= 0 {
+		t.Errorf("EstimatedCost = %v, want > 0", res.Stats.EstimatedCost)
+	}
+	if res.Stats.MemReserved != 0 {
+		t.Errorf("parallel (unmetered) query reserved %d bytes, want 0", res.Stats.MemReserved)
+	}
+}
+
+// TestOpenRejectsUnknownPolicy pins admission-policy validation at Open.
+func TestOpenRejectsUnknownPolicy(t *testing.T) {
+	db := sessionDB(t, 4, 10)
+	if _, err := Open(db, WithAdmissionPolicy("lifo")); err == nil {
+		t.Fatal("Open with unknown admission policy must fail")
+	}
+}

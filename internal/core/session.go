@@ -49,15 +49,18 @@ type sharedRes struct {
 // queries, shares processors and memory among them, and streams results.
 // All methods are safe for concurrent use. Close after the last query.
 type Engine struct {
-	db       *wisconsin.Database
-	defaults Options
-	maxConc  int
-	poolSize int
-	budget   int64
+	db         *wisconsin.Database
+	defaults   Options
+	maxConc    int
+	poolSize   int
+	budget     int64
+	policyName string
+	cal        costmodel.Calibration
 
-	sem   chan struct{}      // admission slots; nil means unlimited
-	procs *parallel.ProcPool // shared modeled processors (wall-clock runtimes)
-	meter *spill.Meter       // shared memory budget (root; queries get children)
+	policy admissionPolicy    // admission: fifo semaphore or cost-based SJF
+	plans  *planCache         // memoized strategy.Plan output by query shape
+	procs  *parallel.ProcPool // shared modeled processors (wall-clock runtimes)
+	meter  *spill.Meter       // shared memory budget (root; queries get children)
 
 	mu       sync.Mutex
 	closed   bool
@@ -108,6 +111,24 @@ func WithEngineMemoryBudget(bytes int64) EngineOption {
 	return func(e *Engine) { e.budget = bytes }
 }
 
+// WithAdmissionPolicy selects how queued queries are admitted, by name:
+// "fifo" (the default) admits in arrival order; "cost" orders the queue
+// shortest-estimated-job-first with aging and reserves each spill query's
+// estimated peak memory from the shared budget at admission, so a query
+// that fits runs unspilled and one that can never fit is admitted with a
+// Grace-partitioned budget instead of thrashing the pool.
+func WithAdmissionPolicy(name string) EngineOption {
+	return func(e *Engine) { e.policyName = name }
+}
+
+// WithCalibration supplies host-measured cost-model calibration
+// (costmodel.Calibrate): the cost admission policy then orders the queue by
+// predicted wall time on this machine instead of an assumed per-unit cost,
+// and Stats.EstimatedCost reports the calibrated prediction.
+func WithCalibration(c costmodel.Calibration) EngineOption {
+	return func(e *Engine) { e.cal = c }
+}
+
 // Open starts a session over db: a long-lived Engine owning the shared
 // processor pool, the shared memory budget, and the admission queue that
 // every Engine.Query draws on.
@@ -135,11 +156,15 @@ func Open(db *wisconsin.Database, opts ...EngineOption) (*Engine, error) {
 	if e.maxConc == 0 {
 		e.maxConc = 2 * runtime.GOMAXPROCS(0)
 	}
-	if e.maxConc > 0 {
-		e.sem = make(chan struct{}, e.maxConc)
-	}
 	e.procs = parallel.NewProcPool(e.poolSize)
 	e.meter = spill.NewMeter(e.budget)
+	e.plans = newPlanCache()
+	policy, err := newAdmissionPolicy(e.policyName, e.maxConc, e.meter)
+	if err != nil {
+		e.procs.Close()
+		return nil, err
+	}
+	e.policy = policy
 	return e, nil
 }
 
@@ -184,26 +209,24 @@ func (e *Engine) query(ctx context.Context, q Query, opts []Option) (*Rows, erro
 	if err != nil {
 		return nil, err
 	}
-	plan, err := q.Plan()
+	plan, planHit, err := e.plans.plan(q)
 	if err != nil {
 		return nil, err
 	}
 	child := e.meter.Child()
 	o.shared = &sharedRes{procs: e.procs, meter: child}
 
-	// Admission: one slot per executing query. The wait is the queue-wait
-	// the throughput experiment reports; a context cancelled while queued
-	// abandons the query before it consumed anything.
-	var queueWait time.Duration
-	if e.sem != nil {
-		start := time.Now()
-		select {
-		case e.sem <- struct{}{}:
-			queueWait = time.Since(start)
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
+	// Admission: the engine's policy decides when the query may start —
+	// arrival order under "fifo", calibrated shortest-job-first with memory
+	// reservation under "cost". The wait is the queue-wait the throughput
+	// experiment reports; a context cancelled while queued abandons the
+	// query before it consumed anything.
+	ticket := &admitTicket{est: e.estimateQuery(q, o, plan), meter: child}
+	start := time.Now()
+	if err := e.policy.admit(ctx, ticket); err != nil {
+		return nil, err
 	}
+	queueWait := time.Since(start)
 
 	qctx, cancel := context.WithCancel(ctx)
 	r := &Rows{
@@ -211,7 +234,11 @@ func (e *Engine) query(ctx context.Context, q Query, opts []Option) (*Rows, erro
 		ch:         make(chan pushed, 1),
 		done:       make(chan struct{}),
 		queueWait:  queueWait,
+		planHit:    planHit,
+		estCost:    ticket.est.wall,
+		reserved:   ticket.reserved,
 		meter:      child,
+		onSettle:   e.policy.kick,
 		tupleBytes: q.tupleBytes(),
 		estCard:    q.estResultCard(),
 		verify:     o.Verify,
@@ -221,9 +248,7 @@ func (e *Engine) query(ctx context.Context, q Query, opts []Option) (*Rows, erro
 		res, err := rt.Execute(qctx, plan, q.baseRelation, (*querySink)(r), o)
 		r.res, r.err = res, err
 		close(r.ch) // no pushes after Execute returns; readers observe res/err
-		if e.sem != nil {
-			<-e.sem
-		}
+		e.policy.release(ticket)
 		e.inflight.Done()
 		cancel()
 		close(r.done)
@@ -262,6 +287,15 @@ func (e *Engine) MemoryLive() int64 { return e.meter.Live() }
 // SpilledBytes returns the total bytes all of the engine's queries have
 // written to spill partitions so far.
 func (e *Engine) SpilledBytes() int64 { return e.meter.SpilledBytes() }
+
+// PlanCacheStats returns the engine's cumulative plan-cache hit and miss
+// counts. Every miss planned exactly once (singleflight), so misses equals
+// the number of distinct query shapes planned.
+func (e *Engine) PlanCacheStats() (hits, misses int64) { return e.plans.Stats() }
+
+// AdmissionPolicy returns the name of the engine's admission policy
+// ("fifo" or "cost").
+func (e *Engine) AdmissionPolicy() string { return e.policy.name() }
 
 // Close waits for in-flight queries to finish, then releases the engine's
 // shared resources. Callers must drain or Close outstanding Rows first — a
@@ -323,7 +357,11 @@ type Rows struct {
 	ch         chan pushed
 	done       chan struct{} // closed when the runtime goroutine has exited
 	queueWait  time.Duration
-	meter      *spill.Meter // per-query child of the engine budget
+	planHit    bool          // plan served from the engine's plan cache
+	estCost    time.Duration // admission-time wall estimate
+	reserved   int64         // admission-time memory reservation (bytes)
+	meter      *spill.Meter  // per-query child of the engine budget
+	onSettle   func()        // pokes the admission policy when the reservation frees
 	tupleBytes int
 	estCard    int // upper-bound result cardinality, presizes All
 	verify     bool
@@ -422,21 +460,36 @@ func (r *Rows) finish() {
 	if !r.finished {
 		r.finished = true
 		r.runErr = r.err
-		if r.res != nil {
-			r.res.Stats.QueueWait = r.queueWait
-		}
+		r.stampStats()
 	}
 	r.mu.Unlock()
 	r.settle()
 }
 
+// stampStats writes the session-side stats (admission wait, plan-cache
+// outcome, reservation) into the runtime's result. Callers hold r.mu.
+func (r *Rows) stampStats() {
+	if r.res == nil {
+		return
+	}
+	r.res.Stats.QueueWait = r.queueWait
+	r.res.Stats.PlanCacheHit = r.planHit
+	r.res.Stats.EstimatedCost = r.estCost
+	r.res.Stats.MemReserved = r.reserved
+}
+
 // settle releases the query's outstanding shared-budget reservation (a
 // cancelled run can strand pooled-batch accounting); it must run after the
-// workers exited and the cursor released every batch it held.
+// workers exited and the cursor released every batch it held. The engine's
+// admission policy is poked afterwards: freed reservation bytes may admit
+// a memory-blocked waiter.
 func (r *Rows) settle() {
 	r.settleOnce.Do(func() {
 		if r.meter != nil {
 			r.meter.Settle()
+		}
+		if r.onSettle != nil {
+			r.onSettle()
 		}
 	})
 }
@@ -501,9 +554,7 @@ func (r *Rows) Close() error {
 			if !alreadyDone {
 				r.runErr = r.err
 			}
-			if r.res != nil {
-				r.res.Stats.QueueWait = r.queueWait
-			}
+			r.stampStats()
 		}
 		r.mu.Unlock()
 		r.settle()

@@ -1,0 +1,68 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCalibrateSmoke is the CI calibration smoke: a deliberately tiny sweep
+// must produce finite, positive per-action costs, a usable wall-time
+// estimator, and a Params whose durations stay positive after rescaling.
+// It asserts orders of magnitude only — absolute values are host-dependent.
+func TestCalibrateSmoke(t *testing.T) {
+	cal, err := Calibrate(CalibrateOptions{Tuples: 4096, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.IsZero() {
+		t.Fatal("Calibrate returned a zero calibration")
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"HashNanos", cal.HashNanos},
+		{"ProbeNanos", cal.ProbeNanos},
+		{"TransportNanos", cal.TransportNanos},
+		{"BatchNanos", cal.BatchNanos},
+		{"StartupNanos", cal.StartupNanos},
+		{"UnitNanos", cal.UnitNanos},
+	} {
+		if !(c.v > 0) {
+			t.Errorf("%s = %v, want > 0", c.name, c.v)
+		}
+		if c.v > 1e9 {
+			t.Errorf("%s = %v ns, implausibly slow for a per-action cost", c.name, c.v)
+		}
+	}
+	// More work must predict more wall time; more processors less.
+	w1 := cal.EstimateWall(1e6, 1)
+	w2 := cal.EstimateWall(2e6, 1)
+	w4 := cal.EstimateWall(2e6, 4)
+	if !(w2 > w1) {
+		t.Errorf("EstimateWall not monotone in units: %v vs %v", w1, w2)
+	}
+	if !(w4 < w2) {
+		t.Errorf("EstimateWall not decreasing in procs: %v vs %v", w2, w4)
+	}
+	if w1 <= 0 || w1 > time.Hour {
+		t.Errorf("EstimateWall(1e6, 1) = %v, outside plausible range", w1)
+	}
+	p := cal.Params()
+	if p.TupleUnit < 1 || p.Startup < 1 || p.NetLatency < 1 {
+		t.Errorf("Params rescaling produced non-positive durations: %+v", p)
+	}
+}
+
+// TestCalibrationZero pins the IsZero sentinel the engine uses to decide
+// whether a calibration was installed.
+func TestCalibrationZero(t *testing.T) {
+	var c Calibration
+	if !c.IsZero() {
+		t.Error("zero Calibration must report IsZero")
+	}
+	c.UnitNanos = 25
+	if c.IsZero() {
+		t.Error("non-zero Calibration must not report IsZero")
+	}
+}

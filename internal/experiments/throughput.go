@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -24,14 +25,15 @@ const throughputBudget = 1 << 20
 // Throughput measures the session layer under concurrent load — the
 // workload the paper's PRISMA/DB actually serves but the one-shot figures
 // never show. One shared Engine (shared processor pool, shared 1 MiB
-// memory budget, admission capped at the sweep's concurrency level) serves
-// a batch of mixed queries: strategies cycle through SP/SE/RD/FP and
-// runtimes alternate parallel/spill, every result is drained through a
-// streaming Rows cursor and checked against the sequential reference. Each
-// row of the table is one concurrency level: queries/sec over the batch,
-// the mean and max admission queue wait the queries observed, and how much
-// the spill queries overflowed the shared budget.
-func Throughput(card, procs int, concurrencies []int, queries int, seed int64) (string, error) {
+// memory budget, admission capped at the sweep's concurrency level,
+// admission policy as given: "fifo" or "cost") serves a batch of mixed
+// queries: strategies cycle through SP/SE/RD/FP and runtimes alternate
+// parallel/spill, every result is drained through a streaming Rows cursor
+// and checked against the sequential reference. Each row of the table is
+// one concurrency level: queries/sec over the batch, the mean and p95
+// admission queue wait the queries observed, and how much the spill
+// queries overflowed the shared budget.
+func Throughput(card, procs int, concurrencies []int, queries int, seed int64, policy string) (string, error) {
 	db, err := wisconsin.Chain(wisconsin.Config{Relations: 6, Cardinality: card, Seed: seed})
 	if err != nil {
 		return "", err
@@ -43,26 +45,29 @@ func Throughput(card, procs int, concurrencies []int, queries int, seed int64) (
 	want := core.Reference(db, tree)
 	runtimes := []string{"parallel", "spill"}
 
+	if policy == "" {
+		policy = "fifo"
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Engine throughput: %d mixed queries (SP/SE/RD/FP x parallel/spill) per level,\n", queries)
-	fmt.Fprintf(&b, "wide-bushy chain of 6x%d tuples, one shared Engine, %d-processor pool, shared %s budget\n",
-		card, parallel.HostCap(procs), formatBytes(throughputBudget))
+	fmt.Fprintf(&b, "wide-bushy chain of 6x%d tuples, one shared Engine, %d-processor pool, shared %s budget, %q admission\n",
+		card, parallel.HostCap(procs), formatBytes(throughputBudget), policy)
 	fmt.Fprintf(&b, "%-14s%12s%12s%16s%16s%14s\n",
-		"concurrency", "wall (s)", "queries/s", "avg wait (ms)", "max wait (ms)", "spilled (MB)")
+		"concurrency", "wall (s)", "queries/s", "avg wait (ms)", "p95 wait (ms)", "spilled (MB)")
 	for _, conc := range concurrencies {
 		eng, err := core.Open(db,
 			core.WithMaxConcurrent(conc),
 			core.WithEngineProcs(parallel.HostCap(procs)),
-			core.WithEngineMemoryBudget(throughputBudget))
+			core.WithEngineMemoryBudget(throughputBudget),
+			core.WithAdmissionPolicy(policy))
 		if err != nil {
 			return "", err
 		}
 		var (
-			wg      sync.WaitGroup
-			mu      sync.Mutex
-			waitSum time.Duration
-			waitMax time.Duration
-			firstE  error
+			wg     sync.WaitGroup
+			mu     sync.Mutex
+			waits  []time.Duration
+			firstE error
 		)
 		start := time.Now()
 		for i := 0; i < queries; i++ {
@@ -85,10 +90,7 @@ func Throughput(card, procs int, concurrencies []int, queries int, seed int64) (
 					}
 					if res, ok := rows.Result(); ok {
 						mu.Lock()
-						waitSum += res.Stats.QueueWait
-						if res.Stats.QueueWait > waitMax {
-							waitMax = res.Stats.QueueWait
-						}
+						waits = append(waits, res.Stats.QueueWait)
 						mu.Unlock()
 					}
 				}
@@ -108,12 +110,38 @@ func Throughput(card, procs int, concurrencies []int, queries int, seed int64) (
 		if firstE != nil {
 			return "", fmt.Errorf("concurrency %d: %w", conc, firstE)
 		}
+		var waitSum time.Duration
+		for _, w := range waits {
+			waitSum += w
+		}
+		avgWait := 0.0
+		if len(waits) > 0 {
+			avgWait = waitSum.Seconds() * 1e3 / float64(len(waits))
+		}
 		fmt.Fprintf(&b, "%-14d%12.3f%12.1f%16.2f%16.2f%14.2f\n",
 			conc, elapsed.Seconds(), float64(queries)/elapsed.Seconds(),
-			float64(waitSum.Milliseconds())/float64(queries),
-			float64(waitMax.Milliseconds()),
+			avgWait,
+			percentileWait(waits, 0.95).Seconds()*1e3,
 			float64(spilled)/(1<<20))
 	}
 	b.WriteString("\n")
 	return b.String(), nil
+}
+
+// percentileWait returns the p-th percentile (nearest-rank) of the waits.
+func percentileWait(waits []time.Duration, p float64) time.Duration {
+	if len(waits) == 0 {
+		return 0
+	}
+	s := make([]time.Duration, len(waits))
+	copy(s, waits)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(p*float64(len(s))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
 }

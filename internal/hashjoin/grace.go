@@ -14,18 +14,23 @@ import (
 // the probe side.
 const GraceFanout = 8
 
-// gracePartition maps a join-attribute value to its partition index. It
-// must NOT be relation.HashKey: redistribution already routed tuples to
-// this process by HashKey(v, m) over the consumer's m instances, so every
-// value arriving here agrees on HashKey modulo gcd(m, GraceFanout) — with
-// m = 8 instances all tuples would land in a single partition and Drain
-// would rebuild the whole operand fragment in one table, defeating the
-// partition-at-a-time memory bound. A differently-mixed (salted) hash keeps
-// the partition index independent of the routing decision.
-func gracePartition(v int64) int {
+// gracePartition maps a join-attribute value to its partition index at one
+// recursion level. It must NOT be relation.HashKey: redistribution already
+// routed tuples to this process by HashKey(v, m) over the consumer's m
+// instances, so every value arriving here agrees on HashKey modulo
+// gcd(m, GraceFanout) — with m = 8 instances all tuples would land in a
+// single partition and Drain would rebuild the whole operand fragment in
+// one table, defeating the partition-at-a-time memory bound. A
+// differently-mixed (salted) hash keeps the partition index independent of
+// the routing decision. Each recursion level reads a different 3-bit window
+// of the same mixed hash, so a partition that re-partitions (an oversized
+// partition recursing one level down) splits on bits its parent never
+// looked at — with the parent's bits it would land everything in one
+// sub-partition again.
+func gracePartition(v int64, level int) int {
 	h := (uint64(v) + 0x9e3779b97f4a7c15) * 0xc2b2ae3d27d4eb4f
 	h ^= h >> 29
-	return int(h % GraceFanout)
+	return int((h >> (3 * uint(level))) % GraceFanout)
 }
 
 // graceFlushTuples is how many tuples a spilled partition buffers in memory
@@ -71,11 +76,26 @@ type Grace struct {
 	probe [GraceFanout]gracePart
 	heads []int32 // reusable probe scratch for Drain
 
+	// level is the recursion depth: 0 for the runtime's join, +1 for each
+	// re-partitioning of an oversized partition. It selects which bit
+	// window of the partition hash this instance splits on.
+	level int
+	// recursions counts oversized partitions this instance re-partitioned
+	// (not transitively) — a test hook.
+	recursions int
+
 	// drainBytes is the meter reservation of the drain phase's rebuilt
 	// hash table (the spilled portion of the partition being re-read);
 	// held only while one partition pair is being joined.
 	drainBytes int64
 }
+
+// maxGraceLevel caps recursive re-partitioning depth. Each level splits on a
+// fresh 3-bit hash window, so 6 levels distinguish 2^18 partitions — beyond
+// that an oversized partition is almost certainly duplicate-key skew, which
+// no amount of partitioning can split, and recursing further would only burn
+// passes over the same data.
+const maxGraceLevel = 6
 
 // NewGrace returns a fresh Grace join writing overflow partitions into dir
 // and accounting resident operand tuples against meter.
@@ -103,7 +123,7 @@ func (g *Grace) add(side *[GraceFanout]gracePart, attr relation.Attr, batch *rel
 	// and flush checks once per batch instead of once per tuple.
 	keys := batch.Col(attr)
 	for i := 0; i < n; i++ {
-		p := &side[gracePartition(keys[i])]
+		p := &side[gracePartition(keys[i], g.level)]
 		p.mem.Append(batch.U1[i], batch.U2[i], batch.Check[i])
 		p.tuples++
 	}
@@ -197,14 +217,22 @@ func (g *Grace) flush(p *gracePart) error {
 // The drain phase's rebuilt hash table is accounted against the meter: the
 // spilled portion of the build partition being re-read is reserved while
 // its partition pair is joined, so a shared (multi-query) meter sees drain
-// residency and other runs spill accordingly. The drain itself still cannot
-// shed that memory — its residency is bounded structurally, by the largest
-// single partition (~1/GraceFanout of one operand per process); recursive
-// partitioning of oversized partitions remains the ROADMAP follow-up.
+// residency and other runs spill accordingly. A build partition whose hash
+// table would alone exceed the memory budget is not rebuilt in one piece:
+// the partition pair is re-partitioned one level deeper (a fresh bit window
+// of the same hash, see gracePartition) and drained recursively, so peak
+// residency stays bounded by budget/GraceFanout per level instead of by the
+// largest skewed partition.
 func (g *Grace) Drain(emit func(results *relation.Batch) error) error {
 	var scratch relation.Batch
 	for i := range g.build {
 		bp, pp := &g.build[i], &g.probe[i]
+		if g.level < maxGraceLevel && int64(bp.tuples)*relation.TupleWireBytes > g.meter.Budget() {
+			if err := g.recurse(bp, pp, emit); err != nil {
+				return err
+			}
+			continue
+		}
 		// Reserve the file-resident part of the build partition: rebuilding
 		// its hash table makes those tuples memory-resident again. The
 		// in-memory tail (bp.memBytes) is already on the meter.
@@ -251,6 +279,52 @@ func (g *Grace) Drain(emit func(results *relation.Batch) error) error {
 	}
 	return nil
 }
+
+// recurse re-partitions one oversized partition pair one level deeper and
+// drains the sub-join in its place. The sub-join splits on a hash bit window
+// the parent never looked at, so an oversized partition that is merely
+// unlucky (many distinct keys colliding in one parent bucket) spreads back
+// out across GraceFanout sub-partitions; true duplicate-key skew stays
+// together and bottoms out at maxGraceLevel. Feeding goes through the same
+// AddBuild/AddProbe path as the parent's input, so a sub-partition that is
+// still over budget spills — and, if oversized again, recurses again.
+func (g *Grace) recurse(bp, pp *gracePart, emit func(*relation.Batch) error) error {
+	g.recursions++
+	sub := NewGrace(g.spec, g.meter, g.dir, g.pool)
+	sub.level = g.level + 1
+	defer sub.Close()
+	feed := func(p *gracePart, add func(*relation.Batch) error) error {
+		if p.file != nil {
+			start := time.Now()
+			err := p.file.ReadBatches(g.pool, add)
+			g.meter.NoteIO(time.Since(start))
+			if err != nil {
+				return err
+			}
+		}
+		if p.mem.Len() > 0 {
+			// add copies (it partitions into sub's own buffers), so the
+			// resident tail can be handed over directly and released after.
+			if err := add(&p.mem); err != nil {
+				return err
+			}
+		}
+		g.releasePart(p)
+		return nil
+	}
+	if err := feed(bp, sub.AddBuild); err != nil {
+		return err
+	}
+	if err := feed(pp, sub.AddProbe); err != nil {
+		return err
+	}
+	return sub.Drain(emit)
+}
+
+// Recursions reports how many oversized partitions this instance (not its
+// sub-joins) re-partitioned — a test hook for asserting that skew actually
+// forced recursion.
+func (g *Grace) Recursions() int { return g.recursions }
 
 // releaseDrain returns the drain phase's hash-table reservation.
 func (g *Grace) releaseDrain() {

@@ -378,6 +378,8 @@ type runtimeState struct {
 	cfg     Config
 	ctx     context.Context
 	pool    *relation.BatchPool
+	retain  int                         // per-pool free-list bound
+	pools   map[int]*relation.BatchPool // batch capacity → pool; nil until a sized pool exists
 	ops     map[string]*opState
 	order   []*opState
 	spill   *spillState // nil unless the run is budgeted (MemoryBudget/Meter)
@@ -474,6 +476,7 @@ func run(ctx context.Context, plan *xra.Plan, base func(leaf int) *relation.Rela
 	if retain > relation.MaxPoolRetain {
 		retain = relation.MaxPoolRetain
 	}
+	r.retain = retain
 	if r.cfg.MemoryBudget > 0 || r.cfg.Meter != nil {
 		dir, err := os.MkdirTemp("", "mjspill-")
 		if err != nil {
@@ -571,14 +574,16 @@ func (r *runtimeState) setup(base func(leaf int) *relation.Relation) error {
 	for _, os := range r.order {
 		for i, procID := range os.op.Procs {
 			w := &inst{
-				r:        r,
-				op:       os,
-				idx:      i,
-				proc:     procID,
-				local:    r.partial == nil || r.partial.Local(procID),
-				queue:    r.queues[queueIndex(procID, len(r.queues))],
-				taskDone: make(chan struct{}, 1),
-				eosGot:   make(map[port]int),
+				r:          r,
+				op:         os,
+				idx:        i,
+				proc:       procID,
+				local:      r.partial == nil || r.partial.Local(procID),
+				queue:      r.queues[queueIndex(procID, len(r.queues))],
+				taskDone:   make(chan struct{}, 1),
+				eosGot:     make(map[port]int),
+				emitTuples: r.cfg.BatchTuples,
+				emitPool:   r.pool,
 			}
 			if w.local {
 				os.locals++
@@ -661,6 +666,38 @@ func (r *runtimeState) setup(base func(leaf int) *relation.Relation) error {
 			}
 		}
 	}
+	// Size each producer's transport batches from its estimated per-stream
+	// cardinality. A redistribution edge opens producers × consumers streams
+	// and a pooled buffer sits on every one of them; with the single global
+	// batch size a stream-heavy RD plan pins far more batch memory than
+	// tuples it ever moves. A stream expected to carry a few dozen tuples
+	// gets a correspondingly small pooled batch instead; batches of
+	// different capacities live in per-size pools (putBatch routes returns
+	// by capacity, since a pool silently drops — and an accounted pool never
+	// un-meters — foreign-capacity batches). Partial (distributed) runs keep
+	// the uniform size: the transport owns the pool and peer nodes must
+	// agree on wire batch capacity.
+	if r.partial == nil {
+		for _, os := range r.order {
+			if os.edge == nil {
+				continue
+			}
+			dests := len(os.edge.to.instances)
+			if os.edge.local {
+				dests = 1
+			}
+			per := os.estCard / (len(os.instances) * dests)
+			bt := sizeTransportBatch(per, r.cfg.BatchTuples)
+			pool := r.pool
+			if bt != r.cfg.BatchTuples {
+				pool = r.transportPool(bt)
+			}
+			for _, w := range os.instances {
+				w.emitTuples = bt
+				w.emitPool = pool
+			}
+		}
+	}
 	// Open the tuple streams, iterating the canonical enumeration (Streams)
 	// so a partial run's stream ids can never drift from its peers': on a
 	// local edge, producer process i feeds consumer process i over one
@@ -723,6 +760,64 @@ func (r *runtimeState) setup(base func(leaf int) *relation.Relation) error {
 		}
 	}
 	return nil
+}
+
+// minTransportTuples is the floor of the per-stream transport batch size:
+// below a couple of cache lines per column the per-batch channel and
+// run-queue overhead dominates any residency win.
+const minTransportTuples = 16
+
+// sizeTransportBatch picks a producer's transport batch capacity: the run's
+// configured size when the stream is expected to fill it, otherwise the
+// power-of-two ceiling of the expected per-stream tuple count (so pools stay
+// few and batch capacities stay round), floored at minTransportTuples.
+func sizeTransportBatch(expected, max int) int {
+	if expected >= max {
+		return max
+	}
+	bt := minTransportTuples
+	for bt < expected {
+		bt <<= 1
+	}
+	if bt > max {
+		return max
+	}
+	return bt
+}
+
+// transportPool returns the run's batch pool for the given capacity,
+// creating it on first use. Only called from the single-threaded setup;
+// the pools map is read-only once workers launch.
+func (r *runtimeState) transportPool(bt int) *relation.BatchPool {
+	if r.pools == nil {
+		r.pools = map[int]*relation.BatchPool{r.cfg.BatchTuples: r.pool}
+	}
+	if p, ok := r.pools[bt]; ok {
+		return p
+	}
+	var p *relation.BatchPool
+	if r.spill != nil {
+		p = relation.NewBatchPoolAccounted(bt, r.retain, r.spill.meter.Add)
+	} else {
+		p = relation.NewBatchPool(bt, r.retain)
+	}
+	r.pools[bt] = p
+	return p
+}
+
+// putBatch returns a consumed transport batch to the pool it came from,
+// routing by capacity: with per-stream batch sizing a consumer receives
+// batches from differently-sized producer pools, and handing a batch to the
+// wrong pool would silently drop it — never reversing an accounted pool's
+// meter charge until Settle.
+func (r *runtimeState) putBatch(b *relation.Batch) {
+	if r.pools != nil {
+		if p, ok := r.pools[b.Cap()]; ok {
+			p.Put(b)
+			return
+		}
+	}
+	r.pool.Put(b)
 }
 
 // queueIndex maps a plan processor id to its run queue. The scheduler

@@ -53,9 +53,14 @@ type inst struct {
 
 	// Output side: one stream and one pooled batch buffer per destination
 	// process (a single destination on local edges). A nil buffer is
-	// replaced from the pool on first use after each flush.
-	outs    []*stream
-	outBufs []*relation.Batch
+	// replaced from the pool on first use after each flush. emitTuples and
+	// emitPool are the per-stream transport batch size and its matching
+	// pool, chosen in setup from the operator's estimated per-stream
+	// cardinality (the run default when the stream is expected to fill it).
+	outs       []*stream
+	outBufs    []*relation.Batch
+	emitTuples int
+	emitPool   *relation.BatchPool
 
 	// Collect state.
 	gathered *relation.Relation
@@ -229,7 +234,7 @@ func (w *inst) handle(it item) bool {
 			// and fails only when the run is cancelled.
 			batch := it.batch
 			n := batch.Len() // before Push: ownership transfers with it
-			if err := w.r.sink.Push(w.r.ctx, batch, func() { w.r.pool.Put(batch) }); err != nil {
+			if err := w.r.sink.Push(w.r.ctx, batch, func() { w.r.putBatch(batch) }); err != nil {
 				return false
 			}
 			w.r.resultTuples.Add(int64(n))
@@ -237,7 +242,7 @@ func (w *inst) handle(it item) bool {
 		}
 		it.batch.AppendTo(w.gathered)
 	}
-	w.r.pool.Put(it.batch)
+	w.r.putBatch(it.batch)
 	return true
 }
 
@@ -263,7 +268,7 @@ func (w *inst) handleGrace(it item) bool {
 		w.r.fail(err)
 		return false
 	}
-	w.r.pool.Put(it.batch)
+	w.r.putBatch(it.batch)
 	return true
 }
 
@@ -326,12 +331,12 @@ func (w *inst) emit(results *relation.Batch) {
 	if n == 0 || w.op.edge == nil {
 		return
 	}
-	bt := w.r.cfg.BatchTuples
+	bt := w.emitTuples
 	if len(w.outs) == 1 {
 		for lo := 0; lo < n; {
 			buf := w.outBufs[0]
 			if buf == nil {
-				buf = w.r.pool.Get()
+				buf = w.emitPool.Get()
 				w.outBufs[0] = buf
 			}
 			c := bt - buf.Len()
@@ -352,7 +357,7 @@ func (w *inst) emit(results *relation.Batch) {
 		d := bk.Bucket(keys[i])
 		buf := w.outBufs[d]
 		if buf == nil {
-			buf = w.r.pool.Get()
+			buf = w.emitPool.Get()
 			w.outBufs[d] = buf
 		}
 		buf.Append(results.U1[i], results.U2[i], results.Check[i])

@@ -45,6 +45,7 @@ type Meter struct {
 	budget       int64
 	live         *atomic.Int64 // shared with the root and all siblings
 	net          atomic.Int64  // this meter's own net contribution to live
+	reserved     atomic.Int64  // admission-time pre-charge (Reserve); child meters only
 	parent       *Meter        // nil on a root meter
 	spilledBytes atomic.Int64
 	partitions   atomic.Int64
@@ -72,7 +73,55 @@ func (m *Meter) Budget() int64 { return m.budget }
 // Add adjusts the live-byte balance (positive when tuples are buffered,
 // negative when they are released or written out). It is the hook shape
 // relation.NewBatchPoolAccounted expects.
-func (m *Meter) Add(deltaBytes int64) { m.net.Add(deltaBytes); m.live.Add(deltaBytes) }
+//
+// On a meter with an admission reservation (Reserve), residency inside the
+// reservation is already pre-charged on the shared balance: the shared live
+// counter only moves for the portion of this meter's net contribution that
+// exceeds the reservation, so a run that stays within its admitted estimate
+// never pushes a sibling over budget mid-flight.
+func (m *Meter) Add(deltaBytes int64) {
+	r := m.reserved.Load()
+	if r == 0 {
+		m.net.Add(deltaBytes)
+		m.live.Add(deltaBytes)
+		return
+	}
+	for {
+		old := m.net.Load()
+		if m.net.CompareAndSwap(old, old+deltaBytes) {
+			if d := overReservation(old+deltaBytes, r) - overReservation(old, r); d != 0 {
+				m.live.Add(d)
+			}
+			return
+		}
+	}
+}
+
+// overReservation is the portion of a net contribution that exceeds the
+// reservation — the only part charged live beyond the admission pre-charge.
+func overReservation(net, reserved int64) int64 {
+	if net > reserved {
+		return net - reserved
+	}
+	return 0
+}
+
+// Reserve pre-charges bytes of the shared live balance to this meter — the
+// admission-time memory reservation of the cost-based policy. The run's own
+// residency (Add) then only moves the shared balance beyond the reservation;
+// Settle returns the pre-charge together with any overage. Reserve must be
+// called at most once per child meter, before the run performs its first
+// Add, and never on a root meter shared by concurrent runs.
+func (m *Meter) Reserve(bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	m.reserved.Store(bytes)
+	m.live.Add(bytes)
+}
+
+// Reserved returns the admission-time reservation held by this meter.
+func (m *Meter) Reserved() int64 { return m.reserved.Load() }
 
 // Live returns the current live-byte balance (shared across a root and all
 // its children).
@@ -83,13 +132,24 @@ func (m *Meter) Live() int64 { return m.live.Load() }
 func (m *Meter) Over() bool { return m.live.Load() > m.budget }
 
 // Settle releases this meter's outstanding net contribution from the shared
-// balance. A cancelled run can strand reservations — pooled batches handed
-// to goroutines that unwound without a Put — and on a shared (engine)
-// budget those would otherwise shrink every later query's headroom forever.
-// Call it once per child after the run's goroutines have exited and its
-// consumer released every batch; it must not be called while the run can
-// still Add.
-func (m *Meter) Settle() { m.live.Add(-m.net.Swap(0)) }
+// balance, including any admission-time reservation (Reserve). A cancelled
+// run can strand reservations — pooled batches handed to goroutines that
+// unwound without a Put — and on a shared (engine) budget those would
+// otherwise shrink every later query's headroom forever. Call it once per
+// child after the run's goroutines have exited and its consumer released
+// every batch; it must not be called while the run can still Add.
+func (m *Meter) Settle() {
+	r := m.reserved.Swap(0)
+	n := m.net.Swap(0)
+	if r == 0 {
+		m.live.Add(-n)
+		return
+	}
+	// With a reservation, this meter's total contribution to the shared
+	// balance is the pre-charge plus whatever its net residency exceeded it
+	// by (Add charged nothing while net stayed inside the reservation).
+	m.live.Add(-(r + overReservation(n, r)))
+}
 
 // NoteSpill records bytes written to a spill file.
 func (m *Meter) NoteSpill(bytes int64) {

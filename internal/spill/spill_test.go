@@ -154,3 +154,91 @@ func TestCreateUsesDir(t *testing.T) {
 		t.Fatalf("Create made %d entries in dir, want 1", len(entries))
 	}
 }
+
+// TestMeterReserve pins the reservation accounting: Reserve pre-charges the
+// shared balance, Add only moves it for residency beyond the reservation,
+// and Settle returns exactly the reservation plus overage — so the root is
+// back to zero however the child's net moved.
+func TestMeterReserve(t *testing.T) {
+	root := NewMeter(1 << 20)
+	child := root.Child()
+	child.Reserve(1000)
+	if got := root.Live(); got != 1000 {
+		t.Fatalf("Live after Reserve(1000) = %d, want 1000", got)
+	}
+	if got := child.Reserved(); got != 1000 {
+		t.Fatalf("Reserved() = %d, want 1000", got)
+	}
+	// Residency inside the reservation does not move the shared balance.
+	child.Add(600)
+	if got := root.Live(); got != 1000 {
+		t.Fatalf("Live after Add(600) within reservation = %d, want 1000", got)
+	}
+	// Crossing the reservation charges only the overage.
+	child.Add(700) // net 1300, overage 300
+	if got := root.Live(); got != 1300 {
+		t.Fatalf("Live after crossing reservation = %d, want 1300", got)
+	}
+	// Dropping back under the reservation returns the overage.
+	child.Add(-500) // net 800
+	if got := root.Live(); got != 1000 {
+		t.Fatalf("Live after dropping under reservation = %d, want 1000", got)
+	}
+	child.Settle()
+	if got := root.Live(); got != 0 {
+		t.Fatalf("Live after Settle = %d, want 0", got)
+	}
+	if got := child.Reserved(); got != 0 {
+		t.Fatalf("Reserved after Settle = %d, want 0", got)
+	}
+}
+
+// TestMeterSettleWithOverage asserts Settle releases reservation + overage
+// when the run ends while over its estimate.
+func TestMeterSettleWithOverage(t *testing.T) {
+	root := NewMeter(1 << 20)
+	child := root.Child()
+	child.Reserve(100)
+	child.Add(350) // 250 over the reservation
+	if got := root.Live(); got != 350 {
+		t.Fatalf("Live = %d, want 350 (reservation 100 + overage 250)", got)
+	}
+	child.Settle()
+	if got := root.Live(); got != 0 {
+		t.Fatalf("Live after Settle = %d, want 0", got)
+	}
+}
+
+// TestMeterSettleNegativeNet asserts a child whose net went negative (it
+// released batches it did not allocate, e.g. pool churn across runs) still
+// settles the root back to zero.
+func TestMeterSettleNegativeNet(t *testing.T) {
+	root := NewMeter(1 << 20)
+	a := root.Child()
+	b := root.Child()
+	a.Reserve(200)
+	a.Add(500)  // a net +500: live = 200 + 300 overage = 500
+	b.Add(-500) // b net -500: live = 0
+	a.Settle()  // releases 200 + 300
+	b.Settle()  // releases -500
+	if got := root.Live(); got != 0 {
+		t.Fatalf("Live after both settle = %d, want 0", got)
+	}
+}
+
+// TestMeterReserveZeroNoop asserts Reserve(<=0) is a no-op and plain meters
+// keep the original Add/Settle fast path.
+func TestMeterReserveZeroNoop(t *testing.T) {
+	root := NewMeter(1 << 20)
+	child := root.Child()
+	child.Reserve(0)
+	child.Reserve(-5)
+	child.Add(300)
+	if got := root.Live(); got != 300 {
+		t.Fatalf("Live = %d, want 300", got)
+	}
+	child.Settle()
+	if got := root.Live(); got != 0 {
+		t.Fatalf("Live after Settle = %d, want 0", got)
+	}
+}

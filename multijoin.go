@@ -305,6 +305,41 @@ func WithEngineProcs(n int) EngineOption { return core.WithEngineProcs(n) }
 // default (64 MiB).
 func WithEngineMemoryBudget(bytes int64) EngineOption { return core.WithEngineMemoryBudget(bytes) }
 
+// AdmissionPolicies lists the admission-policy names WithAdmissionPolicy
+// accepts: "fifo" (arrival order, the default) and "cost" (shortest
+// estimated job first with aging and memory reservation).
+var AdmissionPolicies = core.AdmissionPolicies
+
+// WithAdmissionPolicy selects how the engine orders queries waiting for an
+// execution slot. "fifo" is the original arrival-order semaphore. "cost"
+// admits the query with the smallest calibrated cost-model estimate first
+// (aged, so large queries are not starved) and reserves a spill query's
+// estimated peak memory from the shared budget at admission; a query whose
+// estimate can never fit is admitted without a reservation and relies on
+// recursive Grace partitioning to bound its memory.
+func WithAdmissionPolicy(name string) EngineOption { return core.WithAdmissionPolicy(name) }
+
+// Calibration holds measured per-tuple costs of this host — the output of
+// Calibrate — and converts the cost model's abstract work units into
+// predicted wall time. Pass it to Open via WithCalibration so cost-based
+// admission orders queries by realistic estimates.
+type Calibration = costmodel.Calibration
+
+// CalibrateOptions tunes the calibration sweep (zero values mean defaults).
+type CalibrateOptions = costmodel.CalibrateOptions
+
+// Calibrate measures this host's per-tuple hash, probe and transport costs
+// with short micro-runs and fits the cost model's unit scale to them:
+//
+//	cal, err := multijoin.Calibrate(multijoin.CalibrateOptions{})
+//	eng, err := multijoin.Open(db, multijoin.WithCalibration(cal),
+//	        multijoin.WithAdmissionPolicy("cost"))
+func Calibrate(opt CalibrateOptions) (Calibration, error) { return costmodel.Calibrate(opt) }
+
+// WithCalibration installs measured per-tuple costs (see Calibrate) as the
+// engine's wall-time scale for admission estimates.
+func WithCalibration(c Calibration) EngineOption { return core.WithCalibration(c) }
+
 // RegisterRuntime adds an execution backend to the by-name registry used by
 // Exec's WithRuntime option. Like database/sql driver registration it is
 // meant for init time and panics on duplicate or empty names.
