@@ -1,7 +1,7 @@
 # Single source of truth for the commands CI and humans run.
 GO ?= go
 
-.PHONY: all build lint test bench bench-baseline examples fuzz-smoke pooldebug spill-check throughput-smoke dist-smoke calibrate-smoke clean
+.PHONY: all build lint test bench bench-baseline examples fuzz-smoke pooldebug spill-check throughput-smoke dist-smoke calibrate-smoke serve-smoke clean
 
 all: build lint test
 
@@ -54,6 +54,39 @@ throughput-smoke:
 # covered, verified and leak-audited, by `go test ./internal/dist`).
 dist-smoke:
 	$(GO) run ./cmd/mjbench -fig dist -workers 2 -card5k 500
+
+# Serve smoke: the TCP serving layer end to end — mjserve on an ephemeral
+# port, driven by mjload with a mixed closed-loop burst (20% of queries
+# cancelled mid-stream) and an open-loop step, then SIGTERM while a third
+# load run is still streaming. mjserve exits 0 only when the graceful
+# drain left the engine's shared memory meter at zero; the recipe also
+# greps the "drained clean" line so a truncated log fails loudly.
+serve-smoke:
+	@mkdir -p .bin
+	$(GO) build -o .bin/mjserve ./cmd/mjserve
+	$(GO) build -o .bin/mjload ./cmd/mjload
+	@set -e; \
+	rm -f .bin/mjserve.log .bin/mjload-bg.log; \
+	.bin/mjserve -addr 127.0.0.1:0 -card 1000 -policy cost -budget 4MiB > .bin/mjserve.log 2>&1 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	addr=""; \
+	for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's/mjserve: listening on //p' .bin/mjserve.log); \
+		[ -n "$$addr" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "mjserve did not start:"; cat .bin/mjserve.log; exit 1; }; \
+	.bin/mjload -addr $$addr -conns 16 -duration 3s -cancel 0.2; \
+	.bin/mjload -addr $$addr -conns 8 -duration 2s -qps 30; \
+	.bin/mjload -addr $$addr -conns 8 -duration 10s > .bin/mjload-bg.log 2>&1 & \
+	bg=$$!; \
+	sleep 2; \
+	kill -TERM $$pid; \
+	wait $$pid; \
+	trap - EXIT; \
+	wait $$bg || true; \
+	grep -q "drained clean" .bin/mjserve.log || { echo "no clean drain:"; cat .bin/mjserve.log; exit 1; }; \
+	echo "serve smoke passed (graceful drain, meter live = 0)"
 
 # Calibration smoke: a tiny cost-model calibration sweep on the CI host,
 # asserting it produces finite, positive per-action costs and a monotone

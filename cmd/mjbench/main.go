@@ -44,7 +44,9 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
+	"time"
 
 	"multijoin"
 	"multijoin/internal/experiments"
@@ -61,7 +63,7 @@ var figureShapes = map[string]jointree.Shape{
 }
 
 // allFigures lists every valid -fig name in output order.
-var allFigures = []string{"3", "4", "6", "7", "9", "10", "11", "12", "13", "14", "speedup", "pipedelay", "ablation", "memory", "costfn", "spillmem", "throughput", "dist"}
+var allFigures = []string{"3", "4", "6", "7", "9", "10", "11", "12", "13", "14", "speedup", "pipedelay", "ablation", "memory", "costfn", "spillmem", "throughput", "dist", "saturation"}
 
 // fail reports a usage error (exit 2); die reports a runtime error
 // (exit 1). Both stop an active CPU profile first — os.Exit skips defers,
@@ -112,6 +114,7 @@ func main() {
 	concurrency := flag.Int("concurrency", 8, "peak in-flight query count for -fig throughput (the sweep runs 1,2,4,...,N)")
 	policy := flag.String("policy", "fifo", "admission policy for -fig throughput: "+strings.Join(multijoin.AdmissionPolicies, ", "))
 	workers := flag.Int("workers", 2, "worker-process count for -fig dist (and for -runtime dist sweeps)")
+	offered := flag.String("offered", "10,25,50,100", "comma-separated open-loop offered rates (q/s) for -fig saturation")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after the last experiment) to this file")
 	flag.Parse()
@@ -146,6 +149,14 @@ func main() {
 		if *rt == "dist" {
 			fail("-workers must be >= 1 for -runtime dist; got %d", *workers)
 		}
+	}
+	var offeredSteps []float64
+	for _, f := range strings.Split(*offered, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			fail("bad -offered step %q (want a positive rate in q/s)", f)
+		}
+		offeredSteps = append(offeredSteps, v)
 	}
 	if *csvPath != "" {
 		sweeps := 0
@@ -267,6 +278,16 @@ func main() {
 			}
 			levels = append(levels, *concurrency)
 			out, err := experiments.Throughput(*card5k, 16, levels, 4**concurrency, *seed, *policy)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+		case "saturation":
+			// Offered-load sweep through the serving layer: an in-process
+			// mjserve under open-loop Poisson arrivals at each -offered
+			// rate plus one closed-loop capacity step, mixed workload with
+			// 10% of queries cancelled mid-stream, under -policy admission.
+			out, err := experiments.Saturation(*card5k/5, 16, offeredSteps, 32, 3*time.Second, 0.1, *seed, *policy)
 			if err != nil {
 				return err
 			}

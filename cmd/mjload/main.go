@@ -1,0 +1,111 @@
+// Command mjload is the load generator for mjserve: it drives a running
+// server with hundreds of concurrent connections issuing a mixed query
+// workload (the four strategies crossed with the in-memory and spilling
+// runtimes), in closed-loop mode (next query on completion) or open-loop
+// mode (Poisson arrivals at a configured offered rate, so saturation shows
+// up as queue wait and latency instead of a throughput plateau alone), and
+// reports queries/sec, latency percentiles, queue wait and spill per step:
+//
+//	mjload -addr 127.0.0.1:7033 -conns 64 -duration 5s            # closed loop
+//	mjload -addr 127.0.0.1:7033 -conns 64 -qps 50,100,200,400     # open-loop sweep
+//	mjload -addr 127.0.0.1:7033 -conns 32 -cancel 0.2             # 20% cancel mid-stream
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"multijoin/internal/serve"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mjload: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// parseQPS reads the -qps flag: a comma-separated list of offered rates,
+// each one open-loop step; empty means one closed-loop step.
+func parseQPS(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return []float64{0}, nil
+	}
+	var steps []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -qps step %q", f)
+		}
+		steps = append(steps, v)
+	}
+	return steps, nil
+}
+
+// parseMix reads the -mix flag: comma-separated STRATEGY/RUNTIME pairs
+// (e.g. "FP/parallel,SP/spill"); empty means the default mix.
+func parseMix(s string) ([]serve.QuerySpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var specs []serve.QuerySpec
+	for _, part := range strings.Split(s, ",") {
+		st, rt, ok := strings.Cut(strings.TrimSpace(part), "/")
+		if !ok {
+			return nil, fmt.Errorf("bad -mix entry %q (want STRATEGY/RUNTIME)", part)
+		}
+		specs = append(specs, serve.QuerySpec{Shape: "wide-bushy", Strategy: st, Runtime: rt})
+	}
+	return specs, nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7033", "server address")
+	conns := flag.Int("conns", 64, "concurrent client connections")
+	duration := flag.Duration("duration", 3*time.Second, "offered-load window per step")
+	qps := flag.String("qps", "", "comma-separated open-loop offered rates (q/s); empty runs one closed-loop step")
+	cancel := flag.Float64("cancel", 0, "fraction of queries cancelled after their first batch")
+	mix := flag.String("mix", "", "query mix as STRATEGY/RUNTIME pairs, comma separated; empty means SP,SE,RD,FP x parallel,spill")
+	window := flag.Int("window", serve.DefaultWindow, "per-stream credit window in batches")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	steps, err := parseQPS(*qps)
+	if err != nil {
+		fail("%v", err)
+	}
+	specs, err := parseMix(*mix)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *cancel < 0 || *cancel > 1 {
+		fail("-cancel must be in [0,1]; got %g", *cancel)
+	}
+
+	fmt.Printf("mjload: %s, %d conns, %s per step, cancel %.0f%%\n",
+		*addr, *conns, *duration, *cancel*100)
+	fmt.Printf("%-10s%12s%10s%10s%8s%10s%10s%10s%14s%14s\n",
+		"offered", "achieved", "done", "cancel", "errs", "p50(ms)", "p95(ms)", "p99(ms)", "avg wait(ms)", "spill(MiB)")
+	for _, offered := range steps {
+		res, err := serve.RunLoad(serve.LoadConfig{
+			Addr: *addr, Conns: *conns, Duration: *duration,
+			OfferedQPS: offered, CancelFrac: *cancel,
+			Specs: specs, Window: *window, Seed: *seed,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		label := "closed"
+		if offered > 0 {
+			label = fmt.Sprintf("%.0f q/s", offered)
+		}
+		fmt.Printf("%-10s%12.1f%10d%10d%8d%10.1f%10.1f%10.1f%14.2f%14.2f\n",
+			label, res.Achieved, res.Completed, res.Cancelled, res.Errors,
+			ms(res.P50), ms(res.P95), ms(res.P99), ms(res.AvgQueueWait),
+			float64(res.SpilledBytes)/(1<<20))
+	}
+}
+
+func ms(d time.Duration) float64 { return d.Seconds() * 1e3 }

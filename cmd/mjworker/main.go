@@ -5,6 +5,12 @@
 // with flags exists for debugging a worker against a live coordinator:
 //
 //	mjworker -connect 127.0.0.1:PORT -node 0 -run RUNID
+//
+// On a multi-host run, -bind sets the data listener's address on this
+// machine and -advertise the name peers on other hosts dial (a bare
+// hostname composes with the bound port):
+//
+//	mjworker -connect coord:7000 -node 1 -run RUNID -bind 0.0.0.0:0 -advertise worker1.example
 package main
 
 import (
@@ -21,12 +27,14 @@ func main() {
 	connect := flag.String("connect", "", "coordinator control address (host:port)")
 	node := flag.Int("node", 0, "this worker's node id")
 	run := flag.String("run", "", "run id the coordinator announced")
+	bind := flag.String("bind", "", "data listener bind address (default loopback, ephemeral port)")
+	advertise := flag.String("advertise", "", "address peers dial for this worker's data listener (default: the bound address)")
 	flag.Parse()
 	if *connect == "" || *run == "" {
 		fmt.Fprintln(os.Stderr, "mjworker: -connect and -run are required (or spawn via the dist coordinator)")
 		os.Exit(2)
 	}
-	if err := dist.ServeWorker(*connect, *node, *run); err != nil {
+	if err := dist.ServeWorkerOn(*connect, *node, *run, *bind, *advertise); err != nil {
 		fmt.Fprintf(os.Stderr, "mjworker %d: %v\n", *node, err)
 		os.Exit(1)
 	}

@@ -75,15 +75,18 @@ type admitTicket struct {
 }
 
 // admissionPolicy decides when a query may start executing. admit blocks
-// until the query is admitted or ctx is done; release frees the query's
-// slot once its workers have exited; kick re-evaluates waiters after
-// external state changed (a finished query's meter reservation settled).
-// Implementations must be safe for concurrent use.
+// until the query is admitted, ctx is done, or the policy is closed;
+// release frees the query's slot once its workers have exited; kick
+// re-evaluates waiters after external state changed (a finished query's
+// meter reservation settled); close fails every queued and future admit
+// with ErrEngineClosed (engine shutdown must not leave waiters parked
+// forever). Implementations must be safe for concurrent use.
 type admissionPolicy interface {
 	name() string
 	admit(ctx context.Context, t *admitTicket) error
 	release(t *admitTicket)
 	kick()
+	close()
 }
 
 // newAdmissionPolicy builds the named policy for an engine. slots <= 0
@@ -91,13 +94,13 @@ type admissionPolicy interface {
 func newAdmissionPolicy(name string, slots int, root *spill.Meter) (admissionPolicy, error) {
 	switch name {
 	case "", "fifo":
-		p := &fifoPolicy{}
+		p := &fifoPolicy{closing: make(chan struct{})}
 		if slots > 0 {
 			p.sem = make(chan struct{}, slots)
 		}
 		return p, nil
 	case "cost":
-		return &costPolicy{slots: slots, root: root}, nil
+		return &costPolicy{slots: slots, root: root, closing: make(chan struct{})}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown admission policy %q (valid: fifo, cost)", name)
 	}
@@ -106,12 +109,19 @@ func newAdmissionPolicy(name string, slots int, root *spill.Meter) (admissionPol
 // fifoPolicy is the original admission semaphore: strict arrival order, no
 // cost knowledge, no reservation.
 type fifoPolicy struct {
-	sem chan struct{} // nil means unlimited
+	sem       chan struct{} // nil means unlimited
+	closing   chan struct{} // closed by close(); wakes queued admits
+	closeOnce sync.Once
 }
 
 func (p *fifoPolicy) name() string { return "fifo" }
 
 func (p *fifoPolicy) admit(ctx context.Context, t *admitTicket) error {
+	select {
+	case <-p.closing:
+		return ErrEngineClosed
+	default:
+	}
 	if p.sem == nil {
 		return nil
 	}
@@ -120,6 +130,8 @@ func (p *fifoPolicy) admit(ctx context.Context, t *admitTicket) error {
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	case <-p.closing:
+		return ErrEngineClosed
 	}
 }
 
@@ -130,6 +142,10 @@ func (p *fifoPolicy) release(t *admitTicket) {
 }
 
 func (p *fifoPolicy) kick() {}
+
+func (p *fifoPolicy) close() {
+	p.closeOnce.Do(func() { close(p.closing) })
+}
 
 // costWaiter is one queued query under the cost policy.
 type costWaiter struct {
@@ -144,7 +160,11 @@ type costPolicy struct {
 	slots int // <= 0 means unlimited
 	root  *spill.Meter
 
+	closing   chan struct{} // closed by close(); wakes queued admits
+	closeOnce sync.Once
+
 	mu      sync.Mutex
+	closed  bool
 	running int
 	waiters []*costWaiter
 }
@@ -153,6 +173,10 @@ func (p *costPolicy) name() string { return "cost" }
 
 func (p *costPolicy) admit(ctx context.Context, t *admitTicket) error {
 	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrEngineClosed
+	}
 	if len(p.waiters) == 0 && p.startLocked(t) {
 		p.mu.Unlock()
 		return nil
@@ -168,17 +192,54 @@ func (p *costPolicy) admit(ctx context.Context, t *admitTicket) error {
 	case <-w.ch:
 		return nil
 	case <-ctx.Done():
-		p.mu.Lock()
-		removed := p.removeLocked(w)
-		p.mu.Unlock()
-		if !removed {
-			// Lost the race: a grant landed between ctx firing and the
-			// lock. Undo it — free the slot and return the reservation.
-			p.release(t)
-			t.meter.Settle()
-		}
+		p.abandonWait(w, t)
 		return ctx.Err()
+	case <-p.closing:
+		p.abandonWait(w, t)
+		return ErrEngineClosed
 	}
+}
+
+// abandonWait takes a woken-for-another-reason waiter out of the queue —
+// its context fired, or the engine closed, while it was parked.
+func (p *costPolicy) abandonWait(w *costWaiter, t *admitTicket) {
+	p.mu.Lock()
+	removed := p.removeLocked(w)
+	if removed {
+		// A departing waiter can unblock the queue: if w was the
+		// memory-blocked head, grantLocked was holding every other
+		// spill waiter behind it (head-of-line on memory), and a
+		// smaller one may fit right now.
+		p.grantLocked()
+	}
+	p.mu.Unlock()
+	if !removed {
+		// Lost the race: a grant landed between the wake-up and the
+		// lock. Undo it — free the slot, return the reservation, and
+		// re-evaluate the queue: without the kick the freed
+		// reservation bytes would strand every memory-blocked waiter
+		// until some unrelated release happened by.
+		p.abandonGrant(t)
+	}
+}
+
+func (p *costPolicy) close() {
+	p.closeOnce.Do(func() {
+		p.mu.Lock()
+		p.closed = true
+		p.mu.Unlock()
+		close(p.closing)
+	})
+}
+
+// abandonGrant undoes an admission whose query will never run — the queued
+// context fired in the same instant a grant landed. The slot goes back, the
+// ticket's memory reservation is settled, and the queue is re-evaluated so
+// waiters blocked on that reservation do not stay stranded.
+func (p *costPolicy) abandonGrant(t *admitTicket) {
+	p.release(t)
+	t.meter.Settle()
+	p.kick()
 }
 
 // startLocked takes a slot for t and grants (or waives) its memory

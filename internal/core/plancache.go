@@ -26,20 +26,27 @@ import (
 )
 
 // planCacheMaxEntries bounds the cache. A serving workload has a handful of
-// shapes; a fuzzer has millions — on overflow the whole map is dropped
-// (simple, and correct for a cache) rather than evicted piecemeal.
+// shapes; a fuzzer has millions — on overflow settled entries are dropped
+// wholesale (simple, and correct for a cache) rather than evicted
+// piecemeal. Entries still mid-planning survive the reset: dropping one
+// would let a concurrent same-key caller re-plan behind the waiters'
+// backs, double-running the singleflight.
 const planCacheMaxEntries = 1024
 
 // planEntry is one memoized planning: the first caller runs the plan under
-// once, every later caller waits on it.
+// once, every later caller waits on it. done flips after the planning
+// completed, so an overflow reset can tell settled entries (droppable)
+// from in-flight ones (which concurrent same-key callers are waiting on).
 type planEntry struct {
 	once sync.Once
+	done atomic.Bool
 	plan *xra.Plan
 	err  error
 }
 
 // planCache memoizes Query.Plan results by canonical query shape.
 type planCache struct {
+	planFn func(Query) (*xra.Plan, error) // Query.Plan; injectable for churn tests
 	mu     sync.Mutex
 	m      map[string]*planEntry
 	hits   atomic.Int64
@@ -47,7 +54,10 @@ type planCache struct {
 }
 
 func newPlanCache() *planCache {
-	return &planCache{m: make(map[string]*planEntry)}
+	return &planCache{
+		planFn: func(q Query) (*xra.Plan, error) { return q.Plan() },
+		m:      make(map[string]*planEntry),
+	}
 }
 
 // key renders the canonical shape of a query: the join tree with its ids
@@ -80,12 +90,24 @@ func cardBucket(card int) int {
 // identical concurrent queries plans once. Planning errors are cached too:
 // a structurally invalid shape fails every time for the same reason.
 func (c *planCache) plan(q Query) (p *xra.Plan, hit bool, err error) {
+	if q.Tree == nil || q.DB == nil {
+		// planKey needs both to render the shape; bypass the cache and let
+		// Query.Plan report the contract error instead of segfaulting.
+		_, err := c.planFn(q)
+		return nil, false, err
+	}
 	key := planKey(q)
 	c.mu.Lock()
 	e, ok := c.m[key]
 	if !ok {
 		if len(c.m) >= planCacheMaxEntries {
-			c.m = make(map[string]*planEntry)
+			fresh := make(map[string]*planEntry)
+			for k, pe := range c.m {
+				if !pe.done.Load() {
+					fresh[k] = pe
+				}
+			}
+			c.m = fresh
 		}
 		e = &planEntry{}
 		c.m[key] = e
@@ -96,7 +118,10 @@ func (c *planCache) plan(q Query) (p *xra.Plan, hit bool, err error) {
 	} else {
 		c.misses.Add(1)
 	}
-	e.once.Do(func() { e.plan, e.err = q.Plan() })
+	e.once.Do(func() {
+		e.plan, e.err = c.planFn(q)
+		e.done.Store(true)
+	})
 	return e.plan, ok, e.err
 }
 

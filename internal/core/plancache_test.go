@@ -1,0 +1,192 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"multijoin/internal/jointree"
+	"multijoin/internal/strategy"
+	"multijoin/internal/xra"
+)
+
+// TestPlanCacheOverflowPreservesInFlight is the regression test for the
+// overflow reset racing a planning in flight: a caller is blocked inside
+// its entry's once.Do when the cache overflows and resets the map. The
+// in-flight entry must survive the reset — pre-fix the map was replaced
+// wholesale, so a later same-key caller found no entry, built a fresh one,
+// and re-ran the plan behind the first caller's back (two plannings of
+// one key, breaking the singleflight contract).
+func TestPlanCacheOverflowPreservesInFlight(t *testing.T) {
+	db := sessionDB(t, 2, 8)
+	tree, err := jointree.BuildShape(jointree.WideBushy, db.NumRelations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := func(procs int) Query {
+		return Query{DB: db, Tree: tree, Strategy: strategy.FP, Procs: procs}
+	}
+
+	const hotProcs = 1 << 20 // sentinel Procs marking the hot key
+	c := newPlanCache()
+	block := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	var hotPlans atomic.Int32
+	c.planFn = func(qq Query) (*xra.Plan, error) {
+		if qq.Procs == hotProcs {
+			hotPlans.Add(1)
+			entered <- struct{}{}
+			<-block
+		}
+		return &xra.Plan{Strategy: fmt.Sprintf("p%d", qq.Procs)}, nil
+	}
+
+	// First hot caller: enters planFn and parks there, mid-once.Do.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, _, err := c.plan(q(hotProcs)); err != nil {
+			t.Errorf("first hot plan: %v", err)
+		}
+	}()
+	<-entered
+
+	// Churn the cache past planCacheMaxEntries with distinct keys while the
+	// hot entry is still in flight, forcing the overflow reset.
+	for i := 0; i < planCacheMaxEntries; i++ {
+		if _, _, err := c.plan(q(i + 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	if n := len(c.m); n > planCacheMaxEntries/2 {
+		t.Fatalf("overflow reset did not happen (cache holds %d entries)", n)
+	}
+	_, hotSurvived := c.m[planKey(q(hotProcs))]
+	c.mu.Unlock()
+	if !hotSurvived {
+		t.Error("in-flight entry dropped by the overflow reset")
+	}
+
+	// Second hot caller after the reset: must join the in-flight entry, not
+	// start a second planning.
+	wg.Add(1)
+	var secondHit atomic.Bool
+	go func() {
+		defer wg.Done()
+		_, hit, err := c.plan(q(hotProcs))
+		if err != nil {
+			t.Errorf("second hot plan: %v", err)
+		}
+		secondHit.Store(hit)
+	}()
+
+	close(block)
+	wg.Wait()
+	if n := hotPlans.Load(); n != 1 {
+		t.Errorf("hot key planned %d times across the overflow reset, want 1", n)
+	}
+	if !secondHit.Load() {
+		t.Error("second same-key caller missed instead of joining the in-flight entry")
+	}
+}
+
+// TestPlanCacheChurnAtOverflow hammers the cache across the overflow
+// boundary from many goroutines (run under -race): keys cycle through a
+// range wider than planCacheMaxEntries so resets happen repeatedly while
+// lookups race them. Asserts the accounting invariant hits+misses == calls
+// and that every call yields a plan.
+func TestPlanCacheChurnAtOverflow(t *testing.T) {
+	db := sessionDB(t, 2, 8)
+	tree, err := jointree.BuildShape(jointree.WideBushy, db.NumRelations())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := newPlanCache()
+	c.planFn = func(qq Query) (*xra.Plan, error) {
+		return &xra.Plan{Strategy: fmt.Sprintf("p%d", qq.Procs)}, nil
+	}
+
+	const (
+		workers  = 8
+		perG     = 600
+		keySpace = planCacheMaxEntries + planCacheMaxEntries/2
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				procs := (g*perG+i*7)%keySpace + 1
+				p, _, err := c.plan(Query{DB: db, Tree: tree, Strategy: strategy.FP, Procs: procs})
+				if err != nil {
+					t.Errorf("plan: %v", err)
+					return
+				}
+				if want := fmt.Sprintf("p%d", procs); p.Strategy != want {
+					t.Errorf("key p%d got plan %q (cross-key entry reuse)", procs, p.Strategy)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	hits, misses := c.Stats()
+	if total := hits + misses; total != workers*perG {
+		t.Errorf("hits+misses = %d, want %d", total, workers*perG)
+	}
+	c.mu.Lock()
+	n := len(c.m)
+	c.mu.Unlock()
+	if n > planCacheMaxEntries {
+		t.Errorf("cache holds %d entries after churn, above the %d bound", n, planCacheMaxEntries)
+	}
+}
+
+// TestPlanCacheNilTree is the regression test for a zero-valued Query
+// (no join tree) reaching the plan cache through the public Engine.Query:
+// planKey rendered q.Tree.String() before Query.Plan could report its
+// contract error, so a library caller got a nil-pointer panic instead of
+// "query needs a database and a join tree". The cache must bypass keying
+// and surface Plan's error.
+func TestPlanCacheNilTree(t *testing.T) {
+	db := sessionDB(t, 2, 8)
+	eng, err := Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	if _, err := eng.Query(context.Background(), Query{Procs: 4}); err == nil {
+		t.Fatal("Query with nil tree: want contract error, got nil")
+	} else if !strings.Contains(err.Error(), "join tree") {
+		t.Fatalf("Query with nil tree: want the Plan contract error, got %v", err)
+	}
+
+	c := newPlanCache()
+	if _, _, err := c.plan(Query{DB: db}); err == nil {
+		t.Fatal("plan with nil tree: want error, got nil")
+	}
+	if _, _, err := c.plan(Query{Tree: mustTree(t, db.NumRelations())}); err == nil {
+		t.Fatal("plan with nil DB: want error, got nil")
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("contract-error bypass must not touch the cache counters: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func mustTree(t *testing.T, k int) *jointree.Node {
+	t.Helper()
+	tree, err := jointree.BuildShape(jointree.WideBushy, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}

@@ -62,9 +62,16 @@ type Engine struct {
 	procs  *parallel.ProcPool // shared modeled processors (wall-clock runtimes)
 	meter  *spill.Meter       // shared memory budget (root; queries get children)
 
-	mu       sync.Mutex
-	closed   bool
-	inflight sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	cursors map[*Rows]struct{} // open cursors whose resources are not yet settled
+	// idle is non-nil while a graceful Shutdown waits for the open cursors
+	// to settle; dropCursor closes it when the last one does.
+	idle chan struct{}
+	// closeDone is closed once the first Close/Shutdown finished releasing
+	// the engine's resources; later callers wait on it (idempotent close).
+	closeDone chan struct{}
+	inflight  sync.WaitGroup
 }
 
 // EngineOption configures an Engine at Open time.
@@ -159,6 +166,8 @@ func Open(db *wisconsin.Database, opts ...EngineOption) (*Engine, error) {
 	e.procs = parallel.NewProcPool(e.poolSize)
 	e.meter = spill.NewMeter(e.budget)
 	e.plans = newPlanCache()
+	e.cursors = make(map[*Rows]struct{})
+	e.closeDone = make(chan struct{})
 	policy, err := newAdmissionPolicy(e.policyName, e.maxConc, e.meter)
 	if err != nil {
 		e.procs.Close()
@@ -238,12 +247,35 @@ func (e *Engine) query(ctx context.Context, q Query, opts []Option) (*Rows, erro
 		estCost:    ticket.est.wall,
 		reserved:   ticket.reserved,
 		meter:      child,
-		onSettle:   e.policy.kick,
 		tupleBytes: q.tupleBytes(),
 		estCard:    q.estResultCard(),
 		verify:     o.Verify,
 		query:      q,
 	}
+	r.onSettle = func() {
+		// The cursor's shared-budget accounting is settled: it no longer
+		// needs a force-close at engine shutdown, and the freed reservation
+		// may admit a memory-blocked waiter.
+		e.dropCursor(r)
+		e.policy.kick()
+	}
+
+	// Register the cursor so Close/Shutdown can find and drain it. Admission
+	// may have raced a concurrent Close: re-check under the lock and undo the
+	// grant if the engine closed while this query was queued, so its slot and
+	// reservation do not leak into a torn-down engine.
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		cancel()
+		e.policy.release(ticket)
+		child.Settle()
+		e.policy.kick()
+		return nil, ErrEngineClosed
+	}
+	e.cursors[r] = struct{}{}
+	e.mu.Unlock()
+
 	go func() {
 		res, err := rt.Execute(qctx, plan, q.baseRelation, (*querySink)(r), o)
 		r.res, r.err = res, err
@@ -254,6 +286,18 @@ func (e *Engine) query(ctx context.Context, q Query, opts []Option) (*Rows, erro
 		close(r.done)
 	}()
 	return r, nil
+}
+
+// dropCursor forgets a settled cursor and, when a graceful Shutdown is
+// waiting, signals it once the last open cursor has settled.
+func (e *Engine) dropCursor(r *Rows) {
+	e.mu.Lock()
+	delete(e.cursors, r)
+	if e.idle != nil && len(e.cursors) == 0 {
+		close(e.idle)
+		e.idle = nil
+	}
+	e.mu.Unlock()
 }
 
 // Exec runs the query to completion under the engine's shared resources
@@ -297,18 +341,72 @@ func (e *Engine) PlanCacheStats() (hits, misses int64) { return e.plans.Stats() 
 // ("fifo" or "cost").
 func (e *Engine) AdmissionPolicy() string { return e.policy.name() }
 
-// Close waits for in-flight queries to finish, then releases the engine's
-// shared resources. Callers must drain or Close outstanding Rows first — a
-// cursor nobody reads keeps its query in flight. Close is idempotent;
-// queries after Close fail with ErrEngineClosed.
+// Close tears the engine down immediately: no new queries are admitted,
+// queries still waiting in the admission queue fail with ErrEngineClosed,
+// and every outstanding Rows cursor — streaming, or finished but never
+// drained — is force-closed, releasing its pooled batches and settling its
+// shared-budget reservation (such a cursor's Err reports ErrEngineClosed).
+// Only then are the shared resources released, so after Close the meter's
+// live balance is zero and no query goroutine survives. Close is
+// idempotent and safe to call concurrently; it never blocks on a cursor
+// nobody reads. For a drain that gives in-flight queries time to finish
+// naturally, use Shutdown.
 func (e *Engine) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // zero grace: force-close straight away
+	return e.Shutdown(ctx)
+}
+
+// Shutdown closes the engine gracefully: new queries and queued admission
+// waiters fail with ErrEngineClosed immediately, but queries already
+// executing keep their cursors alive until their consumers drain them —
+// up to ctx's deadline. Cursors still unsettled when ctx expires are
+// force-closed exactly as by Close. Shutdown returns once every query
+// goroutine has exited and the shared memory budget has settled to zero;
+// like Close it is idempotent, and a second concurrent call waits for the
+// first to finish.
+func (e *Engine) Shutdown(ctx context.Context) error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
+		<-e.closeDone
 		return nil
 	}
 	e.closed = true
+	idle := make(chan struct{})
+	if len(e.cursors) == 0 {
+		close(idle)
+	} else {
+		e.idle = idle
+	}
 	e.mu.Unlock()
+	defer close(e.closeDone)
+
+	// Fail queued admits: a waiter granted a slot after this point is
+	// undone by the registration re-check in query().
+	e.policy.close()
+
+	// Grace period: wait for the consumers to drain and settle every open
+	// cursor. (The runtime goroutines exiting is not enough — a finished
+	// execution's batches may still be in flight through the cursor.)
+	select {
+	case <-idle:
+	case <-ctx.Done():
+	}
+
+	// Force-close whatever is still unsettled — cursors mid-stream when the
+	// grace expired, and cursors whose execution finished but that nobody
+	// drained (their pooled batches and reservations are still charged).
+	e.mu.Lock()
+	e.idle = nil
+	open := make([]*Rows, 0, len(e.cursors))
+	for r := range e.cursors {
+		open = append(open, r)
+	}
+	e.mu.Unlock()
+	for _, r := range open {
+		r.closeWith(ErrEngineClosed)
+	}
 	e.inflight.Wait()
 	e.procs.Close()
 	return nil
@@ -528,11 +626,21 @@ func (r *Rows) Result() (*Result, bool) {
 // fully consumed or already closed cursor is a no-op. Close always returns
 // nil; consumption errors are Err's.
 func (r *Rows) Close() error {
+	r.closeWith(nil)
+	return nil
+}
+
+// closeWith is Close with an attributed cause. A nil cause is the caller's
+// own Close — abandoning a still-running query is then deliberate and Err
+// stays nil. A non-nil cause (the engine shutting down underneath the
+// cursor) becomes the cursor's error: the consumer's stream was truncated
+// by someone else and must not read as complete.
+func (r *Rows) closeWith(cause error) {
 	r.closeOnce.Do(func() {
 		r.mu.Lock()
 		alreadyDone := r.finished
 		r.closed = true
-		if !alreadyDone {
+		if !alreadyDone && cause == nil {
 			r.userCancelled = true
 		}
 		cur := r.cur
@@ -553,13 +661,15 @@ func (r *Rows) Close() error {
 			r.finished = true
 			if !alreadyDone {
 				r.runErr = r.err
+				if cause != nil {
+					r.runErr = cause
+				}
 			}
 			r.stampStats()
 		}
 		r.mu.Unlock()
 		r.settle()
 	})
-	return nil
 }
 
 // All drains the cursor into a materialized relation and closes it — the

@@ -1,0 +1,72 @@
+// Bind/advertise address resolution for multi-host runs.
+//
+// The dist transport was built on loopback: every listener bound
+// 127.0.0.1:0 and handed peers exactly the address it bound. Across hosts
+// those two addresses diverge — a node binds a wildcard or NIC address and
+// must *advertise* a name its peers can actually dial. This file is that
+// split: listeners take a bind address, and ResolveAdvertise derives the
+// dialable form from what the listener actually bound (so an ephemeral
+// ":0" port can still be advertised under a fixed hostname).
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+)
+
+// defaultBind is the historical single-host default: loopback, ephemeral
+// port.
+const defaultBind = "127.0.0.1:0"
+
+// ResolveAdvertise derives the address peers dial from the address a
+// listener actually bound (including its kernel-assigned port) and an
+// optional advertise override:
+//
+//   - empty advertise: the bound address itself — valid only when the bind
+//     names a concrete host; a wildcard bind (0.0.0.0, [::]) is not
+//     dialable and is rejected.
+//   - a bare host, or host with port 0: the override's host with the bound
+//     port — the usual multi-host form, "this machine's name, whatever
+//     port the kernel picked".
+//   - a full host:port: taken verbatim (NAT, port forwarding).
+func ResolveAdvertise(bound, advertise string) (string, error) {
+	_, bPort, err := net.SplitHostPort(bound)
+	if err != nil {
+		return "", fmt.Errorf("dist: bound address %q: %w", bound, err)
+	}
+	if advertise == "" {
+		bHost, _, _ := net.SplitHostPort(bound)
+		if unspecifiedHost(bHost) {
+			return "", fmt.Errorf("dist: listener bound to wildcard %q needs an explicit advertise address (peers cannot dial it)", bound)
+		}
+		return bound, nil
+	}
+	aHost, aPort, err := net.SplitHostPort(advertise)
+	if err != nil {
+		var ae *net.AddrError
+		if errors.As(err, &ae) && strings.Contains(ae.Err, "missing port") {
+			aHost, aPort = strings.Trim(advertise, "[]"), bPort
+		} else {
+			return "", fmt.Errorf("dist: advertise address %q: %w", advertise, err)
+		}
+	}
+	if unspecifiedHost(aHost) {
+		return "", fmt.Errorf("dist: advertise address %q does not name a dialable host", advertise)
+	}
+	if aPort == "" || aPort == "0" {
+		aPort = bPort
+	}
+	return net.JoinHostPort(aHost, aPort), nil
+}
+
+// unspecifiedHost reports whether host is empty or a wildcard IP — an
+// address a peer cannot dial.
+func unspecifiedHost(host string) bool {
+	if host == "" {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsUnspecified()
+}

@@ -1,0 +1,103 @@
+// Address-resolution audits: the bind/advertise split that lets dist
+// listeners serve peers on other hosts (the transport was loopback-only —
+// every node handed peers exactly the address it bound, which is wrong the
+// moment the bind is a wildcard or the peer is remote).
+package dist_test
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+
+	"multijoin/internal/core"
+	"multijoin/internal/dist"
+	"multijoin/internal/jointree"
+	"multijoin/internal/strategy"
+)
+
+func TestResolveAdvertise(t *testing.T) {
+	cases := []struct {
+		name      string
+		bound     string
+		advertise string
+		want      string
+		wantErr   string
+	}{
+		{name: "default is the bound address",
+			bound: "127.0.0.1:44321", want: "127.0.0.1:44321"},
+		{name: "wildcard bind needs an advertise",
+			bound: "0.0.0.0:44321", wantErr: "advertise"},
+		{name: "ipv6 wildcard bind needs an advertise",
+			bound: "[::]:44321", wantErr: "advertise"},
+		{name: "bare host takes the bound port",
+			bound: "0.0.0.0:44321", advertise: "worker1.example", want: "worker1.example:44321"},
+		{name: "host with port zero takes the bound port",
+			bound: "0.0.0.0:44321", advertise: "worker1.example:0", want: "worker1.example:44321"},
+		{name: "full host and port verbatim",
+			bound: "10.0.0.7:44321", advertise: "nat.example:7000", want: "nat.example:7000"},
+		{name: "bare ip takes the bound port",
+			bound: "0.0.0.0:9", advertise: "10.0.0.7", want: "10.0.0.7:9"},
+		{name: "bare ipv6 takes the bound port",
+			bound: "[::]:9", advertise: "[2001:db8::1]", want: "[2001:db8::1]:9"},
+		{name: "wildcard advertise rejected",
+			bound: "127.0.0.1:9", advertise: "0.0.0.0:7000", wantErr: "dialable"},
+		{name: "bound address must have a port",
+			bound: "127.0.0.1", wantErr: "bound"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := dist.ResolveAdvertise(tc.bound, tc.advertise)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("ResolveAdvertise(%q, %q) = %q, %v; want error containing %q",
+						tc.bound, tc.advertise, got, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ResolveAdvertise(%q, %q): %v", tc.bound, tc.advertise, err)
+			}
+			if got != tc.want {
+				t.Errorf("ResolveAdvertise(%q, %q) = %q, want %q", tc.bound, tc.advertise, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDistRunWithBindAdvertise runs a real distributed query with every
+// listener bound explicitly to a wildcard address and advertised back as a
+// concrete host — the multi-host configuration, exercised on one machine.
+// Pre-split, workers handed peers their wildcard bind verbatim and the
+// data dials failed.
+func TestDistRunWithBindAdvertise(t *testing.T) {
+	t.Setenv("MJ_DIST_BIND", "0.0.0.0:0")
+	t.Setenv("MJ_DIST_ADVERTISE", "127.0.0.1")
+	q := testQuery(t, 4, 500, 4, strategy.FP, jointree.WideBushy)
+	res, err := core.Exec(context.Background(), q,
+		core.WithRuntime("dist"), core.WithWorkers(2), core.WithVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Workers != 2 {
+		t.Errorf("Stats.Workers = %d, want 2", res.Stats.Workers)
+	}
+	if res.Stats.BytesOnWire <= 0 {
+		t.Errorf("Stats.BytesOnWire = %d, want > 0", res.Stats.BytesOnWire)
+	}
+}
+
+// TestDistWildcardBindWithoutAdvertiseFails pins the guard: a worker told
+// to bind a wildcard without an advertise address must fail its run
+// instead of handing peers an undialable address.
+func TestDistWildcardBindWithoutAdvertiseFails(t *testing.T) {
+	probe, err := net.Listen("tcp", "0.0.0.0:0")
+	if err != nil {
+		t.Skipf("no wildcard bind on this host: %v", err)
+	}
+	probe.Close()
+	err = dist.ServeWorkerOn("127.0.0.1:1", 0, "run", "0.0.0.0:0", "")
+	if err == nil || !strings.Contains(err.Error(), "advertise") {
+		t.Fatalf("ServeWorkerOn with wildcard bind and no advertise returned %v, want advertise error", err)
+	}
+}

@@ -38,6 +38,14 @@ type Config struct {
 	ChannelDepth int
 	// WorkerBinary overrides worker binary resolution (see workerBinary).
 	WorkerBinary string
+	// ListenAddr is the coordinator's bind address for control and data
+	// connections; empty means the single-host default (loopback with an
+	// ephemeral port). AdvertiseAddr overrides the address workers are
+	// given to dial back — required when ListenAddr binds a wildcard, and
+	// resolved against the actually bound port (ResolveAdvertise), so a
+	// fixed hostname composes with an ephemeral port.
+	ListenAddr    string
+	AdvertiseAddr string
 }
 
 // Stats aggregates the unified counters across the coordinator and every
@@ -122,8 +130,13 @@ func Run(ctx context.Context, plan *xra.Plan, base func(leaf int) *relation.Rela
 	window := depth
 
 	runID := newRunID()
-	ln, err := listen(runID)
+	ln, err := listenOn(cfg.ListenAddr, runID)
 	if err != nil {
+		return nil, err
+	}
+	coordAddr, err := ResolveAdvertise(ln.Addr(), cfg.AdvertiseAddr)
+	if err != nil {
+		ln.Close()
 		return nil, err
 	}
 	start := time.Now()
@@ -222,7 +235,7 @@ func Run(ctx context.Context, plan *xra.Plan, base func(leaf int) *relation.Rela
 		return nil, err
 	}
 	for i := 0; i < workers; i++ {
-		cmd, err := spawnWorker(bin, ln.Addr(), runID, i)
+		cmd, err := spawnWorker(bin, coordAddr, runID, i)
 		if err != nil {
 			return abort(err)
 		}
@@ -328,7 +341,7 @@ func Run(ctx context.Context, plan *xra.Plan, base func(leaf int) *relation.Rela
 			Workers:      workers,
 			Node:         w.node,
 			PeerAddrs:    dataAddrs,
-			CoordAddr:    ln.Addr(),
+			CoordAddr:    coordAddr,
 			PlanText:     planText,
 			LeafCards:    leafCards,
 			BatchTuples:  bt,

@@ -1,0 +1,56 @@
+package dist
+
+import (
+	"encoding/binary"
+	"net"
+	"time"
+)
+
+// Exported codec surface for sibling packages that speak the dist frame
+// protocol. internal/serve (the query-serving TCP front end) reuses this
+// connection codec as its wire format: the same length-prefixed frames,
+// the same columnar DATA block encoding (WriteBatch), and the same
+// EOS/CREDIT flow control — it only adds its own control frame kinds in a
+// disjoint range (0x20+).
+
+// Frame kinds shared with protocol embedders. FrameData, FrameEOS and
+// FrameCredit are the kinds WriteBatch, WriteEOS and WriteCredit stamp;
+// FrameHello opens every connection.
+const (
+	FrameHello  = ftHello
+	FrameData   = ftData
+	FrameEOS    = ftEOS
+	FrameCredit = ftCredit
+)
+
+// NewConn wraps an accepted net.Conn in the framed codec.
+func NewConn(nc net.Conn) *Conn { return newConn(nc) }
+
+// Dial opens a framed connection to addr.
+func Dial(addr string, timeout time.Duration) (*Conn, error) { return dialConn(addr, timeout) }
+
+// WriteMsg writes one gob-encoded control frame of the given kind.
+func (c *Conn) WriteMsg(kind byte, v any) error { return c.writeMsg(kind, v) }
+
+// EncodeMsg gob-encodes a control message payload.
+func EncodeMsg(v any) ([]byte, error) { return encodeMsg(v) }
+
+// DecodeMsg gob-decodes a control frame payload into v.
+func DecodeMsg(payload []byte, v any) error { return decodeMsg(payload, v) }
+
+// ParseDataFrame splits a DATA payload into its stream id and block bytes.
+func ParseDataFrame(payload []byte) (uint32, []byte, error) { return parseDataFrame(payload) }
+
+// ParseStreamID reads the stream id of an EOS payload.
+func ParseStreamID(payload []byte) (uint32, error) { return parseStreamID(payload) }
+
+// ParseCreditFrame splits a CREDIT payload into stream id and grant count.
+func ParseCreditFrame(payload []byte) (uint32, uint32, error) { return parseCreditFrame(payload) }
+
+// WriteStreamID writes one frame whose payload is a single stream id —
+// the shape of EOS and of serve's CANCEL.
+func (c *Conn) WriteStreamID(kind byte, sid uint32) error {
+	var p [4]byte
+	binary.LittleEndian.PutUint32(p[:], sid)
+	return c.writeFrame(kind, p[:])
+}

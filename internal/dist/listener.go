@@ -19,11 +19,20 @@ type Listener struct {
 	runID string
 }
 
-// listen opens a loopback listener for the run.
+// listen opens the run's listener on the single-host default: loopback,
+// ephemeral port.
 func listen(runID string) (*Listener, error) {
-	l, err := net.Listen("tcp", "127.0.0.1:0")
+	return listenOn("", runID)
+}
+
+// listenOn opens the run's listener on bind; empty means defaultBind.
+func listenOn(bind, runID string) (*Listener, error) {
+	if bind == "" {
+		bind = defaultBind
+	}
+	l, err := net.Listen("tcp", bind)
 	if err != nil {
-		return nil, fmt.Errorf("dist: listen: %w", err)
+		return nil, fmt.Errorf("dist: listen %s: %w", bind, err)
 	}
 	return &Listener{l: l, runID: runID}, nil
 }

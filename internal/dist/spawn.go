@@ -18,6 +18,13 @@ const (
 	envNode      = "MJ_DIST_NODE"
 	envRun       = "MJ_DIST_RUN"
 	envWorkerBin = "MJ_DIST_WORKER_BIN"
+	// envBind/envAdvertise set the spawned worker's data-listener bind
+	// address and advertised peer address (ResolveAdvertise semantics);
+	// unset means the historical loopback defaults. They pass through
+	// os.Environ, so exporting them on the coordinator host configures
+	// every locally spawned worker.
+	envBind      = "MJ_DIST_BIND"
+	envAdvertise = "MJ_DIST_ADVERTISE"
 )
 
 // selfExec records that this process passed through InitWorker, so
@@ -47,7 +54,8 @@ func InitWorker() {
 		fmt.Fprintf(os.Stderr, "mjworker: bad %s: %v\n", envNode, err)
 		os.Exit(1)
 	}
-	if err := ServeWorker(os.Getenv(envConnect), node, os.Getenv(envRun)); err != nil {
+	if err := ServeWorkerOn(os.Getenv(envConnect), node, os.Getenv(envRun),
+		os.Getenv(envBind), os.Getenv(envAdvertise)); err != nil {
 		fmt.Fprintf(os.Stderr, "mjworker %d: %v\n", node, err)
 		os.Exit(1)
 	}

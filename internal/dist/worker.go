@@ -43,16 +43,30 @@ type fragKey struct {
 // (parallel.Partial), report DONE, and hold all connections open until the
 // coordinator closes the control connection — the signal that every node
 // has drained our frames. It is called by InitWorker in spawned processes
-// and by cmd/mjworker.
+// and by cmd/mjworker. The data listener binds the single-host default
+// (loopback, ephemeral port); multi-host workers use ServeWorkerOn.
 func ServeWorker(connect string, node int, runID string) error {
+	return ServeWorkerOn(connect, node, runID, "", "")
+}
+
+// ServeWorkerOn is ServeWorker with an explicit bind address for the
+// worker's data listener and an advertise override for the address the
+// peers are told to dial (ResolveAdvertise semantics). Empty bind means
+// loopback with an ephemeral port; empty advertise means the bound
+// address.
+func ServeWorkerOn(connect string, node int, runID, bind, advertise string) error {
 	if connect == "" {
 		return errors.New("dist: worker: no coordinator address")
 	}
-	ln, err := listen(runID)
+	ln, err := listenOn(bind, runID)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
+	dataAddr, err := ResolveAdvertise(ln.Addr(), advertise)
+	if err != nil {
+		return err
+	}
 	ctrl, err := dialConn(connect, helloTimeout)
 	if err != nil {
 		return err
@@ -60,7 +74,7 @@ func ServeWorker(connect string, node int, runID string) error {
 	defer ctrl.Close()
 	if err := sendHello(ctrl, helloMsg{
 		Version: protoVersion, RunID: runID, Node: node,
-		Kind: kindControl, DataAddr: ln.Addr(),
+		Kind: kindControl, DataAddr: dataAddr,
 	}); err != nil {
 		return err
 	}

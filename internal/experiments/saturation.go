@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"multijoin/internal/core"
+	"multijoin/internal/parallel"
+	"multijoin/internal/serve"
+	"multijoin/internal/wisconsin"
+)
+
+// Saturation measures the serving layer end to end: an in-process mjserve
+// (one Engine behind the TCP query protocol of internal/serve) under an
+// open-loop load sweep — Poisson arrivals at each offered rate, issued
+// regardless of completions, so past the knee the queueing shows up as
+// admission wait and latency percentiles instead of a throughput plateau
+// alone. Each row is one offered-load step over the full mixed workload
+// (SP/SE/RD/FP crossed with the parallel and spill runtimes, a fraction
+// cancelled mid-stream); the closing row is a closed-loop step — the
+// capacity ceiling the open-loop steps approach.
+func Saturation(card, procs int, offered []float64, conns int, stepDur time.Duration,
+	cancelFrac float64, seed int64, policy string) (string, error) {
+	db, err := wisconsin.Chain(wisconsin.Config{Relations: 6, Cardinality: card, Seed: seed})
+	if err != nil {
+		return "", err
+	}
+	if policy == "" {
+		policy = "cost"
+	}
+	eng, err := core.Open(db,
+		core.WithEngineProcs(parallel.HostCap(procs)),
+		core.WithEngineMemoryBudget(throughputBudget),
+		core.WithAdmissionPolicy(policy))
+	if err != nil {
+		return "", err
+	}
+	srv := serve.NewServer(eng, serve.Config{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		eng.Close()
+		return "", err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Serving saturation: mjserve protocol over TCP, open-loop Poisson arrivals,\n")
+	fmt.Fprintf(&b, "%d conns x %s per step, mixed SP/SE/RD/FP x parallel/spill, %.0f%% cancelled mid-stream,\n",
+		conns, stepDur, cancelFrac*100)
+	fmt.Fprintf(&b, "wide-bushy chain of 6x%d tuples, %d-processor pool, shared %s budget, %q admission\n",
+		card, parallel.HostCap(procs), formatBytes(throughputBudget), policy)
+	fmt.Fprintf(&b, "%-12s%12s%10s%10s%8s%10s%10s%10s%14s%12s\n",
+		"offered", "achieved", "done", "cancel", "errs", "p50 (ms)", "p95 (ms)", "p99 (ms)", "avg wait (ms)", "spill (MB)")
+	row := func(label string, res *serve.LoadResult) {
+		ms := func(d time.Duration) float64 { return d.Seconds() * 1e3 }
+		fmt.Fprintf(&b, "%-12s%12.1f%10d%10d%8d%10.1f%10.1f%10.1f%14.2f%12.2f\n",
+			label, res.Achieved, res.Completed, res.Cancelled, res.Errors,
+			ms(res.P50), ms(res.P95), ms(res.P99), ms(res.AvgQueueWait),
+			float64(res.SpilledBytes)/(1<<20))
+	}
+	for _, qps := range offered {
+		res, err := serve.RunLoad(serve.LoadConfig{
+			Addr: addr, Conns: conns, Duration: stepDur,
+			OfferedQPS: qps, CancelFrac: cancelFrac, Seed: seed,
+		})
+		if err != nil {
+			return "", fmt.Errorf("saturation step %.0f q/s: %w", qps, err)
+		}
+		row(fmt.Sprintf("%.0f q/s", qps), res)
+	}
+	res, err := serve.RunLoad(serve.LoadConfig{
+		Addr: addr, Conns: conns, Duration: stepDur,
+		CancelFrac: cancelFrac, Seed: seed,
+	})
+	if err != nil {
+		return "", fmt.Errorf("saturation closed-loop step: %w", err)
+	}
+	row("closed", res)
+	b.WriteString("\n")
+	return b.String(), nil
+}

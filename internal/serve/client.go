@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"multijoin/internal/dist"
+	"multijoin/internal/relation"
+)
+
+// QuerySpec names one query against the server's resident database.
+type QuerySpec struct {
+	Shape     string // wide-bushy, left-linear, ... ("" means wide-bushy)
+	Relations int    // join fan-in; 0 means the whole database chain
+	Strategy  string // SP, SE, RD, FP ("" means FP)
+	Runtime   string // "", "parallel", "spill", ...
+	Procs     int    // plan processor count; 0 means the engine default
+}
+
+// Done carries a completed query's server-side stats.
+type Done struct {
+	Rows         int64
+	Wall         time.Duration
+	QueueWait    time.Duration
+	SpilledBytes int64
+	MemReserved  int64
+	PlanCacheHit bool
+}
+
+// ErrClientClosed reports an operation on a closed client.
+var ErrClientClosed = errors.New("serve: client closed")
+
+// Client is one multiplexed connection to a Server: any number of
+// concurrent query streams share it. A single reader goroutine dispatches
+// incoming frames to per-stream event channels sized so the reader never
+// blocks on a slow stream consumer (the credit window bounds what the
+// server may have outstanding).
+type Client struct {
+	c      *dist.Conn
+	window int
+
+	mu      sync.Mutex
+	streams map[uint32]*Stream
+	nextID  uint32
+	err     error // first reader error, ErrClientClosed after Close
+
+	readerDone chan struct{}
+}
+
+// Dial connects to a server with the default credit window.
+func Dial(addr string) (*Client, error) { return DialWindow(addr, DefaultWindow) }
+
+// DialWindow connects with an explicit per-stream credit window (how many
+// DATA frames the server may send ahead of the client's consumption).
+func DialWindow(addr string, window int) (*Client, error) {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	c, err := dist.Dial(addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.WriteMsg(fsHello, helloMsg{Version: protoVersion, Role: roleClient}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	var hello helloMsg
+	if err := readMsg(c, fsHello, &hello); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("serve: hello exchange: %w", err)
+	}
+	if err := checkHello(hello, roleServer); err != nil {
+		c.Close()
+		return nil, err
+	}
+	cl := &Client{c: c, window: window, streams: make(map[uint32]*Stream), readerDone: make(chan struct{})}
+	go cl.readLoop()
+	return cl, nil
+}
+
+// Close tears the connection down; every open stream's Recv fails.
+func (cl *Client) Close() error {
+	cl.fail(ErrClientClosed)
+	err := cl.c.Close()
+	<-cl.readerDone
+	return err
+}
+
+// fail records the terminal error and delivers it to every open stream.
+func (cl *Client) fail(err error) {
+	cl.mu.Lock()
+	if cl.err == nil {
+		cl.err = err
+	}
+	streams := make([]*Stream, 0, len(cl.streams))
+	for _, st := range cl.streams {
+		streams = append(streams, st)
+	}
+	cl.streams = make(map[uint32]*Stream)
+	cl.mu.Unlock()
+	for _, st := range streams {
+		st.deliver(streamEvent{err: err})
+	}
+}
+
+// Submit starts one query stream.
+func (cl *Client) Submit(spec QuerySpec) (*Stream, error) {
+	if spec.Shape == "" {
+		spec.Shape = "wide-bushy"
+	}
+	if spec.Strategy == "" {
+		spec.Strategy = "FP"
+	}
+	cl.mu.Lock()
+	if cl.err != nil {
+		err := cl.err
+		cl.mu.Unlock()
+		return nil, err
+	}
+	cl.nextID++
+	id := cl.nextID
+	// The server may have window unconsumed DATA frames in flight, plus
+	// EOS and a terminal DONE/ERROR; size the event buffer so the read
+	// loop never blocks dispatching to this stream.
+	st := &Stream{cl: cl, id: id, ev: make(chan streamEvent, cl.window+3)}
+	cl.streams[id] = st
+	cl.mu.Unlock()
+	sub := submitMsg{
+		ID: id, Shape: spec.Shape, Relations: spec.Relations,
+		Strategy: spec.Strategy, Runtime: spec.Runtime, Procs: spec.Procs,
+		Window: cl.window,
+	}
+	if err := cl.c.WriteMsg(fsSubmit, sub); err != nil {
+		cl.mu.Lock()
+		delete(cl.streams, id)
+		cl.mu.Unlock()
+		return nil, err
+	}
+	return st, nil
+}
+
+// lookup finds the stream for a frame's stream id.
+func (cl *Client) lookup(sid uint32) *Stream {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.streams[sid]
+}
+
+// drop removes a finished stream.
+func (cl *Client) drop(sid uint32) {
+	cl.mu.Lock()
+	delete(cl.streams, sid)
+	cl.mu.Unlock()
+}
+
+// readLoop is the connection's single reader: it dispatches every frame to
+// its stream until the transport fails.
+func (cl *Client) readLoop() {
+	defer close(cl.readerDone)
+	for {
+		kind, payload, err := cl.c.ReadFrame()
+		if err != nil {
+			cl.fail(fmt.Errorf("serve: connection lost: %w", err))
+			return
+		}
+		switch kind {
+		case fsData:
+			sid, block, err := dist.ParseDataFrame(payload)
+			if err != nil {
+				cl.fail(err)
+				return
+			}
+			// The payload views the connection's reusable read buffer;
+			// decoding into fresh tuples is also the copy.
+			tuples, err := relation.TuplesFromBytes(nil, block)
+			if err != nil {
+				cl.fail(err)
+				return
+			}
+			if st := cl.lookup(sid); st != nil {
+				st.deliver(streamEvent{tuples: tuples})
+			}
+		case fsEOS:
+			// Informational: the terminal DONE follows immediately.
+		case fsDone:
+			var d doneMsg
+			if err := dist.DecodeMsg(payload, &d); err != nil {
+				cl.fail(err)
+				return
+			}
+			if st := cl.lookup(d.ID); st != nil {
+				cl.drop(d.ID)
+				st.deliver(streamEvent{done: &Done{
+					Rows: d.Rows, Wall: time.Duration(d.WallNanos),
+					QueueWait:    time.Duration(d.QueueWaitNanos),
+					SpilledBytes: d.SpilledBytes, MemReserved: d.MemReserved,
+					PlanCacheHit: d.PlanCacheHit,
+				}})
+			}
+		case fsError:
+			var e errMsg
+			if err := dist.DecodeMsg(payload, &e); err != nil {
+				cl.fail(err)
+				return
+			}
+			if st := cl.lookup(e.ID); st != nil {
+				cl.drop(e.ID)
+				st.deliver(streamEvent{err: fmt.Errorf("serve: query failed: %s", e.Msg)})
+			}
+		default:
+			cl.fail(fmt.Errorf("serve: unexpected frame kind 0x%02x", kind))
+			return
+		}
+	}
+}
+
+// streamEvent is one dispatched frame: a tuple batch, the terminal Done,
+// or the terminal error.
+type streamEvent struct {
+	tuples []relation.Tuple
+	done   *Done
+	err    error
+}
+
+// Stream is one query's result stream on a client connection.
+type Stream struct {
+	cl *Client
+	id uint32
+	ev chan streamEvent
+
+	deliverOnce sync.Once // guards the terminal event
+}
+
+// deliver dispatches one event; terminal events (done or err) may race
+// between the read loop and Client.fail, so only the first lands.
+func (st *Stream) deliver(e streamEvent) {
+	if e.done != nil || e.err != nil {
+		st.deliverOnce.Do(func() { st.ev <- e })
+		return
+	}
+	st.ev <- e
+}
+
+// Recv returns the next result batch. It returns (tuples, nil, nil) for
+// each DATA batch — granting the server one credit back — then
+// (nil, done, nil) when the query completes, or (nil, nil, err) on query
+// failure, cancellation, or a lost connection.
+func (st *Stream) Recv() ([]relation.Tuple, *Done, error) {
+	e := <-st.ev
+	switch {
+	case e.err != nil:
+		return nil, nil, e.err
+	case e.done != nil:
+		return nil, e.done, nil
+	default:
+		// Consumed one window slot: grant it back so the server keeps
+		// streaming. A write error surfaces on the next Recv via readLoop.
+		st.cl.c.WriteCredit(st.id, 1)
+		return e.tuples, nil, nil
+	}
+}
+
+// Cancel asks the server to abort the query. The stream still terminates
+// through Recv — with the server's cancellation ERROR.
+func (st *Stream) Cancel() error {
+	return st.cl.c.WriteStreamID(fsCancel, st.id)
+}
+
+// Drain consumes the stream to its terminal event, returning the Done on
+// success, the row count seen, and the terminal error otherwise.
+func (st *Stream) Drain() (int64, *Done, error) {
+	var n int64
+	for {
+		tuples, done, err := st.Recv()
+		if err != nil {
+			return n, nil, err
+		}
+		if done != nil {
+			return n, done, nil
+		}
+		n += int64(len(tuples))
+	}
+}

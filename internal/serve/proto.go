@@ -1,0 +1,110 @@
+// Package serve exposes a long-lived multijoin Engine over TCP: a thin
+// query-serving front end in the PRISMA/DB spirit, where the machine
+// belongs to the system and many clients share its processors and memory.
+//
+// The wire format is the internal/dist frame codec verbatim — a u32
+// little-endian length prefix, a kind byte, and the payload; result rows
+// travel as the same columnar blocks (relation.AppendBatchBytes) the
+// distributed runtime redistributes, so a result batch is encoded once,
+// column-at-a-time, with no per-tuple step. serve adds four control kinds
+// in a range disjoint from dist's:
+//
+//	0x01 HELLO   both directions; gob helloMsg (version, role)
+//	0x10 DATA    server→client; stream id + one columnar block
+//	0x11 EOS     server→client; stream id (result complete)
+//	0x12 CREDIT  client→server; stream id + n (flow-control grant)
+//	0x20 SUBMIT  client→server; gob submitMsg (query spec + window)
+//	0x21 CANCEL  client→server; stream id (abort the query)
+//	0x22 DONE    server→client; gob doneMsg (per-query stats)
+//	0x23 ERROR   server→client; gob errMsg
+//
+// A query is one credit-windowed stream: the client picks a stream id and
+// an initial window W in SUBMIT; the server may have at most W unconsumed
+// DATA frames outstanding and earns more only through CREDIT frames, so a
+// stalled client exerts backpressure all the way into the engine's
+// push-based cursor instead of ballooning server memory. After EOS the
+// server sends DONE with the query's Result stats (rows, wall time, queue
+// wait, spilled bytes, plan-cache hit). CANCEL aborts the query's context;
+// the server acknowledges with ERROR carrying context.Canceled's message.
+package serve
+
+import (
+	"fmt"
+
+	"multijoin/internal/dist"
+)
+
+// protoVersion is carried in every HELLO; both ends must agree exactly.
+const protoVersion = 1
+
+// Frame kinds. The data-plane kinds alias dist's so dist.Conn's WriteBatch,
+// WriteEOS and WriteCredit fast paths stamp the right bytes; the serve
+// control kinds live at 0x20+ where dist defines nothing.
+const (
+	fsHello  = dist.FrameHello  // 0x01
+	fsData   = dist.FrameData   // 0x10
+	fsEOS    = dist.FrameEOS    // 0x11
+	fsCredit = dist.FrameCredit // 0x12
+
+	fsSubmit byte = 0x20
+	fsCancel byte = 0x21
+	fsDone   byte = 0x22
+	fsError  byte = 0x23
+)
+
+// Connection roles carried in HELLO.
+const (
+	roleClient = "client"
+	roleServer = "server"
+)
+
+// helloMsg opens every connection, in both directions.
+type helloMsg struct {
+	Version int
+	Role    string
+}
+
+// submitMsg is one query request. The server owns the database; a client
+// names the query shape over it (the paper's workload vocabulary) rather
+// than shipping relations. ID is the stream id of the reply; Window is the
+// initial credit (batches the server may send before the first CREDIT).
+type submitMsg struct {
+	ID        uint32
+	Shape     string // jointree shape name: wide-bushy, left-linear, ...
+	Relations int    // join fan-in; 0 means every relation in the DB
+	Strategy  string // SP, SE, RD, FP
+	Runtime   string // "", "parallel", "spill", ...
+	Procs     int    // plan processor count; 0 means the engine default
+	Window    int    // initial credit in batches; 0 means DefaultWindow
+}
+
+// doneMsg closes a successful stream: the query's Result stats.
+type doneMsg struct {
+	ID             uint32
+	Rows           int64
+	WallNanos      int64
+	QueueWaitNanos int64
+	SpilledBytes   int64
+	MemReserved    int64
+	PlanCacheHit   bool
+}
+
+// errMsg closes a failed (or cancelled) stream.
+type errMsg struct {
+	ID  uint32
+	Msg string
+}
+
+// DefaultWindow is the initial credit used when SUBMIT carries none.
+const DefaultWindow = 8
+
+// checkHello validates a received HELLO.
+func checkHello(h helloMsg, wantRole string) error {
+	if h.Version != protoVersion {
+		return fmt.Errorf("serve: protocol version mismatch: got %d, want %d", h.Version, protoVersion)
+	}
+	if h.Role != wantRole {
+		return fmt.Errorf("serve: unexpected peer role %q, want %q", h.Role, wantRole)
+	}
+	return nil
+}

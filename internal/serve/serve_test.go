@@ -1,0 +1,442 @@
+// Protocol round-trip audits for the serving layer: submit/stream/done
+// against the sequential reference, concurrent multiplexed streams,
+// cancel-mid-stream, malformed frames, and client disconnect mid-stream —
+// each asserting the engine's shared memory meter drains to zero and no
+// goroutines or descriptors leak.
+package serve_test
+
+import (
+	"context"
+	"encoding/binary"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"multijoin/internal/core"
+	"multijoin/internal/dist"
+	"multijoin/internal/jointree"
+	"multijoin/internal/relation"
+	"multijoin/internal/serve"
+	"multijoin/internal/wisconsin"
+)
+
+// settleGoroutines polls until the goroutine count drops back to at most
+// base+slack or the deadline passes, and returns the final count.
+func settleGoroutines(base, slack int, deadline time.Duration) int {
+	limit := time.Now().Add(deadline)
+	n := runtime.NumGoroutine()
+	for n > base+slack && time.Now().Before(limit) {
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// openFDs returns the number of open file descriptors of this process, or
+// -1 on platforms without /proc.
+func openFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// settleFDs polls until the descriptor count drops back to at most
+// base+slack or the deadline passes.
+func settleFDs(base, slack int, deadline time.Duration) int {
+	limit := time.Now().Add(deadline)
+	n := openFDs()
+	for n > base+slack && time.Now().Before(limit) {
+		time.Sleep(10 * time.Millisecond)
+		n = openFDs()
+	}
+	return n
+}
+
+// startServer opens an engine over a fresh chain database and serves it on
+// an ephemeral loopback port. The cleanup asserts the server shut down
+// with a drained meter.
+func startServer(t *testing.T, relations, card int, engOpts ...core.EngineOption) (*serve.Server, string, *wisconsin.Database) {
+	t.Helper()
+	db, err := wisconsin.Chain(wisconsin.Config{Relations: relations, Cardinality: card, Seed: 1995})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.Open(db, engOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(eng, serve.Config{BatchTuples: 64})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("server shutdown: %v", err)
+		}
+		if live := eng.MemoryLive(); live != 0 {
+			t.Errorf("engine meter live = %d bytes after shutdown, want 0", live)
+		}
+	})
+	return srv, addr, db
+}
+
+// TestServeRoundTrip submits queries over every strategy and both real
+// runtimes on one multiplexed connection and checks each streamed result
+// against the sequential reference.
+func TestServeRoundTrip(t *testing.T) {
+	baseGo := runtime.NumGoroutine()
+	baseFD := openFDs()
+	_, addr, db := startServer(t, 4, 400)
+	tree, err := jointree.BuildShape(jointree.WideBushy, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Reference(db, tree)
+
+	cl, err := serve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for _, strat := range []string{"SP", "SE", "RD", "FP"} {
+		for _, rt := range []string{"parallel", "spill"} {
+			st, err := cl.Submit(serve.QuerySpec{Strategy: strat, Runtime: rt})
+			if err != nil {
+				t.Fatalf("%s/%s submit: %v", strat, rt, err)
+			}
+			got := relation.New("result", 0)
+			for {
+				tuples, done, err := st.Recv()
+				if err != nil {
+					t.Fatalf("%s/%s recv: %v", strat, rt, err)
+				}
+				if done != nil {
+					if done.Rows != int64(len(got.Tuples)) {
+						t.Errorf("%s/%s done.Rows = %d, streamed %d", strat, rt, done.Rows, len(got.Tuples))
+					}
+					break
+				}
+				got.Tuples = append(got.Tuples, tuples...)
+			}
+			if diff := relation.DiffMultiset(got, want); diff != "" {
+				t.Errorf("%s/%s result differs from reference: %s", strat, rt, diff)
+			}
+		}
+	}
+	cl.Close()
+
+	if n := settleGoroutines(baseGo, 4, 10*time.Second); n > baseGo+4 {
+		t.Errorf("goroutines %d -> %d after round trips", baseGo, n)
+	}
+	_ = baseFD
+}
+
+// TestServeConcurrentStreams runs many interleaved streams on a handful of
+// shared connections — the multiplexing path — and verifies every result.
+func TestServeConcurrentStreams(t *testing.T) {
+	_, addr, db := startServer(t, 4, 300, core.WithMaxConcurrent(4))
+	tree, err := jointree.BuildShape(jointree.WideBushy, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(len(core.Reference(db, tree).Tuples))
+
+	const conns, perConn = 4, 6
+	var wg sync.WaitGroup
+	errs := make(chan error, conns*perConn)
+	for c := 0; c < conns; c++ {
+		cl, err := serve.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		for q := 0; q < perConn; q++ {
+			wg.Add(1)
+			go func(q int) {
+				defer wg.Done()
+				rt := []string{"parallel", "spill"}[q%2]
+				st, err := cl.Submit(serve.QuerySpec{Strategy: "FP", Runtime: rt})
+				if err != nil {
+					errs <- err
+					return
+				}
+				n, _, err := st.Drain()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if n != want {
+					errs <- &rowCountErr{got: n, want: want}
+				}
+			}(q)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+type rowCountErr struct{ got, want int64 }
+
+func (e *rowCountErr) Error() string { return "row count mismatch" }
+
+// TestServeCancelMidStream cancels queries after their first batch and
+// requires the server to terminate each stream with the cancellation
+// error while the shared meter drains (the Cleanup assertion).
+func TestServeCancelMidStream(t *testing.T) {
+	_, addr, _ := startServer(t, 6, 2000, core.WithEngineMemoryBudget(1<<20))
+	cl, err := serve.DialWindow(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for i := 0; i < 4; i++ {
+		st, err := cl.Submit(serve.QuerySpec{Strategy: "FP", Runtime: "spill"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Take the first batch, then abort.
+		if _, done, err := st.Recv(); err != nil || done != nil {
+			t.Fatalf("first recv: done=%v err=%v", done, err)
+		}
+		if err := st.Cancel(); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			_, done, err := st.Recv()
+			if done != nil {
+				// The query can win the race and finish before the cancel
+				// lands; that is a legal outcome.
+				break
+			}
+			if err != nil {
+				if !strings.Contains(err.Error(), "cancel") {
+					t.Fatalf("cancelled stream error = %v, want a cancellation", err)
+				}
+				break
+			}
+		}
+	}
+}
+
+// TestServeMalformedFrames sends protocol garbage — an unknown frame kind,
+// a corrupt gob payload, an implausible length prefix — and requires the
+// server to tear the connection down without taking the engine with it:
+// a healthy client still gets full service afterwards.
+func TestServeMalformedFrames(t *testing.T) {
+	_, addr, _ := startServer(t, 4, 200)
+
+	hello := func(t *testing.T, c *dist.Conn) {
+		t.Helper()
+		if err := c.WriteMsg(dist.FrameHello, struct {
+			Version int
+			Role    string
+		}{1, "client"}); err != nil {
+			t.Fatal(err)
+		}
+		if kind, _, err := c.ReadFrame(); err != nil || kind != dist.FrameHello {
+			t.Fatalf("hello reply: kind=0x%02x err=%v", kind, err)
+		}
+	}
+
+	t.Run("unknown frame kind", func(t *testing.T) {
+		c, err := dist.Dial(addr, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		hello(t, c)
+		if err := c.WriteStreamID(0x7f, 1); err != nil {
+			t.Fatal(err)
+		}
+		// Server must hang up on the violation.
+		if _, _, err := c.ReadFrame(); err == nil {
+			t.Fatal("server kept the connection after an unknown frame kind")
+		}
+	})
+
+	t.Run("corrupt submit payload", func(t *testing.T) {
+		c, err := dist.Dial(addr, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		hello(t, c)
+		if err := c.WriteStreamID(0x20, 0xdeadbeef); err != nil { // 4 junk bytes where a gob submitMsg belongs
+			t.Fatal(err)
+		}
+		if _, _, err := c.ReadFrame(); err == nil {
+			t.Fatal("server kept the connection after a corrupt SUBMIT")
+		}
+	})
+
+	t.Run("implausible length prefix", func(t *testing.T) {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], 1<<30) // over maxFrame
+		if _, err := nc.Write(hdr[:]); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1)
+		nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+		if _, err := nc.Read(buf); err == nil {
+			t.Fatal("server kept the connection after an implausible length prefix")
+		}
+	})
+
+	// The engine must still serve a healthy client.
+	cl, err := serve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	st, err := cl.Submit(serve.QuerySpec{Strategy: "FP", Runtime: "parallel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Drain(); err != nil {
+		t.Fatalf("healthy client after garbage peers: %v", err)
+	}
+}
+
+// TestServeClientDisconnectMidStream drops the TCP connection while
+// results are streaming (with a tiny credit window so the server is
+// blocked mid-stream) and requires the server to cancel the orphaned
+// queries and release their memory — the Cleanup asserts meter live = 0 —
+// without leaking the per-query goroutines.
+func TestServeClientDisconnectMidStream(t *testing.T) {
+	baseGo := runtime.NumGoroutine()
+	baseFD := openFDs()
+	_, addr, _ := startServer(t, 6, 2000, core.WithEngineMemoryBudget(1<<20))
+
+	for i := 0; i < 3; i++ {
+		cl, err := serve.DialWindow(addr, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := cl.Submit(serve.QuerySpec{Strategy: "FP", Runtime: "spill"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One batch proves the stream is live, then the socket dies with
+		// the query mid-flight and the server blocked on credit.
+		if _, done, err := st.Recv(); err != nil || done != nil {
+			t.Fatalf("first recv: done=%v err=%v", done, err)
+		}
+		cl.Close()
+	}
+
+	if n := settleGoroutines(baseGo, 4, 15*time.Second); n > baseGo+4 {
+		t.Errorf("goroutines %d -> %d after client disconnects", baseGo, n)
+	}
+	if baseFD >= 0 {
+		if n := settleFDs(baseFD, 4, 15*time.Second); n > baseFD+4 {
+			t.Errorf("fds %d -> %d after client disconnects", baseFD, n)
+		}
+	}
+}
+
+// TestServeShutdownDrainsStreams verifies graceful shutdown: a Shutdown
+// issued while clients are slowly consuming must let every stream finish
+// (no truncation) before the engine closes.
+func TestServeShutdownDrainsStreams(t *testing.T) {
+	db, err := wisconsin.Chain(wisconsin.Config{Relations: 4, Cardinality: 400, Seed: 1995})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(eng, serve.Config{BatchTuples: 64})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := jointree.BuildShape(jointree.WideBushy, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(len(core.Reference(db, tree).Tuples))
+
+	const nStreams = 3
+	var wg sync.WaitGroup
+	counts := make([]int64, nStreams)
+	errs := make([]error, nStreams)
+	started := make(chan struct{}, nStreams)
+	for i := 0; i < nStreams; i++ {
+		cl, err := serve.DialWindow(addr, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		st, err := cl.Submit(serve.QuerySpec{Strategy: "FP", Runtime: "parallel"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, st *serve.Stream) {
+			defer wg.Done()
+			first := true
+			for {
+				tuples, done, err := st.Recv()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if done != nil {
+					return
+				}
+				counts[i] += int64(len(tuples))
+				if first {
+					first = false
+					started <- struct{}{}
+				}
+				time.Sleep(5 * time.Millisecond) // slow consumer
+			}
+		}(i, st)
+	}
+	for i := 0; i < nStreams; i++ {
+		<-started
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	wg.Wait()
+	for i := 0; i < nStreams; i++ {
+		if errs[i] != nil {
+			t.Errorf("stream %d: %v", i, errs[i])
+		}
+		if counts[i] != want {
+			t.Errorf("stream %d truncated by shutdown: %d rows, want %d", i, counts[i], want)
+		}
+	}
+	if live := eng.MemoryLive(); live != 0 {
+		t.Errorf("engine meter live = %d after shutdown, want 0", live)
+	}
+
+	// A submit after shutdown must be refused.
+	if _, err := serve.Dial(addr); err == nil {
+		t.Error("Dial succeeded after Shutdown")
+	}
+}

@@ -1,0 +1,454 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+
+	"multijoin/internal/core"
+	"multijoin/internal/dist"
+	"multijoin/internal/jointree"
+	"multijoin/internal/relation"
+	"multijoin/internal/strategy"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// BatchTuples is the result re-batching granularity: how many tuples
+	// each DATA frame carries. Zero means 256; values above the block
+	// codec's MaxBlockTuples are clamped to it.
+	BatchTuples int
+}
+
+// DefaultBatchTuples is the DATA frame granularity when Config leaves it 0.
+const DefaultBatchTuples = 256
+
+// Server exposes one long-lived Engine over TCP. Each accepted connection
+// gets a reader goroutine that demultiplexes SUBMIT/CREDIT/CANCEL frames;
+// each submitted query gets its own goroutine that drains the engine's
+// Rows cursor into credit-windowed DATA frames. The server takes ownership
+// of the engine: Shutdown drains in-flight cursors through the engine's
+// own graceful-drain path before closing it.
+type Server struct {
+	eng   *core.Engine
+	batch int
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[*srvConn]struct{}
+	closed bool
+
+	wg sync.WaitGroup // accept loop + connection handlers
+}
+
+// NewServer wraps an open engine. The server owns eng from here on:
+// Server.Shutdown (or Close) closes it.
+func NewServer(eng *core.Engine, cfg Config) *Server {
+	b := cfg.BatchTuples
+	if b <= 0 {
+		b = DefaultBatchTuples
+	}
+	if b > relation.MaxBlockTuples {
+		b = relation.MaxBlockTuples
+	}
+	return &Server{eng: eng, batch: b, conns: make(map[*srvConn]struct{})}
+}
+
+// Start binds addr (host:port; port 0 picks an ephemeral port), spawns the
+// accept loop, and returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", core.ErrEngineClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		sc := &srvConn{srv: s, c: dist.NewConn(nc), queries: make(map[uint32]*srvQuery)}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			sc.c.Close()
+			return
+		}
+		s.conns[sc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sc.serve()
+			s.mu.Lock()
+			delete(s.conns, sc)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Shutdown stops the server gracefully: no new connections or queries are
+// admitted, then the engine drains — in-flight Rows cursors keep streaming
+// to their clients until they settle or ctx expires, at which point the
+// stragglers are force-closed — and finally every connection is torn down.
+// It returns the engine's shutdown error (nil on a clean drain).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return s.eng.Shutdown(ctx)
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	// Graceful phase: the engine waits for cursors to settle; the per-query
+	// goroutines keep pushing frames to their clients in the meantime.
+	err := s.eng.Shutdown(ctx)
+	// Flush phase: a settled cursor's stream may still have its final
+	// batches, EOS and DONE in flight under the client's credit window —
+	// wait for the per-query goroutines before touching the sockets.
+	s.mu.Lock()
+	conns := make([]*srvConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	var dwg sync.WaitGroup
+	for _, sc := range conns {
+		dwg.Add(1)
+		go func(sc *srvConn) {
+			defer dwg.Done()
+			sc.drain(ctx)
+		}(sc)
+	}
+	dwg.Wait()
+	// Teardown phase: whatever is left is an idle client or a stalled
+	// stream past its grace — close the sockets to unblock the connection
+	// readers, then wait for every goroutine.
+	s.mu.Lock()
+	for sc := range s.conns {
+		sc.c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Close is Shutdown with no grace: in-flight queries are force-closed.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return s.Shutdown(ctx)
+}
+
+// Engine returns the wrapped engine (observability: meter, plan cache).
+func (s *Server) Engine() *core.Engine { return s.eng }
+
+// srvConn is the server side of one client connection.
+type srvConn struct {
+	srv *Server
+	c   *dist.Conn
+
+	mu      sync.Mutex
+	queries map[uint32]*srvQuery
+	qwg     sync.WaitGroup
+}
+
+// srvQuery is one in-flight query on a connection.
+type srvQuery struct {
+	cancel context.CancelFunc
+	gate   *creditGate
+}
+
+// drain waits for this connection's in-flight query goroutines, cancelling
+// whatever is still running when ctx expires (a client that stopped
+// granting credit).
+func (sc *srvConn) drain(ctx context.Context) {
+	done := make(chan struct{})
+	go func() { sc.qwg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		sc.mu.Lock()
+		for _, q := range sc.queries {
+			q.cancel()
+		}
+		sc.mu.Unlock()
+		<-done
+	}
+}
+
+// serve runs the connection to completion: hello exchange, then the frame
+// demultiplex loop. Any protocol violation or transport error tears the
+// connection down — every in-flight query is cancelled and drained before
+// the socket closes, so a client disconnect mid-stream releases the
+// queries' memory reservations.
+func (sc *srvConn) serve() {
+	defer func() {
+		sc.mu.Lock()
+		for _, q := range sc.queries {
+			q.cancel()
+		}
+		sc.mu.Unlock()
+		sc.qwg.Wait()
+		sc.c.Close()
+	}()
+	var hello helloMsg
+	if err := readMsg(sc.c, fsHello, &hello); err != nil {
+		return
+	}
+	if err := checkHello(hello, roleClient); err != nil {
+		return
+	}
+	if err := sc.c.WriteMsg(fsHello, helloMsg{Version: protoVersion, Role: roleServer}); err != nil {
+		return
+	}
+	for {
+		kind, payload, err := sc.c.ReadFrame()
+		if err != nil {
+			return
+		}
+		switch kind {
+		case fsSubmit:
+			var sub submitMsg
+			if err := dist.DecodeMsg(payload, &sub); err != nil {
+				return
+			}
+			sc.submit(sub)
+		case fsCredit:
+			sid, n, err := dist.ParseCreditFrame(payload)
+			if err != nil {
+				return
+			}
+			sc.mu.Lock()
+			q := sc.queries[sid]
+			sc.mu.Unlock()
+			if q != nil {
+				q.gate.grant(n)
+			}
+		case fsCancel:
+			sid, err := dist.ParseStreamID(payload)
+			if err != nil {
+				return
+			}
+			sc.mu.Lock()
+			q := sc.queries[sid]
+			sc.mu.Unlock()
+			if q != nil {
+				q.cancel()
+			}
+		default:
+			return // unknown frame kind: protocol violation
+		}
+	}
+}
+
+// submit validates a SUBMIT and launches its query goroutine.
+func (sc *srvConn) submit(sub submitMsg) {
+	sc.mu.Lock()
+	if _, dup := sc.queries[sub.ID]; dup {
+		sc.mu.Unlock()
+		sc.writeErr(sub.ID, fmt.Errorf("serve: duplicate stream id %d", sub.ID))
+		return
+	}
+	window := sub.Window
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &srvQuery{cancel: cancel, gate: newCreditGate(window)}
+	sc.queries[sub.ID] = q
+	sc.qwg.Add(1)
+	sc.mu.Unlock()
+	go func() {
+		defer sc.qwg.Done()
+		defer cancel()
+		sc.runQuery(ctx, q, sub)
+		sc.mu.Lock()
+		delete(sc.queries, sub.ID)
+		sc.mu.Unlock()
+	}()
+}
+
+// runQuery executes one submitted query and streams its result: DATA
+// frames under the credit window, then EOS and DONE, or ERROR on any
+// failure (including cancellation, whose ERROR carries context.Canceled's
+// message).
+func (sc *srvConn) runQuery(ctx context.Context, sq *srvQuery, sub submitMsg) {
+	query, opts, err := sc.srv.buildQuery(sub)
+	if err != nil {
+		sc.writeErr(sub.ID, err)
+		return
+	}
+	rows, err := sc.srv.eng.Query(ctx, query, opts...)
+	if err != nil {
+		sc.writeErr(sub.ID, err)
+		return
+	}
+	defer rows.Close()
+	var nrows int64
+	batch := relation.NewBatch(sc.srv.batch)
+	flush := func() error {
+		if batch.Len() == 0 {
+			return nil
+		}
+		if err := sq.gate.take(ctx); err != nil {
+			return err
+		}
+		if err := sc.c.WriteBatch(sub.ID, batch); err != nil {
+			return err
+		}
+		nrows += int64(batch.Len())
+		batch.Reset()
+		return nil
+	}
+	for rows.Next() {
+		batch.AppendTuple(rows.Tuple())
+		if batch.Len() >= sc.srv.batch {
+			if err := flush(); err != nil {
+				// Client gone or query cancelled: abort the execution and
+				// let the deferred Close drain the cursor.
+				sc.writeErr(sub.ID, err)
+				return
+			}
+		}
+	}
+	if err := rows.Err(); err != nil {
+		sc.writeErr(sub.ID, err)
+		return
+	}
+	if err := flush(); err != nil {
+		sc.writeErr(sub.ID, err)
+		return
+	}
+	if err := sc.c.WriteEOS(sub.ID); err != nil {
+		return
+	}
+	done := doneMsg{ID: sub.ID, Rows: nrows}
+	if res, ok := rows.Result(); ok {
+		done.WallNanos = res.Time.Nanoseconds()
+		done.QueueWaitNanos = res.Stats.QueueWait.Nanoseconds()
+		done.SpilledBytes = res.Stats.BytesSpilled
+		done.MemReserved = res.Stats.MemReserved
+		done.PlanCacheHit = res.Stats.PlanCacheHit
+	}
+	sc.c.WriteMsg(fsDone, done)
+}
+
+// writeErr sends an ERROR frame; transport failures are ignored (the
+// connection teardown path handles them).
+func (sc *srvConn) writeErr(sid uint32, err error) {
+	sc.c.WriteMsg(fsError, errMsg{ID: sid, Msg: err.Error()})
+}
+
+// buildQuery resolves a submitMsg against the server's database into an
+// executable query and its per-query options.
+func (s *Server) buildQuery(sub submitMsg) (core.Query, []core.Option, error) {
+	db := s.eng.DB()
+	k := sub.Relations
+	if k == 0 {
+		k = db.NumRelations()
+	}
+	if k < 2 || k > db.NumRelations() {
+		return core.Query{}, nil, fmt.Errorf("serve: %d relations requested, database has %d", k, db.NumRelations())
+	}
+	shape, err := jointree.ParseShape(sub.Shape)
+	if err != nil {
+		return core.Query{}, nil, err
+	}
+	tree, err := jointree.BuildShape(shape, k)
+	if err != nil {
+		return core.Query{}, nil, err
+	}
+	kind, err := strategy.Parse(sub.Strategy)
+	if err != nil {
+		return core.Query{}, nil, err
+	}
+	// Default the plan's processor count so any strategy fits: FP needs a
+	// processor per concurrent operation, so scale with the join fan-in
+	// (plans may name more processors than the host has cores — the
+	// engine's shared pool caps actual concurrency).
+	procs := sub.Procs
+	if procs <= 0 {
+		procs = max(runtime.GOMAXPROCS(0), 2*k)
+	}
+	q := core.Query{DB: db, Tree: tree, Strategy: kind, Procs: procs}
+	var opts []core.Option
+	if sub.Runtime != "" {
+		opts = append(opts, core.WithRuntime(sub.Runtime))
+	}
+	return q, opts, nil
+}
+
+// readMsg reads the next frame, requires the given kind, and gob-decodes
+// its payload.
+func readMsg(c *dist.Conn, kind byte, v any) error {
+	got, payload, err := c.ReadFrame()
+	if err != nil {
+		return err
+	}
+	if got != kind {
+		return fmt.Errorf("serve: expected frame 0x%02x, got 0x%02x", kind, got)
+	}
+	return dist.DecodeMsg(payload, v)
+}
+
+// creditGate is the server side of one stream's flow-control window: take
+// blocks until the client has granted at least one unconsumed credit.
+type creditGate struct {
+	mu    sync.Mutex
+	avail int
+	ch    chan struct{} // cap 1: wake signal for grant
+}
+
+func newCreditGate(window int) *creditGate {
+	return &creditGate{avail: window, ch: make(chan struct{}, 1)}
+}
+
+// grant adds n credits and wakes a blocked take.
+func (g *creditGate) grant(n uint32) {
+	g.mu.Lock()
+	g.avail += int(n)
+	g.mu.Unlock()
+	select {
+	case g.ch <- struct{}{}:
+	default:
+	}
+}
+
+// take consumes one credit, blocking until one is available or ctx ends.
+func (g *creditGate) take(ctx context.Context) error {
+	for {
+		g.mu.Lock()
+		if g.avail > 0 {
+			g.avail--
+			g.mu.Unlock()
+			return nil
+		}
+		g.mu.Unlock()
+		select {
+		case <-g.ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
