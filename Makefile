@@ -1,7 +1,7 @@
 # Single source of truth for the commands CI and humans run.
 GO ?= go
 
-.PHONY: all build lint test bench bench-baseline examples fuzz-smoke pooldebug spill-check throughput-smoke dist-smoke calibrate-smoke serve-smoke clean
+.PHONY: all build lint test bench bench-baseline examples fuzz-smoke pooldebug spill-check throughput-smoke dist-smoke calibrate-smoke serve-smoke ivm-smoke clean
 
 all: build lint test
 
@@ -27,12 +27,23 @@ test:
 spill-check:
 	$(GO) test -race -run 'TestSpill|TestGrace' ./internal/core ./internal/hashjoin
 
-# Fuzz smoke: 30 seconds of the randomized differential harness — seeded
-# sizes, skewed cardinalities, all strategies and shapes — asserting the
-# sim, parallel, spill and dist (two worker processes) runtimes reproduce
-# the sequential reference checksum multiset.
+# Fuzz smoke: 30 seconds each of the randomized differential harnesses —
+# seeded sizes, skewed cardinalities, all strategies and shapes. The exec
+# harness asserts the sim, parallel, spill and dist (two worker processes)
+# runtimes reproduce the sequential reference checksum multiset; the view
+# harness asserts incremental maintenance under random signed delta
+# scripts stays multiset-equal to recompute-from-scratch, with unmatched
+# deletes predicted exactly.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzExecEquivalence -fuzztime 30s ./internal/testutil
+	$(GO) test -run '^$$' -fuzz FuzzViewEquivalence -fuzztime 30s ./internal/testutil
+
+# IVM smoke: create a materialized view, push mixed signed delta rounds
+# through its resident FP network, and verify the maintained result against
+# a from-scratch recompute of the sequential reference after every round,
+# under -race.
+ivm-smoke:
+	$(GO) test -race -run 'TestViewSmoke' -count=1 ./internal/ivm
 
 # Pool-discipline check: the relation and hashjoin tests (the columnar
 # codec round-trip property and the ProbeBatchInto differential among
@@ -105,7 +116,7 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -json . > BENCH_parallel.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_parallel.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 	@echo "wrote BENCH_parallel.json"
-	$(GO) test -run '^$$' -bench 'BenchmarkExecAlloc|BenchmarkExecStreamAlloc|BenchmarkEngineQueryCached|BenchmarkHashTable' -benchtime 1x -benchmem -json . ./internal/hashjoin > BENCH_alloc.json
+	$(GO) test -run '^$$' -bench 'BenchmarkExecAlloc|BenchmarkExecStreamAlloc|BenchmarkEngineQueryCached|BenchmarkViewApplyDelta|BenchmarkHashTable' -benchtime 1x -benchmem -json . ./internal/hashjoin > BENCH_alloc.json
 	@echo "wrote BENCH_alloc.json"
 	$(GO) run ./cmd/benchcheck -in BENCH_alloc.json -baseline bench_alloc_baseline.txt
 
@@ -117,7 +128,7 @@ bench:
 # the three measured columns and preserves each benchmark's ns/op
 # tolerance.
 bench-baseline:
-	$(GO) test -run '^$$' -bench 'BenchmarkExecAlloc|BenchmarkExecStreamAlloc|BenchmarkEngineQueryCached' -benchtime 1x -benchmem -json . > BENCH_alloc.json
+	$(GO) test -run '^$$' -bench 'BenchmarkExecAlloc|BenchmarkExecStreamAlloc|BenchmarkEngineQueryCached|BenchmarkViewApplyDelta' -benchtime 1x -benchmem -json . > BENCH_alloc.json
 	$(GO) run ./cmd/benchcheck -in BENCH_alloc.json -record bench_alloc_baseline.txt
 
 # Examples smoke: build every example binary, then run each one to

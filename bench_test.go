@@ -291,6 +291,69 @@ func BenchmarkExecStreamAlloc_FP(b *testing.B) {
 	}
 }
 
+// BenchmarkViewApplyDelta_FP measures the steady-state incremental
+// maintenance path: one resident materialized view over a left-linear
+// chain, each iteration applying a mixed delta round (64 fresh inserts
+// into relation 0 plus the previous round's 64 tuples back out) through
+// the resident FP network. The per-round work — routing, signed probes,
+// table insert/delete, collector updates — must run on pooled batches;
+// cmd/benchcheck gates allocs/op in CI like the other hot paths.
+func BenchmarkViewApplyDelta_FP(b *testing.B) {
+	const deltaK = 64
+	db, err := multijoin.NewDatabase(5, 5000, 1995)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := multijoin.BuildTree(multijoin.LeftLinear, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const procs = 16
+	eng, err := multijoin.Open(db, multijoin.WithEngineProcs(multijoin.HostCap(procs)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	q := multijoin.Query{DB: db, Tree: tree, Strategy: strategy.FP, Procs: procs, Params: multijoin.DefaultParams()}
+	ctx := context.Background()
+	view, err := eng.CreateView(ctx, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer view.Close()
+	// Two alternating tuple sets: round i inserts sets[i%2] and deletes
+	// sets[(i+1)%2], so the view's cardinality is pinned and every timed
+	// round does identical insert+delete work. The warm-up round seeds the
+	// first delete set (and the batch pools).
+	var sets [2][]multijoin.Tuple
+	for s := range sets {
+		sets[s] = make([]multijoin.Tuple, deltaK)
+		for i := range sets[s] {
+			sets[s][i] = multijoin.Tuple{
+				Unique1: int64(10000 + s*deltaK + i),
+				Unique2: int64((s*deltaK + i) % 5000),
+				Check:   uint64(s*deltaK + i),
+			}
+		}
+	}
+	if _, err := view.Apply(ctx, multijoin.ViewDelta{Rel: 0, Insert: sets[1]}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := view.Apply(ctx, multijoin.ViewDelta{
+			Rel: 0, Insert: sets[i%2], Delete: sets[(i+1)%2],
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Unmatched != 0 {
+			b.Fatalf("round %d: %d unmatched deletes", i, res.Unmatched)
+		}
+	}
+}
+
 // BenchmarkEngineQueryCached measures the hot plan-cache path: a small
 // repeated query shape on one long-lived Engine, where every iteration
 // after the first hits the memoized plan. Planning allocations must not

@@ -63,7 +63,7 @@ var figureShapes = map[string]jointree.Shape{
 }
 
 // allFigures lists every valid -fig name in output order.
-var allFigures = []string{"3", "4", "6", "7", "9", "10", "11", "12", "13", "14", "speedup", "pipedelay", "ablation", "memory", "costfn", "spillmem", "throughput", "dist", "saturation"}
+var allFigures = []string{"3", "4", "6", "7", "9", "10", "11", "12", "13", "14", "speedup", "pipedelay", "ablation", "memory", "costfn", "spillmem", "throughput", "dist", "saturation", "ivm"}
 
 // fail reports a usage error (exit 2); die reports a runtime error
 // (exit 1). Both stop an active CPU profile first — os.Exit skips defers,
@@ -288,6 +288,15 @@ func main() {
 			// rate plus one closed-loop capacity step, mixed workload with
 			// 10% of queries cancelled mid-stream, under -policy admission.
 			out, err := experiments.Saturation(*card5k/5, 16, offeredSteps, 32, 3*time.Second, 0.1, *seed, *policy)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+		case "ivm":
+			// Incremental view maintenance vs re-execution: one resident
+			// FP view over the 40K left-linear chain, refresh latency
+			// across delta fractions against a from-scratch run.
+			out, err := experiments.IVM(*card40k, 16, []float64{0.001, 0.01, 0.1}, *seed)
 			if err != nil {
 				return err
 			}

@@ -9,6 +9,12 @@
 //	mjload -addr 127.0.0.1:7033 -conns 64 -duration 5s            # closed loop
 //	mjload -addr 127.0.0.1:7033 -conns 64 -qps 50,100,200,400     # open-loop sweep
 //	mjload -addr 127.0.0.1:7033 -conns 32 -cancel 0.2             # 20% cancel mid-stream
+//
+// With -ticker it becomes a continuous-query driver instead: each
+// connection materializes one view on the server and feeds it Poisson
+// delta rounds, reporting refresh-latency percentiles:
+//
+//	mjload -addr 127.0.0.1:7033 -ticker -views 8 -rate 200 -delta 16
 package main
 
 import (
@@ -70,7 +76,38 @@ func main() {
 	mix := flag.String("mix", "", "query mix as STRATEGY/RUNTIME pairs, comma separated; empty means SP,SE,RD,FP x parallel,spill")
 	window := flag.Int("window", serve.DefaultWindow, "per-stream credit window in batches")
 	seed := flag.Int64("seed", 1, "workload seed")
+	ticker := flag.Bool("ticker", false, "continuous-query mode: each connection holds one view and feeds it Poisson delta rounds")
+	views := flag.Int("views", 4, "ticker: concurrent view connections")
+	rate := flag.Float64("rate", 50, "ticker: aggregate delta rounds per second")
+	delta := flag.Int("delta", 16, "ticker: tuples inserted (and, once warm, deleted) per round")
+	shape := flag.String("shape", "left-linear", "ticker: view join-tree shape")
 	flag.Parse()
+
+	if *ticker {
+		// The ticker drives views, not the query mix: reject flags that
+		// only parameterize the query workload instead of silently
+		// ignoring them, mirroring mjbench's -fig/-workers validation.
+		if *qps != "" {
+			fail("-qps is a query-load flag; -ticker paces deltas with -rate")
+		}
+		if *cancel != 0 {
+			fail("-cancel applies to query streams, not -ticker view rounds")
+		}
+		if *mix != "" {
+			fail("-mix picks query specs; -ticker views take -shape instead")
+		}
+		if *views <= 0 {
+			fail("-views must be positive; got %d", *views)
+		}
+		if *rate <= 0 {
+			fail("-rate must be positive; got %g", *rate)
+		}
+		if *delta <= 0 {
+			fail("-delta must be positive; got %d", *delta)
+		}
+		runTicker(*addr, *duration, *views, *rate, *delta, *shape, *seed)
+		return
+	}
 
 	steps, err := parseQPS(*qps)
 	if err != nil {
@@ -109,3 +146,26 @@ func main() {
 }
 
 func ms(d time.Duration) float64 { return d.Seconds() * 1e3 }
+
+// runTicker drives one continuous-query step and prints its result.
+func runTicker(addr string, duration time.Duration, views int, rate float64, delta int, shape string, seed int64) {
+	fmt.Printf("mjload: ticker, %s, %d views (%s), %.0f rounds/s offered, %d tuples/round, %s\n",
+		addr, views, shape, rate, delta, duration)
+	res, err := serve.RunTicker(serve.TickerConfig{
+		Addr: addr, Views: views, Duration: duration,
+		Rate: rate, DeltaTuples: delta,
+		Spec: serve.ViewSpec{Shape: shape}, Seed: seed,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("%8s%10s%8s%12s%12s%12s%12s%12s%14s\n",
+		"views", "rounds", "errs", "rounds/s", "p50(ms)", "p95(ms)", "p99(ms)", "create(ms)", "changes/round")
+	perRound := 0.0
+	if res.Applies > 0 {
+		perRound = float64(res.Changes) / float64(res.Applies)
+	}
+	fmt.Printf("%8d%10d%8d%12.1f%12.2f%12.2f%12.2f%12.1f%14.1f\n",
+		res.Views, res.Applies, res.Errors, res.Achieved,
+		ms(res.P50), ms(res.P95), ms(res.P99), ms(res.CreateP50), perRound)
+}

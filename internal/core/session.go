@@ -65,6 +65,7 @@ type Engine struct {
 	mu      sync.Mutex
 	closed  bool
 	cursors map[*Rows]struct{} // open cursors whose resources are not yet settled
+	views   map[*View]struct{} // open materialized views (CreateView)
 	// idle is non-nil while a graceful Shutdown waits for the open cursors
 	// to settle; dropCursor closes it when the last one does.
 	idle chan struct{}
@@ -167,6 +168,7 @@ func Open(db *wisconsin.Database, opts ...EngineOption) (*Engine, error) {
 	e.meter = spill.NewMeter(e.budget)
 	e.plans = newPlanCache()
 	e.cursors = make(map[*Rows]struct{})
+	e.views = make(map[*View]struct{})
 	e.closeDone = make(chan struct{})
 	policy, err := newAdmissionPolicy(e.policyName, e.maxConc, e.meter)
 	if err != nil {
@@ -403,9 +405,19 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	for r := range e.cursors {
 		open = append(open, r)
 	}
+	views := make([]*View, 0, len(e.views))
+	for v := range e.views {
+		views = append(views, v)
+	}
 	e.mu.Unlock()
 	for _, r := range open {
 		r.closeWith(ErrEngineClosed)
+	}
+	// Views are resident until closed — they never settle on their own, so
+	// a shutdown of any kind tears them down here (a blocked Apply fails
+	// with ivm.ErrViewClosed and the residency charge settles to zero).
+	for _, v := range views {
+		v.Close()
 	}
 	e.inflight.Wait()
 	e.procs.Close()

@@ -1,0 +1,189 @@
+// Materialized views: Engine-owned resident queries maintained
+// incrementally (internal/ivm) instead of re-executed.
+//
+// CreateView runs the query once on the paper's FP (full pipelining)
+// strategy and then keeps the plan's symmetric hash-join network resident:
+// every join operand table stays built, charged against the engine's
+// shared memory budget exactly like an in-flight spill query's residency.
+// View.Apply pushes signed base-relation deltas through the resident
+// network, so refreshing the view after a small change costs work
+// proportional to the delta's share of the data, not to the full query —
+// the incremental-view-maintenance counterpart of the paper's observation
+// that pipelining hash joins never rebuild state between tuples.
+package core
+
+import (
+	"context"
+	"sync"
+
+	"multijoin/internal/costmodel"
+	"multijoin/internal/ivm"
+	"multijoin/internal/jointree"
+	"multijoin/internal/relation"
+	"multijoin/internal/spill"
+	"multijoin/internal/strategy"
+	"multijoin/internal/xra"
+)
+
+// View is an engine-owned materialized view over one query: the resident
+// FP join network plus the maintained result multiset. All methods are
+// safe for concurrent use with each other and with engine shutdown;
+// Apply calls themselves serialize (one delta round at a time).
+type View struct {
+	eng   *Engine
+	iv    *ivm.View
+	child *spill.Meter
+
+	closeOnce sync.Once
+}
+
+// CreateView plans q on the FP strategy (whatever q.Strategy says — a
+// resident view is a pipelining network by construction), executes the
+// initial population under the engine's admission policy, and registers
+// the view with the engine. The admission slot is held only for the
+// population; afterwards the view keeps just its memory charge (and any
+// cost-policy reservation) on the shared budget until Close. Engine
+// shutdown force-closes open views, failing a blocked Apply with
+// ivm.ErrViewClosed.
+func (e *Engine) CreateView(ctx context.Context, q Query, opts ...Option) (*View, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrEngineClosed
+	}
+	e.inflight.Add(1)
+	e.mu.Unlock()
+	defer e.inflight.Done()
+	return e.createView(ctx, q, opts)
+}
+
+func (e *Engine) createView(ctx context.Context, q Query, opts []Option) (*View, error) {
+	if q.DB == nil {
+		q.DB = e.db
+	}
+	if q.Params == (costmodel.Params{}) {
+		q.Params = e.defaults.Params
+	}
+	q.Strategy = strategy.FP
+	o := e.defaults
+	o.Params = q.Params
+	for _, opt := range opts {
+		opt(&o)
+	}
+	plan, _, err := e.plans.plan(q)
+	if err != nil {
+		return nil, err
+	}
+	child := e.meter.Child()
+
+	// Admission covers the initial population — a full FP execution's worth
+	// of work — and, under the cost policy, reserves the view's estimated
+	// resident footprint from the shared budget for its whole lifetime.
+	ticket := &admitTicket{est: e.estimateView(q, plan), meter: child}
+	if err := e.policy.admit(ctx, ticket); err != nil {
+		return nil, err
+	}
+	undo := func() {
+		e.policy.release(ticket)
+		child.Settle()
+		e.policy.kick()
+	}
+
+	iv, err := ivm.New(plan, q.baseRelation, ivm.Config{
+		BatchTuples: o.BatchTuples,
+		TupleBytes:  q.tupleBytes(),
+		Meter:       child,
+	})
+	if err != nil {
+		undo()
+		return nil, err
+	}
+	v := &View{eng: e, iv: iv, child: child}
+
+	// Admission may have raced a concurrent Close: re-check under the lock
+	// and undo if the engine closed while the view was populating, so its
+	// network and memory charge do not outlive a torn-down engine.
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		iv.Close()
+		undo()
+		return nil, ErrEngineClosed
+	}
+	e.views[v] = struct{}{}
+	e.mu.Unlock()
+
+	// Population done: the execution slot goes back to the queue. The
+	// residency charge (and reservation) stays until View.Close.
+	e.policy.release(ticket)
+	e.policy.kick()
+	return v, nil
+}
+
+// estimateView is the admission estimate for a view: the population's work
+// units like any query, plus the resident footprint — both operand tables
+// of every join stay built for the view's lifetime, so the peak estimate
+// is the sum of all operand cardinalities rather than the transient
+// pipeline residency of a one-shot run.
+func (e *Engine) estimateView(q Query, plan *xra.Plan) queryEstimate {
+	est := e.estimateQuery(q, e.defaults, plan)
+	var operands int64
+	spanCard := q.DB.SpanCard
+	for _, j := range jointree.Joins(q.Tree) {
+		n1 := spanCard(j.Build.Lo, j.Build.Hi)
+		n2 := spanCard(j.Probe.Lo, j.Probe.Hi)
+		operands += int64(n1+n2) * relation.TupleWireBytes
+	}
+	est.peakBytes = operands
+	return est
+}
+
+// Apply pushes one batch of signed base-relation deltas through the view's
+// resident network and returns once the view is exact again. Inserts apply
+// before deletes within a round; a delete of an absent base tuple is
+// dropped and counted in ApplyResult.Unmatched.
+func (v *View) Apply(ctx context.Context, deltas ...ivm.Delta) (ivm.ApplyResult, error) {
+	return v.iv.Apply(ctx, deltas...)
+}
+
+// Rows returns a snapshot of the view's current result multiset.
+func (v *View) Rows(ctx context.Context) (*relation.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return v.iv.Rows()
+}
+
+// Changes returns a cursor over the view's signed change stream: every
+// Apply round's net result changes, in round order, until the stream or
+// the view is closed.
+func (v *View) Changes() *ivm.ChangeStream { return v.iv.Changes() }
+
+// ResultCard returns the current result cardinality without materializing.
+func (v *View) ResultCard() int { return v.iv.ResultCard() }
+
+// Resident returns the view's current resident bytes (join operand tables
+// plus the maintained result) — the amount charged to the engine's shared
+// memory budget, before any admission reservation.
+func (v *View) Resident() int64 { return v.iv.Resident() }
+
+// Close tears the view's network down, settles its charge and reservation
+// on the shared budget, and deregisters it from the engine. A blocked
+// Apply fails with ivm.ErrViewClosed. Close is idempotent and safe to
+// call concurrently with Apply and with engine shutdown.
+func (v *View) Close() error {
+	v.closeOnce.Do(func() {
+		v.iv.Close()
+		v.child.Settle()
+		v.eng.dropView(v)
+		v.eng.policy.kick()
+	})
+	return nil
+}
+
+// dropView forgets a closed view.
+func (e *Engine) dropView(v *View) {
+	e.mu.Lock()
+	delete(e.views, v)
+	e.mu.Unlock()
+}

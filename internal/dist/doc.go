@@ -32,6 +32,7 @@
 //	DATA   0x10  sid(u32) block  one batch of stream sid, encoded with the
 //	                             columnar block codec of package relation
 //	                             (count header + U1, U2, Check columns)
+//	                             or a signed block (below)
 //	EOS    0x11  sid(u32)        stream sid ended (producer finished)
 //	CREDIT 0x12  sid(u32) n(u32) receiver grants n more batches on sid
 //
@@ -40,6 +41,22 @@
 // between the nodes. Stream ids are the canonical plan-wide enumeration of
 // parallel.Streams, so both endpoints derive identical wiring from the
 // plan text alone.
+//
+// # Signed tuple blocks (protocol version 2)
+//
+// Incremental view maintenance carries deltas — insertions and
+// retractions — over the same block codec. A signed block is an ordinary
+// columnar block whose count header has relation.SignedBlockFlag (bit 62)
+// set and which appends one extra section after the Check column: a sign
+// bitmap of ceil(n/8) bytes, bit i set meaning tuple i is a delete
+// (retraction) and clear meaning an insert. Unsigned blocks are unchanged
+// byte-for-byte, so the two kinds interleave freely on a stream; the flag
+// bit makes a signed block unmistakable to a version-2 reader and an
+// implausible batch length to anything older, which is why the HELLO
+// version moved to 2. Encoders/decoders live in package relation
+// (AppendSignedBlockBytes, DecodeSignedBlocks); the serving layer's
+// VAPPLY frames (internal/serve, its own protocol version 2) transport
+// view deltas as exactly these blocks.
 //
 // # Backpressure
 //

@@ -10,8 +10,11 @@ import (
 )
 
 // protoVersion is the wire protocol version carried in every HELLO frame;
-// both ends must agree exactly.
-const protoVersion = 1
+// both ends must agree exactly. Version 2 extended the DATA payload
+// grammar with signed tuple blocks (relation.SignedBlockFlag on the count
+// header plus a sign bitmap after the Check column) — a version-1 reader
+// would misparse the flagged count as an implausible batch length.
+const protoVersion = 2
 
 // Frame kinds (see the package documentation for the layout).
 const (

@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIVMOutput(t *testing.T) {
+	out, err := IVM(1500, 16, []float64{0.01, 0.1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"left-linear", "recompute", "resident", "speedup", "1%", "10%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ivm table missing %q:\n%s", want, out)
+		}
+	}
+	// Header trio plus one data row per fraction.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3+2 {
+		t.Errorf("ivm table has %d lines:\n%s", len(lines), out)
+	}
+}

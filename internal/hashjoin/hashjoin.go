@@ -98,18 +98,27 @@ const radixBuckets = 256
 
 // Table is an in-memory hash table over one join attribute: an
 // open-addressing slot array (linear probing, power-of-two size, no
-// tombstones — the table only ever grows) whose slots point into a
-// columnar tuple arena (parallel u1/u2/check columns plus a next column
-// for duplicate chains), so one slot per distinct key and three flat
-// []int64-shaped arrays for the probe loops to stream over. Steady-state
-// Insert performs no per-key allocation; growth doubles the slot array and
-// re-seats slot heads without touching the arena.
+// tombstones) whose slots point into a columnar tuple arena (parallel
+// u1/u2/check columns plus a next column for duplicate chains), so one
+// slot per distinct key and three flat []int64-shaped arrays for the
+// probe loops to stream over. Steady-state Insert performs no per-key
+// allocation; growth doubles the slot array and re-seats slot heads
+// without touching the arena.
 //
 // Slot heads and chain links store arena index + 1, with 0 meaning
 // empty/end-of-chain: the zero value of a freshly made slot array is
 // already "all empty", so neither construction nor growth pays a fill
 // loop. The exported First/Next/At iteration API keeps its historical
 // 0-based indices with negative meaning "none".
+//
+// Delete removes one tuple instance again (incremental view maintenance
+// retracts tuples from resident tables). A slot whose last chain entry is
+// deleted is emptied by backward-shift deletion — displaced entries are
+// relocated into the hole — rather than tombstoned, so the probe loops
+// keep their two-state slot model (occupied or empty, never "deleted")
+// and stay byte-identical to the insert-only table. Freed arena rows are
+// threaded onto a free list through the next column and reused by later
+// inserts, keeping a steady-state delete/insert workload allocation-free.
 //
 // Sizing the table from the operand's declared cardinality (NewTableSized)
 // avoids rehash churn entirely — the PRISMA/DB setting, where scans declare
@@ -119,12 +128,15 @@ type Table struct {
 	keys []int64 // keys[s] is meaningful only when head[s] != 0
 	head []int32 // slot -> arena index+1 of the key's chain head; 0 = empty
 	// Columnar arena, insertion-ordered. next[i] is the arena index+1 of
-	// the next tuple with the same key, 0 at the end of the chain.
+	// the next tuple with the same key, 0 at the end of the chain. Rows on
+	// the free list reuse next as the free-list link.
 	u1    []int64
 	u2    []int64
 	check []uint64
 	next  []int32
-	used  int // occupied slots (distinct keys)
+	free  int32 // arena index+1 of the first free (deleted) row; 0 = none
+	used  int   // occupied slots (distinct keys)
+	live  int   // inserted minus deleted tuples
 	mask  uint64
 }
 
@@ -178,7 +190,7 @@ func (t *Table) Release() {
 	}
 	t.keys, t.head = nil, nil
 	t.u1, t.u2, t.check, t.next = nil, nil, nil, nil
-	t.used, t.mask = 0, 0
+	t.free, t.used, t.live, t.mask = 0, 0, 0, 0
 	tablePools[bits.TrailingZeros(uint(slots))].Put(m)
 }
 
@@ -225,30 +237,38 @@ func (t *Table) insert(k, u1v, u2v int64, ck uint64) {
 // insertHashed is insert with the key hash precomputed (the radix bulk
 // insert hashes once for bucketing and reuses it here).
 func (t *Table) insertHashed(h uint64, k, u1v, u2v int64, ck uint64) {
+	t.live++
 	s := h & t.mask
 	for t.head[s] != 0 {
 		if t.keys[s] == k {
-			t.pushRow(u1v, u2v, ck, t.head[s])
-			t.head[s] = int32(len(t.u1))
+			t.head[s] = t.newRow(u1v, u2v, ck, t.head[s])
 			return
 		}
 		s = (s + 1) & t.mask
 	}
-	t.pushRow(u1v, u2v, ck, 0)
+	t.head[s] = t.newRow(u1v, u2v, ck, 0)
 	t.keys[s] = k
-	t.head[s] = int32(len(t.u1))
 	t.used++
 	if t.used*4 > len(t.head)*3 {
 		t.grow(len(t.head) * 2)
 	}
 }
 
-// pushRow appends one arena row.
-func (t *Table) pushRow(u1v, u2v int64, ck uint64, next int32) {
+// newRow stores one arena row — popping the free list when a deleted row
+// can be reused, appending otherwise — and returns its index+1.
+func (t *Table) newRow(u1v, u2v int64, ck uint64, next int32) int32 {
+	if e := t.free; e != 0 {
+		j := e - 1
+		t.free = t.next[j]
+		t.u1[j], t.u2[j], t.check[j] = u1v, u2v, ck
+		t.next[j] = next
+		return e
+	}
 	t.u1 = append(t.u1, u1v)
 	t.u2 = append(t.u2, u2v)
 	t.check = append(t.check, ck)
 	t.next = append(t.next, next)
+	return int32(len(t.u1))
 }
 
 // InsertBatch adds every tuple of a columnar batch: the key column is read
@@ -367,6 +387,86 @@ func (t *Table) At(i int32) relation.Tuple {
 	return relation.Tuple{Unique1: t.u1[i], Unique2: t.u2[i], Check: t.check[i]}
 }
 
+// Delete removes one instance of tp (matched on all three columns) and
+// reports whether one was found. The freed arena row goes on the free list
+// for the next insert; a slot whose chain empties is removed by
+// backward-shift deletion, so no tombstones accumulate and the probe
+// loops' invariants are untouched. Delete allocates nothing.
+func (t *Table) Delete(tp relation.Tuple) bool {
+	k := tp.Get(t.attr)
+	s := hashKey(k) & t.mask
+	for {
+		if t.head[s] == 0 {
+			return false
+		}
+		if t.keys[s] == k {
+			break
+		}
+		s = (s + 1) & t.mask
+	}
+	var prev int32
+	for e := t.head[s]; e != 0; {
+		j := e - 1
+		if t.u1[j] == tp.Unique1 && t.u2[j] == tp.Unique2 && t.check[j] == tp.Check {
+			nxt := t.next[j]
+			switch {
+			case prev != 0:
+				t.next[prev-1] = nxt
+			case nxt != 0:
+				t.head[s] = nxt
+			default:
+				t.clearSlot(s)
+			}
+			t.next[j] = t.free
+			t.free = e
+			t.live--
+			return true
+		}
+		prev, e = e, t.next[j]
+	}
+	return false
+}
+
+// clearSlot empties slot s by backward-shift deletion: scan forward
+// through the probe cluster and move any entry whose ideal slot cannot
+// reach it past the new hole back into the hole, repeating from the
+// entry's old position until the cluster ends. Lookups that probe from any
+// key's ideal slot then still find every remaining entry before an empty
+// slot, with no tombstone state.
+func (t *Table) clearSlot(s uint64) {
+	t.used--
+	t.head[s] = 0
+	hole := s
+	for j := s; ; {
+		j = (j + 1) & t.mask
+		if t.head[j] == 0 {
+			return
+		}
+		ideal := hashKey(t.keys[j]) & t.mask
+		// The entry at j may move into the hole unless its ideal slot lies
+		// cyclically in (hole, j] — then it is still reachable from ideal
+		// without passing the hole.
+		if (j-ideal)&t.mask >= (j-hole)&t.mask {
+			t.keys[hole] = t.keys[j]
+			t.head[hole] = t.head[j]
+			t.head[j] = 0
+			hole = j
+		}
+	}
+}
+
+// DeleteBatch removes one instance of every tuple in a columnar batch and
+// returns how many were found.
+func (t *Table) DeleteBatch(b *relation.Batch) int {
+	found := 0
+	for i, n := 0, b.Len(); i < n; i++ {
+		if t.Delete(b.Tuple(i)) {
+			found++
+		}
+	}
+	return found
+}
+
 // probeBatch streams a whole columnar batch through t — the vectorized
 // probe every hot loop uses. Phase one hashes the batch's pa column in one
 // tight loop, resolving each key to its chain head (index+1; 0 = no
@@ -411,6 +511,15 @@ func probeBatch(dst *relation.Batch, t *Table, b *relation.Batch, pa relation.At
 	return heads
 }
 
+// ProbeBatchInto is the exported form of probeBatch for callers that hold
+// bare tables rather than join state (the resident view network probes its
+// tables directly): the whole batch's pa column is hashed in one pass, then
+// matches are appended column-wise to dst. probeIsLower orients the result
+// tuple; heads is the caller's reusable scratch, returned re-sliced.
+func (t *Table) ProbeBatchInto(dst *relation.Batch, b *relation.Batch, pa relation.Attr, probeIsLower bool, heads []int32) []int32 {
+	return probeBatch(dst, t, b, pa, probeIsLower, heads)
+}
+
 // Matches returns the tuples whose key attribute equals k (nil if none).
 // It allocates a fresh slice per call; hot paths iterate First/Next instead.
 func (t *Table) Matches(k int64) []relation.Tuple {
@@ -421,8 +530,15 @@ func (t *Table) Matches(k int64) []relation.Tuple {
 	return out
 }
 
-// Len returns the number of inserted tuples.
-func (t *Table) Len() int { return len(t.u1) }
+// Len returns the number of stored tuples (inserted minus deleted).
+func (t *Table) Len() int { return t.live }
+
+// MemBytes returns the resident size of the table's backing arrays — slot
+// arrays plus the full arena capacity, including free-listed rows — the
+// figure a resident view charges against the shared memory meter.
+func (t *Table) MemBytes() int64 {
+	return int64(len(t.head))*12 + int64(cap(t.u1))*28
+}
 
 // Attr returns the key attribute.
 func (t *Table) Attr() relation.Attr { return t.attr }

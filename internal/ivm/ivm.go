@@ -1,0 +1,841 @@
+// Package ivm maintains materialized views incrementally over the
+// pipelining join network.
+//
+// The paper's FP strategy already is a dataflow of long-lived join
+// processes: every join runs on private processors, tuples stream through
+// symmetric pipelining hash-joins, and both operand tables of every join
+// are resident when the last tuple arrives. This package keeps that
+// network alive after the initial run instead of tearing it down, and
+// feeds it *deltas*: signed base-relation updates (insert/delete) that
+// propagate node-by-node through the same channel topology, each node
+// probing the opposite operand's resident table and retracting or
+// extending its own. The classic multiset-delta identity makes one pass
+// exact: applying ±t to one operand changes the join result by exactly
+// ±(t ⋈ other operand's current state), so eager per-tuple processing at
+// a single-goroutine-owned node — in any arrival order the channels allow
+// — telescopes to the correct new result (Berkholz et al.,
+// answering-queries-under-updates, is the theory anchor).
+//
+// Rounds are separated by a punctuation barrier: one Apply injects its
+// delta through every scan edge, then sends one end-of-round token down
+// every canonical stream (parallel.Streams). A node forwards its own
+// tokens only after collecting one per incoming stream — by then, channel
+// FIFO order guarantees it has processed and forwarded all of its round
+// input — so the collector holding every token implies the result
+// multiset is exact for the round. The collector then reports the round's
+// change count, publishes the changes to subscribed change streams
+// (View.Changes), and releases the waiting Apply.
+//
+// Resident state — two hash tables per join-node instance plus the
+// collector's result multiset — is measured after every round and charged
+// to the configured spill.Meter, so views compete for the same memory
+// budget as queries.
+package ivm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"multijoin/internal/hashjoin"
+	"multijoin/internal/parallel"
+	"multijoin/internal/relation"
+	"multijoin/internal/spill"
+	"multijoin/internal/xra"
+)
+
+// ErrViewClosed is returned by Apply/Rows on a closed (or torn-down) view.
+var ErrViewClosed = errors.New("ivm: view is closed")
+
+// DefaultBatchTuples is the transport batch size of the resident network
+// when Config leaves it zero.
+const DefaultBatchTuples = 256
+
+// collEntryBytes estimates the resident cost of one distinct result tuple
+// in the collector's multiset: the 24-byte tuple, an 8-byte count, and map
+// bookkeeping.
+const collEntryBytes = 48
+
+// poolRetain bounds how many idle transport batches the view's private
+// pool keeps.
+const poolRetain = 256
+
+// Config parameterizes a view.
+type Config struct {
+	// BatchTuples is the transport batch size (zero: DefaultBatchTuples).
+	BatchTuples int
+	// TupleBytes is the declared tuple width of Rows snapshots (zero:
+	// relation.TupleWireBytes).
+	TupleBytes int
+	// Meter, when set, is charged with the view's resident bytes — join
+	// tables plus the result multiset — re-measured after every round and
+	// released on Close. Pass a child of the engine's shared meter so
+	// views and queries draw down one budget.
+	Meter *spill.Meter
+}
+
+// Delta is one base relation's signed update: tuples to insert and tuples
+// to delete. Within one Apply, inserts are applied before deletes, so a
+// tuple inserted and deleted in the same call nets out. Deleting a tuple
+// absent from the base relation removes nothing (it is counted in
+// ApplyResult.Unmatched).
+type Delta struct {
+	Rel    int // base relation leaf index (jointree numbering)
+	Insert []relation.Tuple
+	Delete []relation.Tuple
+}
+
+// ApplyResult summarizes one maintenance round.
+type ApplyResult struct {
+	Inserted   int   // base tuples injected as inserts
+	Deleted    int   // base tuples injected as deletes
+	Unmatched  int64 // base deletes that matched no resident tuple
+	Changes    int   // signed changes to the result multiset this round
+	ResultCard int   // result multiset size after the round
+}
+
+// Change is one signed result-tuple change emitted by a view round.
+type Change struct {
+	Tuple relation.Tuple
+	Sign  int8 // +1 insert, -1 delete
+}
+
+// msg is the unit of the resident network's channels: a signed transport
+// batch for one input port, or an end-of-round token.
+type msg struct {
+	port  int8 // 0 = build input, 1 = probe input
+	sign  int8 // +1 insert, -1 delete (data only)
+	token bool
+	batch *relation.Batch
+}
+
+func signIdx(sign int8) int {
+	if sign > 0 {
+		return 0
+	}
+	return 1
+}
+
+func idxSign(si int) int8 {
+	if si == 0 {
+		return 1
+	}
+	return -1
+}
+
+// outbox routes one producer instance's output across its consumer edge:
+// per-destination pending batches for each sign, bucketed on the edge's
+// routing attribute exactly like the executing runtimes route.
+type outbox struct {
+	dsts  []chan msg
+	port  int8
+	route relation.Attr
+	bk    relation.Bucketer
+	pend  [2][]*relation.Batch // [0] inserts, [1] deletes; per destination
+}
+
+func (o *outbox) emitTuple(v *View, u1, u2 int64, ck uint64, key int64, si int) bool {
+	d := 0
+	if len(o.dsts) > 1 {
+		d = o.bk.Bucket(key)
+	}
+	p := o.pend[si][d]
+	if p == nil {
+		p = v.pool.Get()
+		o.pend[si][d] = p
+	}
+	p.Append(u1, u2, ck)
+	if p.Len() >= v.batch {
+		o.pend[si][d] = nil
+		// A full delete batch must not overtake buffered inserts for the
+		// same destination: the retraction of a tuple created earlier this
+		// round would arrive before its insertion and be dropped as
+		// unmatched. Inserts overtaking deletes are harmless — per-tuple
+		// counts only ever rise before they fall.
+		if si == 1 {
+			if ins := o.pend[0][d]; ins != nil && ins.Len() > 0 {
+				o.pend[0][d] = nil
+				if !v.send(o.dsts[d], msg{port: o.port, sign: 1, batch: ins}) {
+					return false
+				}
+			}
+		}
+		return v.send(o.dsts[d], msg{port: o.port, sign: idxSign(si), batch: p})
+	}
+	return true
+}
+
+// emit routes a whole result batch with one sign.
+func (o *outbox) emit(v *View, res *relation.Batch, sign int8) bool {
+	si := signIdx(sign)
+	var keys []int64
+	if len(o.dsts) > 1 {
+		keys = res.Col(o.route)
+	}
+	for i, n := 0, res.Len(); i < n; i++ {
+		var key int64
+		if keys != nil {
+			key = keys[i]
+		}
+		if !o.emitTuple(v, res.U1[i], res.U2[i], res.Check[i], key, si) {
+			return false
+		}
+	}
+	return true
+}
+
+// flushData sends every non-empty pending batch.
+func (o *outbox) flushData(v *View) bool {
+	for si := range o.pend {
+		for d, p := range o.pend[si] {
+			if p == nil {
+				continue
+			}
+			o.pend[si][d] = nil
+			if p.Len() == 0 {
+				v.pool.Put(p)
+				continue
+			}
+			if !v.send(o.dsts[d], msg{port: o.port, sign: idxSign(si), batch: p}) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// tokens sends n end-of-round tokens to every destination instance.
+func (o *outbox) tokens(v *View, n int) bool {
+	for t := 0; t < n; t++ {
+		for _, ch := range o.dsts {
+			if !v.send(ch, msg{token: true}) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// node is one resident join-operator instance: a goroutine owning the two
+// operand hash tables of its fragment.
+type node struct {
+	op       *xra.Op
+	idx      int
+	spec     hashjoin.Spec
+	tables   [2]*hashjoin.Table // 0: build side, 1: probe side
+	in       chan msg
+	expect   int // tokens per round: incoming canonical streams
+	out      outbox
+	res      relation.Batch // probe-result scratch
+	fdel     relation.Batch // found-deletes scratch
+	heads    []int32
+	resident atomic.Int64 // table bytes, updated before the round's tokens
+}
+
+// scanPort is the injection point for one base relation: Apply routes
+// delta tuples straight into the scan's consumer edge (scans hold no
+// state, so they need no goroutine).
+type scanPort struct {
+	op     *xra.Op
+	out    outbox
+	tokens int // end-of-round tokens per destination instance
+}
+
+type roundResult struct {
+	changes int
+	card    int
+}
+
+// collector owns the result multiset and the change-stream subscribers.
+type collector struct {
+	v        *View
+	in       chan msg
+	expect   int
+	counts   map[relation.Tuple]int64
+	card     int
+	changes  int // signed changes in the current round
+	resident atomic.Int64
+
+	subMu      sync.Mutex
+	subs       []*ChangeStream
+	subsClosed bool
+}
+
+// View is a continuously maintained materialization of one query: the
+// resident join network plus the collected result multiset. Apply, Rows
+// and Close are safe for concurrent use; one Apply runs at a time.
+type View struct {
+	cfg   Config
+	batch int
+	pool  *relation.BatchPool
+
+	nodes    []*node
+	scans    map[int]*scanPort
+	scanList []*scanPort
+	coll     *collector
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	roundDone chan roundResult
+	unmatched atomic.Int64
+
+	mu      sync.Mutex // serializes rounds and snapshots
+	charged int64      // bytes currently charged to cfg.Meter
+
+	closeOnce sync.Once
+}
+
+// New compiles plan into a resident maintenance network, populates it with
+// the base relations (one all-inserts round through the same delta path),
+// and returns the live view. base resolves each scan leaf to its relation,
+// exactly as the executing runtimes receive it. Close the view to release
+// its goroutines, tables, and meter charge.
+func New(plan *xra.Plan, base func(leaf int) *relation.Relation, cfg Config) (*View, error) {
+	if plan == nil {
+		return nil, errors.New("ivm: nil plan")
+	}
+	collectOp := plan.Collect()
+	if collectOp == nil {
+		return nil, errors.New("ivm: plan has no collect operator")
+	}
+	batch := cfg.BatchTuples
+	if batch <= 0 {
+		batch = DefaultBatchTuples
+	}
+	if batch > relation.MaxBlockTuples {
+		batch = relation.MaxBlockTuples
+	}
+	if cfg.TupleBytes <= 0 {
+		cfg.TupleBytes = relation.TupleWireBytes
+	}
+	v := &View{
+		cfg:       cfg,
+		batch:     batch,
+		pool:      relation.NewBatchPool(batch, poolRetain),
+		scans:     make(map[int]*scanPort),
+		roundDone: make(chan roundResult, 1),
+	}
+	v.ctx, v.cancel = context.WithCancel(context.Background())
+
+	specs := parallel.Streams(plan)
+
+	// One inbox per operator instance, sized for a round's tokens plus
+	// in-flight data.
+	inboxes := make(map[string][]chan msg, len(plan.Ops))
+	instances := func(op *xra.Op) int {
+		if op.Kind == xra.OpCollect {
+			return 1
+		}
+		return len(op.Procs)
+	}
+	for _, op := range plan.Ops {
+		if op.Kind == xra.OpScan {
+			continue
+		}
+		chs := make([]chan msg, instances(op))
+		for i := range chs {
+			expect := parallel.InstanceInStreams(specs, op, i)
+			chs[i] = make(chan msg, 2*expect+8)
+		}
+		inboxes[op.ID] = chs
+	}
+
+	// Consumer edge per producer, as in parallel.Streams.
+	type edge struct {
+		to *xra.Op
+		in *xra.Input
+	}
+	consumers := make(map[string]edge, len(plan.Ops))
+	for _, o := range plan.Ops {
+		for _, in := range o.Inputs() {
+			consumers[in.From] = edge{to: o, in: in}
+		}
+	}
+	newOutbox := func(from *xra.Op) (outbox, *xra.Op, error) {
+		c, ok := consumers[from.ID]
+		if !ok {
+			return outbox{}, nil, fmt.Errorf("ivm: operator %s has no consumer", from.ID)
+		}
+		var port int8
+		if c.in == c.to.Probe {
+			port = 1
+		}
+		dsts := inboxes[c.to.ID]
+		o := outbox{dsts: dsts, port: port, route: c.in.Route, bk: relation.NewBucketer(len(dsts))}
+		o.pend[0] = make([]*relation.Batch, len(dsts))
+		o.pend[1] = make([]*relation.Batch, len(dsts))
+		return o, c.to, nil
+	}
+
+	maxCard := 0
+	for _, op := range plan.Ops {
+		if op.Kind == xra.OpScan {
+			if r := base(op.Leaf); r != nil && r.Card() > maxCard {
+				maxCard = r.Card()
+			}
+		}
+	}
+
+	for _, op := range plan.Ops {
+		switch op.Kind {
+		case xra.OpScan:
+			out, to, err := newOutbox(op)
+			if err != nil {
+				v.cancel()
+				return nil, err
+			}
+			tokens := len(op.Procs)
+			if xra.LocalEdge(op, to, consumers[op.ID].in) {
+				tokens = 1
+			}
+			sp := &scanPort{op: op, out: out, tokens: tokens}
+			v.scans[op.Leaf] = sp
+			v.scanList = append(v.scanList, sp)
+		case xra.OpSimpleJoin, xra.OpPipeJoin:
+			out, _, err := newOutbox(op)
+			if err != nil {
+				v.cancel()
+				return nil, err
+			}
+			spec := hashjoin.Spec{BuildIsLower: op.BuildIsLower}
+			hint := relation.PerFragmentCap(maxCard, len(op.Procs))
+			for i := range op.Procs {
+				// Each instance needs its own outbox buffers; topology is
+				// shared.
+				o := out
+				o.pend[0] = make([]*relation.Batch, len(out.dsts))
+				o.pend[1] = make([]*relation.Batch, len(out.dsts))
+				n := &node{
+					op: op, idx: i, spec: spec,
+					in:     inboxes[op.ID][i],
+					expect: parallel.InstanceInStreams(specs, op, i),
+					out:    o,
+				}
+				n.tables[0] = hashjoin.NewTableSized(spec.BuildAttr(), hint)
+				n.tables[1] = hashjoin.NewTableSized(spec.ProbeAttr(), hint)
+				v.nodes = append(v.nodes, n)
+			}
+		case xra.OpCollect:
+			v.coll = &collector{
+				v:      v,
+				in:     inboxes[op.ID][0],
+				expect: parallel.InstanceInStreams(specs, op, 0),
+				counts: make(map[relation.Tuple]int64),
+			}
+		}
+	}
+	if v.coll == nil {
+		v.cancel()
+		return nil, errors.New("ivm: plan has no collect operator")
+	}
+
+	for _, n := range v.nodes {
+		v.wg.Add(1)
+		go v.runNode(n)
+	}
+	v.wg.Add(1)
+	go v.coll.run()
+
+	// Initial population: every base tuple as an insert, through the very
+	// code path deltas take.
+	boot := make([]Delta, 0, len(v.scanList))
+	for _, sp := range v.scanList {
+		r := base(sp.op.Leaf)
+		if r == nil {
+			v.Close()
+			return nil, fmt.Errorf("ivm: no base relation for leaf %d", sp.op.Leaf)
+		}
+		boot = append(boot, Delta{Rel: sp.op.Leaf, Insert: r.Tuples})
+	}
+	v.mu.Lock()
+	_, err := v.round(context.Background(), boot)
+	v.mu.Unlock()
+	if err != nil {
+		v.Close()
+		return nil, err
+	}
+	return v, nil
+}
+
+// send delivers m, giving up when the view is torn down.
+func (v *View) send(ch chan msg, m msg) bool {
+	select {
+	case ch <- m:
+		return true
+	case <-v.ctx.Done():
+		if m.batch != nil {
+			v.pool.Put(m.batch)
+		}
+		return false
+	}
+}
+
+func (v *View) runNode(n *node) {
+	defer v.wg.Done()
+	defer n.tables[0].Release()
+	defer n.tables[1].Release()
+	got := 0
+	for {
+		select {
+		case m := <-n.in:
+			if m.token {
+				got++
+				if got < n.expect {
+					continue
+				}
+				got = 0
+				// Publish resident bytes before the tokens: the sends
+				// happen-before the collector's round completion, so the
+				// Apply that reads them sees this round's figures.
+				n.resident.Store(n.tables[0].MemBytes() + n.tables[1].MemBytes())
+				if !n.out.flushData(v) || !n.out.tokens(v, 1) {
+					return
+				}
+				continue
+			}
+			if !n.handle(v, m) {
+				return
+			}
+		case <-v.ctx.Done():
+			return
+		}
+	}
+}
+
+// handle processes one signed batch: deletes first retract from this
+// side's table (rows that matched nothing are dropped — they cannot have
+// contributed downstream), then the surviving rows probe the opposite
+// side's table and the matches propagate with the batch's sign; inserts
+// probe first and then extend this side's table. Probe-then-update order
+// is immaterial because the two tables index different operands.
+func (n *node) handle(v *View, m msg) bool {
+	b := m.batch
+	own := n.tables[m.port]
+	if m.sign < 0 {
+		n.fdel.Reset()
+		for i, l := 0, b.Len(); i < l; i++ {
+			if own.Delete(b.Tuple(i)) {
+				n.fdel.Append(b.U1[i], b.U2[i], b.Check[i])
+			} else {
+				v.unmatched.Add(1)
+			}
+		}
+		b = &n.fdel
+	}
+	n.res.Reset()
+	if b.Len() > 0 {
+		if m.port == 0 {
+			n.heads = n.tables[1].ProbeBatchInto(&n.res, b, n.spec.BuildAttr(), n.spec.BuildIsLower, n.heads)
+		} else {
+			n.heads = n.tables[0].ProbeBatchInto(&n.res, b, n.spec.ProbeAttr(), !n.spec.BuildIsLower, n.heads)
+		}
+	}
+	if m.sign > 0 {
+		own.InsertBatch(m.batch)
+	}
+	v.pool.Put(m.batch)
+	if n.res.Len() > 0 {
+		return n.out.emit(v, &n.res, m.sign)
+	}
+	return true
+}
+
+func (c *collector) run() {
+	defer c.v.wg.Done()
+	defer c.closeSubs()
+	got := 0
+	var changes []Change
+	for {
+		select {
+		case m := <-c.in:
+			if m.token {
+				got++
+				if got < c.expect {
+					continue
+				}
+				got = 0
+				c.resident.Store(int64(len(c.counts)) * collEntryBytes)
+				r := roundResult{changes: c.changes, card: c.card}
+				c.changes = 0
+				if !c.push(changes) {
+					return
+				}
+				changes = nil
+				select {
+				case c.v.roundDone <- r:
+				case <-c.v.ctx.Done():
+					return
+				}
+				continue
+			}
+			b := m.batch
+			wantChanges := c.hasSubs()
+			for i, n := 0, b.Len(); i < n; i++ {
+				t := b.Tuple(i)
+				cnt := c.counts[t] + int64(m.sign)
+				if cnt == 0 {
+					delete(c.counts, t)
+				} else {
+					c.counts[t] = cnt
+				}
+				c.card += int(m.sign)
+				if wantChanges {
+					changes = append(changes, Change{Tuple: t, Sign: m.sign})
+				}
+			}
+			c.changes += b.Len()
+			c.v.pool.Put(b)
+		case <-c.v.ctx.Done():
+			return
+		}
+	}
+}
+
+func (c *collector) hasSubs() bool {
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
+	return len(c.subs) > 0
+}
+
+// push hands the round's change batch to every subscriber, blocking until
+// each accepts it (slow consumers backpressure Apply) or closes.
+func (c *collector) push(changes []Change) bool {
+	if len(changes) == 0 {
+		return true
+	}
+	c.subMu.Lock()
+	subs := append([]*ChangeStream(nil), c.subs...)
+	c.subMu.Unlock()
+	for _, s := range subs {
+		select {
+		case s.ch <- changes:
+		case <-s.quit:
+			c.dropSub(s)
+		case <-c.v.ctx.Done():
+			return false
+		}
+	}
+	return true
+}
+
+func (c *collector) dropSub(s *ChangeStream) {
+	c.subMu.Lock()
+	for i, x := range c.subs {
+		if x == s {
+			c.subs = append(c.subs[:i], c.subs[i+1:]...)
+			break
+		}
+	}
+	c.subMu.Unlock()
+}
+
+func (c *collector) closeSubs() {
+	c.subMu.Lock()
+	c.subsClosed = true
+	for _, s := range c.subs {
+		close(s.ch)
+	}
+	c.subs = nil
+	c.subMu.Unlock()
+}
+
+// ChangeStream is a cursor over the view's signed result changes, one
+// round's batch at a time — the change-stream counterpart of the engine's
+// Rows contract (Next / Change / Close).
+type ChangeStream struct {
+	ch   chan []Change
+	quit chan struct{}
+	cur  []Change
+	idx  int
+	once sync.Once
+}
+
+// Next advances to the next change, blocking for the next round when the
+// current batch is drained. It returns false once the stream or the view
+// is closed.
+func (s *ChangeStream) Next() bool {
+	s.idx++
+	if s.idx < len(s.cur) {
+		return true
+	}
+	for {
+		select {
+		case batch, ok := <-s.ch:
+			if !ok {
+				return false
+			}
+			if len(batch) == 0 {
+				continue
+			}
+			s.cur, s.idx = batch, 0
+			return true
+		case <-s.quit:
+			return false
+		}
+	}
+}
+
+// Change returns the change the last successful Next advanced to.
+func (s *ChangeStream) Change() Change { return s.cur[s.idx] }
+
+// Close unsubscribes the stream; a blocked Next returns false.
+func (s *ChangeStream) Close() { s.once.Do(func() { close(s.quit) }) }
+
+// Changes subscribes a new change stream. Rounds that complete after the
+// subscription deliver their signed result changes to it; a subscriber
+// that stops consuming backpressures Apply (close the stream instead of
+// abandoning it). On a closed view the stream reports no changes.
+func (v *View) Changes() *ChangeStream {
+	s := &ChangeStream{ch: make(chan []Change, 4), quit: make(chan struct{}), idx: -1}
+	c := v.coll
+	c.subMu.Lock()
+	if c.subsClosed {
+		close(s.ch)
+	} else {
+		c.subs = append(c.subs, s)
+	}
+	c.subMu.Unlock()
+	return s
+}
+
+// Apply runs one maintenance round: every delta's inserts, then every
+// delta's deletes, are routed into the network, the round is fenced with
+// tokens, and Apply returns once the collector holds the exact new result.
+// ctx aborts the wait — but a round already in flight cannot be unwound,
+// so an aborted Apply tears the view down.
+func (v *View) Apply(ctx context.Context, deltas ...Delta) (ApplyResult, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.ctx.Err() != nil {
+		return ApplyResult{}, ErrViewClosed
+	}
+	for _, d := range deltas {
+		if _, ok := v.scans[d.Rel]; !ok {
+			return ApplyResult{}, fmt.Errorf("ivm: delta for unknown base relation %d", d.Rel)
+		}
+	}
+	return v.round(ctx, deltas)
+}
+
+// round injects deltas and waits for the quiescence barrier. Callers hold
+// v.mu.
+func (v *View) round(ctx context.Context, deltas []Delta) (ApplyResult, error) {
+	var out ApplyResult
+	for _, d := range deltas {
+		if !v.inject(v.scans[d.Rel], d.Insert, +1) {
+			return out, ErrViewClosed
+		}
+		out.Inserted += len(d.Insert)
+	}
+	for _, d := range deltas {
+		if !v.inject(v.scans[d.Rel], d.Delete, -1) {
+			return out, ErrViewClosed
+		}
+		out.Deleted += len(d.Delete)
+	}
+	for _, sp := range v.scanList {
+		if !sp.out.flushData(v) || !sp.out.tokens(v, sp.tokens) {
+			return out, ErrViewClosed
+		}
+	}
+	select {
+	case r := <-v.roundDone:
+		out.Changes = r.changes
+		out.ResultCard = r.card
+	case <-ctx.Done():
+		// The round is mid-flight and cannot be unwound; the view can no
+		// longer tell a complete state from a truncated one.
+		v.cancel()
+		return out, ctx.Err()
+	case <-v.ctx.Done():
+		return out, ErrViewClosed
+	}
+	out.Unmatched = v.unmatched.Swap(0)
+	v.recharge()
+	return out, nil
+}
+
+// inject routes one relation's tuples into the scan's consumer edge.
+func (v *View) inject(sp *scanPort, tuples []relation.Tuple, sign int8) bool {
+	si := signIdx(sign)
+	o := &sp.out
+	for _, t := range tuples {
+		if !o.emitTuple(v, t.Unique1, t.Unique2, t.Check, t.Get(o.route), si) {
+			return false
+		}
+	}
+	return true
+}
+
+// recharge re-measures resident bytes and charges the meter with the
+// difference. Callers hold v.mu, after a completed round (the nodes'
+// figures happen-before the collector's round completion).
+func (v *View) recharge() {
+	total := v.coll.resident.Load()
+	for _, n := range v.nodes {
+		total += n.resident.Load()
+	}
+	if d := total - v.charged; d != 0 {
+		if v.cfg.Meter != nil {
+			v.cfg.Meter.Add(d)
+		}
+		v.charged = total
+	}
+}
+
+// Rows materializes the current result multiset. The snapshot is exact:
+// it reflects every Apply that returned and nothing in flight.
+func (v *View) Rows() (*relation.Relation, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.ctx.Err() != nil {
+		return nil, ErrViewClosed
+	}
+	c := v.coll
+	rel := relation.NewWithCap("view", v.cfg.TupleBytes, c.card)
+	for t, n := range c.counts {
+		for ; n > 0; n-- {
+			rel.Append(t)
+		}
+	}
+	return rel, nil
+}
+
+// ResultCard returns the current result multiset size.
+func (v *View) ResultCard() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.coll.card
+}
+
+// Resident returns the bytes currently charged for the view's resident
+// state (hash tables plus result multiset).
+func (v *View) Resident() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.charged
+}
+
+// Close tears the network down: goroutines exit, hash-table arenas are
+// recycled, subscribers' streams end, and the meter charge is released.
+// Close is idempotent and unblocks a concurrent Apply (which reports
+// ErrViewClosed).
+func (v *View) Close() error {
+	v.closeOnce.Do(func() {
+		v.cancel()
+		v.wg.Wait()
+		v.mu.Lock()
+		if v.charged != 0 {
+			if v.cfg.Meter != nil {
+				v.cfg.Meter.Add(-v.charged)
+			}
+			v.charged = 0
+		}
+		v.mu.Unlock()
+	})
+	return nil
+}

@@ -1,0 +1,278 @@
+package ivm
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"multijoin/internal/jointree"
+	"multijoin/internal/relation"
+	"multijoin/internal/spill"
+	"multijoin/internal/strategy"
+	"multijoin/internal/wisconsin"
+)
+
+// harness holds one view under test plus the shadow base relations the
+// sequential reference recomputes from.
+type harness struct {
+	db     *wisconsin.Database
+	tree   *jointree.Node
+	view   *View
+	shadow []*relation.Relation
+	rng    *rand.Rand
+}
+
+func newHarness(t *testing.T, shape jointree.Shape, strat strategy.Kind, relations, card int, seed int64, cfg Config) *harness {
+	t.Helper()
+	db, err := wisconsin.Chain(wisconsin.Config{Relations: relations, Cardinality: card, Seed: seed})
+	if err != nil {
+		t.Fatalf("wisconsin.Chain: %v", err)
+	}
+	tree, err := jointree.BuildShape(shape, relations)
+	if err != nil {
+		t.Fatalf("BuildShape: %v", err)
+	}
+	plan, err := strategy.Plan(strat, tree, strategy.Config{Procs: 2 * relations, Card: float64(card)})
+	if err != nil {
+		t.Fatalf("strategy.Plan: %v", err)
+	}
+	shadow := make([]*relation.Relation, relations)
+	for i := range shadow {
+		r := db.Relation(i)
+		cp := relation.NewWithCap(r.Name, r.TupleBytes, r.Card())
+		cp.Append(r.Tuples...)
+		shadow[i] = cp
+	}
+	view, err := New(plan, func(leaf int) *relation.Relation { return db.Relation(leaf) }, cfg)
+	if err != nil {
+		t.Fatalf("ivm.New: %v", err)
+	}
+	t.Cleanup(func() { view.Close() })
+	return &harness{db: db, tree: tree, view: view, shadow: shadow, rng: rand.New(rand.NewSource(seed * 31))}
+}
+
+// randomDelta builds a delta for relation rel: k tuples deleted from the
+// shadow (keeping it in sync) and k fresh insertions that still join
+// (clones of surviving tuples with a distinct Check).
+func (h *harness) randomDelta(rel, k int) Delta {
+	d := Delta{Rel: rel}
+	sh := h.shadow[rel]
+	for i := 0; i < k && len(sh.Tuples) > 1; i++ {
+		j := h.rng.Intn(len(sh.Tuples))
+		d.Delete = append(d.Delete, sh.Tuples[j])
+		sh.Tuples[j] = sh.Tuples[len(sh.Tuples)-1]
+		sh.Tuples = sh.Tuples[:len(sh.Tuples)-1]
+	}
+	for i := 0; i < k; i++ {
+		src := sh.Tuples[h.rng.Intn(len(sh.Tuples))]
+		src.Check = src.Check*31 + uint64(h.rng.Intn(1<<30)) + 1
+		d.Insert = append(d.Insert, src)
+		sh.Append(src)
+	}
+	return d
+}
+
+func (h *harness) verify(t *testing.T, label string) {
+	t.Helper()
+	got, err := h.view.Rows()
+	if err != nil {
+		t.Fatalf("%s: Rows: %v", label, err)
+	}
+	want := jointree.Reference(h.tree, func(leaf int) *relation.Relation { return h.shadow[leaf] })
+	if diff := relation.DiffMultiset(got, want); diff != "" {
+		t.Fatalf("%s: view diverged from recompute: %s", label, diff)
+	}
+	if h.view.ResultCard() != want.Card() {
+		t.Fatalf("%s: ResultCard = %d, want %d", label, h.view.ResultCard(), want.Card())
+	}
+}
+
+// TestViewSmoke is the CI smoke (make ivm-smoke): create a view over a
+// left-linear FP plan, apply a mixed insert/delete batch, and verify the
+// incrementally maintained result against recompute-from-scratch.
+func TestViewSmoke(t *testing.T) {
+	h := newHarness(t, jointree.LeftLinear, strategy.FP, 4, 300, 1995, Config{})
+	h.verify(t, "initial population")
+	for round := 0; round < 3; round++ {
+		deltas := []Delta{h.randomDelta(0, 20), h.randomDelta(2, 15)}
+		res, err := h.view.Apply(context.Background(), deltas...)
+		if err != nil {
+			t.Fatalf("round %d: Apply: %v", round, err)
+		}
+		if res.Unmatched != 0 {
+			t.Fatalf("round %d: %d unmatched deletes", round, res.Unmatched)
+		}
+		h.verify(t, "after mixed delta")
+	}
+}
+
+// TestViewAcrossShapesAndStrategies checks the maintenance network is
+// plan-shape agnostic: every strategy's plan, on several tree shapes,
+// maintains the same multiset the sequential reference recomputes.
+func TestViewAcrossShapesAndStrategies(t *testing.T) {
+	for _, strat := range strategy.Kinds {
+		for _, shape := range []jointree.Shape{jointree.LeftLinear, jointree.WideBushy, jointree.RightLinear} {
+			h := newHarness(t, shape, strat, 5, 120, 7, Config{BatchTuples: 32})
+			h.verify(t, "population")
+			for round := 0; round < 2; round++ {
+				var deltas []Delta
+				for rel := 0; rel < 5; rel += 2 {
+					deltas = append(deltas, h.randomDelta(rel, 10))
+				}
+				if _, err := h.view.Apply(context.Background(), deltas...); err != nil {
+					t.Fatalf("%v/%v: Apply: %v", strat, shape, err)
+				}
+			}
+			h.verify(t, "after deltas")
+			h.view.Close()
+		}
+	}
+}
+
+// TestViewSameTupleInsertDelete pins the in-round ordering contract:
+// inserts apply before deletes, so inserting and deleting the same tuple
+// in one Apply nets out, and deleting a tuple inserted in a previous
+// round retracts it.
+func TestViewSameTupleInsertDelete(t *testing.T) {
+	h := newHarness(t, jointree.LeftLinear, strategy.FP, 3, 100, 3, Config{})
+	fresh := h.shadow[1].Tuples[0]
+	fresh.Check = fresh.Check*31 + 12345
+	if _, err := h.view.Apply(context.Background(), Delta{Rel: 1, Insert: []relation.Tuple{fresh}, Delete: []relation.Tuple{fresh}}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	h.verify(t, "insert+delete same tuple")
+	if _, err := h.view.Apply(context.Background(), Delta{Rel: 1, Insert: []relation.Tuple{fresh}}); err != nil {
+		t.Fatalf("Apply insert: %v", err)
+	}
+	h.shadow[1].Append(fresh)
+	h.verify(t, "insert")
+	res, err := h.view.Apply(context.Background(), Delta{Rel: 1, Delete: []relation.Tuple{fresh}})
+	if err != nil {
+		t.Fatalf("Apply delete: %v", err)
+	}
+	if res.Unmatched != 0 {
+		t.Fatalf("delete of a previously inserted tuple reported unmatched")
+	}
+	sh := h.shadow[1]
+	sh.Tuples = sh.Tuples[:len(sh.Tuples)-1]
+	h.verify(t, "delete")
+}
+
+// TestViewUnmatchedDelete checks a delete of an absent base tuple is
+// dropped (counted, not propagated) and leaves the result intact.
+func TestViewUnmatchedDelete(t *testing.T) {
+	h := newHarness(t, jointree.LeftLinear, strategy.FP, 3, 80, 11, Config{})
+	ghost := relation.Tuple{Unique1: 1 << 40, Unique2: 1 << 40, Check: 99}
+	res, err := h.view.Apply(context.Background(), Delta{Rel: 0, Delete: []relation.Tuple{ghost}})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if res.Unmatched != 1 {
+		t.Fatalf("Unmatched = %d, want 1", res.Unmatched)
+	}
+	h.verify(t, "after ghost delete")
+}
+
+// TestViewChanges subscribes a change stream and checks each round's
+// signed changes telescope to the observed result difference.
+func TestViewChanges(t *testing.T) {
+	h := newHarness(t, jointree.LeftLinear, strategy.FP, 3, 150, 5, Config{})
+	stream := h.view.Changes()
+	defer stream.Close()
+	before, err := h.view.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.view.Apply(context.Background(), h.randomDelta(0, 25))
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	net := make(map[relation.Tuple]int64)
+	for _, tp := range before.Tuples {
+		net[tp]++
+	}
+	seen := 0
+	for seen < res.Changes && stream.Next() {
+		c := stream.Change()
+		net[c.Tuple] += int64(c.Sign)
+		seen++
+	}
+	if seen != res.Changes {
+		t.Fatalf("change stream delivered %d changes, ApplyResult says %d", seen, res.Changes)
+	}
+	after, err := h.view.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range after.Tuples {
+		net[tp]--
+	}
+	for tp, n := range net {
+		if n != 0 {
+			t.Fatalf("changes do not telescope: tuple %v off by %d", tp, n)
+		}
+	}
+}
+
+// TestViewMeterSettles charges a meter child and checks the shared live
+// balance returns to zero on Close — the leak-regression contract the
+// engine relies on.
+func TestViewMeterSettles(t *testing.T) {
+	root := spill.NewMeter(1 << 30)
+	h := newHarness(t, jointree.LeftLinear, strategy.FP, 4, 200, 13, Config{Meter: root.Child()})
+	if root.Live() == 0 {
+		t.Fatal("resident view charged nothing to the meter")
+	}
+	if h.view.Resident() != root.Live() {
+		t.Fatalf("Resident() = %d, meter live = %d", h.view.Resident(), root.Live())
+	}
+	if _, err := h.view.Apply(context.Background(), h.randomDelta(0, 30)); err != nil {
+		t.Fatal(err)
+	}
+	h.view.Close()
+	if live := root.Live(); live != 0 {
+		t.Fatalf("meter live = %d after Close, want 0", live)
+	}
+}
+
+// TestViewCloseUnblocksApply wedges Apply behind a change-stream
+// subscriber that never consumes, then checks Close unblocks it with
+// ErrViewClosed and every network goroutine exits.
+func TestViewCloseUnblocksApply(t *testing.T) {
+	before := runtime.NumGoroutine()
+	h := newHarness(t, jointree.LeftLinear, strategy.FP, 3, 150, 17, Config{})
+	stream := h.view.Changes() // never consumed: rounds stall once its buffer fills
+	defer stream.Close()
+	applyErr := make(chan error, 1)
+	go func() {
+		for {
+			if _, err := h.view.Apply(context.Background(), h.randomDelta(0, 5)); err != nil {
+				applyErr <- err
+				return
+			}
+		}
+	}()
+	time.Sleep(50 * time.Millisecond) // let Apply wedge on the full subscriber
+	h.view.Close()
+	select {
+	case err := <-applyErr:
+		if err != ErrViewClosed {
+			t.Fatalf("Apply returned %v, want ErrViewClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Apply still blocked 5s after Close")
+	}
+	if _, err := h.view.Rows(); err != ErrViewClosed {
+		t.Fatalf("Rows on closed view returned %v, want ErrViewClosed", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after close", before, runtime.NumGoroutine())
+}

@@ -75,6 +75,22 @@ func Streams(plan *xra.Plan) []StreamSpec {
 	return specs
 }
 
+// InstanceInStreams counts the canonical streams feeding consumer instance
+// idx of operator op. This is the per-round token multiplicity a
+// punctuation (quiescence) barrier over the plan's streams must wait for:
+// a resident view network sends one end-of-round token down every stream,
+// and a consumer instance is quiescent for the round once it has collected
+// one token per incoming stream (internal/ivm).
+func InstanceInStreams(specs []StreamSpec, op *xra.Op, idx int) int {
+	n := 0
+	for _, s := range specs {
+		if s.To == op && s.ToIdx == idx {
+			n++
+		}
+	}
+	return n
+}
+
 // Partial configures a partial execution of a plan: only the operation
 // processes whose plan processor id is Local execute on this node; streams
 // that cross the node boundary are handed to a transport through the

@@ -127,8 +127,14 @@ func BlockHeader(src []byte) (tuples, size int, err error) {
 		return 0, 0, fmt.Errorf("relation: truncated block header: %d bytes", len(src))
 	}
 	n := binary.LittleEndian.Uint64(src)
+	if int64(n) < 0 || n > (1<<40) {
+		// Counts beyond any plausible block are rejected before the size
+		// arithmetic can overflow — this is also what keeps a signed block
+		// (SignedBlockFlag set in the header) from misparsing here.
+		return 0, 0, fmt.Errorf("relation: implausible block tuple count %d", n)
+	}
 	size = BlockBytes(int(n))
-	if int(n) < 0 || len(src) < size {
+	if len(src) < size {
 		return 0, 0, fmt.Errorf("relation: block claims %d tuples (%d bytes) but only %d bytes remain", n, size, len(src))
 	}
 	return int(n), size, nil

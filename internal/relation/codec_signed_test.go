@@ -1,0 +1,106 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randBatch(rng *rand.Rand, n int) *Batch {
+	b := NewBatch(n)
+	for i := 0; i < n; i++ {
+		b.Append(rng.Int63(), rng.Int63(), rng.Uint64())
+	}
+	return b
+}
+
+func batchesEqual(t *testing.T, name string, got, want *Batch) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d tuples, want %d", name, got.Len(), want.Len())
+	}
+	for i := 0; i < got.Len(); i++ {
+		if got.Tuple(i) != want.Tuple(i) {
+			t.Fatalf("%s: tuple %d = %v, want %v", name, i, got.Tuple(i), want.Tuple(i))
+		}
+	}
+}
+
+// TestSignedBlockRoundTrip round-trips mixed-sign deltas through single
+// blocks and through the splitting encoder, across sizes that cover empty
+// sides, bitmap byte boundaries, and multi-block splits.
+func TestSignedBlockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1995))
+	sizes := [][2]int{{0, 0}, {1, 0}, {0, 1}, {7, 9}, {8, 8}, {300, 212}, {512, 0}, {600, 1300}}
+	for _, sz := range sizes {
+		ins, del := randBatch(rng, sz[0]), randBatch(rng, sz[1])
+		var enc []byte
+		if sz[0]+sz[1] <= MaxBlockTuples {
+			enc = AppendSignedBlockBytes(nil, ins, del)
+			if sz[0]+sz[1] > 0 && len(enc) != SignedBlockBytes(sz[0]+sz[1]) {
+				t.Fatalf("size %v: encoded %d bytes, want %d", sz, len(enc), SignedBlockBytes(sz[0]+sz[1]))
+			}
+			gotIns, gotDel := NewBatch(0), NewBatch(0)
+			if err := DecodeSignedBlocks(enc, gotIns, gotDel); err != nil {
+				t.Fatalf("size %v: decode: %v", sz, err)
+			}
+			batchesEqual(t, "single-block ins", gotIns, ins)
+			batchesEqual(t, "single-block del", gotDel, del)
+		}
+		enc = AppendSignedBlocksBytes(nil, ins, del, 128)
+		gotIns, gotDel := NewBatch(0), NewBatch(0)
+		if err := DecodeSignedBlocks(enc, gotIns, gotDel); err != nil {
+			t.Fatalf("size %v: decode split: %v", sz, err)
+		}
+		batchesEqual(t, "split ins", gotIns, ins)
+		batchesEqual(t, "split del", gotDel, del)
+	}
+}
+
+// TestSignedBlocksInterleaveUnsigned checks a stream mixing unsigned and
+// signed blocks decodes correctly: unsigned rows land on the insert side.
+func TestSignedBlocksInterleaveUnsigned(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	plain, ins, del := randBatch(rng, 40), randBatch(rng, 17), randBatch(rng, 23)
+	enc := AppendBlocksBytes(nil, plain, 16)
+	enc = AppendSignedBlocksBytes(enc, ins, del, 10)
+	gotIns, gotDel := NewBatch(0), NewBatch(0)
+	if err := DecodeSignedBlocks(enc, gotIns, gotDel); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	want := NewBatch(0)
+	want.AppendRange(plain, 0, plain.Len())
+	want.AppendRange(ins, 0, ins.Len())
+	batchesEqual(t, "mixed ins", gotIns, want)
+	batchesEqual(t, "mixed del", gotDel, del)
+}
+
+// TestSignedBlockRejectedByUnsignedReaders pins the compatibility story: a
+// pre-signed-format reader must reject a signed block loudly (the flagged
+// count is implausible) instead of misparsing its body.
+func TestSignedBlockRejectedByUnsignedReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	enc := AppendSignedBlockBytes(nil, randBatch(rng, 4), randBatch(rng, 4))
+	if _, _, err := BlockHeader(enc); err == nil {
+		t.Fatal("BlockHeader accepted a signed block")
+	}
+	if _, err := BlockCount(enc); err == nil {
+		t.Fatal("BlockCount accepted a signed block")
+	}
+	if _, err := TuplesFromBytes(nil, enc); err == nil {
+		t.Fatal("TuplesFromBytes accepted a signed block")
+	}
+}
+
+// TestSignedBlockHeaderTruncation checks framing validation on short input.
+func TestSignedBlockHeaderTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	enc := AppendSignedBlockBytes(nil, randBatch(rng, 10), nil)
+	for _, cut := range []int{3, BlockHeaderBytes, len(enc) - 1} {
+		if _, _, _, err := SignedBlockHeader(enc[:cut]); err == nil {
+			t.Fatalf("SignedBlockHeader accepted %d of %d bytes", cut, len(enc))
+		}
+	}
+	if _, _, signed, err := SignedBlockHeader(enc); err != nil || !signed {
+		t.Fatalf("SignedBlockHeader(full) = signed %v, err %v", signed, err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"multijoin/internal/dist"
+	"multijoin/internal/ivm"
 	"multijoin/internal/relation"
 )
 
@@ -43,6 +44,7 @@ type Client struct {
 
 	mu      sync.Mutex
 	streams map[uint32]*Stream
+	views   map[uint32]*ViewHandle
 	nextID  uint32
 	err     error // first reader error, ErrClientClosed after Close
 
@@ -75,7 +77,7 @@ func DialWindow(addr string, window int) (*Client, error) {
 		c.Close()
 		return nil, err
 	}
-	cl := &Client{c: c, window: window, streams: make(map[uint32]*Stream), readerDone: make(chan struct{})}
+	cl := &Client{c: c, window: window, streams: make(map[uint32]*Stream), views: make(map[uint32]*ViewHandle), readerDone: make(chan struct{})}
 	go cl.readLoop()
 	return cl, nil
 }
@@ -99,9 +101,17 @@ func (cl *Client) fail(err error) {
 		streams = append(streams, st)
 	}
 	cl.streams = make(map[uint32]*Stream)
+	views := make([]*ViewHandle, 0, len(cl.views))
+	for _, vh := range cl.views {
+		views = append(views, vh)
+	}
+	cl.views = make(map[uint32]*ViewHandle)
 	cl.mu.Unlock()
 	for _, st := range streams {
 		st.deliver(streamEvent{err: err})
+	}
+	for _, vh := range views {
+		vh.deliver(viewEvent{err: err})
 	}
 }
 
@@ -198,6 +208,9 @@ func (cl *Client) readLoop() {
 					SpilledBytes: d.SpilledBytes, MemReserved: d.MemReserved,
 					PlanCacheHit: d.PlanCacheHit,
 				}})
+			} else if vh := cl.lookupView(d.ID); vh != nil {
+				cl.dropView(d.ID)
+				vh.deliver(viewEvent{done: &Done{Rows: d.Rows}})
 			}
 		case fsError:
 			var e errMsg
@@ -208,6 +221,30 @@ func (cl *Client) readLoop() {
 			if st := cl.lookup(e.ID); st != nil {
 				cl.drop(e.ID)
 				st.deliver(streamEvent{err: fmt.Errorf("serve: query failed: %s", e.Msg)})
+			} else if vh := cl.lookupView(e.ID); vh != nil {
+				cl.dropView(e.ID)
+				vh.deliver(viewEvent{err: fmt.Errorf("serve: view failed: %s", e.Msg)})
+			}
+		case fsViewOK:
+			var ok viewOKMsg
+			if err := dist.DecodeMsg(payload, &ok); err != nil {
+				cl.fail(err)
+				return
+			}
+			if vh := cl.lookupView(ok.ID); vh != nil {
+				vh.deliver(viewEvent{ok: &ok})
+			}
+		case fsViewResult:
+			var vr viewResultMsg
+			if err := dist.DecodeMsg(payload, &vr); err != nil {
+				cl.fail(err)
+				return
+			}
+			if vh := cl.lookupView(vr.ID); vh != nil {
+				vh.deliver(viewEvent{res: &ApplyStats{
+					Inserted: vr.Inserted, Deleted: vr.Deleted, Unmatched: vr.Unmatched,
+					Changes: vr.Changes, Rows: vr.Rows, Wall: time.Duration(vr.WallNanos),
+				}})
 			}
 		default:
 			cl.fail(fmt.Errorf("serve: unexpected frame kind 0x%02x", kind))
@@ -282,4 +319,158 @@ func (st *Stream) Drain() (int64, *Done, error) {
 		}
 		n += int64(len(tuples))
 	}
+}
+
+// ViewSpec names one materialized view over the server's database. The
+// strategy is always FP — a resident view is a pipelining network.
+type ViewSpec struct {
+	Shape     string // jointree shape name ("" means left-linear)
+	Relations int    // join fan-in; 0 means every relation in the DB
+	Procs     int    // plan processor count; 0 means the engine default
+}
+
+// ApplyStats is one maintenance round's server-side outcome.
+type ApplyStats struct {
+	Inserted  int64 // base tuples applied as inserts
+	Deleted   int64 // base tuples applied as deletes
+	Unmatched int64 // base deletes that matched nothing
+	Changes   int64 // signed changes to the result multiset
+	Rows      int64 // result cardinality after the round
+	Wall      time.Duration
+}
+
+// viewEvent is one dispatched view reply.
+type viewEvent struct {
+	ok   *viewOKMsg
+	res  *ApplyStats
+	done *Done
+	err  error
+}
+
+// ViewHandle is one materialized view held open on a client connection.
+// Its operations are strictly request-reply — one outstanding at a time,
+// serialized by an internal mutex.
+type ViewHandle struct {
+	cl *Client
+	id uint32
+
+	// Rows is the view's initial result cardinality; Cards the database's
+	// per-relation cardinalities (chain order), the vocabulary for
+	// synthesizing join-compatible deltas. Both are set by CreateView.
+	Rows  int64
+	Cards []int64
+
+	opMu   sync.Mutex
+	closed bool // set by Close; later ops fail locally, their replies having no handle
+	ev     chan viewEvent
+
+	deliverOnce sync.Once // guards the terminal event
+}
+
+func (vh *ViewHandle) deliver(e viewEvent) {
+	if e.done != nil || e.err != nil {
+		vh.deliverOnce.Do(func() { vh.ev <- e })
+		return
+	}
+	vh.ev <- e
+}
+
+// lookupView finds the view for a frame's stream id.
+func (cl *Client) lookupView(sid uint32) *ViewHandle {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.views[sid]
+}
+
+// dropView removes a finished view.
+func (cl *Client) dropView(sid uint32) {
+	cl.mu.Lock()
+	delete(cl.views, sid)
+	cl.mu.Unlock()
+}
+
+// CreateView materializes a view on the server and blocks until its initial
+// population completes (the round-zero refresh).
+func (cl *Client) CreateView(spec ViewSpec) (*ViewHandle, error) {
+	cl.mu.Lock()
+	if cl.err != nil {
+		err := cl.err
+		cl.mu.Unlock()
+		return nil, err
+	}
+	cl.nextID++
+	id := cl.nextID
+	vh := &ViewHandle{cl: cl, id: id, ev: make(chan viewEvent, 2)}
+	cl.views[id] = vh
+	cl.mu.Unlock()
+	msg := viewCreateMsg{ID: id, Shape: spec.Shape, Relations: spec.Relations, Procs: spec.Procs}
+	if err := cl.c.WriteMsg(fsViewCreate, msg); err != nil {
+		cl.dropView(id)
+		return nil, err
+	}
+	e := <-vh.ev
+	switch {
+	case e.err != nil:
+		return nil, e.err
+	case e.ok == nil:
+		return nil, fmt.Errorf("serve: unexpected view reply")
+	}
+	vh.Rows = e.ok.Rows
+	vh.Cards = e.ok.Cards
+	return vh, nil
+}
+
+// Apply ships one round of signed base-relation deltas and blocks until the
+// server's view is exact again.
+func (vh *ViewHandle) Apply(deltas ...ivm.Delta) (ApplyStats, error) {
+	vh.opMu.Lock()
+	defer vh.opMu.Unlock()
+	if vh.closed {
+		return ApplyStats{}, ivm.ErrViewClosed
+	}
+	msg := viewApplyMsg{ID: vh.id}
+	var ins, del relation.Batch
+	for _, d := range deltas {
+		ins.Reset()
+		del.Reset()
+		for _, tp := range d.Insert {
+			ins.AppendTuple(tp)
+		}
+		for _, tp := range d.Delete {
+			del.AppendTuple(tp)
+		}
+		msg.Deltas = append(msg.Deltas, viewDeltaMsg{
+			Rel:    d.Rel,
+			Blocks: relation.AppendSignedBlocksBytes(nil, &ins, &del, 0),
+		})
+	}
+	if err := vh.cl.c.WriteMsg(fsViewApply, msg); err != nil {
+		return ApplyStats{}, err
+	}
+	e := <-vh.ev
+	switch {
+	case e.err != nil:
+		return ApplyStats{}, e.err
+	case e.res == nil:
+		return ApplyStats{}, fmt.Errorf("serve: unexpected view reply")
+	}
+	return *e.res, nil
+}
+
+// Close tears the server-side view down, releasing its resident tables.
+func (vh *ViewHandle) Close() error {
+	vh.opMu.Lock()
+	defer vh.opMu.Unlock()
+	if vh.closed {
+		return nil
+	}
+	vh.closed = true
+	if err := vh.cl.c.WriteStreamID(fsViewClose, vh.id); err != nil {
+		return err
+	}
+	e := <-vh.ev
+	if e.err != nil {
+		return e.err
+	}
+	return nil
 }

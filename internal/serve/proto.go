@@ -17,6 +17,22 @@
 //	0x21 CANCEL  client→server; stream id (abort the query)
 //	0x22 DONE    server→client; gob doneMsg (per-query stats)
 //	0x23 ERROR   server→client; gob errMsg
+//	0x24 VCREATE client→server; gob viewCreateMsg (materialize a view)
+//	0x25 VOK     server→client; gob viewOKMsg (view ready + DB shape)
+//	0x26 VAPPLY  client→server; gob viewApplyMsg (signed delta blocks)
+//	0x27 VRESULT server→client; gob viewResultMsg (per-round stats)
+//	0x28 VCLOSE  client→server; stream id (tear the view down)
+//
+// A materialized view is one stream id held open across rounds: VCREATE
+// populates the view on the server's engine (CreateView, the FP network
+// kept resident) and answers VOK carrying the database's per-relation
+// cardinalities so the client can synthesize join-compatible deltas;
+// each VAPPLY carries one round of base-relation deltas encoded as the
+// signed columnar blocks of relation.AppendSignedBlocksBytes and answers
+// VRESULT once the view is exact again; VCLOSE releases the view's
+// resident tables and answers DONE. View operations on a connection
+// execute synchronously in its demultiplex loop — a ticker connection is
+// dedicated to its view, and a refresh round is the unit of interest.
 //
 // A query is one credit-windowed stream: the client picks a stream id and
 // an initial window W in SUBMIT; the server may have at most W unconsumed
@@ -35,7 +51,9 @@ import (
 )
 
 // protoVersion is carried in every HELLO; both ends must agree exactly.
-const protoVersion = 1
+// Version 2 added the materialized-view kinds (0x24-0x28) and the signed
+// columnar block format they carry.
+const protoVersion = 2
 
 // Frame kinds. The data-plane kinds alias dist's so dist.Conn's WriteBatch,
 // WriteEOS and WriteCredit fast paths stamp the right bytes; the serve
@@ -50,6 +68,12 @@ const (
 	fsCancel byte = 0x21
 	fsDone   byte = 0x22
 	fsError  byte = 0x23
+
+	fsViewCreate byte = 0x24
+	fsViewOK     byte = 0x25
+	fsViewApply  byte = 0x26
+	fsViewResult byte = 0x27
+	fsViewClose  byte = 0x28
 )
 
 // Connection roles carried in HELLO.
@@ -93,6 +117,50 @@ type doneMsg struct {
 type errMsg struct {
 	ID  uint32
 	Msg string
+}
+
+// viewCreateMsg materializes one view on the server's engine. The strategy
+// is always FP — a resident view is a pipelining network by construction —
+// so unlike submitMsg there is none to pick.
+type viewCreateMsg struct {
+	ID        uint32
+	Shape     string // jointree shape name ("" means left-linear)
+	Relations int    // join fan-in; 0 means every relation in the DB
+	Procs     int    // plan processor count; 0 means the engine default
+}
+
+// viewOKMsg acknowledges a populated view. Cards carries the database's
+// per-relation cardinalities so the client can synthesize join-compatible
+// delta tuples without shipping the relations.
+type viewOKMsg struct {
+	ID       uint32
+	Rows     int64   // initial result cardinality
+	Resident int64   // resident bytes charged to the engine's budget
+	Cards    []int64 // base-relation cardinalities, chain order
+}
+
+// viewApplyMsg is one maintenance round: per-relation deltas whose tuples
+// travel as signed columnar blocks (relation.AppendSignedBlocksBytes).
+type viewApplyMsg struct {
+	ID     uint32
+	Deltas []viewDeltaMsg
+}
+
+// viewDeltaMsg is one base relation's signed update within a round.
+type viewDeltaMsg struct {
+	Rel    int
+	Blocks []byte // consecutive signed blocks: inserts then deletes
+}
+
+// viewResultMsg answers one VAPPLY once the view is exact again.
+type viewResultMsg struct {
+	ID        uint32
+	Inserted  int64
+	Deleted   int64
+	Unmatched int64
+	Changes   int64 // signed changes to the result multiset this round
+	Rows      int64 // result cardinality after the round
+	WallNanos int64
 }
 
 // DefaultWindow is the initial credit used when SUBMIT carries none.

@@ -244,7 +244,7 @@ func TestServeMalformedFrames(t *testing.T) {
 		if err := c.WriteMsg(dist.FrameHello, struct {
 			Version int
 			Role    string
-		}{1, "client"}); err != nil {
+		}{2, "client"}); err != nil {
 			t.Fatal(err)
 		}
 		if kind, _, err := c.ReadFrame(); err != nil || kind != dist.FrameHello {

@@ -6,9 +6,11 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"time"
 
 	"multijoin/internal/core"
 	"multijoin/internal/dist"
+	"multijoin/internal/ivm"
 	"multijoin/internal/jointree"
 	"multijoin/internal/relation"
 	"multijoin/internal/strategy"
@@ -83,7 +85,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed by Shutdown
 		}
-		sc := &srvConn{srv: s, c: dist.NewConn(nc), queries: make(map[uint32]*srvQuery)}
+		sc := &srvConn{srv: s, c: dist.NewConn(nc), queries: make(map[uint32]*srvQuery), views: make(map[uint32]*core.View)}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -170,6 +172,7 @@ type srvConn struct {
 
 	mu      sync.Mutex
 	queries map[uint32]*srvQuery
+	views   map[uint32]*core.View
 	qwg     sync.WaitGroup
 }
 
@@ -208,7 +211,17 @@ func (sc *srvConn) serve() {
 		for _, q := range sc.queries {
 			q.cancel()
 		}
+		views := make([]*core.View, 0, len(sc.views))
+		for _, v := range sc.views {
+			views = append(views, v)
+		}
+		sc.views = make(map[uint32]*core.View)
 		sc.mu.Unlock()
+		// A client disconnect must not strand resident hash tables on the
+		// engine's budget: views are connection-scoped.
+		for _, v := range views {
+			v.Close()
+		}
 		sc.qwg.Wait()
 		sc.c.Close()
 	}()
@@ -256,6 +269,24 @@ func (sc *srvConn) serve() {
 			if q != nil {
 				q.cancel()
 			}
+		case fsViewCreate:
+			var vc viewCreateMsg
+			if err := dist.DecodeMsg(payload, &vc); err != nil {
+				return
+			}
+			sc.viewCreate(vc)
+		case fsViewApply:
+			var va viewApplyMsg
+			if err := dist.DecodeMsg(payload, &va); err != nil {
+				return
+			}
+			sc.viewApply(va)
+		case fsViewClose:
+			sid, err := dist.ParseStreamID(payload)
+			if err != nil {
+				return
+			}
+			sc.viewClose(sid)
 		default:
 			return // unknown frame kind: protocol violation
 		}
@@ -358,6 +389,101 @@ func (sc *srvConn) runQuery(ctx context.Context, sq *srvQuery, sub submitMsg) {
 // connection teardown path handles them).
 func (sc *srvConn) writeErr(sid uint32, err error) {
 	sc.c.WriteMsg(fsError, errMsg{ID: sid, Msg: err.Error()})
+}
+
+// viewCreate materializes one view and acknowledges with VOK carrying the
+// database shape. Runs synchronously in the demux loop: the population is
+// the round-zero refresh, and a view connection has nothing else to do.
+func (sc *srvConn) viewCreate(vc viewCreateMsg) {
+	sc.mu.Lock()
+	_, dupQ := sc.queries[vc.ID]
+	_, dupV := sc.views[vc.ID]
+	sc.mu.Unlock()
+	if dupQ || dupV {
+		sc.writeErr(vc.ID, fmt.Errorf("serve: duplicate stream id %d", vc.ID))
+		return
+	}
+	shape := vc.Shape
+	if shape == "" {
+		shape = "left-linear"
+	}
+	query, _, err := sc.srv.buildQuery(submitMsg{
+		ID: vc.ID, Shape: shape, Relations: vc.Relations, Strategy: "FP", Procs: vc.Procs,
+	})
+	if err != nil {
+		sc.writeErr(vc.ID, err)
+		return
+	}
+	v, err := sc.srv.eng.CreateView(context.Background(), query)
+	if err != nil {
+		sc.writeErr(vc.ID, err)
+		return
+	}
+	sc.mu.Lock()
+	sc.views[vc.ID] = v
+	sc.mu.Unlock()
+	db := sc.srv.eng.DB()
+	cards := make([]int64, db.NumRelations())
+	for i := range cards {
+		cards[i] = int64(db.Card(i))
+	}
+	sc.c.WriteMsg(fsViewOK, viewOKMsg{
+		ID: vc.ID, Rows: int64(v.ResultCard()), Resident: v.Resident(), Cards: cards,
+	})
+}
+
+// viewApply runs one maintenance round and acknowledges with VRESULT.
+func (sc *srvConn) viewApply(va viewApplyMsg) {
+	sc.mu.Lock()
+	v := sc.views[va.ID]
+	sc.mu.Unlock()
+	if v == nil {
+		sc.writeErr(va.ID, fmt.Errorf("serve: no view on stream id %d", va.ID))
+		return
+	}
+	deltas := make([]ivm.Delta, 0, len(va.Deltas))
+	for _, wd := range va.Deltas {
+		var ins, del relation.Batch
+		if err := relation.DecodeSignedBlocks(wd.Blocks, &ins, &del); err != nil {
+			sc.writeErr(va.ID, err)
+			return
+		}
+		d := ivm.Delta{Rel: wd.Rel}
+		for i, n := 0, ins.Len(); i < n; i++ {
+			d.Insert = append(d.Insert, ins.Tuple(i))
+		}
+		for i, n := 0, del.Len(); i < n; i++ {
+			d.Delete = append(d.Delete, del.Tuple(i))
+		}
+		deltas = append(deltas, d)
+	}
+	t0 := time.Now()
+	res, err := v.Apply(context.Background(), deltas...)
+	if err != nil {
+		sc.writeErr(va.ID, err)
+		return
+	}
+	sc.c.WriteMsg(fsViewResult, viewResultMsg{
+		ID: va.ID, Inserted: int64(res.Inserted), Deleted: int64(res.Deleted),
+		Unmatched: res.Unmatched, Changes: int64(res.Changes),
+		Rows: int64(res.ResultCard), WallNanos: time.Since(t0).Nanoseconds(),
+	})
+}
+
+// viewClose releases a view's resident tables and acknowledges with DONE
+// carrying the final result cardinality.
+func (sc *srvConn) viewClose(sid uint32) {
+	sc.mu.Lock()
+	v := sc.views[sid]
+	delete(sc.views, sid)
+	sc.mu.Unlock()
+	if v == nil {
+		sc.writeErr(sid, fmt.Errorf("serve: no view on stream id %d", sid))
+		return
+	}
+	rows := int64(v.ResultCard())
+	v.Close()
+	sc.c.WriteMsg(fsDone, doneMsg{ID: sid, Rows: rows})
 }
 
 // buildQuery resolves a submitMsg against the server's database into an

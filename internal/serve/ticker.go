@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"multijoin/internal/ivm"
+	"multijoin/internal/relation"
+)
+
+// TickerConfig parameterizes the continuous-query workload: every
+// connection holds one materialized view open and feeds it base-relation
+// deltas at Poisson arrival times, measuring the refresh latency — submit
+// to view-exact-again — the way the query workload measures query latency.
+type TickerConfig struct {
+	Addr     string        // server address
+	Views    int           // concurrent view connections (0 means 4)
+	Duration time.Duration // delta-arrival window (0 means 2s)
+	// Rate is the aggregate delta-arrival rate in rounds per second across
+	// all views, with exponential inter-arrival times (0 means 50).
+	Rate float64
+	// DeltaTuples is the round size: how many fresh tuples each round
+	// inserts into one randomly chosen base relation (0 means 16). Once a
+	// view has a backlog of its own insertions, rounds also delete that
+	// many earlier insertions, holding the view's cardinality roughly flat.
+	DeltaTuples int
+	Spec        ViewSpec // the view every connection materializes
+	Seed        int64
+}
+
+// TickerResult aggregates one ticker step's outcome.
+type TickerResult struct {
+	Views     int   // views that populated successfully
+	Applies   int64 // maintenance rounds that completed
+	Errors    int64 // failed creates or rounds
+	Inserted  int64 // base tuples inserted across all rounds
+	Deleted   int64 // base tuples deleted across all rounds
+	Changes   int64 // |signed result changes| across all rounds
+	Rows      int64 // summed initial view cardinality
+	Elapsed   time.Duration
+	Achieved  float64       // completed rounds per second
+	P50       time.Duration // refresh latency percentiles
+	P95       time.Duration
+	P99       time.Duration
+	CreateP50 time.Duration // view population latency (round zero)
+}
+
+// tickerStats collects per-round outcomes under one mutex.
+type tickerStats struct {
+	mu       sync.Mutex
+	refresh  []time.Duration
+	creates  []time.Duration
+	applies  int64
+	errors   int64
+	inserted int64
+	deleted  int64
+	changes  int64
+	rows     int64
+}
+
+// RunTicker drives one continuous-query step and reports its aggregate
+// result: Views connections each create the same view, then apply Poisson
+// delta rounds until the deadline.
+func RunTicker(cfg TickerConfig) (*TickerResult, error) {
+	if cfg.Views <= 0 {
+		cfg.Views = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 50
+	}
+	if cfg.DeltaTuples <= 0 {
+		cfg.DeltaTuples = 16
+	}
+	clients := make([]*Client, cfg.Views)
+	for i := range clients {
+		cl, err := Dial(cfg.Addr)
+		if err != nil {
+			for _, c := range clients[:i] {
+				c.Close()
+			}
+			return nil, fmt.Errorf("serve: ticker dial %d: %w", i, err)
+		}
+		clients[i] = cl
+	}
+	defer func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
+
+	stats := &tickerStats{}
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+			tickOne(cl, cfg, rng, deadline, stats)
+		}(i, cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &TickerResult{
+		Views: len(stats.creates), Applies: stats.applies, Errors: stats.errors,
+		Inserted: stats.inserted, Deleted: stats.deleted, Changes: stats.changes,
+		Rows: stats.rows, Elapsed: elapsed,
+	}
+	if elapsed > 0 {
+		res.Achieved = float64(stats.applies) / elapsed.Seconds()
+	}
+	res.P50 = percentile(stats.refresh, 0.50)
+	res.P95 = percentile(stats.refresh, 0.95)
+	res.P99 = percentile(stats.refresh, 0.99)
+	res.CreateP50 = percentile(stats.creates, 0.50)
+	return res, nil
+}
+
+// tickOne is one connection's life: create the view, then Poisson delta
+// rounds until the deadline, then close it.
+func tickOne(cl *Client, cfg TickerConfig, rng *rand.Rand, deadline time.Time, stats *tickerStats) {
+	t0 := time.Now()
+	vh, err := cl.CreateView(cfg.Spec)
+	if err != nil {
+		stats.mu.Lock()
+		stats.errors++
+		stats.mu.Unlock()
+		return
+	}
+	defer vh.Close()
+	stats.mu.Lock()
+	stats.creates = append(stats.creates, time.Since(t0))
+	stats.rows += vh.Rows
+	stats.mu.Unlock()
+
+	// backlog holds this view's own insertions per relation: the pool
+	// later rounds delete from, keeping the base churn self-cancelling.
+	backlog := make([][]relation.Tuple, len(vh.Cards))
+	rate := cfg.Rate / float64(cfg.Views)
+	for time.Now().Before(deadline) {
+		wait := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		if d := time.Until(deadline); wait > d {
+			return
+		}
+		time.Sleep(wait)
+		d := synthDelta(vh.Cards, backlog, cfg.DeltaTuples, rng)
+		ta := time.Now()
+		st, err := vh.Apply(d)
+		if err != nil {
+			stats.mu.Lock()
+			stats.errors++
+			stats.mu.Unlock()
+			return
+		}
+		stats.mu.Lock()
+		stats.refresh = append(stats.refresh, time.Since(ta))
+		stats.applies++
+		stats.inserted += st.Inserted
+		stats.deleted += st.Deleted
+		stats.changes += st.Changes
+		stats.mu.Unlock()
+	}
+}
+
+// synthDelta builds one round against a randomly chosen base relation:
+// k fresh join-compatible tuples in, and — once the relation has a backlog
+// of at least 2k of this ticker's own insertions — k of those back out.
+// The chain database's attribute domains make compatibility easy: relation
+// i's Unique1 ranges over [0, cards[i]) and its Unique2 over the boundary
+// domain it shares with relation i+1, so a uniform draw joins with
+// exactly one neighbor tuple on each side and the delta's changes
+// propagate through the whole join rather than dying at the first probe.
+func synthDelta(cards []int64, backlog [][]relation.Tuple, k int, rng *rand.Rand) ivm.Delta {
+	rel := rng.Intn(len(cards))
+	u2dom := cards[rel]
+	if rel+1 < len(cards) {
+		u2dom = cards[rel+1]
+	}
+	d := ivm.Delta{Rel: rel}
+	for i := 0; i < k; i++ {
+		d.Insert = append(d.Insert, relation.Tuple{
+			Unique1: rng.Int63n(cards[rel]),
+			Unique2: rng.Int63n(u2dom),
+			Check:   rng.Uint64(),
+		})
+	}
+	if len(backlog[rel]) >= 2*k {
+		for i := 0; i < k; i++ {
+			j := rng.Intn(len(backlog[rel]))
+			d.Delete = append(d.Delete, backlog[rel][j])
+			backlog[rel][j] = backlog[rel][len(backlog[rel])-1]
+			backlog[rel] = backlog[rel][:len(backlog[rel])-1]
+		}
+	}
+	backlog[rel] = append(backlog[rel], d.Insert...)
+	return d
+}

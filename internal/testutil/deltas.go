@@ -1,0 +1,63 @@
+package testutil
+
+import (
+	"math/rand"
+
+	"multijoin/internal/ivm"
+	"multijoin/internal/relation"
+	"multijoin/internal/wisconsin"
+)
+
+// DeltaScript derives a deterministic sequence of signed delta rounds for
+// db's base relations — the workload half of the view-maintenance
+// differential harness (FuzzViewEquivalence). The generator tracks the
+// evolving live multiset of every relation so deletes target tuples that
+// exist at apply time (including tuples inserted by an earlier round, or
+// by the same round — inserts apply first); inserts are join-compatible
+// clones of live tuples with fresh Check payloads, so they actually flow
+// through the join network instead of being filtered at the first probe.
+//
+// Each round also injects ghost deletes with ~1/4 probability per touched
+// relation: tuples with a negative Unique1, which no generated relation
+// ever contains, exercising the unmatched-delete path. Ghosts are
+// recognizable by Unique1 < 0 so a differential oracle can predict the
+// view's Unmatched count exactly.
+func DeltaScript(db *wisconsin.Database, seed int64, rounds int) [][]ivm.Delta {
+	rng := rand.New(rand.NewSource(seed))
+	live := make([][]relation.Tuple, db.NumRelations())
+	for i := range live {
+		live[i] = append([]relation.Tuple(nil), db.Relation(i).Tuples...)
+	}
+	script := make([][]ivm.Delta, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		var round []ivm.Delta
+		touched := rng.Perm(db.NumRelations())[:1+rng.Intn(db.NumRelations())]
+		for _, rel := range touched {
+			d := ivm.Delta{Rel: rel}
+			for i, n := 0, rng.Intn(6); i < n && len(live[rel]) > 0; i++ {
+				src := live[rel][rng.Intn(len(live[rel]))]
+				src.Check = src.Check*31 + uint64(rng.Intn(1<<30)) + 1
+				d.Insert = append(d.Insert, src)
+				live[rel] = append(live[rel], src)
+			}
+			for i, n := 0, rng.Intn(4); i < n && len(live[rel]) > 0; i++ {
+				j := rng.Intn(len(live[rel]))
+				d.Delete = append(d.Delete, live[rel][j])
+				live[rel][j] = live[rel][len(live[rel])-1]
+				live[rel] = live[rel][:len(live[rel])-1]
+			}
+			if rng.Intn(4) == 0 {
+				d.Delete = append(d.Delete, relation.Tuple{
+					Unique1: -(1 + rng.Int63n(1<<30)),
+					Unique2: rng.Int63n(1 << 30),
+					Check:   rng.Uint64(),
+				})
+			}
+			if len(d.Insert) > 0 || len(d.Delete) > 0 {
+				round = append(round, d)
+			}
+		}
+		script = append(script, round)
+	}
+	return script
+}

@@ -1,0 +1,100 @@
+package testutil
+
+import (
+	"context"
+	"testing"
+
+	"multijoin/internal/ivm"
+	"multijoin/internal/jointree"
+	"multijoin/internal/relation"
+)
+
+// removeOne deletes one instance of tp from rel's multiset, reporting
+// whether an instance existed — the sequential-reference mirror of the
+// view network's unmatched-delete filtering.
+func removeOne(rel *relation.Relation, tp relation.Tuple) bool {
+	for i, have := range rel.Tuples {
+		if have == tp {
+			rel.Tuples[i] = rel.Tuples[len(rel.Tuples)-1]
+			rel.Tuples = rel.Tuples[:len(rel.Tuples)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzViewEquivalence is the view-maintenance differential oracle: for any
+// generated scenario (every strategy's plan shape, uniform and skewed
+// cardinalities) and any generated delta script, the incrementally
+// maintained view must equal a from-scratch recompute of the sequential
+// reference over shadow base relations after every round, with the
+// unmatched-delete count predicted exactly by the script's ghost deletes.
+func FuzzViewEquivalence(f *testing.F) {
+	for strat := int64(0); strat < 4; strat++ {
+		for size := int64(0); size < 3; size++ {
+			f.Add(int64(1995)+strat*31+size, strat+size, strat, size, strat*7+size)
+		}
+	}
+	f.Add(int64(7), int64(3), int64(3), int64(2), int64(40)) // right-bushy FP skewed
+	f.Add(int64(-1), int64(-2), int64(-3), int64(-4), int64(-5))
+	f.Fuzz(func(t *testing.T, seed, shapeSel, stratSel, sizeSel, deltaSeed int64) {
+		s, err := Generate(seed, shapeSel, stratSel, sizeSel)
+		if err != nil {
+			t.Fatalf("generator rejected (%d,%d,%d,%d): %v", seed, shapeSel, stratSel, sizeSel, err)
+		}
+		plan, err := s.Query.Plan()
+		if err != nil {
+			t.Fatalf("%s: Plan: %v", s.Desc, err)
+		}
+		db := s.Query.DB
+		view, err := ivm.New(plan, db.Relation, ivm.Config{BatchTuples: s.BatchTuples})
+		if err != nil {
+			t.Fatalf("%s: ivm.New: %v", s.Desc, err)
+		}
+		defer view.Close()
+
+		shadow := make([]*relation.Relation, db.NumRelations())
+		for i := range shadow {
+			r := db.Relation(i)
+			cp := relation.NewWithCap(r.Name, r.TupleBytes, r.Card())
+			cp.Append(r.Tuples...)
+			shadow[i] = cp
+		}
+		check := func(round int) {
+			got, err := view.Rows()
+			if err != nil {
+				t.Fatalf("%s: round %d: Rows: %v", s.Desc, round, err)
+			}
+			want := jointree.Reference(s.Query.Tree, func(leaf int) *relation.Relation { return shadow[leaf] })
+			if diff := relation.DiffMultiset(got, want); diff != "" {
+				t.Fatalf("%s: deltaSeed=%d round %d: view differs from recompute: %s", s.Desc, deltaSeed, round, diff)
+			}
+		}
+		check(0)
+
+		for r, round := range DeltaScript(db, deltaSeed, 4) {
+			res, err := view.Apply(context.Background(), round...)
+			if err != nil {
+				t.Fatalf("%s: deltaSeed=%d round %d: Apply: %v", s.Desc, deltaSeed, r, err)
+			}
+			// Mirror the round on the shadows with the view's own ordering
+			// contract — all inserts first, then deletes, dropping misses.
+			var ghosts int64
+			for _, d := range round {
+				shadow[d.Rel].Append(d.Insert...)
+			}
+			for _, d := range round {
+				for _, tp := range d.Delete {
+					if !removeOne(shadow[d.Rel], tp) {
+						ghosts++
+					}
+				}
+			}
+			if res.Unmatched != ghosts {
+				t.Fatalf("%s: deltaSeed=%d round %d: Unmatched = %d, script has %d ghost deletes",
+					s.Desc, deltaSeed, r, res.Unmatched, ghosts)
+			}
+			check(r + 1)
+		}
+	})
+}

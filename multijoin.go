@@ -55,6 +55,7 @@ import (
 	"multijoin/internal/costmodel"
 	"multijoin/internal/dist"
 	"multijoin/internal/engine"
+	"multijoin/internal/ivm"
 	"multijoin/internal/jointree"
 	"multijoin/internal/optimizer"
 	"multijoin/internal/parallel"
@@ -96,6 +97,23 @@ type (
 	// Rows is a streaming cursor over one query's result
 	// (Next/Tuple/Err/Close, plus All and a range-over-func Iter).
 	Rows = core.Rows
+	// View is an engine-owned materialized view: the query's FP join
+	// network stays resident and Apply maintains the result incrementally
+	// from signed base-relation deltas. Create one with Engine.CreateView.
+	View = core.View
+	// ViewDelta is one base relation's signed change set for View.Apply:
+	// tuples to insert and tuples to delete.
+	ViewDelta = ivm.Delta
+	// ViewApplyResult summarizes one Apply round: delta tuples consumed,
+	// unmatched deletes dropped, net result changes, and the new result
+	// cardinality.
+	ViewApplyResult = ivm.ApplyResult
+	// ViewChange is one signed result change (+1 insert, -1 delete) on a
+	// view's change stream.
+	ViewChange = ivm.Change
+	// ViewChanges is a cursor over a view's signed change stream
+	// (Next/Change/Close), obtained from View.Changes.
+	ViewChanges = ivm.ChangeStream
 	// BaseFunc resolves a plan leaf index to its base relation.
 	BaseFunc = core.BaseFunc
 	// RunResult is the outcome of executing a query on the simulator via
@@ -304,6 +322,10 @@ func WithEngineProcs(n int) EngineOption { return core.WithEngineProcs(n) }
 // and spill when their combined residency exceeds it. Zero means the spill
 // default (64 MiB).
 func WithEngineMemoryBudget(bytes int64) EngineOption { return core.WithEngineMemoryBudget(bytes) }
+
+// ErrViewClosed is the error View.Apply and View.Rows return once the view
+// was closed — explicitly, or force-closed by engine shutdown.
+var ErrViewClosed = ivm.ErrViewClosed
 
 // AdmissionPolicies lists the admission-policy names WithAdmissionPolicy
 // accepts: "fifo" (arrival order, the default) and "cost" (shortest
